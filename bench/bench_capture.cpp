@@ -1,0 +1,146 @@
+// A-CAPTURE: authority-scoped capture, throughput and bytes retained.
+//
+// The statutory split made measurable: a pen/trap device retains header
+// records but zero payload bytes; a Title III device retains everything.
+// Also reports tap throughput in the packet simulator.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "capture/capture.h"
+#include "netsim/flow.h"
+
+namespace {
+
+using namespace lexfor;
+using capture::CaptureDevice;
+using capture::CaptureMode;
+
+legal::GrantedAuthority authority(legal::ProcessKind kind) {
+  legal::LegalProcess p;
+  p.id = ProcessId{1};
+  p.kind = kind;
+  p.issued_at = SimTime::zero();
+  return legal::GrantedAuthority{p};
+}
+
+void run_mode(CaptureMode mode, legal::ProcessKind held,
+              legal::ProcessKind required) {
+  netsim::Network net{2024};
+  const NodeId client = net.add_node("client");
+  const NodeId isp = net.add_node("isp");
+  const NodeId server = net.add_node("server");
+  netsim::LinkConfig link;
+  link.latency = SimDuration::from_ms(5);
+  (void)net.connect(client, isp, link).value();
+  (void)net.connect(isp, server, link).value();
+
+  auto device_r = CaptureDevice::create(mode, authority(held), required, isp,
+                                        "isp", SimTime::zero());
+  if (!device_r.ok()) {
+    std::printf("%-24s refused: %s\n",
+                std::string(to_string(mode)).c_str(),
+                device_r.status().message().c_str());
+    return;
+  }
+  auto device = std::move(device_r).value();
+  (void)device.attach(net);
+
+  netsim::FlowConfig flow;
+  flow.id = FlowId{1};
+  flow.src = client;
+  flow.dst = server;
+  flow.packet_bytes = 512;
+  flow.packets_per_sec = 2000.0;
+  flow.stop = SimTime::from_sec(10.0);
+  netsim::FlowSource source(net, flow, netsim::ArrivalProcess::kPoisson, 5);
+  source.start();
+  net.run();
+
+  const auto& stats = device.stats();
+  std::printf("%-24s observed=%8llu retained=%8llu payloadB kept=%9llu "
+              "payloadB dropped=%9llu\n",
+              std::string(to_string(mode)).c_str(),
+              static_cast<unsigned long long>(stats.packets_observed),
+              static_cast<unsigned long long>(stats.packets_retained),
+              static_cast<unsigned long long>(stats.payload_bytes_retained),
+              static_cast<unsigned long long>(stats.payload_bytes_discarded));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A-CAPTURE: what each legal instrument lets a tap retain "
+              "(10s of 2000pps x 512B)\n\n");
+
+  std::printf("-- held: pen/trap court order --\n");
+  run_mode(CaptureMode::kPenRegister, legal::ProcessKind::kCourtOrder,
+           legal::ProcessKind::kCourtOrder);
+  run_mode(CaptureMode::kTrapAndTrace, legal::ProcessKind::kCourtOrder,
+           legal::ProcessKind::kCourtOrder);
+  run_mode(CaptureMode::kPenTrap, legal::ProcessKind::kCourtOrder,
+           legal::ProcessKind::kCourtOrder);
+  // Insufficient for full content: the device refuses to exist.
+  run_mode(CaptureMode::kFullContent, legal::ProcessKind::kCourtOrder,
+           legal::ProcessKind::kWiretapOrder);
+
+  std::printf("\n-- held: Title III wiretap order --\n");
+  run_mode(CaptureMode::kPenTrap, legal::ProcessKind::kWiretapOrder,
+           legal::ProcessKind::kCourtOrder);
+  run_mode(CaptureMode::kFullContent, legal::ProcessKind::kWiretapOrder,
+           legal::ProcessKind::kWiretapOrder);
+
+  std::printf("\n-- held: nothing --\n");
+  run_mode(CaptureMode::kPenTrap, legal::ProcessKind::kNone,
+           legal::ProcessKind::kCourtOrder);
+
+  // Scope-filter ablation (§III.A.2.a): the same wiretap, unscoped vs
+  // scoped to one service port.  The scoped device retains a fraction of
+  // the traffic — the minimization a particularized warrant demands.
+  std::printf("\n-- scope-filter ablation (Title III, two flows: web + "
+              "mail) --\n");
+  for (const bool scoped : {false, true}) {
+    netsim::Network net{4242};
+    const NodeId client = net.add_node("client");
+    const NodeId isp = net.add_node("isp");
+    const NodeId server = net.add_node("server");
+    (void)net.connect(client, isp).value();
+    (void)net.connect(isp, server).value();
+
+    auto device =
+        CaptureDevice::create(CaptureMode::kFullContent,
+                              authority(legal::ProcessKind::kWiretapOrder),
+                              legal::ProcessKind::kWiretapOrder, isp, "isp",
+                              SimTime::zero())
+            .value();
+    if (scoped) {
+      device.set_scope_filter(capture::Filter::parse("dstport 80").value());
+    }
+    (void)device.attach(net);
+
+    std::vector<std::unique_ptr<netsim::FlowSource>> sources;
+    for (const std::uint16_t port : {std::uint16_t{80}, std::uint16_t{25}}) {
+      netsim::FlowConfig flow;
+      flow.id = FlowId{port};
+      flow.src = client;
+      flow.dst = server;
+      flow.dst_port = port;
+      flow.packet_bytes = 512;
+      flow.packets_per_sec = 1000.0;
+      flow.stop = SimTime::from_sec(5.0);
+      sources.push_back(std::make_unique<netsim::FlowSource>(
+          net, flow, netsim::ArrivalProcess::kPoisson, port));
+      sources.back()->start();
+    }
+    net.run();
+    std::printf("%-24s retained=%8llu out-of-scope=%8llu payloadB kept=%9llu\n",
+                scoped ? "scoped (dstport 80)" : "unscoped",
+                static_cast<unsigned long long>(device.stats().packets_retained),
+                static_cast<unsigned long long>(
+                    device.stats().packets_out_of_scope),
+                static_cast<unsigned long long>(
+                    device.stats().payload_bytes_retained));
+  }
+  return 0;
+}

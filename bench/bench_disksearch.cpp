@@ -1,0 +1,75 @@
+// A-CRYPTO/disk: known-file hash search over a disk image (Table-1
+// scene 18 made measurable) and carving throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/sha256.h"
+#include "diskimage/hash_search.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace lexfor;
+using namespace lexfor::diskimage;
+
+legal::GrantedAuthority warrant() {
+  legal::LegalProcess p;
+  p.id = ProcessId{1};
+  p.kind = legal::ProcessKind::kSearchWarrant;
+  p.issued_at = SimTime::zero();
+  return legal::GrantedAuthority{p};
+}
+
+// Builds an image of `files` files of ~4KB each, 1% matching the known
+// set, 10% deleted.
+struct Workload {
+  DiskImage disk;
+  HashSearcher searcher{std::unordered_set<std::string>{}};
+
+  explicit Workload(std::size_t files) {
+    Rng rng{13};
+    std::unordered_set<std::string> known;
+    for (std::size_t i = 0; i < files; ++i) {
+      Bytes content(4096);
+      for (auto& b : content) b = static_cast<std::uint8_t>(rng());
+      const std::string path = "/data/f" + std::to_string(i);
+      (void)disk.write_file(path, content);
+      if (i % 100 == 0) known.insert(crypto::Sha256::hex(content));
+      if (i % 10 == 3) (void)disk.delete_file(path);
+    }
+    searcher = HashSearcher{std::move(known)};
+  }
+};
+
+void BM_HashSearch(benchmark::State& state) {
+  const Workload w(static_cast<std::size_t>(state.range(0)));
+  const auto auth = warrant();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        w.searcher.search(w.disk, auth, legal::ProcessKind::kSearchWarrant,
+                          "drive", SimTime::zero()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 4096);
+}
+BENCHMARK(BM_HashSearch)->Range(64, 4096);
+
+void BM_Carve(benchmark::State& state) {
+  DiskImage disk(512);
+  Rng rng{17};
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    Bytes obj = (i % 2 == 0) ? magic_jpeg() : magic_pdf();
+    obj.resize(1024 + rng.uniform(2048), 0x5A);
+    (void)disk.write_file("/o" + std::to_string(i), obj);
+  }
+  Carver carver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(carver.carve(disk));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(disk.raw().size()));
+}
+BENCHMARK(BM_Carve)->Range(16, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// A-NETSIM: discrete-event simulator throughput (events/sec, packets/sec)
+// — the substrate every experiment runs on.
+
+#include <benchmark/benchmark.h>
+
+#include "netsim/flow.h"
+#include "netsim/network.h"
+
+namespace {
+
+using namespace lexfor;
+using namespace lexfor::netsim;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    const auto n = state.range(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      q.schedule_at(SimTime::from_us(i % 997), [] {});
+    }
+    q.run();
+    benchmark::DoNotOptimize(q.processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Range(1024, 262144);
+
+void BM_PacketDeliveryLine(benchmark::State& state) {
+  // src -- r1 -- r2 -- dst line; measures full routed delivery.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Network net{1};
+    const NodeId src = net.add_node("src");
+    const NodeId r1 = net.add_node("r1");
+    const NodeId r2 = net.add_node("r2");
+    const NodeId dst = net.add_node("dst");
+    (void)net.connect(src, r1).value();
+    (void)net.connect(r1, r2).value();
+    (void)net.connect(r2, dst).value();
+    PacketHeader h;
+    h.src = src;
+    h.dst = dst;
+    state.ResumeTiming();
+
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      (void)net.send(FlowId{1}, h, Bytes(64, 0));
+    }
+    net.run();
+    benchmark::DoNotOptimize(net.packets_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PacketDeliveryLine)->Range(256, 16384);
+
+void BM_ShortestPathGrid(benchmark::State& state) {
+  // k x k grid; BFS from corner to corner.
+  const std::int64_t k = state.range(0);
+  Network net{2};
+  std::vector<NodeId> nodes;
+  for (std::int64_t i = 0; i < k * k; ++i) {
+    nodes.push_back(net.add_node("n" + std::to_string(i)));
+  }
+  for (std::int64_t r = 0; r < k; ++r) {
+    for (std::int64_t c = 0; c < k; ++c) {
+      if (c + 1 < k) {
+        (void)net.connect(nodes[static_cast<std::size_t>(r * k + c)],
+                          nodes[static_cast<std::size_t>(r * k + c + 1)]);
+      }
+      if (r + 1 < k) {
+        (void)net.connect(nodes[static_cast<std::size_t>(r * k + c)],
+                          nodes[static_cast<std::size_t>((r + 1) * k + c)]);
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.shortest_path(nodes.front(), nodes.back()));
+  }
+}
+BENCHMARK(BM_ShortestPathGrid)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FlowThroughTap(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Network net{3};
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    (void)net.connect(a, b).value();
+    std::uint64_t tapped = 0;
+    (void)net.add_node_tap(b, [&](const TapEvent&) { ++tapped; });
+    FlowConfig cfg;
+    cfg.id = FlowId{1};
+    cfg.src = a;
+    cfg.dst = b;
+    cfg.packets_per_sec = static_cast<double>(state.range(0));
+    cfg.stop = SimTime::from_sec(1.0);
+    FlowSource flow(net, cfg, ArrivalProcess::kPoisson, 4);
+    state.ResumeTiming();
+
+    flow.start();
+    net.run();
+    benchmark::DoNotOptimize(tapped);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowThroughTap)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

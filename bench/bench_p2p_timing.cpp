@@ -1,0 +1,99 @@
+// Experiment E-IVA (paper §IV.A): timing-based source identification in
+// an anonymous P2P overlay — "workable method without warrant/court
+// order/subpoena".
+//
+// Series 1: classification accuracy vs. the hop-delay / lookup-delay
+//           separation (how distinguishable proxies are from sources).
+// Series 2: accuracy vs. number of probes per neighbor.
+// Series 3: accuracy vs. overlay size (does the attack scale?).
+//
+// The paper's qualitative claim to reproduce: the attack reliably
+// separates sources from proxies using only protocol-exposed traffic,
+// and the engine confirms the collection is process-free.
+
+#include <cstdio>
+
+#include "anonp2p/investigator.h"
+
+namespace {
+
+using namespace lexfor;
+using anonp2p::Overlay;
+using anonp2p::OverlayConfig;
+using anonp2p::TimingInvestigator;
+
+std::vector<PeerId> all_peers(const Overlay& overlay) {
+  std::vector<PeerId> out;
+  for (std::size_t i = 0; i < overlay.peer_count(); ++i) out.emplace_back(i);
+  return out;
+}
+
+anonp2p::InvestigationReport run(OverlayConfig cfg, std::size_t probes,
+                                 std::uint64_t seed) {
+  Overlay overlay(cfg);
+  TimingInvestigator inv(overlay, all_peers(overlay));
+  Rng rng(seed);
+  return inv.run(probes, rng);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E-IVA: timing attack on an anonymous P2P overlay (paper IV.A)\n");
+
+  {
+    const auto legality = legal::ComplianceEngine{}.evaluate(
+        TimingInvestigator::legal_scenario());
+    std::printf("legal posture: %s (required process: %s)\n\n",
+                legality.verdict().c_str(),
+                std::string(legal::to_string(legality.required_process)).c_str());
+  }
+
+  std::printf("Series 1: accuracy vs hop/lookup delay separation "
+              "(128 peers, 30 probes)\n");
+  std::printf("%18s %10s %8s %8s %8s\n", "hop/lookup ratio", "accuracy",
+              "TPR", "FPR", "thr(ms)");
+  for (const double ratio : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    OverlayConfig cfg;
+    cfg.num_peers = 128;
+    cfg.file_popularity = 0.2;
+    cfg.local_lookup_ms = 20.0;
+    cfg.hop_delay_ms = 20.0 * ratio;
+    cfg.seed = 17;
+    const auto r = run(cfg, 30, 1001);
+    std::printf("%18.1f %10.3f %8.3f %8.3f %8.1f\n", ratio, r.accuracy,
+                r.true_positive_rate, r.false_positive_rate, r.threshold_ms);
+  }
+
+  std::printf("\nSeries 2: accuracy vs probes per neighbor "
+              "(128 peers, hop/lookup = 3)\n");
+  std::printf("%10s %10s %8s %8s\n", "probes", "accuracy", "TPR", "FPR");
+  for (const std::size_t probes : {1u, 2u, 5u, 10u, 20u, 50u, 100u}) {
+    OverlayConfig cfg;
+    cfg.num_peers = 128;
+    cfg.file_popularity = 0.2;
+    cfg.local_lookup_ms = 20.0;
+    cfg.hop_delay_ms = 60.0;
+    cfg.seed = 17;
+    const auto r = run(cfg, probes, 2002);
+    std::printf("%10zu %10.3f %8.3f %8.3f\n", probes, r.accuracy,
+                r.true_positive_rate, r.false_positive_rate);
+  }
+
+  std::printf("\nSeries 3: accuracy vs overlay size (30 probes, "
+              "hop/lookup = 3)\n");
+  std::printf("%10s %10s %8s %8s\n", "peers", "accuracy", "TPR", "FPR");
+  for (const std::size_t peers : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    OverlayConfig cfg;
+    cfg.num_peers = peers;
+    cfg.file_popularity = 0.2;
+    cfg.local_lookup_ms = 20.0;
+    cfg.hop_delay_ms = 60.0;
+    cfg.seed = 29;
+    const auto r = run(cfg, 30, 3003);
+    std::printf("%10zu %10.3f %8.3f %8.3f\n", peers, r.accuracy,
+                r.true_positive_rate, r.false_positive_rate);
+  }
+
+  return 0;
+}

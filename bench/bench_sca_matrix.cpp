@@ -1,0 +1,104 @@
+// Experiment E-SCA (paper §III.A.3): the ECS/RCS lifecycle and the
+// § 2703 compelled-disclosure ladder, as a matrix.
+//
+// Rows: provider type x message lifecycle state.  Columns: the minimum
+// process to compel each disclosure kind.  The paper's Alice/Bob
+// walk-through appears as the "non-public / opened" row falling out of
+// the SCA (Fourth Amendment only).
+
+#include <cstdio>
+
+#include "storedcomm/provider.h"
+
+int main() {
+  using namespace lexfor;
+  using namespace lexfor::storedcomm;
+
+  std::printf("E-SCA: compelled-disclosure matrix (paper III.A.3)\n\n");
+  std::printf("%-34s %-14s %-22s %-22s %-22s\n", "provider / message state",
+              "SCA class", "subscriber recs", "transactional recs", "content");
+
+  struct Case {
+    const char* label;
+    ProviderPublicity publicity;
+    bool opened;
+  };
+  const Case cases[] = {
+      {"public (Gmail-like), unopened", ProviderPublicity::kPublic, false},
+      {"public (Gmail-like), opened", ProviderPublicity::kPublic, true},
+      {"non-public (university), unopened", ProviderPublicity::kNonPublic, false},
+      {"non-public (university), opened", ProviderPublicity::kNonPublic, true},
+  };
+
+  for (const auto& c : cases) {
+    Provider provider("bench-provider", c.publicity);
+    const AccountId account =
+        provider.create_account("user@host", {"User", "Addr", "Pay"});
+    (void)account;
+    const auto msg = provider
+                         .deliver("user@host", "peer@other", "subject",
+                                  to_bytes("body"), SimTime::zero())
+                         .value();
+    if (c.opened) {
+      (void)provider.open_message(msg, SimTime::from_sec(60));
+    }
+
+    const auto cls = provider.classify(msg);
+    const auto sub =
+        provider.required_process(DisclosureKind::kBasicSubscriber, msg);
+    const auto rec =
+        provider.required_process(DisclosureKind::kTransactionalRecords, msg);
+    const auto content = provider.required_process(DisclosureKind::kContent, msg);
+
+    std::printf("%-34s %-14s %-22s %-22s %-22s\n", c.label,
+                std::string(legal::to_string(cls)).c_str(),
+                std::string(legal::to_string(sub.required_process)).c_str(),
+                std::string(legal::to_string(rec.required_process)).c_str(),
+                std::string(legal::to_string(content.required_process)).c_str());
+  }
+
+  std::printf("\nAlice/Bob walk-through (paper's example):\n");
+  Provider gmail("gmail", ProviderPublicity::kPublic);
+  Provider univ("cs.charlie.edu", ProviderPublicity::kNonPublic);
+  (void)gmail.create_account("bob@gmail.com", {"Bob", "", ""});
+  (void)univ.create_account("alice@cs.charlie.edu", {"Alice", "", ""});
+
+  const auto to_bob = gmail
+                          .deliver("bob@gmail.com", "alice@cs.charlie.edu",
+                                   "hi", to_bytes("hello bob"), SimTime::zero())
+                          .value();
+  std::printf("  1. Alice->Bob arrives at Gmail:        %s\n",
+              std::string(legal::to_string(gmail.classify(to_bob))).c_str());
+  (void)gmail.open_message(to_bob, SimTime::from_sec(10));
+  std::printf("  2. Bob opens and stores it:            %s\n",
+              std::string(legal::to_string(gmail.classify(to_bob))).c_str());
+
+  const auto to_alice = univ
+                            .deliver("alice@cs.charlie.edu", "bob@gmail.com",
+                                     "re: hi", to_bytes("hello alice"),
+                                     SimTime::zero())
+                            .value();
+  std::printf("  3. Bob->Alice awaits at university:    %s\n",
+              std::string(legal::to_string(univ.classify(to_alice))).c_str());
+  (void)univ.open_message(to_alice, SimTime::from_sec(20));
+  std::printf("  4. Alice opens it (drops out of SCA):  %s\n",
+              std::string(legal::to_string(univ.classify(to_alice))).c_str());
+
+  // Voluntary-disclosure rules (§ 2702).
+  std::printf("\nVoluntary disclosure to the government (SCA 2702):\n");
+  const auto bob_account = gmail.find_account("bob@gmail.com")->id;
+  const auto alice_account = univ.find_account("alice@cs.charlie.edu")->id;
+  const auto denied = gmail.voluntary_disclosure_to_government(
+      DisclosureKind::kContent, bob_account, false, false);
+  std::printf("  public provider, no emergency/consent: %s\n",
+              denied.ok() ? "ALLOWED (wrong!)" : "refused");
+  const auto emergency = gmail.voluntary_disclosure_to_government(
+      DisclosureKind::kContent, bob_account, true, false);
+  std::printf("  public provider, emergency:            %s\n",
+              emergency.ok() ? "allowed" : "refused (wrong!)");
+  const auto nonpublic = univ.voluntary_disclosure_to_government(
+      DisclosureKind::kContent, alice_account, false, false);
+  std::printf("  non-public provider, freely:           %s\n",
+              nonpublic.ok() ? "allowed" : "refused (wrong!)");
+  return 0;
+}

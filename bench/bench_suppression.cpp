@@ -1,0 +1,86 @@
+// A-SUPPRESS: fruit-of-the-poisonous-tree closure at scale.
+//
+// The suppression analyzer must handle real case provenance graphs
+// (thousands of items) in interactive time.  Sweeps chains, wide
+// fan-outs, and random DAGs with a tainted root fraction.
+
+#include <benchmark/benchmark.h>
+
+#include "legal/suppression.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace lexfor;
+using namespace lexfor::legal;
+
+ProvenanceGraph chain_graph(std::size_t n, bool tainted_root) {
+  ProvenanceGraph g;
+  AcquisitionRecord root;
+  root.id = EvidenceId{0};
+  root.required =
+      tainted_root ? ProcessKind::kSearchWarrant : ProcessKind::kNone;
+  root.held = ProcessKind::kNone;
+  (void)g.add(root);
+  for (std::size_t i = 1; i < n; ++i) {
+    AcquisitionRecord r;
+    r.id = EvidenceId{i};
+    r.derived_from = {EvidenceId{i - 1}};
+    (void)g.add(r);
+  }
+  return g;
+}
+
+ProvenanceGraph random_dag(std::size_t n, double taint_fraction,
+                           std::uint64_t seed) {
+  Rng rng{seed};
+  ProvenanceGraph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    AcquisitionRecord r;
+    r.id = EvidenceId{i};
+    if (i > 0) {
+      const std::size_t parents = 1 + rng.uniform(std::min<std::size_t>(i, 3));
+      for (std::size_t p = 0; p < parents; ++p) {
+        r.derived_from.push_back(EvidenceId{rng.uniform(i)});
+      }
+    }
+    if (rng.bernoulli(taint_fraction)) {
+      r.required = ProcessKind::kSearchWarrant;
+      r.held = ProcessKind::kNone;
+    }
+    (void)g.add(r);
+  }
+  return g;
+}
+
+void BM_SuppressionChain(benchmark::State& state) {
+  const auto g = chain_graph(static_cast<std::size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_suppression(g));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SuppressionChain)->Range(64, 65536);
+
+void BM_SuppressionRandomDag(benchmark::State& state) {
+  const auto g =
+      random_dag(static_cast<std::size_t>(state.range(0)), 0.1, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_suppression(g));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SuppressionRandomDag)->Range(64, 65536);
+
+void BM_GraphInsertion(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chain_graph(static_cast<std::size_t>(state.range(0)), false));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GraphInsertion)->Range(64, 16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

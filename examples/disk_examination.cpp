@@ -1,0 +1,111 @@
+// Table-1 scenes 18-20, executed: a seized drive, imaged under a
+// tamper-evident chain of custody, hash-searched for known contraband
+// (needs a warrant — U.S. v. Crist), then mined as lawfully acquired
+// data (needs nothing — State v. Sloane), with carving recovering a
+// deleted file along the way.
+
+#include <cstdio>
+
+#include "crypto/sha256.h"
+#include "diskimage/hash_search.h"
+#include "evidence/custody.h"
+#include "investigation/investigation.h"
+#include "legal/table1.h"
+
+int main() {
+  using namespace lexfor;
+  using namespace lexfor::diskimage;
+
+  // --- the suspect's drive ----------------------------------------------
+  DiskImage drive(512);
+  Bytes contraband = magic_jpeg();
+  const Bytes tail = to_bytes(" [contraband image payload]");
+  contraband.insert(contraband.end(), tail.begin(), tail.end());
+  (void)drive.write_file("/photos/IMG_0001.jpg", contraband);
+  (void)drive.write_file("/docs/taxes.pdf",
+                         to_bytes("%PDF boring tax documents"));
+  (void)drive.write_file("/photos/deleted.jpg", contraband);
+  (void)drive.delete_file("/photos/deleted.jpg");  // "I got rid of it"
+
+  // --- seizure and imaging under chain of custody -------------------------
+  const Bytes case_key = to_bytes("case-2012-0042-key");
+  evidence::EvidenceItem original(EvidenceId{1}, "suspect desktop HDD",
+                                  drive.raw(), "Officer Reed",
+                                  SimTime::zero(), case_key);
+  auto image = original.image(EvidenceId{2}, "Analyst Kim",
+                              SimTime::from_sec(1800), case_key);
+  std::printf("seized drive sha256: %s\n", original.content_hash_hex().c_str());
+  std::printf("forensic image matches original: %s\n",
+              image.content_hash() == original.content_hash() ? "yes" : "NO");
+  std::printf("chain of custody verifies: %s\n\n",
+              image.verify(case_key).ok() ? "yes" : "NO");
+
+  // --- the legal gate --------------------------------------------------------
+  investigation::Court court;
+  investigation::Investigation inv(CaseId{7}, "seized drive examination",
+                                   legal::CrimeCategory::kChildExploitation,
+                                   court);
+  const auto scene18 = legal::ComplianceEngine{}.evaluate(
+      legal::table1::scene(18).scenario);
+  std::printf("hash-searching the whole drive requires: %s (U.S. v. Crist)\n",
+              std::string(legal::to_string(scene18.required_process)).c_str());
+
+  HashSearcher searcher({crypto::Sha256::hex(contraband)});
+
+  // Without a warrant the tool refuses.
+  const auto refused =
+      searcher.search(drive, legal::GrantedAuthority{},
+                      scene18.required_process, "suspect-hdd", SimTime::zero());
+  std::printf("search without warrant: %s\n",
+              refused.ok() ? "ran (wrong!)" : refused.status().message().c_str());
+
+  // Get the warrant.
+  inv.add_fact({legal::FactKind::kIpAddressLinked, 2.0, "IP traced to suspect"});
+  inv.add_fact({legal::FactKind::kSubscriberIdentified, 1.0, "ISP return"});
+  legal::ProcessScope scope;
+  scope.locations = {"suspect-hdd"};
+  scope.crime = "possession of child pornography";
+  const auto warrant =
+      inv.apply_for(legal::ProcessKind::kSearchWarrant, scope, SimTime::zero())
+          .value();
+
+  const auto hits = searcher
+                        .search(drive, inv.authority(warrant),
+                                scene18.required_process, "suspect-hdd",
+                                SimTime::zero())
+                        .value();
+  std::printf("search with warrant: %zu hit(s)\n", hits.size());
+  for (const auto& h : hits) {
+    std::printf("  %s%s  sha256=%.16s...\n", h.path.c_str(),
+                h.deleted ? " (recovered from deleted space)" : "",
+                h.sha256_hex.c_str());
+  }
+
+  // --- carving finds the deleted copy too ----------------------------------
+  Carver carver;
+  const auto carved = carver.carve(drive);
+  std::printf("\ncarver recovered %zu object(s) from raw sectors\n",
+              carved.size());
+
+  // --- scene 19: mining the now-lawfully-acquired data ----------------------
+  const auto scene19 = legal::ComplianceEngine{}.evaluate(
+      legal::table1::scene(19).scenario);
+  std::printf("\nmining the lawfully acquired data requires: %s "
+              "(State v. Sloane)\n",
+              scene19.needs_process
+                  ? std::string(legal::to_string(scene19.required_process))
+                        .c_str()
+                  : "nothing");
+
+  // Record both acquisitions; audit.
+  const auto search_ev =
+      inv.acquire(legal::table1::scene(18).scenario, "hash search hits",
+                  inv.authority(warrant));
+  (void)inv.acquire(legal::table1::scene(19).scenario,
+                    "pattern mining over the acquired data",
+                    legal::GrantedAuthority{}, {search_ev.evidence});
+  const auto audit = inv.admissibility_audit();
+  std::printf("admissibility audit: %zu admissible, %zu suppressed\n",
+              audit.admissible_count, audit.suppressed_count);
+  return audit.suppressed_count == 0 ? 0 : 1;
+}

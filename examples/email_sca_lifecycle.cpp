@@ -1,0 +1,106 @@
+// The paper's Alice/Bob SCA walk-through (§III.A.3), executed: how a
+// message's lifecycle moves it between ECS storage, RCS storage, and out
+// of the SCA entirely — and what that does to the process the government
+// needs to compel it.
+
+#include <cstdio>
+
+#include "storedcomm/provider.h"
+
+namespace {
+
+using namespace lexfor;
+using namespace lexfor::storedcomm;
+
+void show(const Provider& provider, MessageId msg, const char* moment) {
+  const auto cls = provider.classify(msg);
+  const auto det = provider.required_process(DisclosureKind::kContent, msg);
+  std::printf("  %-44s %-22s content needs: %s\n", moment,
+              std::string(legal::to_string(cls)).c_str(),
+              std::string(legal::to_string(det.required_process)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  Provider gmail("gmail.com", ProviderPublicity::kPublic);
+  Provider university("cs.charlie.edu", ProviderPublicity::kNonPublic);
+
+  (void)gmail.create_account("bob@gmail.com",
+                             {"Bob", "9 Elm St", "card-on-file"});
+  (void)university.create_account("alice@cs.charlie.edu",
+                                  {"Alice", "CS dept", "payroll"});
+
+  std::printf("Alice (alice@cs.charlie.edu) emails Bob (bob@gmail.com):\n\n");
+
+  // Alice -> Bob, lands at Gmail.
+  const auto to_bob =
+      gmail
+          .deliver("bob@gmail.com", "alice@cs.charlie.edu", "lunch?",
+                   to_bytes("burgers at noon?"), SimTime::zero())
+          .value();
+  show(gmail, to_bob, "arrives at Gmail (awaiting retrieval)");
+
+  // Bob opens and keeps it.
+  (void)gmail.open_message(to_bob, SimTime::from_sec(300));
+  show(gmail, to_bob, "Bob opens it and leaves it stored");
+
+  // Bob -> Alice, lands at the university server.
+  const auto to_alice =
+      university
+          .deliver("alice@cs.charlie.edu", "bob@gmail.com", "re: lunch?",
+                   to_bytes("noon works"), SimTime::from_sec(600))
+          .value();
+  show(university, to_alice, "reply awaits Alice at the university");
+
+  // Alice opens it: the message drops out of the SCA.
+  (void)university.open_message(to_alice, SimTime::from_sec(900));
+  show(university, to_alice, "Alice opens it (SCA drops out)");
+
+  // The compelled-disclosure ladder at Gmail.
+  std::printf("\nCompelling Gmail (the 2703 ladder):\n");
+  const auto bob = gmail.find_account("bob@gmail.com")->id;
+  gmail.log_transaction(bob, "login 2012-03-01 10:04 from 203.0.113.9");
+
+  auto make_auth = [](legal::ProcessKind kind) {
+    legal::LegalProcess p;
+    p.id = ProcessId{1};
+    p.kind = kind;
+    p.issued_at = SimTime::zero();
+    return legal::GrantedAuthority{p};
+  };
+
+  struct Attempt {
+    DisclosureKind what;
+    legal::ProcessKind with;
+    const char* label;
+  };
+  const Attempt attempts[] = {
+      {DisclosureKind::kBasicSubscriber, legal::ProcessKind::kSubpoena,
+       "subscriber records with a subpoena"},
+      {DisclosureKind::kTransactionalRecords, legal::ProcessKind::kSubpoena,
+       "transaction logs with a subpoena"},
+      {DisclosureKind::kTransactionalRecords, legal::ProcessKind::kCourtOrder,
+       "transaction logs with a 2703(d) order"},
+      {DisclosureKind::kContent, legal::ProcessKind::kCourtOrder,
+       "message content with a 2703(d) order"},
+      {DisclosureKind::kContent, legal::ProcessKind::kSearchWarrant,
+       "message content with a search warrant"},
+  };
+  for (const auto& a : attempts) {
+    const auto r = gmail.compelled_disclosure(a.what, bob, make_auth(a.with),
+                                              SimTime::zero());
+    std::printf("  %-46s %s\n", a.label,
+                r.ok() ? "disclosed" : r.status().message().c_str());
+  }
+
+  std::printf("\nVoluntary disclosure (2702): Gmail, asked nicely by an "
+              "agent: %s\n",
+              gmail
+                      .voluntary_disclosure_to_government(
+                          DisclosureKind::kContent, bob, false, false)
+                      .ok()
+                  ? "handed over (wrong!)"
+                  : "refused, as the SCA requires");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// End-to-end reproduction of the paper's §IV.A workflow, as an
+// investigator would actually run it:
+//
+//   1. join an anonymous P2P overlay and probe neighbors (process-free);
+//   2. classify sources by response timing;
+//   3. feed the identified IP into the case as a fact;
+//   4. subpoena the ISP for the subscriber;
+//   5. obtain a search warrant on the combined showing;
+//   6. run the admissibility audit: everything survives.
+
+#include <cstdio>
+
+#include "anonp2p/investigator.h"
+#include "investigation/investigation.h"
+
+int main() {
+  using namespace lexfor;
+  using namespace lexfor::anonp2p;
+
+  // --- the overlay under investigation --------------------------------
+  OverlayConfig overlay_cfg;
+  overlay_cfg.num_peers = 96;
+  overlay_cfg.file_popularity = 0.15;
+  overlay_cfg.local_lookup_ms = 20.0;
+  overlay_cfg.hop_delay_ms = 90.0;
+  overlay_cfg.seed = 2012;
+  Overlay overlay(overlay_cfg);
+  std::printf("overlay: %zu peers, %zu actually hold the contraband file\n",
+              overlay.peer_count(), overlay.holder_count());
+
+  // --- step 1-2: timing probes ------------------------------------------
+  std::vector<PeerId> neighbors;
+  for (std::size_t i = 0; i < overlay.peer_count(); ++i) {
+    neighbors.emplace_back(i);
+  }
+  TimingInvestigator timing(overlay, neighbors);
+  Rng rng{77};
+  const auto report = timing.run(/*probes_per_neighbor=*/40, rng);
+  std::printf("probe verdicts: accuracy %.3f, TPR %.3f, FPR %.3f "
+              "(threshold %.1f ms)\n",
+              report.accuracy, report.true_positive_rate,
+              report.false_positive_rate, report.threshold_ms);
+  std::printf("legal posture of probing: %s\n\n",
+              report.legality.verdict().c_str());
+
+  // Pick the first neighbor classified as a source.
+  PeerId identified;
+  for (const auto& n : report.neighbors) {
+    if (n.classified_source) {
+      identified = n.peer;
+      break;
+    }
+  }
+  if (!identified.valid()) {
+    std::printf("no source identified; investigation ends\n");
+    return 0;
+  }
+  std::printf("identified peer #%llu as a direct source (ground truth: %s)\n",
+              static_cast<unsigned long long>(identified.value()),
+              overlay.holds_file(identified) ? "correct" : "WRONG");
+
+  // --- step 3-6: the legal workflow -------------------------------------
+  investigation::Court court;
+  investigation::Investigation inv(CaseId{1}, "anonymous P2P distribution",
+                                   legal::CrimeCategory::kChildExploitation,
+                                   court);
+
+  // The probe observations become the first evidence item (process-free).
+  const auto probes = inv.acquire(TimingInvestigator::legal_scenario(),
+                                  "timing probe log identifying source peer",
+                                  legal::GrantedAuthority{});
+  inv.add_fact({legal::FactKind::kIpAddressLinked, 0.0,
+                "peer IP observed serving the contraband file"});
+
+  // Subpoena the ISP for subscriber identity.
+  const auto subpoena_id =
+      inv.apply_for(legal::ProcessKind::kSubpoena, {}, SimTime::zero());
+  if (!subpoena_id.ok()) {
+    std::printf("subpoena denied: %s\n", subpoena_id.status().message().c_str());
+    return 1;
+  }
+  const auto subscriber = inv.acquire(
+      legal::Scenario{}
+          .named("ISP subscriber records")
+          .acquiring(legal::DataKind::kSubscriberRecords)
+          .located(legal::DataState::kStoredAtProvider)
+          .when(legal::Timing::kStored)
+          .at_provider(legal::ProviderClass::kEcs),
+      "subscriber identified from IP", inv.authority(subpoena_id.value()),
+      {probes.evidence});
+  inv.add_fact({legal::FactKind::kSubscriberIdentified, 0.0,
+                "ISP resolved the IP to a street address"});
+  std::printf("subpoena returned subscriber records (lawful: %s)\n",
+              subscriber.lawful ? "yes" : "no");
+
+  // Search warrant for the home.
+  legal::ProcessScope scope;
+  scope.locations = {"subscriber-home"};
+  scope.crime = "distribution of child pornography";
+  const auto warrant_id = inv.apply_for(legal::ProcessKind::kSearchWarrant,
+                                        scope, SimTime::from_sec(3600));
+  if (!warrant_id.ok()) {
+    std::printf("warrant denied: %s\n", warrant_id.status().message().c_str());
+    return 1;
+  }
+  std::printf("search warrant issued on %s\n",
+              std::string(legal::to_string(inv.current_standard().standard))
+                  .c_str());
+
+  const auto device = inv.acquire(
+      legal::Scenario{}
+          .named("home computer search")
+          .acquiring(legal::DataKind::kContent)
+          .located(legal::DataState::kOnDevice)
+          .when(legal::Timing::kStored),
+      "seized computer contents", inv.authority(warrant_id.value()),
+      {probes.evidence, subscriber.evidence});
+  std::printf("device search executed (lawful: %s)\n\n",
+              device.lawful ? "yes" : "no");
+
+  // --- the audit -----------------------------------------------------------
+  const auto audit = inv.admissibility_audit();
+  std::printf("admissibility audit: %zu admissible, %zu suppressed\n",
+              audit.admissible_count, audit.suppressed_count);
+  for (const auto& f : audit.findings) {
+    std::printf("  evidence %llu: %s — %s\n",
+                static_cast<unsigned long long>(f.id.value()),
+                f.suppressed ? "SUPPRESSED" : "admissible", f.reason.c_str());
+  }
+  return audit.suppressed_count == 0 ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+// Quickstart: ask the compliance engine whether a contemplated
+// acquisition needs legal process, and read its citation-backed answer.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "legal/engine.h"
+#include "legal/table1.h"
+
+int main() {
+  using namespace lexfor::legal;
+
+  ComplianceEngine engine;
+
+  // 1. Describe the acquisition you are considering.  Here: an officer
+  //    wants to log full packets (headers AND payload) of a suspect's
+  //    traffic at a public ISP, in real time.
+  const Scenario full_capture =
+      Scenario{}
+          .named("full-packet capture at the suspect's ISP")
+          .by(ActorKind::kLawEnforcement)
+          .acquiring(DataKind::kContent)
+          .located(DataState::kInTransit)
+          .when(Timing::kRealTime);
+
+  std::printf("%s\n", engine.evaluate(full_capture).report().c_str());
+
+  // 2. The researcher's pivot the paper recommends: drop to non-content
+  //    (headers, sizes).  The requirement falls from a Title III
+  //    super-warrant to a pen/trap court order.
+  const Scenario headers_only =
+      Scenario{}
+          .named("header-only capture at the suspect's ISP")
+          .by(ActorKind::kLawEnforcement)
+          .acquiring(DataKind::kAddressing)
+          .located(DataState::kInTransit)
+          .when(Timing::kRealTime);
+
+  std::printf("%s\n", engine.evaluate(headers_only).report().c_str());
+
+  // 3. Or find a process-free design: observe only what the protocol
+  //    exposes publicly (Table 1, scene 10 — the paper's IV.A strategy).
+  std::printf("%s\n",
+              engine.evaluate(table1::scene(10).scenario).report().c_str());
+
+  return 0;
+}

@@ -1,0 +1,71 @@
+// §IV of the paper as a program: feed proposed forensic techniques to
+// the FeasibilityAnalyzer and get the paper's verdicts — "workable
+// without process" (the IV.A timing attack), "workable with process"
+// (the IV.B watermark), and the cautionary tale (naive full-content
+// interception), each with redesign guidance.
+
+#include <cstdio>
+
+#include "legal/analysis.h"
+#include "legal/table1.h"
+
+int main() {
+  using namespace lexfor::legal;
+
+  FeasibilityAnalyzer analyzer;
+
+  // --- §IV.A: the anonymous-P2P timing attack -----------------------------
+  Technique p2p;
+  p2p.name = "timing attack on anonymous P2P (paper IV.A)";
+  p2p.steps.push_back({"join the overlay and broadcast queries",
+                       table1::scene(10).scenario});
+  p2p.steps.push_back(
+      {"measure delays of responses the protocol delivers to us",
+       Scenario{}
+           .acquiring(DataKind::kContent)
+           .located(DataState::kPublicVenue)
+           .when(Timing::kStored)
+           .exposed_publicly()
+           .delivered()});
+  std::printf("%s\n", analyzer.analyze(p2p).summary().c_str());
+
+  // --- §IV.B: the DSSS watermark traceback --------------------------------
+  Technique watermark;
+  watermark.name = "long-PN-code DSSS watermark traceback (paper IV.B)";
+  watermark.steps.push_back(
+      {"modulate the seized server's transmission rate",
+       Scenario{}
+           .acquiring(DataKind::kContent)
+           .located(DataState::kOnDevice)
+           .when(Timing::kStored)
+           .with_consent(ConsentKind::kOwnerConsent)});
+  watermark.steps.push_back(
+      {"collect per-flow packet rates at the suspect's ISP",
+       Scenario{}
+           .acquiring(DataKind::kAddressing)
+           .located(DataState::kInTransit)
+           .when(Timing::kRealTime)});
+  std::printf("%s\n", analyzer.analyze(watermark).summary().c_str());
+
+  // --- the design the paper warns against ----------------------------------
+  Technique naive;
+  naive.name = "naive full-content sniffing at the ISP";
+  naive.steps.push_back({"capture entire packets of the suspect's traffic",
+                         Scenario{}
+                             .acquiring(DataKind::kContent)
+                             .located(DataState::kInTransit)
+                             .when(Timing::kRealTime)});
+  std::printf("%s\n", analyzer.analyze(naive).summary().c_str());
+
+  // --- the same technique, redesigned per the guidance ----------------------
+  Technique redesigned;
+  redesigned.name = "the same technique after the IV.B pivot";
+  redesigned.steps.push_back(
+      {"capture only headers and sizes of the suspect's traffic",
+       Scenario{}
+           .acquiring(DataKind::kAddressing)
+           .located(DataState::kInTransit)
+           .when(Timing::kRealTime)});
+  std::printf("%s\n", analyzer.analyze(redesigned).summary().c_str());
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "anonp2p/investigator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/stats.h"
+
+namespace lexfor::anonp2p {
+
+TimingInvestigator::TimingInvestigator(const Overlay& overlay,
+                                       std::vector<PeerId> probe_peers,
+                                       double threshold_ms)
+    : overlay_(overlay),
+      probe_peers_(std::move(probe_peers)),
+      threshold_ms_(threshold_ms) {}
+
+legal::Scenario TimingInvestigator::legal_scenario() {
+  // The investigator observes only information the protocol exposes to
+  // every participating peer: Table-1 scene 10.
+  return legal::Scenario{}
+      .named("timing probes in an anonymous P2P overlay")
+      .by(legal::ActorKind::kLawEnforcement)
+      .acquiring(legal::DataKind::kContent)
+      .located(legal::DataState::kPublicVenue)
+      .when(legal::Timing::kStored)
+      .exposed_publicly()
+      .shared();
+}
+
+InvestigationReport TimingInvestigator::run(std::size_t probes_per_neighbor,
+                                            Rng& rng) const {
+  InvestigationReport report;
+  report.legality = legal::ComplianceEngine{}.evaluate(legal_scenario());
+
+  // Probe every neighbor.
+  for (const auto peer : probe_peers_) {
+    NeighborClassification c;
+    c.peer = peer;
+    c.truly_source = overlay_.holds_file(peer);
+    std::vector<double> delays;
+    for (std::size_t i = 0; i < probes_per_neighbor; ++i) {
+      const auto d = overlay_.query_delay_ms(peer, rng);
+      if (d.has_value()) {
+        delays.push_back(*d);
+        ++c.responses;
+      } else {
+        ++c.timeouts;
+      }
+    }
+    c.median_delay_ms =
+        delays.empty() ? std::numeric_limits<double>::infinity()
+                       : percentile(delays, 50.0);
+    report.neighbors.push_back(c);
+  }
+
+  // Threshold: explicit, or the midpoint of the largest gap between
+  // consecutive sorted medians (sources and proxies form two clusters).
+  double threshold = threshold_ms_;
+  if (threshold <= 0.0) {
+    std::vector<double> medians;
+    for (const auto& c : report.neighbors) {
+      if (std::isfinite(c.median_delay_ms)) medians.push_back(c.median_delay_ms);
+    }
+    std::sort(medians.begin(), medians.end());
+    if (medians.size() >= 2) {
+      // Split at the largest RELATIVE gap: sources cluster at the local
+      // lookup delay, proxies at least one forwarding round-trip above,
+      // so the source/proxy boundary dominates in relative terms even
+      // when multi-hop proxies create larger absolute gaps further up.
+      double best_gap = -1.0;
+      threshold = medians.front() * 2.0;  // fallback: all one cluster
+      for (std::size_t i = 0; i + 1 < medians.size(); ++i) {
+        const double mid = (medians[i] + medians[i + 1]) / 2.0;
+        if (mid <= 0.0) continue;
+        const double gap = (medians[i + 1] - medians[i]) / mid;
+        if (gap > best_gap) {
+          best_gap = gap;
+          threshold = mid;
+        }
+      }
+    } else if (medians.size() == 1) {
+      threshold = medians.front() * 2.0;
+    } else {
+      threshold = 0.0;
+    }
+  }
+  report.threshold_ms = threshold;
+
+  // Classify and score against ground truth.
+  std::size_t correct = 0, sources = 0, proxies = 0, tp = 0, fp = 0;
+  for (auto& c : report.neighbors) {
+    c.classified_source = std::isfinite(c.median_delay_ms) &&
+                          c.median_delay_ms <= threshold;
+    if (c.classified_source == c.truly_source) ++correct;
+    if (c.truly_source) {
+      ++sources;
+      if (c.classified_source) ++tp;
+    } else {
+      ++proxies;
+      if (c.classified_source) ++fp;
+    }
+  }
+  const std::size_t total = report.neighbors.size();
+  report.accuracy = total ? static_cast<double>(correct) / total : 0.0;
+  report.true_positive_rate =
+      sources ? static_cast<double>(tp) / sources : 0.0;
+  report.false_positive_rate =
+      proxies ? static_cast<double>(fp) / proxies : 0.0;
+  return report;
+}
+
+}  // namespace lexfor::anonp2p
+
+namespace lexfor::anonp2p {
+
+MulticlassReport TimingInvestigator::run_multiclass(
+    std::size_t probes_per_neighbor, Rng& rng) const {
+  MulticlassReport report;
+
+  // Delay anatomy: a source answers after ~Exp(local); a one-hop proxy
+  // adds two forwarding legs of ~Exp(hop) each; every further hop adds
+  // two more.  Class centers are local, local + 2*hop, local + 4*hop;
+  // boundaries sit midway.
+  const double local = overlay_.config().local_lookup_ms;
+  const double hop = overlay_.config().hop_delay_ms;
+  report.source_threshold_ms = local + hop;
+  report.proxy_threshold_ms = local + 3.0 * hop;
+
+  std::size_t correct = 0;
+  for (const auto peer : probe_peers_) {
+    MulticlassFinding f;
+    f.peer = peer;
+
+    const auto hops = overlay_.hops_to_nearest_holder(peer);
+    if (hops.has_value() && *hops == 0) {
+      f.truth = PeerRole::kSource;
+    } else if (hops.has_value() && *hops == 1) {
+      f.truth = PeerRole::kTrustedProxy;
+    } else {
+      f.truth = PeerRole::kDistant;
+    }
+
+    std::vector<double> delays;
+    for (std::size_t i = 0; i < probes_per_neighbor; ++i) {
+      const auto d = overlay_.query_delay_ms(peer, rng);
+      if (d.has_value()) delays.push_back(*d);
+    }
+    f.median_delay_ms = delays.empty()
+                            ? std::numeric_limits<double>::infinity()
+                            : percentile(delays, 50.0);
+
+    if (f.median_delay_ms <= report.source_threshold_ms) {
+      f.classified = PeerRole::kSource;
+    } else if (f.median_delay_ms <= report.proxy_threshold_ms) {
+      f.classified = PeerRole::kTrustedProxy;
+    } else {
+      f.classified = PeerRole::kDistant;
+    }
+    correct += f.classified == f.truth;
+    report.findings.push_back(f);
+  }
+  report.accuracy = probe_peers_.empty()
+                        ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(probe_peers_.size());
+  return report;
+}
+
+}  // namespace lexfor::anonp2p

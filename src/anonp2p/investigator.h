@@ -1,0 +1,94 @@
+// The §IV.A timing investigation.
+//
+// Law enforcement joins the anonymous P2P overlay as an ordinary peer,
+// issues repeated queries to each neighbor, and measures response
+// delays.  Direct sources cluster around the local-lookup delay;
+// proxies add round-trip forwarding delay per hop.  The paper's point:
+// everything observed here is traffic the protocol exposes to any peer,
+// so this investigation needs NO warrant/court order/subpoena — and the
+// investigator's constructor asks the compliance engine to confirm it.
+
+#pragma once
+
+#include <vector>
+
+#include "anonp2p/overlay.h"
+#include "legal/engine.h"
+#include "util/rng.h"
+
+namespace lexfor::anonp2p {
+
+struct NeighborClassification {
+  PeerId peer;
+  bool classified_source = false;
+  bool truly_source = false;  // ground truth from the overlay
+  double median_delay_ms = 0.0;
+  std::size_t responses = 0;
+  std::size_t timeouts = 0;
+};
+
+struct InvestigationReport {
+  std::vector<NeighborClassification> neighbors;
+  double threshold_ms = 0.0;          // decision boundary used
+  double accuracy = 0.0;              // fraction classified correctly
+  double true_positive_rate = 0.0;    // sources identified as sources
+  double false_positive_rate = 0.0;   // proxies misidentified as sources
+  // The engine's confirmation that the technique is process-free.
+  legal::Determination legality;
+};
+
+// Finer-grained verdicts: the CCS'11 attack the paper cites
+// distinguishes direct sources from "trusted nodes of the sources"
+// (one-hop proxies) — both are investigative leads, with different
+// evidentiary weight.
+enum class PeerRole {
+  kSource,        // answers from its own store
+  kTrustedProxy,  // one hop from a holder
+  kDistant,       // two or more hops, or no response
+};
+
+struct MulticlassFinding {
+  PeerId peer;
+  PeerRole classified = PeerRole::kDistant;
+  PeerRole truth = PeerRole::kDistant;
+  double median_delay_ms = 0.0;
+};
+
+struct MulticlassReport {
+  std::vector<MulticlassFinding> findings;
+  double source_threshold_ms = 0.0;  // below: source
+  double proxy_threshold_ms = 0.0;   // below (and above source): trusted proxy
+  double accuracy = 0.0;             // exact three-way agreement
+};
+
+class TimingInvestigator {
+ public:
+  // `probe_peers`: the neighbors the investigating peer connects to.
+  // `threshold_ms` <= 0 selects automatic thresholding (largest gap in
+  // the sorted median delays).
+  TimingInvestigator(const Overlay& overlay, std::vector<PeerId> probe_peers,
+                     double threshold_ms = -1.0);
+
+  // Runs `probes_per_neighbor` queries against every neighbor and
+  // classifies each as source or proxy.
+  [[nodiscard]] InvestigationReport run(std::size_t probes_per_neighbor,
+                                        Rng& rng) const;
+
+  // Three-way classification (source / trusted proxy / distant).  The
+  // thresholds are derived from the overlay's delay structure: a source
+  // answers after one local lookup; a one-hop proxy adds one forwarding
+  // round trip.  Boundaries sit halfway between the expected medians of
+  // adjacent classes.
+  [[nodiscard]] MulticlassReport run_multiclass(std::size_t probes_per_neighbor,
+                                                Rng& rng) const;
+
+  // The legal scenario this investigation instantiates (Table-1 scene 10).
+  [[nodiscard]] static legal::Scenario legal_scenario();
+
+ private:
+  const Overlay& overlay_;
+  std::vector<PeerId> probe_peers_;
+  double threshold_ms_;
+};
+
+}  // namespace lexfor::anonp2p

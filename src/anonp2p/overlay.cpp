@@ -1,0 +1,110 @@
+#include "anonp2p/overlay.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace lexfor::anonp2p {
+
+Overlay::Overlay(OverlayConfig config) : config_(config) {
+  const std::size_t n = std::max<std::size_t>(config_.num_peers, 2);
+  adjacency_.assign(n, {});
+  has_file_.assign(n, false);
+
+  Rng rng(config_.seed);
+
+  auto linked = [&](std::size_t a, std::size_t b) {
+    const PeerId pb{b};
+    const auto& adj = adjacency_[a];
+    return std::find(adj.begin(), adj.end(), pb) != adj.end();
+  };
+  auto link = [&](std::size_t a, std::size_t b) {
+    if (a == b || linked(a, b)) return;
+    adjacency_[a].push_back(PeerId{b});
+    adjacency_[b].push_back(PeerId{a});
+  };
+
+  // Ring backbone keeps the trust graph connected.
+  for (std::size_t i = 0; i < n; ++i) link(i, (i + 1) % n);
+
+  // Random chords up to the target degree.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (adjacency_[i].size() < config_.trusted_degree) {
+      const std::size_t j = rng.uniform(n);
+      if (j == i) continue;
+      if (linked(i, j)) {
+        // Dense small overlays can saturate; bail out rather than spin.
+        if (adjacency_[i].size() + 1 >= n) break;
+        continue;
+      }
+      link(i, j);
+    }
+  }
+
+  // Assign file holders; guarantee at least one so queries can succeed.
+  for (std::size_t i = 0; i < n; ++i) {
+    has_file_[i] = rng.bernoulli(config_.file_popularity);
+  }
+  if (std::none_of(has_file_.begin(), has_file_.end(),
+                   [](bool b) { return b; })) {
+    has_file_[rng.uniform(n)] = true;
+  }
+}
+
+const std::vector<PeerId>& Overlay::neighbors(PeerId p) const {
+  static const std::vector<PeerId> kEmpty;
+  if (!p.valid() || p.value() >= adjacency_.size()) return kEmpty;
+  return adjacency_[p.value()];
+}
+
+bool Overlay::holds_file(PeerId p) const {
+  return p.valid() && p.value() < has_file_.size() && has_file_[p.value()];
+}
+
+std::size_t Overlay::holder_count() const {
+  return static_cast<std::size_t>(
+      std::count(has_file_.begin(), has_file_.end(), true));
+}
+
+std::optional<int> Overlay::hops_to_nearest_holder(PeerId p) const {
+  if (!p.valid() || p.value() >= adjacency_.size()) return std::nullopt;
+  if (has_file_[p.value()]) return 0;
+
+  std::vector<int> dist(adjacency_.size(), -1);
+  std::deque<std::size_t> frontier{p.value()};
+  dist[p.value()] = 0;
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop_front();
+    if (dist[u] >= config_.max_forward_hops) continue;
+    for (const auto nb : adjacency_[u]) {
+      const std::size_t v = nb.value();
+      if (dist[v] != -1) continue;
+      dist[v] = dist[u] + 1;
+      if (has_file_[v]) return dist[v];
+      frontier.push_back(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Overlay::query_delay_ms(PeerId p, Rng& rng) const {
+  if (!p.valid() || p.value() >= adjacency_.size()) return std::nullopt;
+
+  if (has_file_[p.value()]) {
+    // Direct source: a single local lookup.
+    return rng.exponential(config_.local_lookup_ms);
+  }
+
+  const auto hops = hops_to_nearest_holder(p);
+  if (!hops.has_value()) return std::nullopt;  // timeout: no holder in TTL
+
+  // Proxy path: the query travels `hops` trusted links each way, plus the
+  // holder's local lookup, plus the proxy's own handling.
+  double delay = rng.exponential(config_.local_lookup_ms);
+  for (int h = 0; h < 2 * *hops; ++h) {
+    delay += rng.exponential(config_.hop_delay_ms);
+  }
+  return delay;
+}
+
+}  // namespace lexfor::anonp2p

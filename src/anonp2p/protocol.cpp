@@ -1,0 +1,106 @@
+#include "anonp2p/protocol.h"
+
+#include <algorithm>
+
+namespace lexfor::anonp2p {
+
+FloodOutcome FloodSimulation::run_query(PeerId origin, Rng& rng) const {
+  FloodOutcome outcome;
+  outcome.stats.per_peer_messages.assign(overlay_.peer_count(), 0);
+  if (!origin.valid() || origin.value() >= overlay_.peer_count()) {
+    return outcome;
+  }
+
+  netsim::EventQueue events;
+  const double hop_ms = overlay_.config().hop_delay_ms;
+
+  // Duplicate suppression: a peer processes the query once.
+  std::unordered_set<std::uint64_t> seen;
+  std::unordered_set<std::uint64_t> responded;
+
+  // Recursive lambda via std::function-free approach: use a local struct.
+  struct Ctx {
+    const Overlay& overlay;
+    const FloodConfig& config;
+    netsim::EventQueue& events;
+    Rng& rng;
+    FloodOutcome& outcome;
+    std::unordered_set<std::uint64_t>& seen;
+    std::unordered_set<std::uint64_t>& responded;
+    PeerId origin;
+    double hop_ms;
+
+    // Delivers a RESPONSE back along `path` (path.back() is the holder,
+    // path.front() the origin).
+    void send_response(std::vector<PeerId> path, std::size_t pos) {
+      if (pos == 0) {
+        // Arrived at the origin.
+        const double now_ms = events.now().millis();
+        if (!outcome.first_response_ms.has_value() ||
+            now_ms < *outcome.first_response_ms) {
+          outcome.first_response_ms = now_ms;
+        }
+        return;
+      }
+      ++outcome.stats.responses_forwarded;
+      const double delay = rng.exponential(hop_ms) + config.handling_ms;
+      events.schedule_in(
+          SimDuration::from_ms(delay),
+          [this, path = std::move(path), pos]() mutable {
+            ++outcome.stats.per_peer_messages[path[pos - 1].value()];
+            send_response(std::move(path), pos - 1);
+          });
+    }
+
+    // Processes the QUERY at `here`, arrived via `path` (path.back() ==
+    // here), with `ttl` hops of budget left.
+    void handle_query(std::vector<PeerId> path, int ttl) {
+      const PeerId here = path.back();
+      ++outcome.stats.per_peer_messages[here.value()];
+
+      if (!seen.insert(here.value()).second) {
+        ++outcome.stats.duplicates_dropped;
+        return;
+      }
+
+      // Holders answer (once each) after a local lookup.
+      if (here != origin && overlay.holds_file(here) &&
+          responded.insert(here.value()).second) {
+        ++outcome.responders;
+        const double lookup =
+            rng.exponential(overlay.config().local_lookup_ms);
+        events.schedule_in(SimDuration::from_ms(lookup),
+                           [this, path]() mutable {
+                             const std::size_t pos = path.size() - 1;
+                             send_response(std::move(path), pos);
+                           });
+      }
+
+      if (ttl <= 0) return;
+      for (const auto neighbor : overlay.neighbors(here)) {
+        // Don't flood straight back where we came from.
+        if (path.size() >= 2 && neighbor == path[path.size() - 2]) continue;
+        ++outcome.stats.queries_forwarded;
+        const double delay = rng.exponential(hop_ms) + config.handling_ms;
+        auto next_path = path;
+        next_path.push_back(neighbor);
+        events.schedule_in(
+            SimDuration::from_ms(delay),
+            [this, next_path = std::move(next_path), ttl]() mutable {
+              handle_query(std::move(next_path), ttl - 1);
+            });
+      }
+    }
+  };
+
+  Ctx ctx{overlay_, config_, events, rng,
+          outcome, seen,    responded, origin, hop_ms};
+
+  events.schedule_at(SimTime::zero(), [&ctx, origin] {
+    ctx.handle_query({origin}, ctx.config.ttl);
+  });
+  events.run();
+  return outcome;
+}
+
+}  // namespace lexfor::anonp2p

@@ -1,0 +1,94 @@
+#include "capture/capture.h"
+
+namespace lexfor::capture {
+
+Result<CaptureDevice> CaptureDevice::create(
+    CaptureMode mode, const legal::GrantedAuthority& authority,
+    legal::ProcessKind required, NodeId target, std::string location,
+    SimTime now) {
+  if (!target.valid()) {
+    return InvalidArgument("capture: target node is invalid");
+  }
+  // The statutory floor for the device's mode composes with the
+  // engine-determined requirement: a full-content device can never run
+  // on less than the stricter of the two.
+  const legal::ProcessKind floor =
+      required == legal::ProcessKind::kNone
+          ? legal::ProcessKind::kNone  // an exception excuses the statute
+          : legal::stricter(required, minimum_process(mode));
+
+  const legal::DataKind kind = mode == CaptureMode::kFullContent
+                                   ? legal::DataKind::kContent
+                                   : legal::DataKind::kAddressing;
+  const Status permitted = authority.permits(floor, kind, location, now);
+  if (!permitted.ok()) return permitted;
+
+  // Bind the device's lifetime to the instrument's: a capture running on
+  // legal process must stop when the process lapses.
+  std::optional<SimTime> expiry;
+  if (floor != legal::ProcessKind::kNone && authority.process().has_value()) {
+    const auto& proc = *authority.process();
+    expiry = proc.issued_at + proc.validity;
+  }
+  return CaptureDevice{mode, target, std::move(location), expiry};
+}
+
+Status CaptureDevice::attach(netsim::Network& net) {
+  return net.add_node_tap(
+      target_, [this](const netsim::TapEvent& ev) { on_traversal(ev); });
+}
+
+bool CaptureDevice::direction_matches(const netsim::TapEvent& ev) const noexcept {
+  switch (mode_) {
+    case CaptureMode::kPenRegister:
+      // Outgoing addressing: traffic leaving the target.
+      return ev.from == target_;
+    case CaptureMode::kTrapAndTrace:
+      // Incoming addressing: traffic arriving at the target.
+      return ev.to == target_;
+    case CaptureMode::kPenTrap:
+    case CaptureMode::kFullContent:
+      return ev.from == target_ || ev.to == target_;
+  }
+  return false;
+}
+
+void CaptureDevice::on_traversal(const netsim::TapEvent& ev) {
+  ++stats_.packets_observed;
+  if (!direction_matches(ev)) return;
+  if (expiry_.has_value() && ev.at > *expiry_) {
+    ++stats_.packets_after_expiry;
+    return;
+  }
+  if (!scope_filter_.matches(ev.packet.header)) {
+    ++stats_.packets_out_of_scope;
+    return;
+  }
+
+  CapturedRecord rec;
+  rec.at = ev.at;
+  rec.header = ev.packet.header;
+  rec.from = ev.from;
+  rec.to = ev.to;
+
+  if (mode_ == CaptureMode::kFullContent) {
+    rec.payload = ev.packet.payload;
+    stats_.payload_bytes_retained += ev.packet.payload.size();
+  } else {
+    // Minimization: a pen/trap device must not record content.  The
+    // payload never reaches the retained record.
+    stats_.payload_bytes_discarded += ev.packet.payload.size();
+  }
+  ++stats_.packets_retained;
+  records_.push_back(std::move(rec));
+}
+
+netsim::Trace to_trace(const CaptureDevice& device) {
+  netsim::Trace trace;
+  for (const auto& rec : device.records()) {
+    trace.add(netsim::TraceRecord{rec.at, rec.header, rec.payload});
+  }
+  return trace;
+}
+
+}  // namespace lexfor::capture

@@ -1,0 +1,235 @@
+#include "capture/filter.h"
+
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace lexfor::capture {
+
+Filter::Filter()
+    : pred_([](const netsim::PacketHeader&) { return true; }), text_("any") {}
+
+Filter Filter::host(NodeId node) {
+  return Filter(
+      [node](const netsim::PacketHeader& h) {
+        return h.src == node || h.dst == node;
+      },
+      "host " + std::to_string(node.value()));
+}
+
+Filter Filter::src(NodeId node) {
+  return Filter([node](const netsim::PacketHeader& h) { return h.src == node; },
+                "src " + std::to_string(node.value()));
+}
+
+Filter Filter::dst(NodeId node) {
+  return Filter([node](const netsim::PacketHeader& h) { return h.dst == node; },
+                "dst " + std::to_string(node.value()));
+}
+
+Filter Filter::port(std::uint16_t p) {
+  return Filter(
+      [p](const netsim::PacketHeader& h) {
+        return h.src_port == p || h.dst_port == p;
+      },
+      "port " + std::to_string(p));
+}
+
+Filter Filter::dst_port(std::uint16_t p) {
+  return Filter(
+      [p](const netsim::PacketHeader& h) { return h.dst_port == p; },
+      "dstport " + std::to_string(p));
+}
+
+Filter Filter::protocol(netsim::Protocol proto) {
+  return Filter(
+      [proto](const netsim::PacketHeader& h) { return h.protocol == proto; },
+      std::string("proto ") +
+          (proto == netsim::Protocol::kTcp ? "tcp" : "udp"));
+}
+
+Filter Filter::max_size(std::uint32_t bytes) {
+  return Filter(
+      [bytes](const netsim::PacketHeader& h) { return h.payload_size <= bytes; },
+      "maxsize " + std::to_string(bytes));
+}
+
+Filter Filter::operator&&(const Filter& other) const {
+  Pred a = pred_, b = other.pred_;
+  return Filter(
+      [a, b](const netsim::PacketHeader& h) { return a(h) && b(h); },
+      "(" + text_ + " and " + other.text_ + ")");
+}
+
+Filter Filter::operator||(const Filter& other) const {
+  Pred a = pred_, b = other.pred_;
+  return Filter(
+      [a, b](const netsim::PacketHeader& h) { return a(h) || b(h); },
+      "(" + text_ + " or " + other.text_ + ")");
+}
+
+Filter Filter::operator!() const {
+  Pred a = pred_;
+  return Filter([a](const netsim::PacketHeader& h) { return !a(h); },
+                "(not " + text_ + ")");
+}
+
+bool Filter::matches(const netsim::PacketHeader& header) const {
+  return pred_(header);
+}
+
+namespace {
+
+// Recursive-descent parser over a token vector.
+class Parser {
+ public:
+  explicit Parser(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<Filter> parse() {
+    auto e = expr();
+    if (!e.ok()) return e;
+    if (pos_ != tokens_.size()) {
+      return InvalidArgument("filter parse: trailing tokens after '" +
+                             tokens_[pos_ - 1] + "'");
+    }
+    return e;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= tokens_.size(); }
+  [[nodiscard]] const std::string& peek() const { return tokens_[pos_]; }
+  std::string take() { return tokens_[pos_++]; }
+
+  Result<Filter> expr() {
+    auto left = term();
+    if (!left.ok()) return left;
+    Filter acc = std::move(left).value();
+    while (!at_end() && peek() == "or") {
+      take();
+      auto right = term();
+      if (!right.ok()) return right;
+      acc = acc || right.value();
+    }
+    return acc;
+  }
+
+  Result<Filter> term() {
+    auto left = factor();
+    if (!left.ok()) return left;
+    Filter acc = std::move(left).value();
+    while (!at_end() && peek() == "and") {
+      take();
+      auto right = factor();
+      if (!right.ok()) return right;
+      acc = acc && right.value();
+    }
+    return acc;
+  }
+
+  Result<Filter> factor() {
+    if (at_end()) return InvalidArgument("filter parse: unexpected end");
+    if (peek() == "not") {
+      take();
+      auto inner = factor();
+      if (!inner.ok()) return inner;
+      return !inner.value();
+    }
+    if (peek() == "(") {
+      take();
+      auto inner = expr();
+      if (!inner.ok()) return inner;
+      if (at_end() || peek() != ")") {
+        return InvalidArgument("filter parse: missing ')'");
+      }
+      take();
+      return inner;
+    }
+    return atom();
+  }
+
+  Result<std::uint64_t> number() {
+    if (at_end()) return InvalidArgument("filter parse: expected a number");
+    const std::string tok = take();
+    std::uint64_t v = 0;
+    for (const char c : tok) {
+      if (c < '0' || c > '9') {
+        return InvalidArgument("filter parse: '" + tok + "' is not a number");
+      }
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return v;
+  }
+
+  Result<Filter> atom() {
+    const std::string kw = take();
+    if (kw == "any") return Filter{};
+    if (kw == "host" || kw == "src" || kw == "dst") {
+      auto n = number();
+      if (!n.ok()) return n.status();
+      const NodeId node{n.value()};
+      if (kw == "host") return Filter::host(node);
+      if (kw == "src") return Filter::src(node);
+      return Filter::dst(node);
+    }
+    if (kw == "port" || kw == "dstport") {
+      auto n = number();
+      if (!n.ok()) return n.status();
+      if (n.value() > 65535) {
+        return InvalidArgument("filter parse: port out of range");
+      }
+      const auto p = static_cast<std::uint16_t>(n.value());
+      return kw == "port" ? Filter::port(p) : Filter::dst_port(p);
+    }
+    if (kw == "proto") {
+      if (at_end()) return InvalidArgument("filter parse: expected protocol");
+      const std::string proto = take();
+      if (proto == "tcp") return Filter::protocol(netsim::Protocol::kTcp);
+      if (proto == "udp") return Filter::protocol(netsim::Protocol::kUdp);
+      return InvalidArgument("filter parse: unknown protocol '" + proto + "'");
+    }
+    if (kw == "maxsize") {
+      auto n = number();
+      if (!n.ok()) return n.status();
+      return Filter::max_size(static_cast<std::uint32_t>(n.value()));
+    }
+    return InvalidArgument("filter parse: unknown keyword '" + kw + "'");
+  }
+
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::string> tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == '(' || c == ')') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+      out.emplace_back(1, c);
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+Result<Filter> Filter::parse(const std::string& expression) {
+  auto tokens = tokenize(expression);
+  if (tokens.empty()) return InvalidArgument("filter parse: empty expression");
+  return Parser{std::move(tokens)}.parse();
+}
+
+}  // namespace lexfor::capture

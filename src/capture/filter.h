@@ -1,0 +1,66 @@
+// Packet filters: scope-limited capture (§III.A.2.a of the paper).
+//
+// "A good technique can identify records that only relate to a
+// particular crime" — a warrant that authorizes capturing traffic
+// between two endpoints on one service does not authorize vacuuming the
+// link.  Filter is a small combinator language (host/port/protocol/
+// size predicates, and/or/not) compiled to a predicate over packet
+// headers; CaptureDevice applies it before retention, and the filter
+// can be parsed from a warrant-scope string so the instrument itself
+// carries the technical scope.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "netsim/packet.h"
+#include "util/status.h"
+
+namespace lexfor::capture {
+
+class Filter {
+ public:
+  // Matches everything (an unscoped instrument).
+  Filter();
+
+  // --- atoms -----------------------------------------------------------
+  static Filter host(NodeId node);        // src or dst equals node
+  static Filter src(NodeId node);
+  static Filter dst(NodeId node);
+  static Filter port(std::uint16_t p);    // src or dst port
+  static Filter dst_port(std::uint16_t p);
+  static Filter protocol(netsim::Protocol proto);
+  static Filter max_size(std::uint32_t bytes);  // payload_size <= bytes
+
+  // --- combinators --------------------------------------------------------
+  [[nodiscard]] Filter operator&&(const Filter& other) const;
+  [[nodiscard]] Filter operator||(const Filter& other) const;
+  [[nodiscard]] Filter operator!() const;
+
+  // Evaluation.
+  [[nodiscard]] bool matches(const netsim::PacketHeader& header) const;
+
+  // Human-readable form ("(host #3 and dst_port 80)").
+  [[nodiscard]] const std::string& str() const noexcept { return text_; }
+
+  // Parses a scope expression.  Grammar (whitespace-separated, with
+  // parentheses):
+  //   expr   := term ('or' term)*
+  //   term   := factor ('and' factor)*
+  //   factor := 'not' factor | '(' expr ')' | atom
+  //   atom   := ('host'|'src'|'dst') NUM | ('port'|'dstport') NUM
+  //           | 'proto' ('tcp'|'udp') | 'maxsize' NUM | 'any'
+  static Result<Filter> parse(const std::string& expression);
+
+ private:
+  using Pred = std::function<bool(const netsim::PacketHeader&)>;
+  Filter(Pred pred, std::string text)
+      : pred_(std::move(pred)), text_(std::move(text)) {}
+
+  Pred pred_;
+  std::string text_;
+};
+
+}  // namespace lexfor::capture

@@ -1,0 +1,39 @@
+#include "crypto/crc32.h"
+
+#include <array>
+
+namespace lexfor::crypto {
+namespace {
+
+// Table generated at static-init time from the reflected polynomial.
+const std::array<std::uint32_t, 256> kTable = [] {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* data,
+                           std::size_t len) noexcept {
+  for (std::size_t i = 0; i < len; ++i) {
+    state = kTable[(state ^ data[i]) & 0xFF] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data, len));
+}
+
+std::uint32_t crc32(const Bytes& data) noexcept {
+  return crc32(data.data(), data.size());
+}
+
+}  // namespace lexfor::crypto

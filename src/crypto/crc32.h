@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used as a cheap per-packet payload checksum in the network simulator
+// and for quick disk-sector integrity checks where a cryptographic hash
+// would be overkill.
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace lexfor::crypto {
+
+// One-shot CRC over a buffer.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t len) noexcept;
+[[nodiscard]] std::uint32_t crc32(const Bytes& data) noexcept;
+
+// Incremental interface: feed successive chunks with the running value.
+// Start from crc32_init(), finish with crc32_final().
+[[nodiscard]] constexpr std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* data,
+                                         std::size_t len) noexcept;
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace lexfor::crypto

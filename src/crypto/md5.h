@@ -1,0 +1,46 @@
+// MD5 (RFC 1321), implemented from scratch.
+//
+// MD5 is cryptographically broken but remains the lingua franca of
+// forensic known-file hash sets (NSRL), so the disk-image hash search
+// supports it alongside SHA-256.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace lexfor::crypto {
+
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Md5() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(const std::uint8_t* data, std::size_t len) noexcept;
+  void update(const Bytes& data) noexcept { update(data.data(), data.size()); }
+  void update(std::string_view s) noexcept {
+    update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  [[nodiscard]] Digest finish() noexcept;
+
+  [[nodiscard]] static Digest hash(const Bytes& data) noexcept;
+  [[nodiscard]] static std::string hex(const Bytes& data);
+  [[nodiscard]] static std::string hex(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t state_[4];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_;
+  std::uint64_t total_len_;
+};
+
+}  // namespace lexfor::crypto

@@ -1,0 +1,140 @@
+#include "diskimage/disk_image.h"
+
+#include <algorithm>
+
+namespace lexfor::diskimage {
+
+FileId DiskImage::write_file(std::string path, Bytes content) {
+  const std::size_t need_sectors = sectors_for(std::max<std::size_t>(
+      content.size(), 1));  // empty files still own one sector
+
+  // First fit over the free list.
+  std::size_t offset = disk_.size();
+  bool reused = false;
+  for (std::size_t i = 0; i < free_list_.size(); ++i) {
+    if (free_list_[i].sectors >= need_sectors) {
+      offset = free_list_[i].offset;
+      // Shrink or remove the extent.
+      free_list_[i].offset += need_sectors * sector_size_;
+      free_list_[i].sectors -= need_sectors;
+      if (free_list_[i].sectors == 0) {
+        free_list_.erase(free_list_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      reused = true;
+      break;
+    }
+  }
+
+  const std::size_t extent_bytes = need_sectors * sector_size_;
+  if (!reused) {
+    disk_.resize(disk_.size() + extent_bytes, 0);
+  } else {
+    // Mark any deleted file whose extent overlaps as overwritten.
+    for (auto& f : table_) {
+      if (!f.deleted || f.overwritten) continue;
+      const std::size_t f_end = f.offset + sectors_for(f.size) * sector_size_;
+      if (f.offset < offset + extent_bytes && offset < f_end) {
+        f.overwritten = true;
+      }
+    }
+    if (zero_on_reuse_) {
+      // Scrub the whole extent (old slack destroyed).
+      std::fill(disk_.begin() + static_cast<std::ptrdiff_t>(offset),
+                disk_.begin() +
+                    static_cast<std::ptrdiff_t>(offset + extent_bytes),
+                0);
+    }
+    // Otherwise only the new content bytes overwrite; the tail of the
+    // extent keeps the previous occupant's data as file slack.
+  }
+
+  std::copy(content.begin(), content.end(),
+            disk_.begin() + static_cast<std::ptrdiff_t>(offset));
+
+  FileEntry e;
+  e.id = file_ids_.next();
+  e.path = std::move(path);
+  e.offset = offset;
+  e.size = content.size();
+  table_.push_back(e);
+  return e.id;
+}
+
+Status DiskImage::delete_file(const std::string& path) {
+  for (auto& f : table_) {
+    if (f.path == path && !f.deleted) {
+      f.deleted = true;
+      free_list_.push_back(FreeExtent{f.offset, sectors_for(f.size)});
+      return Status::Ok();
+    }
+  }
+  return NotFound("delete_file: no live file at " + path);
+}
+
+const FileEntry* DiskImage::find(const std::string& path) const {
+  // Prefer the live entry; fall back to the most recent deleted one.
+  const FileEntry* deleted_match = nullptr;
+  for (const auto& f : table_) {
+    if (f.path != path) continue;
+    if (!f.deleted) return &f;
+    deleted_match = &f;
+  }
+  return deleted_match;
+}
+
+const FileEntry* DiskImage::find(FileId id) const {
+  for (const auto& f : table_) {
+    if (f.id == id) return &f;
+  }
+  return nullptr;
+}
+
+Result<Bytes> DiskImage::read_file(FileId id) const {
+  const auto* f = find(id);
+  if (f == nullptr) return NotFound("read_file: unknown file id");
+  if (f->deleted) {
+    return FailedPrecondition("read_file: file is deleted; use recover_deleted");
+  }
+  return Bytes(disk_.begin() + static_cast<std::ptrdiff_t>(f->offset),
+               disk_.begin() + static_cast<std::ptrdiff_t>(f->offset + f->size));
+}
+
+Result<Bytes> DiskImage::slack_bytes(FileId id) const {
+  const auto* f = find(id);
+  if (f == nullptr) return NotFound("slack_bytes: unknown file id");
+  if (f->deleted) {
+    return FailedPrecondition("slack_bytes: file is deleted");
+  }
+  const std::size_t extent_end =
+      f->offset + sectors_for(std::max<std::size_t>(f->size, 1)) * sector_size_;
+  return Bytes(disk_.begin() + static_cast<std::ptrdiff_t>(f->offset + f->size),
+               disk_.begin() + static_cast<std::ptrdiff_t>(extent_end));
+}
+
+Result<Bytes> DiskImage::recover_deleted(FileId id) const {
+  const auto* f = find(id);
+  if (f == nullptr) return NotFound("recover_deleted: unknown file id");
+  if (!f->deleted) {
+    return FailedPrecondition("recover_deleted: file is not deleted");
+  }
+  if (f->overwritten) {
+    return FailedPrecondition(
+        "recover_deleted: sectors were reused; content unrecoverable");
+  }
+  return Bytes(disk_.begin() + static_cast<std::ptrdiff_t>(f->offset),
+               disk_.begin() + static_cast<std::ptrdiff_t>(f->offset + f->size));
+}
+
+std::size_t DiskImage::live_file_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(table_.begin(), table_.end(),
+                    [](const FileEntry& f) { return !f.deleted; }));
+}
+
+std::size_t DiskImage::deleted_file_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(table_.begin(), table_.end(),
+                    [](const FileEntry& f) { return f.deleted; }));
+}
+
+}  // namespace lexfor::diskimage

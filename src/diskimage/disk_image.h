@@ -1,0 +1,91 @@
+// Simulated disk image: file table, sector allocation, deleted files.
+//
+// A minimal but honest storage model for the paper's device scenes: a
+// byte array of sectors, a file table mapping paths to extents, and
+// deletion that only unlinks the entry — the bytes stay until the
+// sectors are reused, which is exactly why forensic recovery of deleted
+// files works (and why it matters for probable cause: "It is also good
+// for investigators to recover the deleted files", §III.A.1.c).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace lexfor::diskimage {
+
+struct FileEntry {
+  FileId id;
+  std::string path;
+  std::size_t offset = 0;  // byte offset of the extent
+  std::size_t size = 0;    // logical file size
+  bool deleted = false;
+  bool overwritten = false;  // sectors were reused after deletion
+};
+
+class DiskImage {
+ public:
+  // `zero_on_reuse` controls slack behaviour: real filesystems do NOT
+  // scrub a reused extent beyond the new file's bytes, leaving "file
+  // slack" — remnants of the previous occupant between the new EOF and
+  // the end of the extent.  Pass false to model that (and use
+  // slack_bytes() to examine it); the default scrubs, which keeps
+  // simple workloads simple.
+  explicit DiskImage(std::size_t sector_size = 512, bool zero_on_reuse = true)
+      : sector_size_(sector_size), zero_on_reuse_(zero_on_reuse) {}
+
+  // Writes a file, preferring reuse of freed extents (first fit).  Reuse
+  // marks the deleted file(s) occupying those sectors as overwritten.
+  FileId write_file(std::string path, Bytes content);
+
+  // Unlinks the file.  Content remains recoverable until overwritten.
+  Status delete_file(const std::string& path);
+
+  [[nodiscard]] const std::vector<FileEntry>& files() const noexcept {
+    return table_;
+  }
+  [[nodiscard]] const FileEntry* find(const std::string& path) const;
+  [[nodiscard]] const FileEntry* find(FileId id) const;
+
+  // Reads a live file's content.
+  [[nodiscard]] Result<Bytes> read_file(FileId id) const;
+  // Attempts recovery of a deleted file; fails if overwritten.
+  [[nodiscard]] Result<Bytes> recover_deleted(FileId id) const;
+
+  // The slack of a live file: bytes between its EOF and the end of its
+  // sector-aligned extent.  With zero_on_reuse == false these bytes can
+  // contain remnants of previously deleted files — classic forensic
+  // material.
+  [[nodiscard]] Result<Bytes> slack_bytes(FileId id) const;
+
+  [[nodiscard]] const Bytes& raw() const noexcept { return disk_; }
+  [[nodiscard]] std::size_t sector_size() const noexcept {
+    return sector_size_;
+  }
+  [[nodiscard]] std::size_t live_file_count() const;
+  [[nodiscard]] std::size_t deleted_file_count() const;
+
+ private:
+  struct FreeExtent {
+    std::size_t offset;
+    std::size_t sectors;
+  };
+
+  [[nodiscard]] std::size_t sectors_for(std::size_t bytes) const noexcept {
+    return (bytes + sector_size_ - 1) / sector_size_;
+  }
+
+  std::size_t sector_size_;
+  bool zero_on_reuse_;
+  Bytes disk_;
+  std::vector<FileEntry> table_;
+  std::vector<FreeExtent> free_list_;
+  IdGenerator<FileId> file_ids_;
+};
+
+}  // namespace lexfor::diskimage

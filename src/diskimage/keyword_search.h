@@ -1,0 +1,58 @@
+// Keyword search over a disk image.
+//
+// The complement of the known-file hash search: find byte patterns in
+// file contents — live files, recoverable deleted files, and file slack
+// (remnants of previous occupants in reused extents).  Like the hash
+// search, examining content is a Fourth Amendment search, so the same
+// GrantedAuthority gate applies; the paper's §III.A.2.a scope point is
+// honored by searching only the paths a predicate admits.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "diskimage/disk_image.h"
+#include "legal/authority.h"
+#include "util/sim_time.h"
+
+namespace lexfor::diskimage {
+
+enum class HitRegion {
+  kLiveFile,
+  kDeletedFile,
+  kSlack,
+};
+
+struct KeywordHit {
+  FileId file;
+  std::string path;
+  HitRegion region = HitRegion::kLiveFile;
+  std::size_t offset = 0;      // offset of the match within the region
+  std::string keyword;
+  Bytes context;               // up to 16 bytes around the match
+};
+
+class KeywordSearcher {
+ public:
+  explicit KeywordSearcher(std::vector<std::string> keywords)
+      : keywords_(std::move(keywords)) {}
+
+  // `path_in_scope`: optional predicate restricting the search to paths
+  // the warrant covers (nullptr = all paths).  The legal gate mirrors
+  // HashSearcher.
+  [[nodiscard]] Result<std::vector<KeywordHit>> search(
+      const DiskImage& image, const legal::GrantedAuthority& authority,
+      legal::ProcessKind required, const std::string& location, SimTime now,
+      const std::function<bool(const std::string&)>& path_in_scope =
+          nullptr) const;
+
+ private:
+  void scan_region(const Bytes& data, FileId file, const std::string& path,
+                   HitRegion region, std::vector<KeywordHit>& out) const;
+
+  std::vector<std::string> keywords_;
+};
+
+}  // namespace lexfor::diskimage

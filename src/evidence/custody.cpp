@@ -1,0 +1,100 @@
+#include "evidence/custody.h"
+
+#include <sstream>
+
+namespace lexfor::evidence {
+namespace {
+
+Bytes serialize_record_fields(const CustodyRecord& rec,
+                              const crypto::Sha256::Digest& content_hash) {
+  Bytes buf;
+  buf.push_back(static_cast<std::uint8_t>(rec.action));
+  append_u64(buf, static_cast<std::uint64_t>(rec.at.us));
+  append_u32(buf, static_cast<std::uint32_t>(rec.custodian.size()));
+  buf.insert(buf.end(), rec.custodian.begin(), rec.custodian.end());
+  append_u32(buf, static_cast<std::uint32_t>(rec.note.size()));
+  buf.insert(buf.end(), rec.note.begin(), rec.note.end());
+  buf.insert(buf.end(), content_hash.begin(), content_hash.end());
+  return buf;
+}
+
+}  // namespace
+
+EvidenceItem::EvidenceItem(EvidenceId id, std::string description,
+                           Bytes content, std::string custodian, SimTime at,
+                           const Bytes& case_key)
+    : id_(id),
+      description_(std::move(description)),
+      content_(std::move(content)),
+      content_hash_(crypto::Sha256::hash(content_)) {
+  record(CustodyAction::kSeized, std::move(custodian), "initial seizure", at,
+         case_key);
+}
+
+std::string EvidenceItem::content_hash_hex() const {
+  return to_hex(content_hash_.data(), content_hash_.size());
+}
+
+crypto::Sha256::Digest EvidenceItem::compute_mac(
+    const CustodyRecord& rec, const crypto::Sha256::Digest& prev,
+    const Bytes& case_key) const {
+  Bytes msg(prev.begin(), prev.end());
+  const Bytes fields = serialize_record_fields(rec, content_hash_);
+  msg.insert(msg.end(), fields.begin(), fields.end());
+  return crypto::hmac_sha256(case_key, msg);
+}
+
+void EvidenceItem::record(CustodyAction action, std::string custodian,
+                          std::string note, SimTime at, const Bytes& case_key) {
+  CustodyRecord rec;
+  rec.action = action;
+  rec.custodian = std::move(custodian);
+  rec.note = std::move(note);
+  rec.at = at;
+  const crypto::Sha256::Digest prev =
+      chain_.empty() ? crypto::Sha256::Digest{} : chain_.back().mac;
+  rec.mac = compute_mac(rec, prev, case_key);
+  chain_.push_back(std::move(rec));
+}
+
+Status EvidenceItem::verify(const Bytes& case_key) const {
+  if (crypto::Sha256::hash(content_) != content_hash_) {
+    return FailedPrecondition(
+        "evidence content no longer matches its seizure hash");
+  }
+  crypto::Sha256::Digest prev{};
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    const auto expected = compute_mac(chain_[i], prev, case_key);
+    if (expected != chain_[i].mac) {
+      std::ostringstream os;
+      os << "custody record " << i << " fails MAC verification (chain "
+         << "tampered or wrong case key)";
+      return FailedPrecondition(os.str());
+    }
+    prev = chain_[i].mac;
+  }
+  return Status::Ok();
+}
+
+EvidenceItem EvidenceItem::image(EvidenceId new_id, std::string custodian,
+                                 SimTime at, const Bytes& case_key) {
+  record(CustodyAction::kImaged, custodian,
+         "forensic duplicate created as evidence item", at, case_key);
+  EvidenceItem copy(new_id, description_ + " (forensic image)", content_,
+                    custodian, at, case_key);
+  copy.record(CustodyAction::kImaged, std::move(custodian),
+              "imaged from " + std::to_string(id_.value()), at, case_key);
+  return copy;
+}
+
+void EvidenceItem::tamper_with_content_for_test(std::size_t offset,
+                                                std::uint8_t value) {
+  if (offset < content_.size()) content_[offset] = value;
+}
+
+void EvidenceItem::tamper_with_chain_for_test(std::size_t record,
+                                              std::string custodian) {
+  if (record < chain_.size()) chain_[record].custodian = std::move(custodian);
+}
+
+}  // namespace lexfor::evidence

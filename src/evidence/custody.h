@@ -1,0 +1,132 @@
+// Evidence items and tamper-evident chain of custody.
+//
+// Computer forensics is "the science to collect, preserve, analyze and
+// present evidence from computers that are sufficiently reliable to
+// stand up in court" (§I).  Reliability here means integrity: every
+// evidence item carries a SHA-256 of its content at seizure, and every
+// custody transfer appends a record whose HMAC chains over the previous
+// record — any later alteration of content or history is detectable.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+#include "util/status.h"
+
+namespace lexfor::evidence {
+
+enum class CustodyAction {
+  kSeized,
+  kImaged,
+  kTransferred,
+  kExamined,
+  kReturned,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CustodyAction a) noexcept {
+  switch (a) {
+    case CustodyAction::kSeized: return "seized";
+    case CustodyAction::kImaged: return "imaged";
+    case CustodyAction::kTransferred: return "transferred";
+    case CustodyAction::kExamined: return "examined";
+    case CustodyAction::kReturned: return "returned";
+  }
+  return "?";
+}
+
+struct CustodyRecord {
+  CustodyAction action;
+  std::string custodian;   // who holds/handled the item
+  std::string note;
+  SimTime at;
+  // HMAC over (previous record's mac || serialized fields || content hash),
+  // keyed by the case key.  Forms the tamper-evident chain.
+  crypto::Sha256::Digest mac{};
+};
+
+class EvidenceItem {
+ public:
+  // Seizes `content` as a new evidence item.  The content hash is fixed
+  // at this moment; the first custody record is the seizure.
+  EvidenceItem(EvidenceId id, std::string description, Bytes content,
+               std::string custodian, SimTime at, const Bytes& case_key);
+
+  [[nodiscard]] EvidenceId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& description() const noexcept {
+    return description_;
+  }
+  [[nodiscard]] const Bytes& content() const noexcept { return content_; }
+  [[nodiscard]] const crypto::Sha256::Digest& content_hash() const noexcept {
+    return content_hash_;
+  }
+  [[nodiscard]] std::string content_hash_hex() const;
+  [[nodiscard]] const std::vector<CustodyRecord>& chain() const noexcept {
+    return chain_;
+  }
+
+  // Appends a custody record, extending the MAC chain.
+  void record(CustodyAction action, std::string custodian, std::string note,
+              SimTime at, const Bytes& case_key);
+
+  // Verifies (1) content still matches the seizure hash and (2) every
+  // custody record's MAC chains correctly under the case key.  Returns
+  // the first problem found.
+  [[nodiscard]] Status verify(const Bytes& case_key) const;
+
+  // A forensic duplicate: same content, fresh id, custody chain starting
+  // with an kImaged record referencing the original.  The original also
+  // gets an kImaged entry (United States v. Hay: imaging for off-site
+  // examination).
+  [[nodiscard]] EvidenceItem image(EvidenceId new_id, std::string custodian,
+                                   SimTime at, const Bytes& case_key);
+
+  // TESTING ONLY: corrupts content in place to exercise verify().
+  void tamper_with_content_for_test(std::size_t offset, std::uint8_t value);
+  void tamper_with_chain_for_test(std::size_t record, std::string custodian);
+
+ private:
+  [[nodiscard]] crypto::Sha256::Digest compute_mac(
+      const CustodyRecord& rec, const crypto::Sha256::Digest& prev,
+      const Bytes& case_key) const;
+
+  EvidenceId id_;
+  std::string description_;
+  Bytes content_;
+  crypto::Sha256::Digest content_hash_;
+  std::vector<CustodyRecord> chain_;
+};
+
+// A write blocker wraps evidence content for examination: reads succeed,
+// and the number of blocked write attempts is counted (a real-world
+// acquisition-integrity control).
+class WriteBlocker {
+ public:
+  explicit WriteBlocker(const EvidenceItem& item) : item_(item) {}
+
+  [[nodiscard]] std::uint8_t read(std::size_t offset) const {
+    return item_.content().at(offset);
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return item_.content().size();
+  }
+  // Any write attempt is refused and counted.
+  Status write(std::size_t, std::uint8_t) {
+    ++blocked_writes_;
+    return PermissionDenied("write blocker: evidence media is read-only");
+  }
+  [[nodiscard]] std::uint64_t blocked_writes() const noexcept {
+    return blocked_writes_;
+  }
+
+ private:
+  const EvidenceItem& item_;
+  std::uint64_t blocked_writes_ = 0;
+};
+
+}  // namespace lexfor::evidence

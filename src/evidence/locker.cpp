@@ -1,0 +1,78 @@
+#include "evidence/locker.h"
+
+#include <algorithm>
+
+namespace lexfor::evidence {
+
+EvidenceId EvidenceLocker::deposit(std::string description, Bytes content,
+                                   std::string custodian, SimTime at) {
+  const EvidenceId id = ids_.next();
+  items_.emplace_back(id, std::move(description), std::move(content),
+                      std::move(custodian), at, case_key_);
+  return id;
+}
+
+const EvidenceItem* EvidenceLocker::find(EvidenceId id) const {
+  const auto it = std::find_if(items_.begin(), items_.end(),
+                               [&](const EvidenceItem& e) { return e.id() == id; });
+  return it == items_.end() ? nullptr : &*it;
+}
+
+EvidenceItem* EvidenceLocker::mutable_item_for_test(EvidenceId id) {
+  const auto it = std::find_if(items_.begin(), items_.end(),
+                               [&](const EvidenceItem& e) { return e.id() == id; });
+  return it == items_.end() ? nullptr : &*it;
+}
+
+std::vector<EvidenceId> EvidenceLocker::find_by_hash(
+    const std::string& sha256_hex) const {
+  std::vector<EvidenceId> out;
+  for (const auto& e : items_) {
+    if (e.content_hash_hex() == sha256_hex) out.push_back(e.id());
+  }
+  return out;
+}
+
+Status EvidenceLocker::transfer(EvidenceId id, std::string to_custodian,
+                                std::string note, SimTime at) {
+  auto* item = mutable_item_for_test(id);
+  if (item == nullptr) return NotFound("locker: unknown evidence item");
+  item->record(CustodyAction::kTransferred, std::move(to_custodian),
+               std::move(note), at, case_key_);
+  return Status::Ok();
+}
+
+Status EvidenceLocker::record_examination(EvidenceId id, std::string examiner,
+                                          std::string note, SimTime at) {
+  auto* item = mutable_item_for_test(id);
+  if (item == nullptr) return NotFound("locker: unknown evidence item");
+  item->record(CustodyAction::kExamined, std::move(examiner), std::move(note),
+               at, case_key_);
+  return Status::Ok();
+}
+
+Result<EvidenceId> EvidenceLocker::image(EvidenceId id, std::string custodian,
+                                         SimTime at) {
+  auto* item = mutable_item_for_test(id);
+  if (item == nullptr) return NotFound("locker: unknown evidence item");
+  const EvidenceId copy_id = ids_.next();
+  items_.push_back(item->image(copy_id, std::move(custodian), at, case_key_));
+  return copy_id;
+}
+
+std::vector<EvidenceLocker::AuditEntry> EvidenceLocker::audit() const {
+  std::vector<AuditEntry> out;
+  out.reserve(items_.size());
+  for (const auto& e : items_) {
+    out.push_back(AuditEntry{e.id(), e.verify(case_key_)});
+  }
+  return out;
+}
+
+bool EvidenceLocker::all_verify() const {
+  return std::all_of(items_.begin(), items_.end(), [&](const EvidenceItem& e) {
+    return e.verify(case_key_).ok();
+  });
+}
+
+}  // namespace lexfor::evidence

@@ -1,0 +1,62 @@
+// EvidenceLocker: the case-level registry of evidence items.
+//
+// A locker owns the case HMAC key, issues evidence ids, and exposes the
+// custody operations (transfer, examination notes, imaging) so callers
+// never touch raw keys.  `audit()` re-verifies every item's content
+// hash and custody chain — the check a court would demand before
+// admitting the items.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "evidence/custody.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace lexfor::evidence {
+
+class EvidenceLocker {
+ public:
+  explicit EvidenceLocker(Bytes case_key) : case_key_(std::move(case_key)) {}
+
+  // Seizes content into the locker; returns the new item's id.
+  EvidenceId deposit(std::string description, Bytes content,
+                     std::string custodian, SimTime at);
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] const EvidenceItem* find(EvidenceId id) const;
+
+  // Items whose content hash (hex) matches.
+  [[nodiscard]] std::vector<EvidenceId> find_by_hash(
+      const std::string& sha256_hex) const;
+
+  // Custody operations; each appends to the item's MAC chain.
+  Status transfer(EvidenceId id, std::string to_custodian, std::string note,
+                  SimTime at);
+  Status record_examination(EvidenceId id, std::string examiner,
+                            std::string note, SimTime at);
+
+  // Forensic duplicate registered as a new item; returns its id.
+  Result<EvidenceId> image(EvidenceId id, std::string custodian, SimTime at);
+
+  struct AuditEntry {
+    EvidenceId id;
+    Status status;
+  };
+  // Verifies every item; ok() entries are court-ready.
+  [[nodiscard]] std::vector<AuditEntry> audit() const;
+  // True if every item verifies.
+  [[nodiscard]] bool all_verify() const;
+
+  // TESTING ONLY: direct mutable access to simulate tampering.
+  EvidenceItem* mutable_item_for_test(EvidenceId id);
+
+ private:
+  Bytes case_key_;
+  std::vector<EvidenceItem> items_;
+  IdGenerator<EvidenceId> ids_{1};
+};
+
+}  // namespace lexfor::evidence

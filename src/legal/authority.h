@@ -1,0 +1,61 @@
+// GrantedAuthority: the bridge from legal process to technical capability.
+//
+// Acquisition tools (capture devices, provider-disclosure requests, disk
+// examiners) take a GrantedAuthority and are *constructed* to be unable
+// to exceed it — the paper's recommendation that researchers design
+// tools whose reach matches what the law allows.  kNone authority still
+// permits actions that need no process (public observation).
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "legal/process.h"
+#include "legal/types.h"
+#include "util/sim_time.h"
+#include "util/status.h"
+
+namespace lexfor::legal {
+
+class GrantedAuthority {
+ public:
+  // No process: only process-free acquisitions are permitted.
+  GrantedAuthority() = default;
+
+  explicit GrantedAuthority(LegalProcess process)
+      : process_(std::move(process)) {}
+
+  [[nodiscard]] ProcessKind kind() const noexcept {
+    return process_ ? process_->kind : ProcessKind::kNone;
+  }
+  [[nodiscard]] const std::optional<LegalProcess>& process() const noexcept {
+    return process_;
+  }
+
+  // Whether this authority permits acquiring `kind` at `location` at
+  // `now`, when the compliance engine says `required` is the minimum
+  // process for the acquisition.  An acquisition needing no process is
+  // always permitted; otherwise the held instrument must satisfy the
+  // requirement AND cover the data kind, location and time.
+  [[nodiscard]] Status permits(ProcessKind required, DataKind kind,
+                               const std::string& location, SimTime now) const {
+    if (required == ProcessKind::kNone) return Status::Ok();
+    if (!process_) {
+      return PermissionDenied("acquisition requires " +
+                              std::string(to_string(required)) +
+                              " but no process is held");
+    }
+    if (!satisfies(process_->kind, required)) {
+      return PermissionDenied("held " + std::string(to_string(process_->kind)) +
+                              " does not satisfy required " +
+                              std::string(to_string(required)));
+    }
+    return process_->authorizes(kind, location, now);
+  }
+
+ private:
+  std::optional<LegalProcess> process_;
+};
+
+}  // namespace lexfor::legal

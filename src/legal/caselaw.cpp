@@ -1,0 +1,272 @@
+#include "legal/caselaw.h"
+
+#include <algorithm>
+
+namespace lexfor::legal {
+
+const std::vector<CaseLaw>& case_law_database() {
+  static const std::vector<CaseLaw> kDb = {
+      {"katz-1967", "Katz v. United States", "389 U.S. 347", 1967,
+       "A person in a closed phone booth has a reasonable expectation of "
+       "privacy; the Fourth Amendment protects people, not places.",
+       {Doctrine::kReasonableExpectationOfPrivacy}},
+      {"kyllo-2001", "Kyllo v. United States", "533 U.S. 27", 2001,
+       "Using sense-enhancing technology not in general public use to "
+       "learn details of a home's interior is a search requiring a warrant.",
+       {Doctrine::kSenseEnhancingTech,
+        Doctrine::kReasonableExpectationOfPrivacy}},
+      {"smith-1979", "Smith v. Maryland", "442 U.S. 735", 1979,
+       "No expectation of privacy in dialed numbers voluntarily conveyed "
+       "to the phone company (third-party doctrine).",
+       {Doctrine::kThirdPartyDoctrine, Doctrine::kPenTrapNonContent}},
+      {"hoffa-1966", "Hoffa v. United States", "385 U.S. 293", 1966,
+       "Information knowingly revealed to another carries no Fourth "
+       "Amendment protection against that person's disclosure.",
+       {Doctrine::kThirdPartyDoctrine, Doctrine::kPublicExposure}},
+      {"couch-1973", "Couch v. United States", "409 U.S. 322", 1973,
+       "Records relinquished to a third party (accountant) lose the "
+       "owner's expectation of privacy.",
+       {Doctrine::kThirdPartyDoctrine}},
+      {"wilson-2006", "Wilson v. Moreau", "440 F. Supp. 2d 81", 2006,
+       "No expectation of privacy in documents left on a public library "
+       "computer.",
+       {Doctrine::kPublicExposure}},
+      {"gines-perez-2002", "United States v. Gines-Perez",
+       "214 F. Supp. 2d 205", 2002,
+       "No reasonable expectation of privacy in information placed on a "
+       "publicly accessible Internet site.",
+       {Doctrine::kPublicExposure}},
+      {"butler-2001", "United States v. Butler", "151 F. Supp. 2d 82", 2001,
+       "No expectation of privacy on a shared university computer.",
+       {Doctrine::kPublicExposure}},
+      {"king-2007", "United States v. King", "509 F.3d 1338", 2007,
+       "Files exposed to a network via a shared folder carry no "
+       "reasonable expectation of privacy.",
+       {Doctrine::kSharedFolder, Doctrine::kP2pNoPrivacy}},
+      {"barrows-2007", "United States v. Barrows", "481 F.3d 1246", 2007,
+       "Networking a personal computer for shared use forfeits privacy in "
+       "the shared material.",
+       {Doctrine::kSharedFolder}},
+      {"gorshkov-2001", "United States v. Gorshkov", "2001 WL 1024026", 2001,
+       "Keystrokes typed on another's system exposed to that system's "
+       "owner; no expectation of privacy against the owner's capture.",
+       {Doctrine::kPublicExposure}},
+      {"stults-2007", "United States v. Stults", "2007 WL 4284721", 2007,
+       "No expectation of privacy in files shared over P2P networks.",
+       {Doctrine::kP2pNoPrivacy}},
+      {"villarreal-1992", "United States v. Villarreal", "963 F.2d 770", 1992,
+       "Senders retain an expectation of privacy in sealed containers in "
+       "transit; examination mid-transmission requires a warrant.",
+       {Doctrine::kDeliveryTerminatesPrivacy,
+        Doctrine::kReasonableExpectationOfPrivacy}},
+      {"young-2003", "United States v. Young", "350 F.3d 1302", 2003,
+       "Carrier terms of service can defeat the sender's expectation of "
+       "privacy vis-a-vis the carrier.",
+       {Doctrine::kThirdPartyDoctrine}},
+      {"king-1995", "United States v. King", "55 F.3d 1193", 1995,
+       "A sender's expectation of privacy in a letter terminates upon "
+       "delivery to the recipient.",
+       {Doctrine::kDeliveryTerminatesPrivacy}},
+      {"meriwether-1990", "United States v. Meriwether", "917 F.2d 955", 1990,
+       "A sender assumes the risk that a transmitted message is delivered "
+       "to whoever controls the receiving device.",
+       {Doctrine::kDeliveryTerminatesPrivacy}},
+      {"charbonneau-1997", "United States v. Charbonneau",
+       "979 F. Supp. 1177", 1997,
+       "Statements in an online chat room are made at the risk of being "
+       "relayed; diminished expectation of privacy.",
+       {Doctrine::kPublicExposure, Doctrine::kDeliveryTerminatesPrivacy}},
+      {"horowitz-1986", "United States v. Horowitz", "806 F.2d 1222", 1986,
+       "Relinquishing control of data to a third party defeats the "
+       "expectation of privacy.",
+       {Doctrine::kThirdPartyDoctrine}},
+      {"guest-2001", "Guest v. Leis", "255 F.3d 325", 2001,
+       "No privacy interest in subscriber information communicated to a "
+       "bulletin-board operator.",
+       {Doctrine::kThirdPartyDoctrine, Doctrine::kClosedContainer}},
+      {"runyan-2001", "United States v. Runyan", "275 F.3d 449", 2001,
+       "Disks are closed containers; a private search of some files does "
+       "not authorize police to search the rest.",
+       {Doctrine::kClosedContainer, Doctrine::kPrivateSearch}},
+      {"beusch-1979", "United States v. Beusch", "596 F.2d 871", 1979,
+       "Seizure of intermingled documents is permissible within warrant "
+       "scope; containers treated as units.",
+       {Doctrine::kClosedContainer, Doctrine::kSearchScope}},
+      {"walser-2001", "United States v. Walser", "275 F.3d 981", 2001,
+       "Agents must obtain additional authority when a search reveals "
+       "evidence outside the warrant's scope.",
+       {Doctrine::kClosedContainer, Doctrine::kSearchScope,
+        Doctrine::kPlainView}},
+      {"gates-1983", "Illinois v. Gates", "462 U.S. 213", 1983,
+       "Probable cause is a fair probability, judged on the totality of "
+       "the circumstances.",
+       {Doctrine::kProbableCauseIp, Doctrine::kProbableCauseAccount}},
+      {"perez-2007", "United States v. Perez", "484 F.3d 735", 2007,
+       "An IP address linked to criminal traffic supports probable cause "
+       "to search the subscriber's premises, despite possible Wi-Fi use "
+       "by others.",
+       {Doctrine::kProbableCauseIp}},
+      {"grant-2000", "United States v. Grant", "218 F.3d 72", 2000,
+       "IP-based identification plus subscriber records supports a "
+       "residential search warrant.",
+       {Doctrine::kProbableCauseIp}},
+      {"carter-2008", "United States v. Carter", "549 F. Supp. 2d 1257", 2008,
+       "Open wireless networks do not defeat probable cause based on an "
+       "IP address.",
+       {Doctrine::kProbableCauseIp}},
+      {"gourde-2006", "United States v. Gourde", "440 F.3d 1065", 2006,
+       "Paid membership in a child-pornography site supports probable "
+       "cause for a home-computer search.",
+       {Doctrine::kProbableCauseAccount}},
+      {"coreas-2005", "United States v. Coreas", "419 F.3d 151", 2005,
+       "Mere responsive click joining an e-group, without more, is "
+       "insufficient for probable cause.",
+       {Doctrine::kMembershipInsufficient}},
+      {"terry-2008", "United States v. Terry", "522 F.3d 645", 2008,
+       "Account information tied to criminal use supports probable cause.",
+       {Doctrine::kProbableCauseAccount}},
+      {"irving-2006", "United States v. Irving", "452 F.3d 110", 2006,
+       "Child-exploitation evidence years old is not stale for a warrant; "
+       "collectors retain material.",
+       {Doctrine::kStaleness}},
+      {"paull-2009", "United States v. Paull", "551 F.3d 516", 2009,
+       "Thirteen-month-old information not stale in child-pornography "
+       "cases.",
+       {Doctrine::kStaleness}},
+      {"zimmerman-2002", "United States v. Zimmerman", "277 F.3d 426", 2002,
+       "Single deleted item of adult material six months earlier was "
+       "stale; staleness can defeat probable cause.",
+       {Doctrine::kStaleness}},
+      {"cox-2002", "United States v. Cox", "190 F. Supp. 2d 330", 2002,
+       "Recovered deleted files support probable cause despite the "
+       "passage of time.",
+       {Doctrine::kStaleness}},
+      {"mincey-1978", "Mincey v. Arizona", "437 U.S. 385", 1978,
+       "Warrantless search justified only by a genuine exigency; no "
+       "general murder-scene exception.",
+       {Doctrine::kExigentCircumstances}},
+      {"romero-garcia-1997", "United States v. Romero-Garcia",
+       "991 F. Supp. 1223", 1997,
+       "Imminent destruction of electronic evidence can justify a "
+       "warrantless seizure.",
+       {Doctrine::kExigentCircumstances}},
+      {"young-2006", "United States v. Young", "2006 WL 1302667", 2006,
+       "Volatile device state (incoming messages, battery) weighed in the "
+       "exigency analysis.",
+       {Doctrine::kExigentCircumstances}},
+      {"matlock-1974", "United States v. Matlock", "415 U.S. 164", 1974,
+       "A co-occupant with common authority may consent to a search of "
+       "shared premises.",
+       {Doctrine::kConsent}},
+      {"trulock-2001", "Trulock v. Freeh", "275 F.3d 391", 2001,
+       "A co-user may consent to shared files but not to another user's "
+       "password-protected files.",
+       {Doctrine::kConsent, Doctrine::kScopeOfConsent}},
+      {"ziegler-2007", "United States v. Ziegler", "474 F.3d 1184", 2007,
+       "A private employer may consent to a search of a workplace "
+       "computer it owns.",
+       {Doctrine::kConsent, Doctrine::kWorkplaceSearch}},
+      {"oconnor-1987", "O'Connor v. Ortega", "480 U.S. 709", 1987,
+       "Government-employer workplace searches are judged by "
+       "reasonableness, not warrant, when work-related.",
+       {Doctrine::kWorkplaceSearch}},
+      {"cassiere-1993", "United States v. Cassiere", "4 F.3d 1006", 1993,
+       "One-party consent validates interception unless done for a "
+       "criminal or tortious purpose.",
+       {Doctrine::kConsent, Doctrine::kWiretapIntercept}},
+      {"megahed-2009", "United States v. Megahed", "2009 WL 722481", 2009,
+       "Revoking consent does not reach a mirror image already lawfully "
+       "made.",
+       {Doctrine::kScopeOfConsent}},
+      {"knights-2001", "United States v. Knights", "534 U.S. 112", 2001,
+       "Probationers may be searched on reasonable suspicion under a "
+       "probation condition.",
+       {Doctrine::kProbationParole}},
+      {"villanueva-1998", "United States v. Villanueva",
+       "32 F. Supp. 2d 635", 1998,
+       "Victims may authorize monitoring of intruders on their systems "
+       "(computer-trespasser principle).",
+       {Doctrine::kConsent, Doctrine::kWiretapIntercept}},
+      {"steve-jackson-1994", "Steve Jackson Games v. U.S. Secret Service",
+       "36 F.3d 457", 1994,
+       "Acquisition of stored email is not an 'interception' under Title "
+       "III; interception must be contemporaneous with transmission.",
+       {Doctrine::kWiretapIntercept}},
+      {"konop-2002", "Konop v. Hawaiian Airlines", "302 F.3d 868", 2002,
+       "Viewing a stored website is not a Title III interception; "
+       "contemporaneity is required.",
+       {Doctrine::kWiretapIntercept}},
+      {"steiger-2003", "United States v. Steiger", "318 F.3d 1039", 2003,
+       "A hacker's retrieval of stored files is not an interception under "
+       "the Wiretap Act.",
+       {Doctrine::kWiretapIntercept, Doctrine::kPrivateSearch}},
+      {"forrester-2008", "United States v. Forrester", "512 F.3d 500", 2008,
+       "IP addresses and to/from email addresses are non-content; their "
+       "collection is analogous to a pen register.",
+       {Doctrine::kPenTrapNonContent}},
+      {"andersen-1998", "Andersen Consulting v. UOP", "991 F. Supp. 1041",
+       1998,
+       "A service not offered to the public is not an RCS under the SCA.",
+       {Doctrine::kScaProviderClass}},
+      {"kaufman-2006", "Kaufman v. Nest Seekers", "2006 WL 2807177", 2006,
+       "The host of an electronic bulletin board is an ECS provider.",
+       {Doctrine::kScaProviderClass}},
+      {"crist-2008", "United States v. Crist", "627 F. Supp. 2d 575", 2008,
+       "Running a hash over a drive is a Fourth Amendment search; lawful "
+       "custody of hardware does not authorize examining its contents.",
+       {Doctrine::kHashSearchIsSearch, Doctrine::kClosedContainer}},
+      {"sloane-2008", "State v. Sloane", "939 A.2d 796", 2008,
+       "Analysis of data already lawfully in government hands is not a "
+       "new search.",
+       {Doctrine::kMiningLawfulData}},
+      {"adjani-2006", "United States v. Adjani", "452 F.3d 1140", 2006,
+       "Warrants should describe records by their relation to the crime; "
+       "searches must stay within that scope.",
+       {Doctrine::kSearchScope}},
+      {"kow-1995", "United States v. Kow", "58 F.3d 423", 1995,
+       "A warrant lacking particularity as to the crime is overbroad.",
+       {Doctrine::kSearchScope}},
+      {"hill-2006", "United States v. Hill", "459 F.3d 966", 2006,
+       "Off-site examination of imaged media is permitted where on-site "
+       "search is impractical, with justification.",
+       {Doctrine::kOffsiteImaging}},
+      {"tamura-1982", "United States v. Tamura", "694 F.2d 591", 1982,
+       "Wholesale removal of intermingled documents requires "
+       "justification and later return of irrelevant material.",
+       {Doctrine::kOffsiteImaging, Doctrine::kSearchScope}},
+      {"hay-2000", "United States v. Hay", "231 F.3d 630", 2000,
+       "Imaging an entire computer system for off-site review is "
+       "reasonable where justified.",
+       {Doctrine::kOffsiteImaging}},
+      {"long-2005", "United States v. Long", "425 F.3d 482", 2005,
+       "The Fourth Amendment does not dictate the forensic technique used "
+       "to examine data responsive to a warrant.",
+       {Doctrine::kSearchScope}},
+  };
+  return kDb;
+}
+
+std::optional<CaseLaw> find_case(std::string_view id) {
+  const auto& db = case_law_database();
+  const auto it = std::find_if(db.begin(), db.end(),
+                               [&](const CaseLaw& c) { return c.id == id; });
+  if (it == db.end()) return std::nullopt;
+  return *it;
+}
+
+std::vector<CaseLaw> cases_for(Doctrine doctrine) {
+  std::vector<CaseLaw> out;
+  for (const auto& c : case_law_database()) {
+    if (std::find(c.doctrines.begin(), c.doctrines.end(), doctrine) !=
+        c.doctrines.end()) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string format_citation(const CaseLaw& c) {
+  return c.name + ", " + c.citation + " (" + std::to_string(c.year) + ")";
+}
+
+}  // namespace lexfor::legal

@@ -1,0 +1,69 @@
+// Case-law knowledge base.
+//
+// Determinations made by the compliance engine carry citations, exactly
+// as the paper's analysis does.  Each holding is encoded as data: a
+// stable id, the reporter citation, the year, a one-line statement of
+// the holding, and doctrine tags used by the rule engine to attach the
+// right cases to the right rationale lines.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lexfor::legal {
+
+// Doctrine tags: which rule a case supports.
+enum class Doctrine {
+  kReasonableExpectationOfPrivacy,
+  kPublicExposure,
+  kThirdPartyDoctrine,
+  kDeliveryTerminatesPrivacy,
+  kClosedContainer,
+  kSenseEnhancingTech,     // Kyllo
+  kConsent,
+  kScopeOfConsent,
+  kProbableCauseIp,
+  kProbableCauseAccount,
+  kMembershipInsufficient,
+  kStaleness,
+  kExigentCircumstances,
+  kPlainView,
+  kPrivateSearch,
+  kProbationParole,
+  kWiretapIntercept,
+  kScaProviderClass,
+  kPenTrapNonContent,
+  kHashSearchIsSearch,
+  kMiningLawfulData,
+  kSearchScope,
+  kOffsiteImaging,
+  kWorkplaceSearch,
+  kP2pNoPrivacy,
+  kSharedFolder,
+};
+
+struct CaseLaw {
+  std::string id;        // stable slug, e.g. "katz-1967"
+  std::string name;      // "Katz v. United States"
+  std::string citation;  // "389 U.S. 347"
+  int year = 0;
+  std::string holding;   // one-line holding as used by the engine
+  std::vector<Doctrine> doctrines;
+};
+
+// The full knowledge base (the paper's references [7],[14]-[96], encoded).
+[[nodiscard]] const std::vector<CaseLaw>& case_law_database();
+
+// Lookup by id; nullopt if unknown.
+[[nodiscard]] std::optional<CaseLaw> find_case(std::string_view id);
+
+// All cases supporting the given doctrine.
+[[nodiscard]] std::vector<CaseLaw> cases_for(Doctrine doctrine);
+
+// Formats "Name, Citation (Year)".
+[[nodiscard]] std::string format_citation(const CaseLaw& c);
+
+}  // namespace lexfor::legal

@@ -1,0 +1,55 @@
+// ComplianceEngine: the paper's doctrine as a decision procedure.
+//
+// evaluate() maps a Scenario to a Determination: the minimum legal
+// process required (if any), the governing statutes, the exceptions that
+// fired, and a citation-backed rationale — exactly the analysis the
+// paper performs by hand for each row of Table 1.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "legal/exceptions.h"
+#include "legal/privacy.h"
+#include "legal/scenario.h"
+#include "legal/statutes.h"
+#include "legal/types.h"
+
+namespace lexfor::legal {
+
+struct Determination {
+  std::string scenario_name;
+
+  // Headline answer: does the acquisition need legal process, and if so
+  // what is the weakest instrument that suffices?
+  bool needs_process = false;
+  ProcessKind required_process = ProcessKind::kNone;
+  StandardOfProof required_proof = StandardOfProof::kNone;
+
+  // Supporting analysis.
+  RepAnalysis rep;
+  std::vector<Statute> governing_statutes;
+  std::vector<ExceptionKind> exceptions_applied;
+  std::vector<std::string> rationale;
+  std::vector<std::string> citations;  // case ids, deduplicated, in order
+
+  // One-line answer matching the paper's Table-1 column.
+  [[nodiscard]] std::string verdict() const {
+    return needs_process ? "Need" : "No need";
+  }
+
+  // Multi-line human-readable report.
+  [[nodiscard]] std::string report() const;
+};
+
+class ComplianceEngine {
+ public:
+  ComplianceEngine() = default;
+
+  // Evaluates the scenario under the paper's doctrine.  Pure function of
+  // the scenario; deterministic.
+  [[nodiscard]] Determination evaluate(const Scenario& s) const;
+};
+
+}  // namespace lexfor::legal

@@ -1,0 +1,281 @@
+#include "legal/exceptions.h"
+
+#include "legal/jurisdiction.h"
+
+namespace lexfor::legal {
+namespace {
+
+ExceptionFinding make(ExceptionKind kind, std::string rationale,
+                      std::initializer_list<const char*> cites) {
+  ExceptionFinding f;
+  f.kind = kind;
+  f.rationale = std::move(rationale);
+  for (const char* c : cites) f.citations.emplace_back(c);
+  return f;
+}
+
+}  // namespace
+
+std::vector<ExceptionFinding> applicable_exceptions(
+    const Scenario& s, const RepAnalysis& rep, const StatuteAnalysis& statutes) {
+  std::vector<ExceptionFinding> out;
+
+  // Private search: the Fourth Amendment restrains the government and its
+  // agents only.  A genuinely private actor's search (including a
+  // provider administrating its own network) is outside it, and law
+  // enforcement may receive the fruits.
+  if (!s.government_actor()) {
+    auto f = make(ExceptionKind::kPrivateSearch,
+                  "the actor is a private party not acting under color of "
+                  "law; the Fourth Amendment does not restrain the search "
+                  "and law enforcement may receive its fruits",
+                  {"runyan-2001", "steiger-2003"});
+    f.excuses_fourth = true;
+    f.excuses_sca = true;  // voluntary action by the custodian itself
+    // Provider admins monitoring their own systems also fall within the
+    // Wiretap Act's provider-protection exception.
+    if (s.actor == ActorKind::kProviderAdmin || s.provider_self_protection) {
+      f.excuses_wiretap = true;
+      f.excuses_pen_trap = true;
+    }
+    out.push_back(f);
+  }
+
+  // Provider protection: a provider may monitor its own system to protect
+  // its rights and property, and may disclose the fruits.
+  if (s.provider_self_protection && s.government_actor()) {
+    auto f = make(ExceptionKind::kProviderProtection,
+                  "the provider monitors its own system to protect its "
+                  "rights and property and voluntarily discloses the fruits",
+                  {"villanueva-1998"});
+    f.excuses_wiretap = true;
+    f.excuses_pen_trap = true;
+    f.excuses_sca = true;
+    out.push_back(f);
+  }
+
+  // No surviving REP excuses the Fourth Amendment (a "search" requires a
+  // privacy expectation to invade).
+  if (!rep.has_rep) {
+    auto f = make(ExceptionKind::kNoReasonableExpectationOfPrivacy,
+                  "no reasonable expectation of privacy survives in the "
+                  "information acquired; the acquisition is not a Fourth "
+                  "Amendment search",
+                  {});
+    f.citations = rep.citations;
+    f.excuses_fourth = true;
+    out.push_back(f);
+  }
+
+  // Consent (§III.B.c), in its several flavours.
+  if (s.consent != ConsentKind::kNone && !s.consent_revoked) {
+    ExceptionFinding f;
+    f.kind = ExceptionKind::kConsent;
+    switch (s.consent) {
+      case ConsentKind::kOwnerConsent:
+        f = make(ExceptionKind::kConsent,
+                 "the owner with authority over the space consents to the "
+                 "search",
+                 {"matlock-1974"});
+        f.excuses_fourth = true;
+        f.excuses_sca = true;
+        break;
+      case ConsentKind::kCoUserSharedSpace:
+        f = make(ExceptionKind::kConsent,
+                 "a co-user consents; the consent reaches shared space but "
+                 "not another user's password-protected areas",
+                 {"trulock-2001", "matlock-1974"});
+        // Trulock: the consent stops at another user's protected space.
+        f.excuses_fourth = !s.target_area_password_protected;
+        break;
+      case ConsentKind::kSpouseConsent:
+        f = make(ExceptionKind::kConsent,
+                 "either spouse may consent to a search of the couple's "
+                 "shared property",
+                 {"trulock-2001"});
+        f.excuses_fourth = !s.target_area_password_protected;
+        break;
+      case ConsentKind::kParentOfMinor:
+        f = make(ExceptionKind::kConsent,
+                 "parents may consent to a search of a minor child's "
+                 "computer",
+                 {"matlock-1974"});
+        f.excuses_fourth = true;
+        break;
+      case ConsentKind::kEmployerPrivate:
+        f = make(ExceptionKind::kConsent,
+                 "a private employer with authority over workplace systems "
+                 "consents",
+                 {"ziegler-2007"});
+        f.excuses_fourth = true;
+        break;
+      case ConsentKind::kOnePartyToComm: {
+        // One-party consent is the federal rule, but all-party states
+        // reject it (§III.B.c.vi, California recording law).
+        const bool one_party_suffices =
+            consent_regime(s.jurisdiction) == ConsentRegime::kOneParty;
+        if (one_party_suffices) {
+          f = make(ExceptionKind::kConsent,
+                   "one party to the communication consents to the "
+                   "interception (18 U.S.C. 2511(2)(c)); the other party "
+                   "assumed the risk of their interlocutor's disclosure "
+                   "(misplaced-confidence doctrine)",
+                   {"cassiere-1993", "hoffa-1966"});
+          f.excuses_wiretap = true;
+          f.excuses_pen_trap = true;
+          f.excuses_fourth = true;
+        } else {
+          f = make(ExceptionKind::kConsent,
+                   "one-party consent given, but jurisdiction '" +
+                       s.jurisdiction +
+                       "' requires all parties to consent; the exception "
+                       "does not apply",
+                   {"cassiere-1993"});
+          // No regime excused.
+        }
+        break;
+      }
+      case ConsentKind::kAllPartiesToComm:
+        f = make(ExceptionKind::kConsent,
+                 "all parties to the communication consent to the "
+                 "interception",
+                 {"cassiere-1993"});
+        f.excuses_wiretap = true;
+        f.excuses_pen_trap = true;
+        f.excuses_fourth = true;
+        break;
+      case ConsentKind::kVictimOfAttack:
+        // Handled by the computer-trespasser exception below, but the
+        // victim's consent also covers a Fourth Amendment search of the
+        // victim's own machine.  It can never reach into the attacker's
+        // own computer (Table-1 scene 16).
+        f = make(ExceptionKind::kConsent,
+                 "the system owner (attack victim) consents to monitoring "
+                 "of their own system",
+                 {"villanueva-1998"});
+        f.excuses_fourth = !s.targets_attacker_system;
+        f.excuses_sca = !s.targets_attacker_system;
+        break;
+      case ConsentKind::kPolicyBanner:
+        f = make(ExceptionKind::kConsent,
+                 "network policy / terms of service eliminate the user's "
+                 "expectation of privacy and establish the operator's "
+                 "common authority to consent",
+                 {"young-2003", "ziegler-2007"});
+        f.excuses_fourth = true;
+        f.excuses_wiretap = true;
+        f.excuses_pen_trap = true;
+        f.excuses_sca = true;
+        break;
+      case ConsentKind::kNone:
+        break;
+    }
+    out.push_back(f);
+  }
+
+  // Computer trespasser (18 U.S.C. § 2511(2)(i)): with the victim's
+  // authorization, persons acting under color of law may intercept a
+  // trespasser's communications ON the victim's system.  It never
+  // authorizes reaching into the attacker's own machine.
+  if (s.is_victim_system && s.consent == ConsentKind::kVictimOfAttack &&
+      !s.targets_attacker_system) {
+    auto f = make(ExceptionKind::kComputerTrespasser,
+                  "the attack victim authorizes monitoring of the "
+                  "trespasser's activity on the victim's own system "
+                  "(18 U.S.C. 2511(2)(i))",
+                  {"villanueva-1998"});
+    f.excuses_wiretap = true;
+    f.excuses_pen_trap = true;
+    f.excuses_fourth = true;  // no REP for a trespasser on the victim's box
+    out.push_back(f);
+  }
+
+  // Accessible to the public (18 U.S.C. § 2511(2)(g)(i)): communications
+  // configured to be readily accessible to the general public may be
+  // intercepted by anyone.
+  if (s.readily_accessible_to_public) {
+    auto f = make(ExceptionKind::kAccessibleToPublic,
+                  "the communication is configured so as to be readily "
+                  "accessible to the general public (18 U.S.C. "
+                  "2511(2)(g)(i))",
+                  {"charbonneau-1997"});
+    f.excuses_wiretap = true;
+    f.excuses_pen_trap = true;
+    f.excuses_fourth = true;
+    out.push_back(f);
+  }
+
+  // Exigent circumstances (§III.B.b).
+  if (s.exigent_circumstances) {
+    auto f = make(ExceptionKind::kExigentCircumstances,
+                  "an exigency (imminent destruction of evidence, danger, "
+                  "hot pursuit, or escape) justifies immediate warrantless "
+                  "action",
+                  {"mincey-1978", "romero-garcia-1997", "young-2006"});
+    f.excuses_fourth = true;
+    out.push_back(f);
+  }
+
+  // Plain view (§III.B.e).
+  if (s.in_plain_view) {
+    auto f = make(ExceptionKind::kPlainView,
+                  "the officer observes the evidence from a lawful vantage "
+                  "point and its incriminating character is immediately "
+                  "apparent",
+                  {"walser-2001"});
+    f.excuses_fourth = true;
+    out.push_back(f);
+  }
+
+  // Probation / parole (§III.B.f).
+  if (s.target_on_probation) {
+    auto f = make(ExceptionKind::kProbationParole,
+                  "the target is on probation/parole and subject to search "
+                  "on reasonable suspicion",
+                  {"knights-2001"});
+    f.excuses_fourth = true;
+    out.push_back(f);
+  }
+
+  // Emergency pen/trap (18 U.S.C. § 3125(a)).
+  if (s.emergency_pen_trap && statutes.pen_trap) {
+    auto f = make(ExceptionKind::kEmergencyPenTrap,
+                  "an emergency involving danger, organized crime, national "
+                  "security, or an ongoing protected-computer attack "
+                  "permits a pen/trap without a prior order (18 U.S.C. "
+                  "3125(a)), with required approvals",
+                  {});
+    f.excuses_pen_trap = true;
+    out.push_back(f);
+  }
+
+  // Prior lawful acquisition: analyzing data the government already holds
+  // lawfully is not a new search (Table-1 scene 19).
+  if (s.contents_previously_lawfully_acquired) {
+    auto f = make(ExceptionKind::kNoReasonableExpectationOfPrivacy,
+                  "the data was previously acquired lawfully; further "
+                  "analysis (e.g. mining) of it is not a new search",
+                  {"sloane-2008"});
+    f.excuses_fourth = true;
+    f.excuses_sca = true;
+    out.push_back(f);
+  }
+
+  // Post-arrest use of lawfully obtained credentials (Table-1 scene 20).
+  // The paper classifies this as needing no process; we encode it as an
+  // exposure-based exception and flag the paper's own judgment.
+  if (s.target_arrested && s.credentials_lawfully_obtained) {
+    auto f = make(ExceptionKind::kNoReasonableExpectationOfPrivacy,
+                  "credentials lawfully obtained upon arrest expose the "
+                  "remote account to inspection (paper's Table-1 judgment, "
+                  "scene 20)",
+                  {"meriwether-1990"});
+    f.excuses_fourth = true;
+    f.excuses_sca = true;
+    out.push_back(f);
+  }
+
+  return out;
+}
+
+}  // namespace lexfor::legal

@@ -1,0 +1,38 @@
+// Warrant-exception catalogue (§III.B of the paper).
+//
+// Each exception, when applicable, excuses some or all of the process
+// requirements the statutes would otherwise impose.  An ExceptionFinding
+// records which regimes it excuses so the engine can compose them.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "legal/privacy.h"
+#include "legal/scenario.h"
+#include "legal/statutes.h"
+#include "legal/types.h"
+
+namespace lexfor::legal {
+
+struct ExceptionFinding {
+  ExceptionKind kind;
+  // Which regimes this exception excuses.
+  bool excuses_fourth = false;
+  bool excuses_wiretap = false;
+  bool excuses_pen_trap = false;
+  bool excuses_sca = false;
+  std::string rationale;
+  std::vector<std::string> citations;
+
+  [[nodiscard]] bool excuses_everything() const noexcept {
+    return excuses_fourth && excuses_wiretap && excuses_pen_trap && excuses_sca;
+  }
+};
+
+// Evaluates the full §III.B catalogue against the scenario.
+[[nodiscard]] std::vector<ExceptionFinding> applicable_exceptions(
+    const Scenario& s, const RepAnalysis& rep, const StatuteAnalysis& statutes);
+
+}  // namespace lexfor::legal

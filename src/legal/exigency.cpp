@@ -1,0 +1,85 @@
+#include "legal/exigency.h"
+
+namespace lexfor::legal {
+
+ExigencyFinding assess_exigency(const ExigencyFactors& f) {
+  ExigencyFinding out;
+
+  const bool device_volatility = f.remote_wipe_possible || f.auto_delete_timer ||
+                                 f.battery_dying ||
+                                 f.incoming_traffic_overwrites;
+
+  if (f.evidence_destruction_imminent || device_volatility) {
+    out.exigency_exists = true;
+    out.justifies_seizure = true;
+    out.rationale.emplace_back(
+        "evidence may be destroyed immediately or in a very short time");
+    if (f.remote_wipe_possible) {
+      out.rationale.emplace_back(
+          "a destroy command can be sent to the device, encrypting or "
+          "overwriting its contents");
+    }
+    if (f.auto_delete_timer) {
+      out.rationale.emplace_back(
+          "the device is set to delete stored information after a period");
+    }
+    if (f.battery_dying) {
+      out.rationale.emplace_back(
+          "dying batteries would erase volatile state");
+    }
+    if (f.incoming_traffic_overwrites) {
+      out.rationale.emplace_back(
+          "incoming messages can delete or overwrite stored information");
+    }
+    out.citations.emplace_back("romero-garcia-1997");
+    out.citations.emplace_back("young-2006");
+
+    // Isolation defeats the search exigency: once the device is safely
+    // held, a warrant can issue before examination.
+    if (f.device_can_be_isolated) {
+      out.justifies_search = false;
+      out.rationale.emplace_back(
+          "the device can be isolated and held; the exigency supports "
+          "seizure only, and a warrant must issue before the search");
+    } else {
+      out.justifies_search = true;
+    }
+  }
+
+  if (f.danger_to_public_or_police) {
+    out.exigency_exists = true;
+    out.justifies_search = true;
+    out.justifies_seizure = true;
+    out.rationale.emplace_back(
+        "the police or the public are in a dangerous situation");
+    out.citations.emplace_back("mincey-1978");
+  }
+  if (f.hot_pursuit) {
+    out.exigency_exists = true;
+    out.justifies_search = true;
+    out.justifies_seizure = true;
+    out.rationale.emplace_back("the police are in hot pursuit of a suspect");
+    out.citations.emplace_back("mincey-1978");
+  }
+  if (f.suspect_escape_risk) {
+    out.exigency_exists = true;
+    out.justifies_seizure = true;
+    out.rationale.emplace_back(
+        "the suspect may escape before a warrant can be secured");
+    out.citations.emplace_back("mincey-1978");
+  }
+
+  if (!out.exigency_exists) {
+    out.rationale.emplace_back(
+        "no exigent circumstance is present; ordinary process applies");
+  }
+  return out;
+}
+
+Scenario apply_exigency(Scenario scenario, const ExigencyFactors& factors) {
+  const auto finding = assess_exigency(factors);
+  scenario.exigent_circumstances = finding.justifies_search;
+  return scenario;
+}
+
+}  // namespace lexfor::legal

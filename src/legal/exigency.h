@@ -1,0 +1,56 @@
+// Exigent-circumstances analysis (§III.B.b of the paper).
+//
+// Exigency is fact-bound ("the existence of exigent circumstances is
+// tied to the facts of the individual case"); this module encodes the
+// factors the paper enumerates — imminent destruction of evidence,
+// danger to police or public, hot pursuit, escape risk — plus the
+// electronic-device specifics (remote-wipe commands, auto-delete
+// timers, dying batteries, incoming messages overwriting state) and
+// produces a justified yes/no with the rationale a court would review.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "legal/scenario.h"
+
+namespace lexfor::legal {
+
+struct ExigencyFactors {
+  // The four classic grounds.
+  bool evidence_destruction_imminent = false;
+  bool danger_to_public_or_police = false;
+  bool hot_pursuit = false;
+  bool suspect_escape_risk = false;
+
+  // Electronic-device specifics (§III.B.b's examples).
+  bool remote_wipe_possible = false;     // a "destroy command" can be sent
+  bool auto_delete_timer = false;        // device deletes after a period
+  bool battery_dying = false;            // volatile state will be lost
+  bool incoming_traffic_overwrites = false;
+
+  // Mitigation: if agents can simply seize and hold the device while a
+  // warrant issues (e.g. a Faraday bag defeats remote wipe), the
+  // exigency evaporates for the SEARCH even if seizure was urgent.
+  bool device_can_be_isolated = false;
+};
+
+struct ExigencyFinding {
+  bool exigency_exists = false;
+  // Whether it justifies a warrantless SEARCH, or only a warrantless
+  // SEIZURE pending a warrant.
+  bool justifies_search = false;
+  bool justifies_seizure = false;
+  std::vector<std::string> rationale;
+  std::vector<std::string> citations;
+};
+
+[[nodiscard]] ExigencyFinding assess_exigency(const ExigencyFactors& factors);
+
+// Convenience: applies the finding to a scenario (sets
+// exigent_circumstances when a warrantless search is justified).
+[[nodiscard]] Scenario apply_exigency(Scenario scenario,
+                                      const ExigencyFactors& factors);
+
+}  // namespace lexfor::legal

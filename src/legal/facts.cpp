@@ -1,0 +1,118 @@
+#include "legal/facts.h"
+
+#include <algorithm>
+
+namespace lexfor::legal {
+namespace {
+
+// Base weight of each fact kind toward probable cause.  The thresholds
+// below turn the sum into a standard; the specific pairings the paper
+// highlights (IP + subscriber; membership + intent) are handled as
+// combination bonuses so the doctrinal outcomes are exact.
+double base_weight(FactKind k) noexcept {
+  switch (k) {
+    case FactKind::kContrabandObserved: return 3.0;
+    case FactKind::kIpAddressLinked: return 1.6;
+    case FactKind::kSubscriberIdentified: return 1.4;
+    case FactKind::kAccountLinked: return 1.8;
+    case FactKind::kIntentEvidence: return 1.4;
+    case FactKind::kDeletedFilesRecovered: return 1.6;
+    case FactKind::kMembershipOnly: return 1.0;
+    case FactKind::kWitnessStatement: return 1.2;
+    case FactKind::kPriorConviction: return 0.5;
+    case FactKind::kAnonymousTip: return 0.5;
+  }
+  return 0.0;
+}
+
+bool has(const std::vector<Fact>& facts, FactKind k,
+         CrimeCategory cat) {
+  return std::any_of(facts.begin(), facts.end(), [&](const Fact& f) {
+    return f.kind == k && !is_stale(f, cat);
+  });
+}
+
+}  // namespace
+
+bool is_stale(const Fact& fact, CrimeCategory category) noexcept {
+  // Child-exploitation evidence is effectively never stale (Irving:
+  // years-old information still supported the warrant; Paull: 13 months).
+  if (category == CrimeCategory::kChildExploitation) return false;
+  // Prior convictions never stale: they are historical by nature.
+  if (fact.kind == FactKind::kPriorConviction) return false;
+  // Everything else decays; six months is the Zimmerman-style horizon.
+  return fact.age_days > 180.0;
+}
+
+ProofAssessment assess_proof(const std::vector<Fact>& facts,
+                             CrimeCategory category) {
+  ProofAssessment a;
+  double score = 0.0;
+
+  for (const auto& f : facts) {
+    if (is_stale(f, category)) {
+      a.notes.push_back("fact discounted as stale: " + f.description);
+      a.citations.emplace_back("zimmerman-2002");
+      continue;
+    }
+    score += base_weight(f.kind);
+  }
+
+  // Doctrinal combinations from §III.A.1:
+  //  (a) an IP address tied to the crime plus the subscriber behind it is
+  //      "typically sufficient to obtain a search warrant".
+  if (has(facts, FactKind::kIpAddressLinked, category) &&
+      has(facts, FactKind::kSubscriberIdentified, category)) {
+    score = std::max(score, 3.0);
+    a.notes.emplace_back(
+        "IP address linked to the crime and resolved to a subscriber: "
+        "probable cause for a premises warrant");
+    a.citations.emplace_back("perez-2007");
+    a.citations.emplace_back("grant-2000");
+    a.citations.emplace_back("carter-2008");
+  }
+  //  (b) account information tied to criminal use supports probable cause.
+  if (has(facts, FactKind::kAccountLinked, category) &&
+      has(facts, FactKind::kIntentEvidence, category)) {
+    score = std::max(score, 3.0);
+    a.notes.emplace_back(
+        "account linked to criminal use together with evidence of intent: "
+        "probable cause");
+    a.citations.emplace_back("gourde-2006");
+    a.citations.emplace_back("terry-2008");
+  }
+  //  (c) bare membership alone is NOT reliable probable cause (Coreas):
+  //      cap it below the warrant threshold when nothing else supports.
+  const bool only_membership =
+      has(facts, FactKind::kMembershipOnly, category) &&
+      !has(facts, FactKind::kIntentEvidence, category) &&
+      !has(facts, FactKind::kContrabandObserved, category) &&
+      !has(facts, FactKind::kIpAddressLinked, category) &&
+      !has(facts, FactKind::kAccountLinked, category);
+  if (only_membership) {
+    score = std::min(score, 2.4);
+    a.notes.emplace_back(
+        "bare membership without evidence of intent: courts are split and "
+        "membership alone may not support a warrant");
+    a.citations.emplace_back("coreas-2005");
+  }
+  //  (d) recovered deleted files are good evidence (Cox).
+  if (has(facts, FactKind::kDeletedFilesRecovered, category)) {
+    a.notes.emplace_back("recovered deleted files support the showing");
+    a.citations.emplace_back("cox-2002");
+  }
+
+  a.score = score;
+  if (score >= 3.0) {
+    a.standard = StandardOfProof::kProbableCause;
+  } else if (score >= 1.5) {
+    a.standard = StandardOfProof::kArticulableFacts;
+  } else if (score >= 0.5) {
+    a.standard = StandardOfProof::kMereSuspicion;
+  } else {
+    a.standard = StandardOfProof::kNone;
+  }
+  return a;
+}
+
+}  // namespace lexfor::legal

@@ -1,0 +1,80 @@
+// Facts and standards of proof (§III.A.1 of the paper).
+//
+// Investigators accumulate facts; the aggregate supports a standard of
+// proof (mere suspicion -> articulable facts -> probable cause), which in
+// turn determines which process instruments a court will issue.  The
+// scoring rules encode the paper's probable-cause scenarios: IP-address
+// identification, online-account information, the membership-alone
+// caveat (Coreas), and the staleness doctrine.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "legal/types.h"
+
+namespace lexfor::legal {
+
+// Categories of crime the staleness doctrine distinguishes: courts have
+// held child-exploitation evidence essentially never stale (collectors
+// retain material), while ordinary contraband goes stale quickly.
+enum class CrimeCategory {
+  kChildExploitation,
+  kFraud,
+  kIntrusion,     // hacking / protected-computer attacks
+  kDrugs,
+  kGeneral,
+};
+
+enum class FactKind {
+  kIpAddressLinked,       // attacker IP tied to the crime
+  kSubscriberIdentified,  // ISP resolved the IP to a person/address
+  kAccountLinked,         // online account tied to criminal use
+  kMembershipOnly,        // bare membership in an illicit group
+  kIntentEvidence,        // searches/posts showing intent or knowledge
+  kContrabandObserved,    // contraband directly observed
+  kDeletedFilesRecovered, // forensic recovery of deleted material
+  kWitnessStatement,
+  kAnonymousTip,
+  kPriorConviction,
+};
+
+struct Fact {
+  FactKind kind;
+  double age_days = 0.0;   // how old the information is
+  std::string description;
+};
+
+struct ProofAssessment {
+  StandardOfProof standard = StandardOfProof::kNone;
+  double score = 0.0;              // internal score that crossed the threshold
+  std::vector<std::string> notes;  // which rules fired (incl. staleness)
+  std::vector<std::string> citations;
+};
+
+// True if this fact is too old to count toward probable cause for this
+// crime category (Zimmerman vs Irving/Paull line of cases).
+[[nodiscard]] bool is_stale(const Fact& fact, CrimeCategory category) noexcept;
+
+// Aggregates facts into the strongest supportable standard of proof.
+[[nodiscard]] ProofAssessment assess_proof(const std::vector<Fact>& facts,
+                                           CrimeCategory category);
+
+[[nodiscard]] constexpr std::string_view to_string(FactKind k) noexcept {
+  switch (k) {
+    case FactKind::kIpAddressLinked: return "IP address linked to crime";
+    case FactKind::kSubscriberIdentified: return "subscriber identified";
+    case FactKind::kAccountLinked: return "account linked to criminal use";
+    case FactKind::kMembershipOnly: return "bare membership";
+    case FactKind::kIntentEvidence: return "evidence of intent/knowledge";
+    case FactKind::kContrabandObserved: return "contraband observed";
+    case FactKind::kDeletedFilesRecovered: return "deleted files recovered";
+    case FactKind::kWitnessStatement: return "witness statement";
+    case FactKind::kAnonymousTip: return "anonymous tip";
+    case FactKind::kPriorConviction: return "prior conviction";
+  }
+  return "?";
+}
+
+}  // namespace lexfor::legal

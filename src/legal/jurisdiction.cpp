@@ -1,0 +1,45 @@
+#include "legal/jurisdiction.h"
+
+#include <algorithm>
+
+namespace lexfor::legal {
+
+const std::vector<Jurisdiction>& jurisdictions() {
+  static const std::vector<Jurisdiction> kDb = {
+      {"US", "Federal (Title III)", ConsentRegime::kOneParty},
+      // The all-party ("two-party") consent states.
+      {"CA", "California", ConsentRegime::kAllParty},
+      {"CT", "Connecticut", ConsentRegime::kAllParty},
+      {"FL", "Florida", ConsentRegime::kAllParty},
+      {"IL", "Illinois", ConsentRegime::kAllParty},
+      {"MD", "Maryland", ConsentRegime::kAllParty},
+      {"MA", "Massachusetts", ConsentRegime::kAllParty},
+      {"MT", "Montana", ConsentRegime::kAllParty},
+      {"NH", "New Hampshire", ConsentRegime::kAllParty},
+      {"PA", "Pennsylvania", ConsentRegime::kAllParty},
+      {"WA", "Washington", ConsentRegime::kAllParty},
+      // A sample of one-party states.
+      {"NY", "New York", ConsentRegime::kOneParty},
+      {"TX", "Texas", ConsentRegime::kOneParty},
+      {"VA", "Virginia", ConsentRegime::kOneParty},
+      {"OH", "Ohio", ConsentRegime::kOneParty},
+      {"CO", "Colorado", ConsentRegime::kOneParty},
+  };
+  return kDb;
+}
+
+std::optional<Jurisdiction> find_jurisdiction(std::string_view code) {
+  const auto& db = jurisdictions();
+  const auto it = std::find_if(db.begin(), db.end(), [&](const Jurisdiction& j) {
+    return j.code == code;
+  });
+  if (it == db.end()) return std::nullopt;
+  return *it;
+}
+
+ConsentRegime consent_regime(std::string_view code) {
+  const auto j = find_jurisdiction(code);
+  return j ? j->regime : ConsentRegime::kOneParty;
+}
+
+}  // namespace lexfor::legal

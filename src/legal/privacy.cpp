@@ -1,0 +1,125 @@
+#include "legal/privacy.h"
+
+namespace lexfor::legal {
+namespace {
+
+void find_no_rep(RepAnalysis& r, std::string reason,
+                 std::initializer_list<const char*> cites) {
+  r.has_rep = false;
+  r.reasons.push_back(std::move(reason));
+  for (const char* c : cites) r.citations.emplace_back(c);
+}
+
+void note_rep(RepAnalysis& r, std::string reason,
+              std::initializer_list<const char*> cites) {
+  r.reasons.push_back(std::move(reason));
+  for (const char* c : cites) r.citations.emplace_back(c);
+}
+
+}  // namespace
+
+RepAnalysis analyze_rep(const Scenario& s) {
+  RepAnalysis r;
+
+  // Kyllo controls first: sense-enhancing technology revealing the home
+  // interior restores REP regardless of other exposure, unless the
+  // technology is in general public use.
+  if (s.via_sense_enhancing_tech && s.inside_home &&
+      !s.tech_in_general_public_use) {
+    note_rep(r,
+             "sense-enhancing technology not in general public use reveals "
+             "details of the home interior; REP preserved",
+             {"kyllo-2001", "katz-1967"});
+    r.has_rep = true;
+    return r;
+  }
+
+  // Public exposure defeats REP (§II.C.2).
+  if (s.knowingly_exposed_to_public || s.state == DataState::kPublicVenue) {
+    find_no_rep(r,
+                "information knowingly exposed to the public carries no "
+                "reasonable expectation of privacy",
+                {"hoffa-1966", "gines-perez-2002", "wilson-2006"});
+    return r;
+  }
+
+  // Sharing with others (shared folders, P2P) defeats REP.
+  if (s.shared_with_third_party) {
+    find_no_rep(r,
+                "material shared with third parties (shared folder / P2P) "
+                "loses its expectation of privacy",
+                {"king-2007", "barrows-2007", "stults-2007"});
+    return r;
+  }
+
+  // Delivery terminates the sender's REP.
+  if (s.delivered_to_recipient) {
+    find_no_rep(r,
+                "the sender's expectation of privacy terminates upon "
+                "delivery to the recipient",
+                {"king-1995", "meriwether-1990"});
+    return r;
+  }
+
+  // Subscriber / transactional records voluntarily conveyed to the
+  // provider fall under the third-party doctrine: no constitutional REP
+  // (the SCA supplies statutory protection instead).
+  if (s.data == DataKind::kSubscriberRecords ||
+      s.data == DataKind::kTransactionalRecords) {
+    find_no_rep(r,
+                "records voluntarily conveyed to a service provider carry "
+                "no constitutional expectation of privacy (third-party "
+                "doctrine); statutory protection may still apply",
+                {"smith-1979", "couch-1973", "guest-2001"});
+    return r;
+  }
+
+  // Addressing information is likewise knowingly conveyed to carriers to
+  // route the communication.
+  if (s.data == DataKind::kAddressing) {
+    find_no_rep(r,
+                "addressing information is conveyed to the carrier for "
+                "routing and is analogous to dialed numbers; no "
+                "constitutional REP (statutes may still protect it)",
+                {"smith-1979", "forrester-2008"});
+    return r;
+  }
+
+  // Data already lawfully in government hands supports no further REP.
+  if (s.contents_previously_lawfully_acquired) {
+    find_no_rep(r,
+                "analysis of data already lawfully acquired by the "
+                "government is not a new search",
+                {"sloane-2008"});
+    return r;
+  }
+
+  // Remaining cases: content on a device, in transit, or stored at a
+  // provider.  These are the closed-container heartland: REP holds.
+  switch (s.state) {
+    case DataState::kOnDevice:
+      note_rep(r,
+               "electronic storage devices are analogous to closed "
+               "containers; their owner retains REP in the contents",
+               {"guest-2001", "runyan-2001", "crist-2008"});
+      break;
+    case DataState::kInTransit:
+      note_rep(r,
+               "sender and receiver retain REP in content during "
+               "transmission, like a sealed letter",
+               {"villarreal-1992", "katz-1967"});
+      break;
+    case DataState::kStoredAtProvider:
+      note_rep(r,
+               "content stored with a provider retains the user's REP; "
+               "statutory rules govern compelled disclosure",
+               {"katz-1967"});
+      break;
+    case DataState::kPublicVenue:
+      break;  // handled above
+  }
+  r.has_rep = true;
+  return r;
+}
+
+}  // namespace lexfor::legal

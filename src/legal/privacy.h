@@ -1,0 +1,31 @@
+// Reasonable-expectation-of-privacy (REP) analysis (§II.C of the paper).
+//
+// REP is the hinge of the Fourth Amendment inquiry: a person deserves
+// privacy protection when (1) they actually expect privacy and (2) that
+// expectation is one society recognizes as reasonable (Katz).  This
+// module evaluates the exposure facts of a Scenario against the doctrine
+// the paper surveys and returns the finding with reasons and citations.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "legal/scenario.h"
+
+namespace lexfor::legal {
+
+struct RepAnalysis {
+  // Does the person whose data is acquired retain a reasonable
+  // expectation of privacy in it?
+  bool has_rep = true;
+  // Human-readable reasons, in the order rules fired.
+  std::vector<std::string> reasons;
+  // Supporting case ids (resolvable via find_case()).
+  std::vector<std::string> citations;
+};
+
+// Applies the paper's REP doctrine to the scenario's exposure facts.
+[[nodiscard]] RepAnalysis analyze_rep(const Scenario& s);
+
+}  // namespace lexfor::legal

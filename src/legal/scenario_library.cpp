@@ -1,0 +1,107 @@
+#include "legal/scenario_library.h"
+
+namespace lexfor::legal::library {
+
+Scenario thermal_imaging_of_home() {
+  return Scenario{}
+      .named("thermal imaging of a home (Kyllo)")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)  // details of the home interior
+      .when(Timing::kRealTime)
+      .in_home()
+      .sense_enhancing();
+}
+
+Scenario thermal_imaging_public_tech() {
+  return Scenario{}
+      .named("thermal imaging with tech in general public use")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kPublicVenue)
+      .when(Timing::kRealTime)
+      .in_home()
+      .sense_enhancing()
+      .general_public_use()
+      .exposed_publicly();  // heat signatures observable by anyone equipped
+}
+
+Scenario curbside_garbage_pull() {
+  return Scenario{}
+      .named("curbside garbage pull")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kPublicVenue)
+      .when(Timing::kStored)
+      .exposed_publicly();
+}
+
+Scenario undercover_chat_recording() {
+  return Scenario{}
+      .named("undercover agent records the chat (federal)")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .with_consent(ConsentKind::kOnePartyToComm)
+      .in_jurisdiction("US");
+}
+
+Scenario undercover_chat_recording_all_party_state() {
+  return undercover_chat_recording()
+      .named("undercover agent records the chat (all-party state)")
+      .in_jurisdiction("CA");
+}
+
+Scenario planted_tracker_on_vehicle() {
+  // The installation trespasses on the vehicle (a constitutionally
+  // protected effect); we model it as a device-state acquisition with
+  // surviving REP.
+  return Scenario{}
+      .named("planted location tracker on a vehicle")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
+      .when(Timing::kRealTime);
+}
+
+Scenario repair_shop_discovery() {
+  return Scenario{}
+      .named("repair technician finds contraband and reports it")
+      .by(ActorKind::kPrivateParty)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
+      .when(Timing::kStored);
+}
+
+Scenario plain_view_during_lawful_search() {
+  return Scenario{}
+      .named("incriminating file in plain view during a lawful search")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
+      .when(Timing::kStored)
+      .plain_view();
+}
+
+Scenario parolee_laptop_search() {
+  return Scenario{}
+      .named("parole search of a parolee's laptop")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
+      .when(Timing::kStored)
+      .probationer();
+}
+
+Scenario hotel_abandoned_device() {
+  return Scenario{}
+      .named("device abandoned in a hotel room after checkout")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
+      .when(Timing::kStored)
+      .with_consent(ConsentKind::kOwnerConsent);  // manager's authority
+}
+
+}  // namespace lexfor::legal::library

@@ -1,0 +1,101 @@
+#include "legal/statutes.h"
+
+namespace lexfor::legal {
+
+StatuteAnalysis analyze_statutes(const Scenario& s, const RepAnalysis& rep) {
+  StatuteAnalysis a;
+
+  const bool real_time = s.timing == Timing::kRealTime;
+
+  // Wiretap Act: real-time acquisition of CONTENT.  Interception must be
+  // contemporaneous with transmission (Steve Jackson Games; Konop) —
+  // access to data at rest is never a Title III interception.
+  if (real_time && s.data == DataKind::kContent &&
+      s.state == DataState::kInTransit) {
+    a.wiretap_act = true;
+    a.notes.emplace_back(
+        "real-time acquisition of communication content is an interception "
+        "governed by Title III");
+    a.citations.emplace_back("steve-jackson-1994");
+    a.citations.emplace_back("konop-2002");
+  }
+
+  // Pen/Trap statute: real-time acquisition of addressing / non-content.
+  if (real_time && s.data == DataKind::kAddressing &&
+      s.state == DataState::kInTransit) {
+    a.pen_trap = true;
+    a.notes.emplace_back(
+        "real-time collection of addressing information (headers, IPs, "
+        "sizes) is governed by the Pen/Trap statute");
+    a.citations.emplace_back("forrester-2008");
+    a.citations.emplace_back("smith-1979");
+  }
+
+  // SCA: data at rest with a covered provider (ECS or RCS).  Per the
+  // paper's Alice/Bob walk-through, an opened message retained on a
+  // NON-public provider's server is held by neither an ECS nor an RCS,
+  // so the SCA drops out and only the Fourth Amendment governs.
+  if (s.state == DataState::kStoredAtProvider) {
+    switch (s.provider) {
+      case ProviderClass::kEcs:
+      case ProviderClass::kRcs:
+        a.sca = true;
+        a.notes.emplace_back(
+            "data held by an ECS/RCS provider is governed by the Stored "
+            "Communications Act (18 U.S.C. 2701-2712)");
+        a.citations.emplace_back("kaufman-2006");
+        break;
+      case ProviderClass::kNonPublic:
+        if (s.message_opened_by_recipient) {
+          a.notes.emplace_back(
+              "an opened message retained on a non-public provider is held "
+              "by neither an ECS nor an RCS; the SCA does not apply");
+          a.citations.emplace_back("andersen-1998");
+        } else {
+          // Unretrieved mail: even a non-public server provides ECS with
+          // respect to messages awaiting delivery.
+          a.sca = true;
+          a.notes.emplace_back(
+              "a message awaiting retrieval is in ECS electronic storage "
+              "even on a non-public server; the SCA applies");
+        }
+        break;
+      case ProviderClass::kNotAProvider:
+        a.notes.emplace_back(
+            "the custodian is not a communications provider; the SCA does "
+            "not apply and the Fourth Amendment governs");
+        break;
+    }
+  }
+
+  // Fourth Amendment: restrains government actors wherever REP survives.
+  if (s.government_actor() && rep.has_rep) {
+    a.fourth_amendment = true;
+    a.notes.emplace_back(
+        "a government actor confronting a surviving expectation of privacy "
+        "is bound by the Fourth Amendment");
+    a.citations.emplace_back("katz-1967");
+  }
+
+  return a;
+}
+
+ProcessKind sca_required_process(DataKind kind) noexcept {
+  switch (kind) {
+    case DataKind::kSubscriberRecords:
+      // Basic subscriber information: subpoena suffices (§ 2703(c)(2)).
+      return ProcessKind::kSubpoena;
+    case DataKind::kTransactionalRecords:
+      // Other non-content records: § 2703(d) "specific and articulable
+      // facts" court order.
+      return ProcessKind::kCourtOrder;
+    case DataKind::kAddressing:
+      return ProcessKind::kCourtOrder;
+    case DataKind::kContent:
+      // Content: a search warrant can disclose everything (§ 2703(a)).
+      return ProcessKind::kSearchWarrant;
+  }
+  return ProcessKind::kSearchWarrant;
+}
+
+}  // namespace lexfor::legal

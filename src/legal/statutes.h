@@ -1,0 +1,48 @@
+// Statute applicability analysis (§II.B, §III.A.3).
+//
+// Determines which of the paper's four bodies of law reach a given
+// acquisition.  The division of labor the paper states: "the Stored
+// Communications Act regulates the data stored on the Internet while
+// Pen/Trap Act and Wiretap Act regulate the real-time data transmission
+// over the Internet outside a person's computer"; the Fourth Amendment
+// governs the rest (and overlaps where REP exists).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "legal/privacy.h"
+#include "legal/scenario.h"
+#include "legal/types.h"
+
+namespace lexfor::legal {
+
+struct StatuteAnalysis {
+  bool wiretap_act = false;
+  bool pen_trap = false;
+  bool sca = false;
+  bool fourth_amendment = false;
+  std::vector<std::string> notes;
+  std::vector<std::string> citations;
+
+  [[nodiscard]] std::vector<Statute> applicable() const {
+    std::vector<Statute> out;
+    if (fourth_amendment) out.push_back(Statute::kFourthAmendment);
+    if (wiretap_act) out.push_back(Statute::kWiretapAct);
+    if (sca) out.push_back(Statute::kStoredCommunicationsAct);
+    if (pen_trap) out.push_back(Statute::kPenTrapStatute);
+    return out;
+  }
+};
+
+// Maps the scenario onto the statutes, given the REP finding (the Fourth
+// Amendment only applies where REP survives and the actor is governmental).
+[[nodiscard]] StatuteAnalysis analyze_statutes(const Scenario& s,
+                                               const RepAnalysis& rep);
+
+// SCA compelled-disclosure ladder (18 U.S.C. § 2703): the minimum process
+// needed to compel each data kind from a covered provider.
+[[nodiscard]] ProcessKind sca_required_process(DataKind kind) noexcept;
+
+}  // namespace lexfor::legal

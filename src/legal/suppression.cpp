@@ -1,0 +1,130 @@
+#include "legal/suppression.h"
+
+#include <sstream>
+
+namespace lexfor::legal {
+
+Status ProvenanceGraph::add(AcquisitionRecord record) {
+  if (!record.id.valid()) {
+    return InvalidArgument("acquisition record must carry a valid id");
+  }
+  if (index_.count(record.id) != 0) {
+    std::ostringstream os;
+    os << "evidence " << record.id << " already recorded";
+    return AlreadyExists(os.str());
+  }
+  for (const auto parent : record.derived_from) {
+    if (index_.count(parent) == 0) {
+      std::ostringstream os;
+      os << "evidence " << record.id << " derives from unknown item "
+         << parent << "; parents must be recorded first";
+      return NotFound(os.str());
+    }
+  }
+  index_.emplace(record.id, records_.size());
+  records_.push_back(std::move(record));
+  return Status::Ok();
+}
+
+const AcquisitionRecord* ProvenanceGraph::find(EvidenceId id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  return &records_[it->second];
+}
+
+namespace {
+
+// Shared core: `movant` empty means "every violation counts" (the
+// single-defendant analysis); otherwise only violations of the movant's
+// own rights are poisonous (standing doctrine).
+SuppressionReport analyze_impl(const ProvenanceGraph& graph,
+                               const std::string* movant) {
+  SuppressionReport report;
+  // Records are already topologically ordered (parents precede children).
+  std::unordered_map<EvidenceId, bool> tainted;
+
+  for (const auto& rec : graph.records()) {
+    SuppressionFinding f;
+    f.id = rec.id;
+
+    const bool has_standing =
+        movant == nullptr || rec.aggrieved_party.empty() ||
+        rec.aggrieved_party == *movant;
+
+    if (!rec.directly_lawful() && !has_standing) {
+      // Unlawful as to a third party: this movant cannot suppress it.
+      f.suppressed = false;
+      f.reason =
+          "acquired unlawfully, but the violation invaded '" +
+          rec.aggrieved_party +
+          "''s rights, not the movant's; no standing to suppress";
+      tainted[rec.id] = false;
+      ++report.admissible_count;
+      report.findings.push_back(std::move(f));
+      continue;
+    }
+
+    if (!rec.directly_lawful()) {
+      f.suppressed = true;
+      std::ostringstream os;
+      os << "acquired with " << to_string(rec.held) << " where "
+         << to_string(rec.required)
+         << " was required; suppressed under the exclusionary rule";
+      f.reason = os.str();
+    } else if (!rec.derived_from.empty()) {
+      bool all_parents_tainted = true;
+      bool any_parent_tainted = false;
+      for (const auto p : rec.derived_from) {
+        const bool pt = tainted[p];
+        all_parents_tainted = all_parents_tainted && pt;
+        any_parent_tainted = any_parent_tainted || pt;
+      }
+      if (all_parents_tainted && !rec.inevitable_discovery) {
+        f.suppressed = true;
+        f.reason =
+            "every source of this evidence is tainted; suppressed as fruit "
+            "of the poisonous tree";
+      } else if (any_parent_tainted && !all_parents_tainted) {
+        f.suppressed = false;
+        f.reason =
+            "derived in part from tainted evidence but supported by an "
+            "independent lawful source; admissible";
+      } else if (all_parents_tainted && rec.inevitable_discovery) {
+        f.suppressed = false;
+        f.reason =
+            "sources tainted but the item would inevitably have been "
+            "discovered lawfully; admissible";
+      } else {
+        f.suppressed = false;
+        f.reason = "lawfully acquired from lawful sources; admissible";
+      }
+    } else {
+      f.suppressed = false;
+      f.reason = rec.good_faith && !satisfies(rec.held, rec.required)
+                     ? "defective process but good-faith reliance; admissible"
+                     : "lawfully acquired; admissible";
+    }
+
+    tainted[rec.id] = f.suppressed;
+    if (f.suppressed) {
+      ++report.suppressed_count;
+    } else {
+      ++report.admissible_count;
+    }
+    report.findings.push_back(std::move(f));
+  }
+  return report;
+}
+
+}  // namespace
+
+SuppressionReport analyze_suppression(const ProvenanceGraph& graph) {
+  return analyze_impl(graph, nullptr);
+}
+
+SuppressionReport analyze_suppression_for(const ProvenanceGraph& graph,
+                                          const std::string& movant) {
+  return analyze_impl(graph, &movant);
+}
+
+}  // namespace lexfor::legal

@@ -1,0 +1,110 @@
+// Exclusionary-rule analysis over an evidence provenance graph.
+//
+// The paper's central warning is that unlawfully gathered evidence "may
+// be suppressed in court".  This module makes that operational: every
+// piece of evidence is a node recording what process the law required
+// for its acquisition versus what was actually held; derivation edges
+// record which earlier items led to it.  The analyzer marks directly
+// unlawful acquisitions tainted and propagates taint to derived items
+// (fruit of the poisonous tree), honoring the independent-source and
+// inevitable-discovery doctrines.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "legal/types.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace lexfor::legal {
+
+struct AcquisitionRecord {
+  EvidenceId id;
+  std::string description;
+  // What the compliance engine said the acquisition required, and what
+  // instrument the investigators actually held (kNone when none).
+  ProcessKind required = ProcessKind::kNone;
+  ProcessKind held = ProcessKind::kNone;
+  // Good-faith exception: officers reasonably relied on a warrant later
+  // found defective; the acquisition is not treated as poisonous.
+  bool good_faith = false;
+  // Inevitable discovery: the item would have been found lawfully anyway;
+  // cleanses derived taint for this node.
+  bool inevitable_discovery = false;
+  // Whose reasonable expectation of privacy the acquisition invaded.
+  // Standing doctrine: only THIS person can move to suppress the item;
+  // against anyone else it comes in even if unlawfully obtained.  Empty
+  // means "the defendant in every motion" (the common single-suspect
+  // case).
+  std::string aggrieved_party;
+  // Items this evidence was derived from (must already be in the graph,
+  // which keeps the structure a DAG by construction).
+  std::vector<EvidenceId> derived_from;
+
+  // Was this acquisition itself lawful?
+  [[nodiscard]] bool directly_lawful() const noexcept {
+    return satisfies(held, required) || good_faith;
+  }
+};
+
+struct SuppressionFinding {
+  EvidenceId id;
+  bool suppressed = false;
+  std::string reason;
+};
+
+struct SuppressionReport {
+  std::vector<SuppressionFinding> findings;  // in insertion order
+  std::size_t suppressed_count = 0;
+  std::size_t admissible_count = 0;
+
+  [[nodiscard]] bool is_suppressed(EvidenceId id) const {
+    for (const auto& f : findings) {
+      if (f.id == id) return f.suppressed;
+    }
+    return false;
+  }
+};
+
+// A DAG of evidence acquisitions.  Insertion order is preserved and
+// parents must exist before children, so cycles are impossible.
+class ProvenanceGraph {
+ public:
+  // Adds a record.  Fails if the id already exists or a parent is
+  // missing.
+  Status add(AcquisitionRecord record);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const std::vector<AcquisitionRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] bool contains(EvidenceId id) const {
+    return index_.count(id) != 0;
+  }
+  [[nodiscard]] const AcquisitionRecord* find(EvidenceId id) const;
+
+ private:
+  std::vector<AcquisitionRecord> records_;
+  std::unordered_map<EvidenceId, std::size_t> index_;
+};
+
+// Runs the exclusionary-rule analysis:
+//  - a node is tainted if its own acquisition was unlawful (held process
+//    weaker than required, absent good faith), or
+//  - it has parents and EVERY parent is tainted (independent source: one
+//    lawful path in keeps it admissible), unless inevitable discovery
+//    applies to the node.
+[[nodiscard]] SuppressionReport analyze_suppression(const ProvenanceGraph& graph);
+
+// Standing-aware variant: the analysis as applied to a motion by
+// `movant`.  An unlawful acquisition only counts as poisonous for the
+// movant when it invaded the MOVANT's rights (record.aggrieved_party is
+// the movant or empty); violations of third parties' rights do not give
+// this defendant a suppression remedy.
+[[nodiscard]] SuppressionReport analyze_suppression_for(
+    const ProvenanceGraph& graph, const std::string& movant);
+
+}  // namespace lexfor::legal

@@ -1,0 +1,290 @@
+#include "legal/table1.h"
+
+#include <stdexcept>
+
+namespace lexfor::legal::table1 {
+namespace {
+
+std::array<Scene, kSceneCount> build_scenes() {
+  std::array<Scene, kSceneCount> t{};
+
+  // 1. Campus IT logs wired traffic HEADERS on its own cables.
+  t[0] = {1,
+          Scenario{}
+              .named("campus IT logs wired traffic headers on its own network")
+              .by(ActorKind::kProviderAdmin)
+              .acquiring(DataKind::kAddressing)
+              .located(DataState::kInTransit)
+              .when(Timing::kRealTime)
+              .provider_protecting(),
+          /*need=*/false, /*starred=*/false,
+          "IT on campus logs all wired traffic headers within campus"};
+
+  // 2. Campus IT logs FULL traffic; campus policy eliminates REP.
+  t[1] = {2,
+          Scenario{}
+              .named("campus IT logs full wired traffic under campus policy")
+              .by(ActorKind::kProviderAdmin)
+              .acquiring(DataKind::kContent)
+              .located(DataState::kInTransit)
+              .when(Timing::kRealTime)
+              .with_consent(ConsentKind::kPolicyBanner)
+              .provider_protecting(),
+          false, false,
+          "IT on campus logs headers and content; policy eliminates REP"};
+
+  // 3. LE outside the house logs UNENCRYPTED wireless HEADERS.
+  //    (WarDriving; addressing broadcast in the clear is treated as
+  //    readily accessible — the paper's starred judgment.)
+  t[2] = {3,
+          Scenario{}
+              .named("LE logs unencrypted wireless headers outside a house")
+              .by(ActorKind::kLawEnforcement)
+              .acquiring(DataKind::kAddressing)
+              .located(DataState::kInTransit)
+              .when(Timing::kRealTime)
+              .publicly_accessible(),
+          false, true,
+          "LE outside a house logs unencrypted wireless traffic headers"};
+
+  // 4. LE logs unencrypted wireless CONTENT (Google Street View).  The
+  //    paper judges payload NOT readily accessible, so Title III bites.
+  t[3] = {4,
+          Scenario{}
+              .named("LE logs unencrypted wireless payload outside a house")
+              .by(ActorKind::kLawEnforcement)
+              .acquiring(DataKind::kContent)
+              .located(DataState::kInTransit)
+              .when(Timing::kRealTime),
+          true, true,
+          "LE outside a house logs unencrypted wireless traffic incl. payload"};
+
+  // 5. Encrypted wireless HEADERS (addressing still observable).
+  t[4] = {5,
+          Scenario{}
+              .named("LE logs encrypted wireless headers outside a house")
+              .by(ActorKind::kLawEnforcement)
+              .acquiring(DataKind::kAddressing)
+              .located(DataState::kInTransit)
+              .when(Timing::kRealTime)
+              .with_encryption()
+              .publicly_accessible(),
+          false, true,
+          "LE outside a house logs encrypted wireless traffic headers"};
+
+  // 6. Encrypted wireless CONTENT.
+  t[5] = {6,
+          Scenario{}
+              .named("LE logs encrypted wireless payload outside a house")
+              .by(ActorKind::kLawEnforcement)
+              .acquiring(DataKind::kContent)
+              .located(DataState::kInTransit)
+              .when(Timing::kRealTime)
+              .with_encryption(),
+          true, true,
+          "LE outside a house logs encrypted wireless traffic incl. payload"};
+
+  // 7. LE logs packet HEADERS in a public wired network (at the ISP).
+  t[6] = {7,
+          Scenario{}
+              .named("LE logs packet headers in a public wired network")
+              .by(ActorKind::kLawEnforcement)
+              .acquiring(DataKind::kAddressing)
+              .located(DataState::kInTransit)
+              .when(Timing::kRealTime),
+          true, false,
+          "LE logs headers and sizes in public wired internet (pen/trap)"};
+
+  // 8. LE logs ENTIRE packets in a public wired network.
+  t[7] = {8,
+          Scenario{}
+              .named("LE logs entire packets in a public wired network")
+              .by(ActorKind::kLawEnforcement)
+              .acquiring(DataKind::kContent)
+              .located(DataState::kInTransit)
+              .when(Timing::kRealTime),
+          true, false,
+          "LE logs headers and payload in public wired internet (wiretap)"};
+
+  // 9. Normal P2P software; public info shown by the software.
+  t[8] = {9,
+          Scenario{}
+              .named("LE collects public info from normal P2P software")
+              .by(ActorKind::kLawEnforcement)
+              .acquiring(DataKind::kContent)
+              .located(DataState::kPublicVenue)
+              .when(Timing::kStored)
+              .exposed_publicly()
+              .shared(),
+          false, false,
+          "LE collects user names / shared file names in a P2P network"};
+
+  // 10. Anonymous P2P software; public info shown by the software (§IV.A).
+  t[9] = {10,
+          Scenario{}
+              .named("LE collects public info from anonymous P2P software")
+              .by(ActorKind::kLawEnforcement)
+              .acquiring(DataKind::kContent)
+              .located(DataState::kPublicVenue)
+              .when(Timing::kStored)
+              .exposed_publicly()
+              .shared(),
+          false, false,
+          "LE collects public info shown by anonymous P2P software"};
+
+  // 11. Public website content.
+  t[10] = {11,
+           Scenario{}
+               .named("LE collects public website content")
+               .by(ActorKind::kLawEnforcement)
+               .acquiring(DataKind::kContent)
+               .located(DataState::kPublicVenue)
+               .when(Timing::kStored)
+               .exposed_publicly()
+               .publicly_accessible(),
+           false, false,
+           "LE collects content of a website anybody can access"};
+
+  // 12. Investigate a Tor hidden web server ("the hidden server is as an
+  //     ISP"): compelled access to stored content at a provider.
+  t[11] = {12,
+           Scenario{}
+               .named("LE investigates a Tor hidden web server (as an ISP)")
+               .by(ActorKind::kLawEnforcement)
+               .acquiring(DataKind::kContent)
+               .located(DataState::kStoredAtProvider)
+               .when(Timing::kStored)
+               .at_provider(ProviderClass::kEcs),
+           true, false,
+           "LE investigates a hidden web server at Tor (server as ISP)"};
+
+  // 13. LE builds a Tor node and investigates traffic on it (not a
+  //     private search): real-time interception of relayed content.
+  t[12] = {13,
+           Scenario{}
+               .named("LE operates a Tor node and intercepts relayed traffic")
+               .by(ActorKind::kLawEnforcement)
+               .acquiring(DataKind::kContent)
+               .located(DataState::kInTransit)
+               .when(Timing::kRealTime)
+               .with_encryption(),
+           true, false,
+           "LE builds a Tor node and investigates on it; not a private search"};
+
+  // 14. LE monitors an Anonymizer server (server as an ISP).
+  t[13] = {14,
+           Scenario{}
+               .named("LE monitors an Anonymizer server (as an ISP)")
+               .by(ActorKind::kLawEnforcement)
+               .acquiring(DataKind::kContent)
+               .located(DataState::kInTransit)
+               .when(Timing::kRealTime)
+               .at_provider(ProviderClass::kEcs),
+           true, false,
+           "LE monitors the Anonymizer; the server is as an ISP"};
+
+  // 15. Victim consents; LE monitors the victim's computer, including
+  //     the attacker's activity (computer-trespasser exception).
+  t[14] = {15,
+           Scenario{}
+               .named("LE monitors attack activity on the victim's system "
+                      "with victim consent")
+               .by(ActorKind::kLawEnforcement)
+               .acquiring(DataKind::kContent)
+               .located(DataState::kInTransit)
+               .when(Timing::kRealTime)
+               .with_consent(ConsentKind::kVictimOfAttack)
+               .on_victim_system(),
+           false, false,
+           "victim consents to LE monitoring attacker activity on victim's "
+           "computer"};
+
+  // 16. As 15, but LE reaches into the ATTACKER's computer.
+  t[15] = {16,
+           Scenario{}
+               .named("LE reaches into the attacker's own computer")
+               .by(ActorKind::kLawEnforcement)
+               .acquiring(DataKind::kContent)
+               .located(DataState::kOnDevice)
+               .when(Timing::kStored)
+               .with_consent(ConsentKind::kVictimOfAttack)
+               .on_victim_system()
+               .reaching_attacker(),
+           true, false,
+           "with victim's consent LE tries to monitor/collect data in the "
+           "attacker's computer"};
+
+  // 17. Public chat room content (open to anybody).
+  t[16] = {17,
+           Scenario{}
+               .named("LE collects content in a public chat room")
+               .by(ActorKind::kLawEnforcement)
+               .acquiring(DataKind::kContent)
+               .located(DataState::kPublicVenue)
+               .when(Timing::kRealTime)
+               .exposed_publicly()
+               .publicly_accessible(),
+           false, false,
+           "LE collects content in a public chat room anyone can access"};
+
+  // 18. Hash search of a lawfully-obtained hard drive (U.S. v. Crist:
+  //     hashing the drive is itself a search).
+  t[17] = {18,
+           Scenario{}
+               .named("LE hash-searches an entire lawfully-obtained drive")
+               .by(ActorKind::kLawEnforcement)
+               .acquiring(DataKind::kContent)
+               .located(DataState::kOnDevice)
+               .when(Timing::kStored)
+               .device_in_custody(),
+           true, false,
+           "LE runs a hash over an entire legally obtained hard drive to "
+           "find a particular file"};
+
+  // 19. Mining a lawfully-obtained database (State v. Sloane).
+  t[18] = {19,
+           Scenario{}
+               .named("LE mines a lawfully-obtained database")
+               .by(ActorKind::kLawEnforcement)
+               .acquiring(DataKind::kContent)
+               .located(DataState::kOnDevice)
+               .when(Timing::kStored)
+               .device_in_custody()
+               .previously_acquired(),
+           false, false,
+           "LE legally obtained a database and mines it for hidden "
+           "information"};
+
+  // 20. Post-arrest use of the defendant's credentials for remote data.
+  t[19] = {20,
+           Scenario{}
+               .named("LE uses an arrestee's credentials to fetch remote data")
+               .by(ActorKind::kLawEnforcement)
+               .acquiring(DataKind::kContent)
+               .located(DataState::kStoredAtProvider)
+               .when(Timing::kStored)
+               .at_provider(ProviderClass::kNotAProvider)
+               .arrested()
+               .with_credentials(),
+           false, false,
+           "after arrest LE uses the defendant's username/password to "
+           "obtain data on a remote computer"};
+
+  return t;
+}
+
+}  // namespace
+
+const std::array<Scene, kSceneCount>& all_scenes() {
+  static const std::array<Scene, kSceneCount> kScenes = build_scenes();
+  return kScenes;
+}
+
+const Scene& scene(int number) {
+  if (number < 1 || number > kSceneCount) {
+    throw std::out_of_range("table1::scene: number must be in [1,20]");
+  }
+  return all_scenes()[static_cast<std::size_t>(number - 1)];
+}
+
+}  // namespace lexfor::legal::table1

@@ -1,0 +1,33 @@
+// Table 1 of the paper: twenty digital crime scenes and the paper's
+// answer to "does law enforcement need a warrant / court order /
+// subpoena?".  Each row is encoded as a Scenario plus the expected
+// verdict, so the compliance engine's output can be checked against the
+// paper's published table row by row (this is the paper's evaluation).
+
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "legal/scenario.h"
+
+namespace lexfor::legal::table1 {
+
+struct Scene {
+  int number = 0;                 // 1-20, as printed in the table
+  Scenario scenario;
+  bool paper_says_need = false;   // the table's verdict
+  bool author_judgment = false;   // rows marked (*) in the paper
+  std::string summary;            // condensed row text
+};
+
+inline constexpr int kSceneCount = 20;
+
+// Returns the encoded scene for `number` in [1, 20].  Throws
+// std::out_of_range otherwise.
+[[nodiscard]] const Scene& scene(int number);
+
+// All twenty scenes in table order.
+[[nodiscard]] const std::array<Scene, kSceneCount>& all_scenes();
+
+}  // namespace lexfor::legal::table1

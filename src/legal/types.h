@@ -1,0 +1,262 @@
+// Core vocabulary of the legal compliance engine.
+//
+// These enums encode the distinctions the paper (ICDCS'12, "When Digital
+// Forensic Research Meets Laws") draws in §II-III: which legal process an
+// acquisition needs, which statute governs it, what kind of data is
+// touched and where that data lives.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lexfor::legal {
+
+// Legal process instruments, ordered by the difficulty of obtaining them
+// (§II.A: "the degree of difficulty for the above processes is in the
+// ascending order").  kWiretapOrder models the Title III "super-warrant"
+// needed for real-time content interception, which is stricter still
+// than an ordinary search warrant.
+enum class ProcessKind : std::uint8_t {
+  kNone = 0,
+  kSubpoena = 1,
+  kCourtOrder = 2,     // 18 U.S.C. § 2703(d) order / pen-trap order
+  kSearchWarrant = 3,
+  kWiretapOrder = 4,   // Title III interception order
+};
+
+// Standards of proof, ordered by strength.  §II.A: "Merely a suspicion is
+// enough to apply for a subpoena.  Some 'specific and articulable facts'
+// are needed to apply for a court order.  Probable cause is necessary to
+// apply for a search warrant."
+enum class StandardOfProof : std::uint8_t {
+  kNone = 0,
+  kMereSuspicion = 1,
+  kArticulableFacts = 2,  // "specific and articulable facts"
+  kProbableCause = 3,
+  kProbableCausePlus = 4,  // Title III necessity showing
+};
+
+// The four bodies of law the paper identifies (§II.B).
+enum class Statute : std::uint8_t {
+  kFourthAmendment,
+  kWiretapAct,              // Title III, 18 U.S.C. §§ 2510-2522
+  kStoredCommunicationsAct, // 18 U.S.C. §§ 2701-2712
+  kPenTrapStatute,          // 18 U.S.C. §§ 3121-3127
+};
+
+// What kind of data the action touches.  The content / non-content line
+// is the paper's central statutory distinction: "Obtaining the real
+// content of a visiting website implicates Title III while obtaining the
+// IP address of the website implicates Pen/Trap statute."
+enum class DataKind : std::uint8_t {
+  kContent,               // payload, message bodies, subjects
+  kAddressing,            // headers, TO/FROM, IPs, ports, sizes
+  kSubscriberRecords,     // name, address, billing (SCA basic records)
+  kTransactionalRecords,  // logs, session records (SCA § 2703(d))
+};
+
+// Where the data lives when acquired.
+enum class DataState : std::uint8_t {
+  kInTransit,         // moving on the wire / over the air
+  kStoredAtProvider,  // held by an ISP / service provider
+  kOnDevice,          // on a computer or storage device
+  kPublicVenue,       // posted or exposed in a public place
+};
+
+// Real-time interception vs access to data at rest.  Title III and
+// Pen/Trap govern the former, the SCA the latter (§II.B).
+enum class Timing : std::uint8_t {
+  kRealTime,
+  kStored,
+};
+
+// Who performs the acquisition.  The Fourth Amendment restrains only the
+// government and its agents; private searches are outside it (§III.B.i).
+enum class ActorKind : std::uint8_t {
+  kLawEnforcement,
+  kGovernmentAgent,  // private party acting at the government's behest
+  kProviderAdmin,    // sysadmin of the network carrying the data
+  kPrivateParty,
+};
+
+// Consent situations from §III.B.c.
+enum class ConsentKind : std::uint8_t {
+  kNone,
+  kOwnerConsent,         // owner of the device/space consents
+  kCoUserSharedSpace,    // co-user consents to shared space only
+  kSpouseConsent,
+  kParentOfMinor,
+  kEmployerPrivate,      // private-sector employer over workplace systems
+  kOnePartyToComm,       // one party to the communication consents
+  kAllPartiesToComm,
+  kVictimOfAttack,       // victim authorizes monitoring of trespasser
+  kPolicyBanner,         // terms of service / network policy eliminates REP
+};
+
+// Warrant exceptions and other grounds for warrantless action (§III.B).
+enum class ExceptionKind : std::uint8_t {
+  kNoReasonableExpectationOfPrivacy,
+  kConsent,
+  kExigentCircumstances,
+  kPlainView,
+  kPrivateSearch,
+  kComputerTrespasser,      // 18 U.S.C. § 2511(2)(i)
+  kAccessibleToPublic,      // 18 U.S.C. § 2511(2)(g)(i)
+  kProbationParole,
+  kEmergencyPenTrap,        // 18 U.S.C. § 3125(a)
+  kProviderProtection,      // provider monitoring its own system
+};
+
+// Provider classification under the SCA (§III.A.3): ECS, RCS, neither,
+// or not a provider at all.  "For any other providers, the Fourth
+// Amendment applies instead of the SCA."
+enum class ProviderClass : std::uint8_t {
+  kNotAProvider,
+  kEcs,         // electronic communication service
+  kRcs,         // remote computing service
+  kNonPublic,   // provider not open to the public (e.g. employer server)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ProcessKind k) noexcept {
+  switch (k) {
+    case ProcessKind::kNone: return "none";
+    case ProcessKind::kSubpoena: return "subpoena";
+    case ProcessKind::kCourtOrder: return "court order";
+    case ProcessKind::kSearchWarrant: return "search warrant";
+    case ProcessKind::kWiretapOrder: return "wiretap (Title III) order";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(StandardOfProof s) noexcept {
+  switch (s) {
+    case StandardOfProof::kNone: return "none";
+    case StandardOfProof::kMereSuspicion: return "mere suspicion";
+    case StandardOfProof::kArticulableFacts: return "specific and articulable facts";
+    case StandardOfProof::kProbableCause: return "probable cause";
+    case StandardOfProof::kProbableCausePlus: return "probable cause plus necessity";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Statute s) noexcept {
+  switch (s) {
+    case Statute::kFourthAmendment: return "Fourth Amendment";
+    case Statute::kWiretapAct: return "Wiretap Act (Title III)";
+    case Statute::kStoredCommunicationsAct: return "Stored Communications Act";
+    case Statute::kPenTrapStatute: return "Pen/Trap Statute";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(DataKind k) noexcept {
+  switch (k) {
+    case DataKind::kContent: return "content";
+    case DataKind::kAddressing: return "addressing/non-content";
+    case DataKind::kSubscriberRecords: return "subscriber records";
+    case DataKind::kTransactionalRecords: return "transactional records";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(DataState s) noexcept {
+  switch (s) {
+    case DataState::kInTransit: return "in transit";
+    case DataState::kStoredAtProvider: return "stored at provider";
+    case DataState::kOnDevice: return "on device";
+    case DataState::kPublicVenue: return "public venue";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Timing t) noexcept {
+  switch (t) {
+    case Timing::kRealTime: return "real-time";
+    case Timing::kStored: return "stored";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(ActorKind a) noexcept {
+  switch (a) {
+    case ActorKind::kLawEnforcement: return "law enforcement";
+    case ActorKind::kGovernmentAgent: return "government agent";
+    case ActorKind::kProviderAdmin: return "provider administrator";
+    case ActorKind::kPrivateParty: return "private party";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(ConsentKind c) noexcept {
+  switch (c) {
+    case ConsentKind::kNone: return "no consent";
+    case ConsentKind::kOwnerConsent: return "owner consent";
+    case ConsentKind::kCoUserSharedSpace: return "co-user consent (shared space)";
+    case ConsentKind::kSpouseConsent: return "spouse consent";
+    case ConsentKind::kParentOfMinor: return "parent-of-minor consent";
+    case ConsentKind::kEmployerPrivate: return "private employer consent";
+    case ConsentKind::kOnePartyToComm: return "one-party consent";
+    case ConsentKind::kAllPartiesToComm: return "all-party consent";
+    case ConsentKind::kVictimOfAttack: return "victim consent";
+    case ConsentKind::kPolicyBanner: return "policy/banner consent";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(ExceptionKind e) noexcept {
+  switch (e) {
+    case ExceptionKind::kNoReasonableExpectationOfPrivacy:
+      return "no reasonable expectation of privacy";
+    case ExceptionKind::kConsent: return "consent";
+    case ExceptionKind::kExigentCircumstances: return "exigent circumstances";
+    case ExceptionKind::kPlainView: return "plain view";
+    case ExceptionKind::kPrivateSearch: return "private search";
+    case ExceptionKind::kComputerTrespasser: return "computer trespasser (2511(2)(i))";
+    case ExceptionKind::kAccessibleToPublic: return "accessible to the public (2511(2)(g)(i))";
+    case ExceptionKind::kProbationParole: return "probation/parole";
+    case ExceptionKind::kEmergencyPenTrap: return "emergency pen/trap (3125(a))";
+    case ExceptionKind::kProviderProtection: return "provider protection";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(ProviderClass p) noexcept {
+  switch (p) {
+    case ProviderClass::kNotAProvider: return "not a provider";
+    case ProviderClass::kEcs: return "ECS provider";
+    case ProviderClass::kRcs: return "RCS provider";
+    case ProviderClass::kNonPublic: return "non-public provider";
+  }
+  return "?";
+}
+
+// The standard of proof required to obtain each process kind (§II.A).
+[[nodiscard]] constexpr StandardOfProof required_standard(ProcessKind k) noexcept {
+  switch (k) {
+    case ProcessKind::kNone: return StandardOfProof::kNone;
+    case ProcessKind::kSubpoena: return StandardOfProof::kMereSuspicion;
+    case ProcessKind::kCourtOrder: return StandardOfProof::kArticulableFacts;
+    case ProcessKind::kSearchWarrant: return StandardOfProof::kProbableCause;
+    case ProcessKind::kWiretapOrder: return StandardOfProof::kProbableCausePlus;
+  }
+  return StandardOfProof::kProbableCausePlus;
+}
+
+// True if holding `held` suffices where `required` is the minimum, i.e.
+// stronger process always satisfies a weaker requirement.
+[[nodiscard]] constexpr bool satisfies(ProcessKind held, ProcessKind required) noexcept {
+  return static_cast<std::uint8_t>(held) >= static_cast<std::uint8_t>(required);
+}
+
+[[nodiscard]] constexpr bool satisfies(StandardOfProof held,
+                                       StandardOfProof required) noexcept {
+  return static_cast<std::uint8_t>(held) >= static_cast<std::uint8_t>(required);
+}
+
+// The stricter of two process requirements.
+[[nodiscard]] constexpr ProcessKind stricter(ProcessKind a, ProcessKind b) noexcept {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
+}  // namespace lexfor::legal

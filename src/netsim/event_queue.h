@@ -1,0 +1,84 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event queue ordered by (time, sequence).  The
+// sequence number makes simultaneous events fire in scheduling order, so
+// runs are exactly reproducible.  All simulators in LexForensica (the
+// packet network, the P2P overlay, the onion-routing network) share this
+// engine.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace lexfor::netsim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` at absolute time `at`.  Events in the past are clamped
+  // to "now" (they fire next).
+  void schedule_at(SimTime at, Callback cb) {
+    if (at < now_) at = now_;
+    heap_.push(Entry{at, next_seq_++, std::move(cb)});
+  }
+
+  // Schedules `cb` after `delay` from the current time.
+  void schedule_in(SimDuration delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  // Runs the next event; returns false if none is pending.
+  bool step() {
+    if (heap_.empty()) return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.at;
+    ++processed_;
+    e.cb();
+    return true;
+  }
+
+  // Runs until the queue drains or `limit` events have been processed.
+  void run(std::uint64_t limit = ~std::uint64_t{0}) {
+    while (limit-- > 0 && step()) {
+    }
+  }
+
+  // Runs all events with time <= `until`.  The clock advances to `until`
+  // even if the queue drains earlier.
+  void run_until(SimTime until) {
+    while (!heap_.empty() && heap_.top().at <= until) step();
+    if (now_ < until) now_ = until;
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return b.at < a.at;
+      return b.seq < a.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace lexfor::netsim

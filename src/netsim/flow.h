@@ -1,0 +1,121 @@
+// Traffic flow generators.
+//
+// Workload sources for experiments: constant-rate, Poisson, and on/off
+// flows emitting packets from a source node to a destination.  The DSSS
+// watermark experiment (§IV.B) additionally needs a *modulated* flow
+// whose instantaneous rate is controlled externally; RateModulatedFlow
+// supports that through a rate-multiplier callback.
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "netsim/network.h"
+#include "util/rng.h"
+
+namespace lexfor::netsim {
+
+struct FlowConfig {
+  FlowId id;
+  NodeId src;
+  NodeId dst;
+  std::uint16_t src_port = 40000;
+  std::uint16_t dst_port = 80;
+  std::size_t packet_bytes = 512;
+  double packets_per_sec = 100.0;
+  SimTime start = SimTime::zero();
+  SimTime stop = SimTime::from_sec(10.0);
+};
+
+// Drives a flow through the network.  Scheduling style:
+//  - kConstant: fixed inter-packet gap 1/rate
+//  - kPoisson: exponential inter-arrivals with mean 1/rate
+enum class ArrivalProcess { kConstant, kPoisson };
+
+class FlowSource {
+ public:
+  // rate_multiplier (optional): sampled at each emission; scales the
+  // instantaneous packet rate.  Returning 1.0 leaves the base rate; the
+  // watermarker returns e.g. 1+d or 1-d per PN chip.
+  using RateMultiplier = std::function<double(SimTime)>;
+
+  FlowSource(Network& net, FlowConfig config, ArrivalProcess process,
+             std::uint64_t seed, RateMultiplier rate_multiplier = nullptr)
+      : net_(net),
+        config_(config),
+        process_(process),
+        rng_(seed),
+        rate_multiplier_(std::move(rate_multiplier)) {}
+
+  // Schedules the first emission.  Subsequent emissions self-schedule.
+  void start() {
+    net_.clock().schedule_at(config_.start, [this] { emit(); });
+  }
+
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+
+ private:
+  void emit() {
+    const SimTime now = net_.clock().now();
+    if (now >= config_.stop) return;
+
+    PacketHeader h;
+    h.src = config_.src;
+    h.dst = config_.dst;
+    h.src_port = config_.src_port;
+    h.dst_port = config_.dst_port;
+    (void)net_.send(config_.id, h, Bytes(config_.packet_bytes, 0xAB));
+    ++emitted_;
+
+    double rate = config_.packets_per_sec;
+    if (rate_multiplier_) rate *= rate_multiplier_(now);
+    if (rate <= 0.0) rate = 1e-3;
+
+    const double gap_sec = process_ == ArrivalProcess::kConstant
+                               ? 1.0 / rate
+                               : rng_.exponential(1.0 / rate);
+    net_.clock().schedule_in(SimDuration::from_sec(gap_sec),
+                             [this] { emit(); });
+  }
+
+  Network& net_;
+  FlowConfig config_;
+  ArrivalProcess process_;
+  Rng rng_;
+  RateMultiplier rate_multiplier_;
+  std::uint64_t emitted_ = 0;
+};
+
+// A rate recorder: bins packet observations into fixed windows, yielding
+// the rate time-series the watermark detector correlates against.
+class RateRecorder {
+ public:
+  explicit RateRecorder(SimDuration bin) : bin_(bin) {}
+
+  void observe(SimTime at) {
+    const auto idx = static_cast<std::size_t>(at.us / bin_.us);
+    if (idx >= bins_.size()) bins_.resize(idx + 1, 0);
+    ++bins_[idx];
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& bins() const noexcept {
+    return bins_;
+  }
+  [[nodiscard]] SimDuration bin_width() const noexcept { return bin_; }
+
+  // Rates (packets/sec) per bin.
+  [[nodiscard]] std::vector<double> rates() const {
+    std::vector<double> out;
+    out.reserve(bins_.size());
+    const double sec = bin_.seconds();
+    for (const auto c : bins_) out.push_back(static_cast<double>(c) / sec);
+    return out;
+  }
+
+ private:
+  SimDuration bin_;
+  std::vector<std::uint32_t> bins_;
+};
+
+}  // namespace lexfor::netsim

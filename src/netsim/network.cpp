@@ -1,0 +1,194 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace lexfor::netsim {
+
+NodeId Network::add_node(std::string name) {
+  const NodeId id{nodes_.size()};
+  nodes_.push_back(NodeInfo{id, std::move(name)});
+  adjacency_.emplace_back();
+  return id;
+}
+
+Result<LinkId> Network::connect(NodeId a, NodeId b, LinkConfig config) {
+  if (!valid_node(a) || !valid_node(b)) {
+    return NotFound("connect: unknown node");
+  }
+  if (a == b) {
+    return InvalidArgument("connect: self-loops are not allowed");
+  }
+  for (const auto& adj : adjacency_[a.value()]) {
+    if (adj.neighbor == b) {
+      return AlreadyExists("connect: nodes already linked");
+    }
+  }
+  const LinkId id{links_.size()};
+  links_.push_back(LinkInfo{id, a, b, config});
+  adjacency_[a.value()].push_back({b, links_.size() - 1});
+  adjacency_[b.value()].push_back({a, links_.size() - 1});
+  return id;
+}
+
+std::optional<std::string> Network::node_name(NodeId id) const {
+  if (!valid_node(id)) return std::nullopt;
+  return nodes_[id.value()].name;
+}
+
+std::vector<NodeId> Network::shortest_path(NodeId src, NodeId dst) const {
+  if (!valid_node(src) || !valid_node(dst)) return {};
+  if (src == dst) return {src};
+
+  std::vector<NodeId> parent(nodes_.size());
+  std::vector<bool> seen(nodes_.size(), false);
+  std::deque<NodeId> frontier{src};
+  seen[src.value()] = true;
+
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const auto& adj : adjacency_[u.value()]) {
+      if (seen[adj.neighbor.value()]) continue;
+      seen[adj.neighbor.value()] = true;
+      parent[adj.neighbor.value()] = u;
+      if (adj.neighbor == dst) {
+        std::vector<NodeId> path{dst};
+        NodeId cur = dst;
+        while (cur != src) {
+          cur = parent[cur.value()];
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(adj.neighbor);
+    }
+  }
+  return {};  // unreachable
+}
+
+Result<PacketId> Network::send(FlowId flow, PacketHeader header, Bytes payload) {
+  if (!valid_node(header.src) || !valid_node(header.dst)) {
+    return InvalidArgument("send: unknown endpoint");
+  }
+  auto path = shortest_path(header.src, header.dst);
+  if (path.empty()) {
+    std::ostringstream os;
+    os << "send: no route from " << header.src << " to " << header.dst;
+    return NotFound(os.str());
+  }
+
+  Packet packet;
+  packet.id = packet_ids_.next();
+  packet.flow = flow;
+  packet.header = header;
+  packet.header.payload_size = static_cast<std::uint32_t>(payload.size());
+  packet.payload = std::move(payload);
+  packet.created_at = events_.now();
+  ++sent_;
+
+  const PacketId id = packet.id;
+  // First hop is scheduled immediately; subsequent hops chain.
+  events_.schedule_in(SimDuration::from_us(0),
+                      [this, packet = std::move(packet),
+                       path = std::move(path)]() mutable {
+                        deliver_hop(std::move(packet), 0, std::move(path));
+                      });
+  return id;
+}
+
+void Network::deliver_hop(Packet packet, std::size_t path_pos,
+                          std::vector<NodeId> path) {
+  const NodeId here = path[path_pos];
+  if (path_pos + 1 >= path.size()) {
+    // Arrived.
+    ++delivered_;
+    const auto it = handlers_.find(here);
+    if (it != handlers_.end() && it->second) {
+      it->second(packet, events_.now());
+    }
+    return;
+  }
+
+  const NodeId next = path[path_pos + 1];
+  // Locate the link between here and next.
+  const LinkInfo* link = nullptr;
+  for (const auto& adj : adjacency_[here.value()]) {
+    if (adj.neighbor == next) {
+      link = &links_[adj.link_index];
+      break;
+    }
+  }
+  if (link == nullptr) return;  // topology changed mid-flight; drop
+
+  // Loss.
+  if (link->config.drop_probability > 0.0 &&
+      rng_.bernoulli(link->config.drop_probability)) {
+    ++dropped_;
+    return;
+  }
+
+  // Delay = queueing wait (bandwidth-limited links transmit one packet
+  // at a time, FIFO) + serialization + propagation + jitter.
+  SimDuration delay = link->config.latency;
+  if (link->config.jitter.us > 0) {
+    delay = delay + SimDuration::from_us(static_cast<std::int64_t>(
+                        rng_.uniform(static_cast<std::uint64_t>(
+                            link->config.jitter.us))));
+  }
+  if (link->config.bandwidth_bytes_per_sec > 0.0) {
+    const double tx_sec = static_cast<double>(packet.wire_size()) /
+                          link->config.bandwidth_bytes_per_sec;
+    const SimDuration tx = SimDuration::from_sec(tx_sec);
+    SimTime& busy_until = link_busy_until_[link->id];
+    const SimTime start =
+        busy_until > events_.now() ? busy_until : events_.now();
+    busy_until = start + tx;
+    // wait-in-queue + transmission, on top of propagation/jitter.
+    delay = delay + (start - events_.now()) + tx;
+  }
+
+  const LinkId link_id = link->id;
+  events_.schedule_in(
+      delay, [this, packet = std::move(packet), path = std::move(path),
+              path_pos, link_id, here, next]() mutable {
+        // Taps fire on traversal completion (the capture point).
+        const auto taps = link_taps_.find(link_id);
+        if (taps != link_taps_.end()) {
+          const TapEvent ev{packet, link_id, here, next, events_.now()};
+          for (const auto& t : taps->second) t(ev);
+        }
+        deliver_hop(std::move(packet), path_pos + 1, std::move(path));
+      });
+}
+
+Status Network::set_receive_handler(NodeId node, ReceiveHandler handler) {
+  if (!valid_node(node)) return NotFound("set_receive_handler: unknown node");
+  handlers_[node] = std::move(handler);
+  return Status::Ok();
+}
+
+Status Network::add_link_tap(LinkId link, TapFn tap) {
+  if (!link.valid() || link.value() >= links_.size()) {
+    return NotFound("add_link_tap: unknown link");
+  }
+  link_taps_[link].push_back(std::move(tap));
+  return Status::Ok();
+}
+
+Status Network::add_node_tap(NodeId node, TapFn tap) {
+  if (!valid_node(node)) return NotFound("add_node_tap: unknown node");
+  bool any = false;
+  for (const auto& adj : adjacency_[node.value()]) {
+    link_taps_[links_[adj.link_index].id].push_back(tap);
+    any = true;
+  }
+  if (!any) {
+    return FailedPrecondition("add_node_tap: node has no links to tap");
+  }
+  return Status::Ok();
+}
+
+}  // namespace lexfor::netsim

@@ -1,0 +1,44 @@
+// Packets: the unit of traffic in the network simulator.
+//
+// A packet cleanly separates HEADER (addressing / non-content: source,
+// destination, ports, protocol, size) from PAYLOAD (content).  This is
+// the boundary the Pen/Trap and Wiretap statutes draw, and the capture
+// module enforces it: a pen-register tap sees only the header, a Title
+// III tap sees the whole packet.
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace lexfor::netsim {
+
+enum class Protocol : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+// Non-content addressing information (what a pen/trap device may record).
+struct PacketHeader {
+  NodeId src;
+  NodeId dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Protocol protocol = Protocol::kTcp;
+  std::uint32_t payload_size = 0;  // size is non-content under Pen/Trap
+};
+
+struct Packet {
+  PacketId id;
+  FlowId flow;
+  PacketHeader header;
+  Bytes payload;       // content (Title III territory)
+  SimTime created_at;  // when the source emitted it
+
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    // 40 bytes of simulated L3/L4 header overhead.
+    return payload.size() + 40;
+  }
+};
+
+}  // namespace lexfor::netsim

@@ -1,0 +1,82 @@
+#include "netsim/topology.h"
+
+#include "util/rng.h"
+
+namespace lexfor::netsim {
+
+CampusTopology make_campus(Network& net, std::size_t hosts,
+                           LinkConfig backbone, LinkConfig access) {
+  CampusTopology t;
+  t.internet = net.add_node("internet");
+  t.isp = net.add_node("isp");
+  t.gateway = net.add_node("campus-gateway");
+  (void)net.connect(t.internet, t.isp, backbone);
+  (void)net.connect(t.isp, t.gateway, backbone);
+  t.hosts.reserve(hosts);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    const NodeId h = net.add_node("host-" + std::to_string(i));
+    (void)net.connect(t.gateway, h, access);
+    t.hosts.push_back(h);
+  }
+  return t;
+}
+
+StarTopology make_star(Network& net, std::size_t leaves, LinkConfig link) {
+  StarTopology t;
+  t.hub = net.add_node("hub");
+  t.leaves.reserve(leaves);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const NodeId leaf = net.add_node("leaf-" + std::to_string(i));
+    (void)net.connect(t.hub, leaf, link);
+    t.leaves.push_back(leaf);
+  }
+  return t;
+}
+
+std::vector<NodeId> make_tree(Network& net, std::size_t fanout,
+                              std::size_t depth, LinkConfig link) {
+  std::vector<NodeId> nodes;
+  nodes.push_back(net.add_node("tree-0"));
+  std::size_t level_start = 0;
+  std::size_t level_size = 1;
+  for (std::size_t d = 0; d < depth; ++d) {
+    const std::size_t next_start = nodes.size();
+    for (std::size_t i = 0; i < level_size; ++i) {
+      const NodeId parent = nodes[level_start + i];
+      for (std::size_t c = 0; c < fanout; ++c) {
+        const NodeId child =
+            net.add_node("tree-" + std::to_string(nodes.size()));
+        (void)net.connect(parent, child, link);
+        nodes.push_back(child);
+      }
+    }
+    level_start = next_start;
+    level_size = nodes.size() - next_start;
+  }
+  return nodes;
+}
+
+std::vector<NodeId> make_random(Network& net, std::size_t n,
+                                double edge_probability, std::uint64_t seed,
+                                LinkConfig link) {
+  Rng rng(seed);
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(net.add_node("er-" + std::to_string(i)));
+  }
+  // Spanning chain keeps it connected.
+  for (std::size_t i = 1; i < n; ++i) {
+    (void)net.connect(nodes[i - 1], nodes[i], link);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j < n; ++j) {  // chain covers j == i+1
+      if (rng.bernoulli(edge_probability)) {
+        (void)net.connect(nodes[i], nodes[j], link);
+      }
+    }
+  }
+  return nodes;
+}
+
+}  // namespace lexfor::netsim

@@ -1,0 +1,49 @@
+// Topology generators for experiment workloads.
+//
+// Builders for the network shapes the paper's scenarios live on: a
+// campus network (clients behind a gateway behind an ISP), a star, a
+// tree, and an Erdos-Renyi random graph.  Each returns the node ids of
+// the interesting roles so benches can attach taps and flows without
+// re-deriving structure.
+
+#pragma once
+
+#include <vector>
+
+#include "netsim/network.h"
+
+namespace lexfor::netsim {
+
+struct CampusTopology {
+  NodeId internet;          // the outside world
+  NodeId isp;               // the campus' upstream ISP
+  NodeId gateway;           // campus border (where campus IT taps, Table-1 #1)
+  std::vector<NodeId> hosts;
+};
+
+// internet -- isp -- gateway -- host_i (fan-out).
+[[nodiscard]] CampusTopology make_campus(Network& net, std::size_t hosts,
+                                         LinkConfig backbone = {},
+                                         LinkConfig access = {});
+
+struct StarTopology {
+  NodeId hub;
+  std::vector<NodeId> leaves;
+};
+
+[[nodiscard]] StarTopology make_star(Network& net, std::size_t leaves,
+                                     LinkConfig link = {});
+
+// A balanced tree of the given fanout and depth; returns nodes in BFS
+// order (root first).
+[[nodiscard]] std::vector<NodeId> make_tree(Network& net, std::size_t fanout,
+                                            std::size_t depth,
+                                            LinkConfig link = {});
+
+// Erdos-Renyi G(n, p), kept connected by a spanning chain.
+[[nodiscard]] std::vector<NodeId> make_random(Network& net, std::size_t nodes,
+                                              double edge_probability,
+                                              std::uint64_t seed,
+                                              LinkConfig link = {});
+
+}  // namespace lexfor::netsim

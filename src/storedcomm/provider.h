@@ -1,0 +1,159 @@
+// Stored-communications provider simulator (§III.A.3 of the paper).
+//
+// Models the ECS/RCS lifecycle the paper walks through with Alice and
+// Bob: a message delivered to a provider sits in ECS "electronic
+// storage" awaiting retrieval; once opened, a PUBLIC provider (Gmail)
+// becomes an RCS for it, while a NON-public provider (the university
+// server) becomes neither — the message falls out of the SCA and only
+// the Fourth Amendment governs.  Compelled disclosure (§2703) and
+// voluntary disclosure (§2702) are implemented against this
+// classification.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "legal/authority.h"
+#include "legal/engine.h"
+#include "legal/types.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+#include "util/status.h"
+
+namespace lexfor::storedcomm {
+
+enum class ProviderPublicity { kPublic, kNonPublic };
+
+struct SubscriberInfo {
+  std::string name;
+  std::string street_address;
+  std::string payment_record;
+};
+
+struct Account {
+  AccountId id;
+  std::string address;  // "bob@gmail.com"
+  SubscriberInfo subscriber;
+};
+
+enum class MessageState { kAwaitingRetrieval, kOpened, kDeleted };
+
+struct StoredMessage {
+  MessageId id;
+  AccountId owner;
+  std::string from;
+  std::string to;
+  std::string subject;
+  Bytes body;
+  SimTime arrived_at;
+  std::optional<SimTime> opened_at;
+  MessageState state = MessageState::kAwaitingRetrieval;
+  // Set when the user deleted the message while a § 2703(f) preservation
+  // hold was active: gone from the mailbox, retained for the government.
+  bool retained_under_hold = false;
+};
+
+// What a legal process may compel from a provider (§2703's ladder).
+enum class DisclosureKind {
+  kBasicSubscriber,       // name, address, payment: subpoena
+  kTransactionalRecords,  // logs, session records: 2703(d) order
+  kContent,               // message bodies: warrant
+};
+
+struct DisclosureResult {
+  DisclosureKind kind;
+  // Populated according to kind.
+  std::optional<SubscriberInfo> subscriber;
+  std::vector<std::string> transaction_log;
+  std::vector<StoredMessage> messages;
+  // The legal basis the provider verified before disclosing.
+  legal::ProcessKind process_used = legal::ProcessKind::kNone;
+};
+
+class Provider {
+ public:
+  Provider(std::string name, ProviderPublicity publicity)
+      : name_(std::move(name)), publicity_(publicity) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] ProviderPublicity publicity() const noexcept {
+    return publicity_;
+  }
+
+  // --- account & message lifecycle -----------------------------------
+  AccountId create_account(std::string address, SubscriberInfo subscriber);
+  [[nodiscard]] std::optional<Account> find_account(
+      const std::string& address) const;
+
+  // Delivers a message into the addressee's mailbox (ECS storage).
+  Result<MessageId> deliver(const std::string& to, std::string from,
+                            std::string subject, Bytes body, SimTime now);
+
+  // The addressee retrieves/opens the message.
+  Status open_message(MessageId id, SimTime now);
+  // Deletes at time `now` (default: before any hold could exist).
+  Status delete_message(MessageId id, SimTime now = SimTime::zero());
+
+  [[nodiscard]] const StoredMessage* find_message(MessageId id) const;
+  [[nodiscard]] std::vector<MessageId> mailbox(AccountId account) const;
+
+  // --- SCA classification ---------------------------------------------
+  // The provider's role WITH RESPECT TO this message, per the paper's
+  // walk-through.  kEcs while awaiting retrieval; after opening, kRcs
+  // for a public provider, kNonPublic (neither ECS nor RCS) otherwise.
+  [[nodiscard]] legal::ProviderClass classify(MessageId id) const;
+
+  // The minimum process to compel this disclosure, as determined by the
+  // compliance engine on the equivalent scenario.
+  [[nodiscard]] legal::Determination required_process(DisclosureKind kind,
+                                                      MessageId message) const;
+
+  // --- disclosure ------------------------------------------------------
+  // § 2703 compelled disclosure: verifies the presented authority against
+  // the requirement before handing anything over.
+  Result<DisclosureResult> compelled_disclosure(
+      DisclosureKind kind, AccountId account,
+      const legal::GrantedAuthority& authority, SimTime now) const;
+
+  // § 2702 voluntary disclosure to the government: a PUBLIC provider may
+  // not volunteer customer content or records absent an emergency or
+  // consent; a non-public provider may disclose freely.
+  Result<DisclosureResult> voluntary_disclosure_to_government(
+      DisclosureKind kind, AccountId account, bool emergency,
+      bool user_consent) const;
+
+  // Transaction log visible under a 2703(d) order.
+  void log_transaction(AccountId account, std::string entry);
+
+  // § 2703(f) preservation request: requires NO process — a government
+  // letter obligates the provider to preserve the account's existing
+  // records for 90 days (renewable).  While the hold is active, user
+  // deletions remove messages from the mailbox but the provider retains
+  // them for later compelled disclosure.
+  Status preservation_request(AccountId account, SimTime now,
+                              SimDuration duration = SimDuration::from_sec(
+                                  90.0 * 24.0 * 3600.0));
+  [[nodiscard]] bool preservation_active(AccountId account, SimTime now) const;
+
+ private:
+  [[nodiscard]] MessageId most_recent_message(AccountId account) const;
+  DisclosureResult build_disclosure(DisclosureKind kind, AccountId account,
+                                    legal::ProcessKind used) const;
+
+  // delete_message needs the current time to honor preservation holds;
+  // callers pass it explicitly.
+  std::string name_;
+  ProviderPublicity publicity_;
+  std::vector<Account> accounts_;
+  std::vector<StoredMessage> messages_;
+  std::unordered_map<AccountId, SimTime> holds_;  // account -> hold expiry
+  std::unordered_map<AccountId, std::vector<std::string>> transactions_;
+  IdGenerator<AccountId> account_ids_;
+  IdGenerator<MessageId> message_ids_;
+};
+
+}  // namespace lexfor::storedcomm

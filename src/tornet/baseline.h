@@ -1,0 +1,57 @@
+// Passive flow-correlation baseline.
+//
+// The classical alternative to active watermarking (§IV.B's "other
+// methods"): record the traffic-rate series at BOTH ends — the seized
+// server and each candidate client's ISP — and match flows by Pearson
+// correlation of their natural rate fluctuations.  No modulation is
+// injected, but the investigator must observe both sides for the whole
+// window, and natural Poisson fluctuation is a much weaker signal than
+// a designed PN mark.  run_baseline_comparison() pits the two
+// techniques against each other on identical network conditions.
+
+#pragma once
+
+#include <vector>
+
+#include "tornet/traceback.h"
+
+namespace lexfor::tornet {
+
+struct PassiveConfig {
+  TorConfig network;
+  double window_sec = 0.5;       // rate-sampling window
+  double observe_sec = 200.0;    // total observation time
+  double base_rate_pps = 120.0;
+  std::size_t num_decoys = 8;
+  std::uint64_t seed = 7;
+};
+
+struct PassiveResult {
+  // Correlation of the server-side series with each candidate client
+  // (suspect first, then decoys).
+  std::vector<double> correlations;
+  bool identified_correctly = false;  // argmax is the suspect
+  double margin = 0.0;                // suspect corr minus best decoy corr
+};
+
+// Runs the passive attack: one marked... no — one *observed* server flow
+// to the suspect, `num_decoys` independent flows to other clients, all
+// carried through the anonymity network.  Returns per-candidate
+// correlations against the server-side series.
+[[nodiscard]] Result<PassiveResult> run_passive_correlation(
+    const PassiveConfig& config);
+
+// Head-to-head comparison at matched observation time: the watermark
+// experiment observes for code_length * chip duration; the passive
+// attack gets the same wall-clock window.
+struct ComparisonResult {
+  double watermark_success_rate = 0.0;  // suspect detected, no decoy FP
+  double passive_success_rate = 0.0;    // suspect is argmax correlation
+  double observation_sec = 0.0;
+  int trials = 0;
+};
+
+[[nodiscard]] Result<ComparisonResult> run_baseline_comparison(
+    const TracebackConfig& watermark_config, int trials);
+
+}  // namespace lexfor::tornet

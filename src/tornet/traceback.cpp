@@ -1,0 +1,182 @@
+#include "tornet/traceback.h"
+
+#include <algorithm>
+
+#include "watermark/gold_code.h"
+
+namespace lexfor::tornet {
+
+legal::Scenario collection_scenario() {
+  // Collecting per-flow packet counts at the ISP touches only
+  // addressing/size information in real time: Pen/Trap territory, a
+  // court order suffices (paper §IV.B: "they do not need to collect the
+  // entire packet, so they do not need a wiretap warrant").
+  return legal::Scenario{}
+      .named("non-content rate collection at the suspect's ISP")
+      .by(legal::ActorKind::kLawEnforcement)
+      .acquiring(legal::DataKind::kAddressing)
+      .located(legal::DataState::kInTransit)
+      .when(legal::Timing::kRealTime);
+}
+
+Result<TracebackResult> run_traceback(const TracebackConfig& config) {
+  auto code_r = watermark::PnCode::m_sequence(config.pn_degree);
+  if (!code_r.ok()) return code_r.status();
+  const watermark::PnCode code = std::move(code_r).value();
+  const std::size_t n_chips = code.length();
+  const double chip_sec = config.chip_ms * 1e-3;
+  // Generate past the code window so late (jittered) packets still land
+  // in their chip bins.
+  const double t_end = chip_sec * static_cast<double>(n_chips) + 2.0;
+
+  watermark::EmbedParams embed_params;
+  embed_params.start = SimTime::zero();
+  embed_params.chip_duration = SimDuration::from_ms(config.chip_ms);
+  embed_params.depth = config.depth;
+  const watermark::Embedder embedder(code, embed_params);
+
+  AnonymityNetwork net(config.network);
+  Rng rng(config.seed);
+
+  TracebackResult result;
+  result.collection_legality =
+      legal::ComplianceEngine{}.evaluate(collection_scenario());
+
+  const watermark::Detector detector(code, config.threshold_sigmas);
+
+  const auto run_flow = [&](bool marked) -> Result<FlowVerdict> {
+    auto circuit_r = net.build_circuit(rng);
+    if (!circuit_r.ok()) return circuit_r.status();
+
+    std::function<double(double)> mult;
+    if (marked) {
+      mult = [&embedder](double t_sec) {
+        return embedder.multiplier(SimTime::from_sec(t_sec));
+      };
+    }
+    const auto sends = generate_modulated_poisson(
+        config.base_rate_pps, t_end, 1.0 + config.depth, mult, rng);
+    const auto arrivals = net.transit(circuit_r.value(), sends, rng);
+    // The mean circuit delay shifts every packet; align the observation
+    // window at the expected shift (the investigator calibrates this by
+    // measuring circuit RTT, which is observable without content).
+    const double hops = static_cast<double>(config.network.circuit_length);
+    const double expected_shift_sec =
+        hops *
+        (config.network.hop_latency_ms + config.network.relay_jitter_ms +
+         config.network.relay_batch_ms / 2.0) *
+        1e-3;
+    const auto bins =
+        bin_arrivals(arrivals, expected_shift_sec, chip_sec, n_chips);
+
+    auto det_r = detector.detect_counts(bins);
+    if (!det_r.ok()) return det_r.status();
+
+    FlowVerdict v;
+    v.is_suspect = marked;
+    v.detection = det_r.value();
+    return v;
+  };
+
+  // The suspect's (marked) flow.
+  auto suspect_r = run_flow(true);
+  if (!suspect_r.ok()) return suspect_r.status();
+  result.flows.push_back(suspect_r.value());
+  result.suspect_detected = suspect_r.value().detection.detected;
+  result.suspect_correlation = suspect_r.value().detection.correlation;
+
+  // Decoy flows.
+  for (std::size_t i = 0; i < config.num_decoys; ++i) {
+    auto decoy_r = run_flow(false);
+    if (!decoy_r.ok()) return decoy_r.status();
+    result.flows.push_back(decoy_r.value());
+    if (decoy_r.value().detection.detected) ++result.decoys_flagged;
+    result.max_decoy_correlation = std::max(
+        result.max_decoy_correlation, decoy_r.value().detection.correlation);
+  }
+  return result;
+}
+
+}  // namespace lexfor::tornet
+
+namespace lexfor::tornet {
+
+Result<MultiflowResult> run_multiflow_traceback(const MultiflowConfig& config) {
+  if (config.true_account >= config.num_accounts) {
+    return InvalidArgument(
+        "run_multiflow_traceback: true_account out of range");
+  }
+  auto family_r = watermark::GoldCodeFamily::create(config.gold_degree);
+  if (!family_r.ok()) return family_r.status();
+  const watermark::GoldCodeFamily family = std::move(family_r).value();
+  if (config.num_accounts > family.size()) {
+    return InvalidArgument(
+        "run_multiflow_traceback: more accounts than Gold codes in the "
+        "family");
+  }
+
+  const std::size_t n_chips = family.code_length();
+  const double chip_sec = config.chip_ms * 1e-3;
+  const double t_end = chip_sec * static_cast<double>(n_chips) + 2.0;
+
+  AnonymityNetwork net(config.network);
+  Rng rng(config.seed);
+
+  // The observed client carries the flow marked with the TRUE account's
+  // code.  (The other accounts' flows go to other clients; since flows
+  // are independent Poisson processes, simulating them would not change
+  // what this client's tap sees.)
+  watermark::EmbedParams embed_params;
+  embed_params.start = SimTime::zero();
+  embed_params.chip_duration = SimDuration::from_ms(config.chip_ms);
+  embed_params.depth = config.depth;
+  const watermark::Embedder embedder(family.code(config.true_account),
+                                     embed_params);
+
+  auto circuit_r = net.build_circuit(rng);
+  if (!circuit_r.ok()) return circuit_r.status();
+
+  const auto sends = generate_modulated_poisson(
+      config.base_rate_pps, t_end, 1.0 + config.depth,
+      [&embedder](double t_sec) {
+        return embedder.multiplier(SimTime::from_sec(t_sec));
+      },
+      rng);
+  const auto arrivals = net.transit(circuit_r.value(), sends, rng);
+
+  const double hops = static_cast<double>(config.network.circuit_length);
+  const double expected_shift_sec =
+      hops *
+      (config.network.hop_latency_ms + config.network.relay_jitter_ms +
+       config.network.relay_batch_ms / 2.0) *
+      1e-3;
+  const auto bins =
+      bin_arrivals(arrivals, expected_shift_sec, chip_sec, n_chips);
+
+  MultiflowResult result;
+  result.correlations.reserve(config.num_accounts);
+  double best = -2.0, runner_up = -2.0;
+  bool winner_fired = false;
+  for (std::size_t a = 0; a < config.num_accounts; ++a) {
+    const watermark::Detector detector(family.code(a),
+                                       config.threshold_sigmas);
+    auto det_r = detector.detect_counts(bins);
+    if (!det_r.ok()) return det_r.status();
+    const double corr = det_r.value().correlation;
+    result.correlations.push_back(corr);
+    if (corr > best) {
+      runner_up = best;
+      best = corr;
+      result.identified_account = a;
+      winner_fired = det_r.value().detected;
+    } else if (corr > runner_up) {
+      runner_up = corr;
+    }
+  }
+  result.correct = result.identified_account == config.true_account;
+  result.above_threshold = winner_fired;
+  result.margin = runner_up > -2.0 ? best - runner_up : best;
+  return result;
+}
+
+}  // namespace lexfor::tornet

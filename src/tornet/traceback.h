@@ -1,0 +1,89 @@
+// The §IV.B traceback experiment, end to end.
+//
+// Situation one from the paper: a seized web server hosts contraband;
+// many clients reach it through an anonymity network.  With a court
+// order (NOT a wiretap — only non-content rates are collected at the
+// suspect's ISP), investigators modulate the server's transmission rate
+// with a long PN code and look for the code in the per-client arrival
+// rates.  The client whose rate despreads above threshold is the
+// suspect.  Decoy flows (other clients, unmarked) measure the
+// false-positive behaviour.
+
+#pragma once
+
+#include <vector>
+
+#include "legal/engine.h"
+#include "tornet/anonymity_network.h"
+#include "watermark/dsss.h"
+
+namespace lexfor::tornet {
+
+struct TracebackConfig {
+  TorConfig network;
+  int pn_degree = 9;               // code length 2^degree - 1
+  double chip_ms = 400.0;          // chip duration
+  double depth = 0.35;             // rate modulation depth
+  double base_rate_pps = 120.0;    // server flow rate toward each client
+  std::size_t num_decoys = 8;      // concurrent unmarked client flows
+  double threshold_sigmas = 5.0;
+  std::uint64_t seed = 7;
+};
+
+struct FlowVerdict {
+  bool is_suspect = false;           // ground truth
+  watermark::DetectionResult detection;
+};
+
+struct TracebackResult {
+  std::vector<FlowVerdict> flows;    // suspect first, then decoys
+  bool suspect_detected = false;
+  std::size_t decoys_flagged = 0;
+  double suspect_correlation = 0.0;
+  double max_decoy_correlation = 0.0;
+  // Legal posture of the collection step (non-content at the ISP): the
+  // engine must report a court order suffices, matching §IV.B.
+  legal::Determination collection_legality;
+};
+
+// The legal scenario for the collection side: real-time non-content rate
+// observation at the suspect's ISP.
+[[nodiscard]] legal::Scenario collection_scenario();
+
+// Runs the full experiment: builds circuits, generates the marked flow
+// and decoys, carries them through the network, bins arrivals at the
+// "ISP", and despreads each candidate.
+[[nodiscard]] Result<TracebackResult> run_traceback(const TracebackConfig& config);
+
+// --- multi-flow variant (Gold codes) ------------------------------------
+//
+// Situation: the seized server talks to MANY accounts at once.  Each
+// account's server-side flow is marked with its own Gold code; the ISP
+// observes ONE client's arrivals and despreads under every code.  The
+// code that fires identifies which account the observed client is.
+
+struct MultiflowConfig {
+  TorConfig network;
+  int gold_degree = 9;            // family of 2^degree + 1 codes
+  std::size_t num_accounts = 8;   // concurrently marked flows
+  std::size_t true_account = 3;   // which account the observed client is
+  double chip_ms = 400.0;
+  double depth = 0.35;
+  double base_rate_pps = 120.0;
+  double threshold_sigmas = 5.0;
+  std::uint64_t seed = 7;
+};
+
+struct MultiflowResult {
+  // Despread correlation per account code, for the observed client.
+  std::vector<double> correlations;
+  std::size_t identified_account = 0;  // argmax correlation
+  bool correct = false;                // identified == true_account
+  bool above_threshold = false;        // the winning despread fired
+  double margin = 0.0;                 // winner corr minus runner-up corr
+};
+
+[[nodiscard]] Result<MultiflowResult> run_multiflow_traceback(
+    const MultiflowConfig& config);
+
+}  // namespace lexfor::tornet

@@ -1,0 +1,84 @@
+#include "util/bytes.h"
+
+#include <cassert>
+
+namespace lexfor {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(const std::uint8_t* data, std::size_t len) {
+  std::string out;
+  out.reserve(len * 2);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+std::string to_hex(const Bytes& data) { return to_hex(data.data(), data.size()); }
+
+std::optional<Bytes> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+void append_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void append_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t read_u16(const Bytes& in, std::size_t offset) {
+  assert(offset + 2 <= in.size());
+  return static_cast<std::uint16_t>(in[offset] | (in[offset + 1] << 8));
+}
+
+std::uint32_t read_u32(const Bytes& in, std::size_t offset) {
+  assert(offset + 4 <= in.size());
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[offset + static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::uint64_t read_u64(const Bytes& in, std::size_t offset) {
+  assert(offset + 8 <= in.size());
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[offset + static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace lexfor

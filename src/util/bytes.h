@@ -1,0 +1,38 @@
+// Byte-buffer helpers: hex encoding/decoding and simple serialization.
+//
+// Evidence hashing, disk-image content and packet payloads are all
+// `std::vector<std::uint8_t>`; this header centralizes the conversions.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lexfor {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Lowercase hex encoding ("deadbeef").
+[[nodiscard]] std::string to_hex(const Bytes& data);
+[[nodiscard]] std::string to_hex(const std::uint8_t* data, std::size_t len);
+
+// Decodes lowercase/uppercase hex; nullopt on odd length or non-hex chars.
+[[nodiscard]] std::optional<Bytes> from_hex(std::string_view hex);
+
+// UTF-8/ASCII string <-> bytes.
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+[[nodiscard]] std::string to_string(const Bytes& b);
+
+// Little-endian integer append/read, used by the deterministic
+// serializers (chain-of-custody records, disk images).
+void append_u16(Bytes& out, std::uint16_t v);
+void append_u32(Bytes& out, std::uint32_t v);
+void append_u64(Bytes& out, std::uint64_t v);
+[[nodiscard]] std::uint16_t read_u16(const Bytes& in, std::size_t offset);
+[[nodiscard]] std::uint32_t read_u32(const Bytes& in, std::size_t offset);
+[[nodiscard]] std::uint64_t read_u64(const Bytes& in, std::size_t offset);
+
+}  // namespace lexfor

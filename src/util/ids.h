@@ -1,0 +1,113 @@
+// Strongly-typed identifiers used across LexForensica.
+//
+// Every entity that crosses a module boundary (nodes, packets, evidence
+// items, legal processes, ...) is referred to by a small value-type id
+// rather than a pointer, so simulations can be serialized, replayed and
+// compared deterministically.  Ids of different entity kinds are distinct
+// C++ types: passing a NodeId where an EvidenceId is expected is a compile
+// error, not a runtime surprise.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace lexfor {
+
+// A strongly-typed 64-bit identifier.  `Tag` is an empty struct used only
+// to make each instantiation a distinct type.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint64_t;
+
+  // An invalid/unset id.  Default construction yields the invalid id so a
+  // forgotten assignment is detectable.
+  constexpr Id() noexcept : value_(kInvalid) {}
+  constexpr explicit Id(underlying_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept {
+    return value_;
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalid;
+  }
+
+  friend constexpr bool operator==(Id a, Id b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Id a, Id b) noexcept {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(Id a, Id b) noexcept {
+    return a.value_ < b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << '#' << id.value_;
+  }
+
+ private:
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+  underlying_type value_;
+};
+
+// Monotonic generator for ids of one kind.  Not thread-safe by design:
+// simulations are single-threaded and deterministic.
+template <typename IdType>
+class IdGenerator {
+ public:
+  constexpr IdGenerator() noexcept : next_(0) {}
+  constexpr explicit IdGenerator(typename IdType::underlying_type start)
+      : next_(start) {}
+
+  [[nodiscard]] IdType next() noexcept { return IdType{next_++}; }
+  [[nodiscard]] typename IdType::underlying_type issued() const noexcept {
+    return next_;
+  }
+
+ private:
+  typename IdType::underlying_type next_;
+};
+
+// Entity kinds.  Keep all tags here so id types are discoverable.
+struct NodeIdTag {};
+struct LinkIdTag {};
+struct PacketIdTag {};
+struct FlowIdTag {};
+struct PeerIdTag {};
+struct CircuitIdTag {};
+struct EvidenceIdTag {};
+struct ProcessIdTag {};     // legal process (warrant/order/subpoena)
+struct CaseIdTag {};        // investigation case
+struct MessageIdTag {};     // stored-communication message
+struct AccountIdTag {};     // service-provider account
+struct FileIdTag {};        // disk-image file
+struct DeviceIdTag {};      // capture device
+
+using NodeId = Id<NodeIdTag>;
+using LinkId = Id<LinkIdTag>;
+using PacketId = Id<PacketIdTag>;
+using FlowId = Id<FlowIdTag>;
+using PeerId = Id<PeerIdTag>;
+using CircuitId = Id<CircuitIdTag>;
+using EvidenceId = Id<EvidenceIdTag>;
+using ProcessId = Id<ProcessIdTag>;
+using CaseId = Id<CaseIdTag>;
+using MessageId = Id<MessageIdTag>;
+using AccountId = Id<AccountIdTag>;
+using FileId = Id<FileIdTag>;
+using DeviceId = Id<DeviceIdTag>;
+
+}  // namespace lexfor
+
+// std::hash support so ids can key unordered containers.
+namespace std {
+template <typename Tag>
+struct hash<lexfor::Id<Tag>> {
+  size_t operator()(lexfor::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,112 @@
+// Simulation time.
+//
+// All simulators in LexForensica run on a single logical clock measured
+// in integer microseconds since simulation start.  Integer time makes
+// event ordering exact and replayable; helpers convert to/from seconds
+// for human-facing output.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace lexfor {
+
+// A point in simulated time (microseconds since t=0).
+struct SimTime {
+  std::int64_t us = 0;
+
+  [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime from_us(std::int64_t v) noexcept {
+    return SimTime{v};
+  }
+  [[nodiscard]] static constexpr SimTime from_ms(std::int64_t v) noexcept {
+    return SimTime{v * 1000};
+  }
+  [[nodiscard]] static constexpr SimTime from_sec(double s) noexcept {
+    return SimTime{static_cast<std::int64_t>(s * 1e6)};
+  }
+
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(us) * 1e-6;
+  }
+  [[nodiscard]] constexpr double millis() const noexcept {
+    return static_cast<double>(us) * 1e-3;
+  }
+
+  friend constexpr bool operator==(SimTime a, SimTime b) noexcept {
+    return a.us == b.us;
+  }
+  friend constexpr bool operator!=(SimTime a, SimTime b) noexcept {
+    return a.us != b.us;
+  }
+  friend constexpr bool operator<(SimTime a, SimTime b) noexcept {
+    return a.us < b.us;
+  }
+  friend constexpr bool operator<=(SimTime a, SimTime b) noexcept {
+    return a.us <= b.us;
+  }
+  friend constexpr bool operator>(SimTime a, SimTime b) noexcept {
+    return a.us > b.us;
+  }
+  friend constexpr bool operator>=(SimTime a, SimTime b) noexcept {
+    return a.us >= b.us;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.seconds() << "s";
+  }
+};
+
+// A span of simulated time (microseconds).
+struct SimDuration {
+  std::int64_t us = 0;
+
+  [[nodiscard]] static constexpr SimDuration from_us(std::int64_t v) noexcept {
+    return SimDuration{v};
+  }
+  [[nodiscard]] static constexpr SimDuration from_ms(double v) noexcept {
+    return SimDuration{static_cast<std::int64_t>(v * 1e3)};
+  }
+  [[nodiscard]] static constexpr SimDuration from_sec(double s) noexcept {
+    return SimDuration{static_cast<std::int64_t>(s * 1e6)};
+  }
+
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(us) * 1e-6;
+  }
+  [[nodiscard]] constexpr double millis() const noexcept {
+    return static_cast<double>(us) * 1e-3;
+  }
+
+  friend constexpr bool operator==(SimDuration a, SimDuration b) noexcept {
+    return a.us == b.us;
+  }
+  friend constexpr bool operator<(SimDuration a, SimDuration b) noexcept {
+    return a.us < b.us;
+  }
+  friend constexpr bool operator<=(SimDuration a, SimDuration b) noexcept {
+    return a.us <= b.us;
+  }
+  friend constexpr bool operator>(SimDuration a, SimDuration b) noexcept {
+    return a.us > b.us;
+  }
+};
+
+constexpr SimTime operator+(SimTime t, SimDuration d) noexcept {
+  return SimTime{t.us + d.us};
+}
+constexpr SimTime operator-(SimTime t, SimDuration d) noexcept {
+  return SimTime{t.us - d.us};
+}
+constexpr SimDuration operator-(SimTime a, SimTime b) noexcept {
+  return SimDuration{a.us - b.us};
+}
+constexpr SimDuration operator+(SimDuration a, SimDuration b) noexcept {
+  return SimDuration{a.us + b.us};
+}
+constexpr SimDuration operator*(SimDuration d, std::int64_t k) noexcept {
+  return SimDuration{d.us * k};
+}
+
+}  // namespace lexfor

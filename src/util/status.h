@@ -1,0 +1,138 @@
+// Status / Result: lightweight error propagation without exceptions.
+//
+// Library code in LexForensica reports expected failures (a denied
+// warrant application, an out-of-scope capture request, a tampered
+// chain of custody) as values, reserving exceptions for programming
+// errors.  `Status` carries an error code plus a human-readable message;
+// `Result<T>` is a Status or a value.
+
+#pragma once
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace lexfor {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something nonsensical
+  kNotFound,          // entity id does not resolve
+  kFailedPrecondition,// operation not legal in current state
+  kPermissionDenied,  // legal authority insufficient for the action
+  kOutOfRange,        // index/time outside the valid window
+  kAlreadyExists,     // duplicate registration
+  kInternal,          // invariant violation (bug)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status{}; }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Status& s) {
+    os << to_string(s.code_);
+    if (!s.message_.empty()) os << ": " << s.message_;
+    return os;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status PermissionDenied(std::string msg) {
+  return {StatusCode::kPermissionDenied, std::move(msg)};
+}
+inline Status OutOfRange(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+// A value or an error.  Accessing the value of an errored Result is a
+// programming error and asserts.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from both arms keeps call sites readable:
+  //   return some_value;          return NotFound("...");
+  Result(T value) : data_(std::move(value)) {}          // NOLINT
+  Result(Status status) : data_(std::move(status)) {    // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result<T> must not be constructed from an OK status");
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  // value_or: fall back when errored.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace lexfor

@@ -1,0 +1,28 @@
+// Minimal string helpers shared across modules.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lexfor {
+
+// Joins `parts` with `sep` ("a, b, c").
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+// Splits on a single-character separator; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+// Trims ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+// True if `s` starts with / ends with the given prefix/suffix.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+}  // namespace lexfor

@@ -1,0 +1,85 @@
+#include "watermark/dsss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lexfor::watermark {
+
+Result<DetectionResult> Detector::detect(
+    const std::vector<double>& chip_rates) const {
+  const std::size_t n = code_.length();
+  if (chip_rates.size() < n) {
+    return InvalidArgument(
+        "detect: observed series shorter than the PN code (" +
+        std::to_string(chip_rates.size()) + " < " + std::to_string(n) + ")");
+  }
+
+  // Remove the mean over the code window, then despread.
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += chip_rates[i];
+  mean /= static_cast<double>(n);
+
+  double num = 0.0, denom = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = chip_rates[i] - mean;
+    num += x * static_cast<double>(code_.chips()[i]);
+    denom += x * x;
+  }
+
+  DetectionResult r;
+  r.threshold = threshold_sigmas_ / std::sqrt(static_cast<double>(n));
+  if (denom <= 0.0) {
+    // A perfectly flat series carries no mark.
+    r.correlation = 0.0;
+    r.detected = false;
+    return r;
+  }
+  // Normalized correlation: for an unmarked series of i.i.d. noise this
+  // is ~N(0, 1/N); for a marked series it concentrates near
+  // depth-dependent positive values.
+  r.correlation = num / std::sqrt(denom * static_cast<double>(n));
+  r.detected = r.correlation > r.threshold;
+  return r;
+}
+
+Result<Detector::ScanResult> Detector::detect_with_scan(
+    const std::vector<double>& rates, std::size_t max_offset) const {
+  const std::size_t n = code_.length();
+  if (rates.size() < n) {
+    return InvalidArgument("detect_with_scan: series shorter than the code");
+  }
+  const std::size_t last_offset =
+      std::min(max_offset, rates.size() - n);
+
+  // Bonferroni correction: scanning k offsets multiplies the null
+  // false-positive probability by ~k; raise the threshold accordingly.
+  // For a Gaussian tail, adding ln(k)/sqrt(2) sigma is a simple, safe
+  // inflation at the scales used here.
+  const double k = static_cast<double>(last_offset + 1);
+  const double sigma_inflation = std::sqrt(2.0 * std::log(std::max(k, 1.0)));
+  const Detector adjusted(code_, threshold_sigmas_ + sigma_inflation);
+
+  ScanResult best;
+  best.best.correlation = -2.0;  // below any achievable value
+  for (std::size_t off = 0; off <= last_offset; ++off) {
+    const std::vector<double> window(rates.begin() + static_cast<std::ptrdiff_t>(off),
+                                     rates.end());
+    auto r = adjusted.detect(window);
+    if (!r.ok()) return r.status();
+    if (r.value().correlation > best.best.correlation) {
+      best.best = r.value();
+      best.offset = off;
+    }
+  }
+  return best;
+}
+
+Result<DetectionResult> Detector::detect_counts(
+    const std::vector<std::uint32_t>& chip_counts) const {
+  std::vector<double> rates;
+  rates.reserve(chip_counts.size());
+  for (const auto c : chip_counts) rates.push_back(static_cast<double>(c));
+  return detect(rates);
+}
+
+}  // namespace lexfor::watermark

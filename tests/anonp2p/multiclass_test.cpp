@@ -1,0 +1,102 @@
+// Three-way classification: source / trusted proxy / distant peer.
+
+#include <gtest/gtest.h>
+
+#include "anonp2p/investigator.h"
+
+namespace lexfor::anonp2p {
+namespace {
+
+OverlayConfig separated() {
+  OverlayConfig cfg;
+  cfg.num_peers = 100;
+  cfg.trusted_degree = 4;
+  cfg.file_popularity = 0.15;
+  cfg.local_lookup_ms = 15.0;
+  cfg.hop_delay_ms = 150.0;  // class centers far apart
+  cfg.max_forward_hops = 3;
+  cfg.seed = 8;
+  return cfg;
+}
+
+std::vector<PeerId> all_peers(const Overlay& overlay) {
+  std::vector<PeerId> out;
+  for (std::size_t i = 0; i < overlay.peer_count(); ++i) out.emplace_back(i);
+  return out;
+}
+
+TEST(MulticlassTest, ThresholdsFollowDelayAnatomy) {
+  Overlay overlay(separated());
+  TimingInvestigator inv(overlay, all_peers(overlay));
+  Rng rng{1};
+  const auto report = inv.run_multiclass(30, rng);
+  EXPECT_DOUBLE_EQ(report.source_threshold_ms, 15.0 + 150.0);
+  EXPECT_DOUBLE_EQ(report.proxy_threshold_ms, 15.0 + 3 * 150.0);
+  EXPECT_LT(report.source_threshold_ms, report.proxy_threshold_ms);
+}
+
+TEST(MulticlassTest, GroundTruthMatchesHopDistance) {
+  Overlay overlay(separated());
+  TimingInvestigator inv(overlay, all_peers(overlay));
+  Rng rng{2};
+  const auto report = inv.run_multiclass(10, rng);
+  for (const auto& f : report.findings) {
+    const auto hops = overlay.hops_to_nearest_holder(f.peer);
+    if (hops.has_value() && *hops == 0) {
+      EXPECT_EQ(f.truth, PeerRole::kSource);
+    } else if (hops.has_value() && *hops == 1) {
+      EXPECT_EQ(f.truth, PeerRole::kTrustedProxy);
+    } else {
+      EXPECT_EQ(f.truth, PeerRole::kDistant);
+    }
+  }
+}
+
+TEST(MulticlassTest, HighAccuracyWithSeparatedClasses) {
+  Overlay overlay(separated());
+  TimingInvestigator inv(overlay, all_peers(overlay));
+  Rng rng{3};
+  const auto report = inv.run_multiclass(40, rng);
+  EXPECT_GT(report.accuracy, 0.85);
+}
+
+TEST(MulticlassTest, AllThreeClassesAppearInTheOverlay) {
+  Overlay overlay(separated());
+  TimingInvestigator inv(overlay, all_peers(overlay));
+  Rng rng{4};
+  const auto report = inv.run_multiclass(20, rng);
+  int sources = 0, proxies = 0, distant = 0;
+  for (const auto& f : report.findings) {
+    sources += f.truth == PeerRole::kSource;
+    proxies += f.truth == PeerRole::kTrustedProxy;
+    distant += f.truth == PeerRole::kDistant;
+  }
+  EXPECT_GT(sources, 0);
+  EXPECT_GT(proxies, 0);
+  EXPECT_GT(distant, 0);
+}
+
+TEST(MulticlassTest, EmptyProbeSetYieldsZeroAccuracy) {
+  Overlay overlay(separated());
+  TimingInvestigator inv(overlay, {});
+  Rng rng{5};
+  const auto report = inv.run_multiclass(10, rng);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_DOUBLE_EQ(report.accuracy, 0.0);
+}
+
+TEST(MulticlassTest, SourcesClassifiedBelowSourceThreshold) {
+  Overlay overlay(separated());
+  TimingInvestigator inv(overlay, all_peers(overlay));
+  Rng rng{6};
+  const auto report = inv.run_multiclass(40, rng);
+  for (const auto& f : report.findings) {
+    if (f.truth == PeerRole::kSource) {
+      EXPECT_LE(f.median_delay_ms, report.source_threshold_ms)
+          << "source peer " << f.peer.value();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lexfor::anonp2p

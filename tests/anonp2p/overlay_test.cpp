@@ -1,0 +1,147 @@
+#include "anonp2p/overlay.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::anonp2p {
+namespace {
+
+TEST(OverlayTest, BuildsRequestedSize) {
+  OverlayConfig cfg;
+  cfg.num_peers = 40;
+  Overlay overlay(cfg);
+  EXPECT_EQ(overlay.peer_count(), 40u);
+}
+
+TEST(OverlayTest, GraphIsConnectedViaRingBackbone) {
+  OverlayConfig cfg;
+  cfg.num_peers = 30;
+  cfg.trusted_degree = 2;
+  Overlay overlay(cfg);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_GE(overlay.neighbors(PeerId{i}).size(), 2u) << "peer " << i;
+  }
+}
+
+TEST(OverlayTest, DegreeApproximatesTarget) {
+  OverlayConfig cfg;
+  cfg.num_peers = 100;
+  cfg.trusted_degree = 6;
+  Overlay overlay(cfg);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_GE(overlay.neighbors(PeerId{i}).size(), 6u);
+  }
+}
+
+TEST(OverlayTest, AtLeastOneHolderAlways) {
+  OverlayConfig cfg;
+  cfg.num_peers = 20;
+  cfg.file_popularity = 0.0;  // would otherwise produce zero holders
+  Overlay overlay(cfg);
+  EXPECT_GE(overlay.holder_count(), 1u);
+}
+
+TEST(OverlayTest, PopularityControlsHolderCount) {
+  OverlayConfig cfg;
+  cfg.num_peers = 400;
+  cfg.file_popularity = 0.25;
+  Overlay overlay(cfg);
+  const double frac =
+      static_cast<double>(overlay.holder_count()) / 400.0;
+  EXPECT_NEAR(frac, 0.25, 0.08);
+}
+
+TEST(OverlayTest, HopsToHolderIsZeroForHolders) {
+  OverlayConfig cfg;
+  cfg.num_peers = 30;
+  Overlay overlay(cfg);
+  for (std::size_t i = 0; i < 30; ++i) {
+    if (overlay.holds_file(PeerId{i})) {
+      EXPECT_EQ(overlay.hops_to_nearest_holder(PeerId{i}).value_or(-1), 0);
+    }
+  }
+}
+
+TEST(OverlayTest, TtlBoundsHopDistance) {
+  OverlayConfig cfg;
+  cfg.num_peers = 50;
+  cfg.max_forward_hops = 2;
+  Overlay overlay(cfg);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto hops = overlay.hops_to_nearest_holder(PeerId{i});
+    if (hops.has_value()) {
+      EXPECT_LE(*hops, 2);
+    }
+  }
+}
+
+TEST(OverlayTest, SourceQueriesAreFasterThanProxyQueries) {
+  OverlayConfig cfg;
+  cfg.num_peers = 120;
+  cfg.file_popularity = 0.2;
+  cfg.local_lookup_ms = 20.0;
+  cfg.hop_delay_ms = 80.0;
+  Overlay overlay(cfg);
+  Rng rng{31};
+
+  double source_sum = 0, proxy_sum = 0;
+  int source_n = 0, proxy_n = 0;
+  constexpr int kProbes = 50;
+  for (std::size_t i = 0; i < 120; ++i) {
+    const PeerId p{i};
+    for (int k = 0; k < kProbes; ++k) {
+      const auto d = overlay.query_delay_ms(p, rng);
+      if (!d.has_value()) continue;
+      if (overlay.holds_file(p)) {
+        source_sum += *d;
+        ++source_n;
+      } else {
+        proxy_sum += *d;
+        ++proxy_n;
+      }
+    }
+  }
+  ASSERT_GT(source_n, 0);
+  ASSERT_GT(proxy_n, 0);
+  const double source_mean = source_sum / source_n;
+  const double proxy_mean = proxy_sum / proxy_n;
+  // Proxies carry at least one round trip of forwarding on top.
+  EXPECT_GT(proxy_mean, source_mean + cfg.hop_delay_ms);
+}
+
+TEST(OverlayTest, QueryDelayIsNulloptBeyondTtl) {
+  OverlayConfig cfg;
+  cfg.num_peers = 60;
+  cfg.trusted_degree = 2;
+  cfg.file_popularity = 0.0;  // exactly one forced holder
+  cfg.max_forward_hops = 1;
+  Overlay overlay(cfg);
+  Rng rng{37};
+  // Most ring peers are >1 hop from the single holder: they time out.
+  int timeouts = 0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    if (!overlay.query_delay_ms(PeerId{i}, rng).has_value()) ++timeouts;
+  }
+  EXPECT_GT(timeouts, 40);
+}
+
+TEST(OverlayTest, InvalidPeerHandledGracefully) {
+  Overlay overlay(OverlayConfig{});
+  Rng rng{1};
+  EXPECT_TRUE(overlay.neighbors(PeerId{}).empty());
+  EXPECT_FALSE(overlay.holds_file(PeerId{9999}));
+  EXPECT_FALSE(overlay.query_delay_ms(PeerId{9999}, rng).has_value());
+}
+
+TEST(OverlayTest, SameSeedSameTopology) {
+  OverlayConfig cfg;
+  cfg.seed = 77;
+  Overlay a(cfg), b(cfg);
+  ASSERT_EQ(a.peer_count(), b.peer_count());
+  for (std::size_t i = 0; i < a.peer_count(); ++i) {
+    EXPECT_EQ(a.neighbors(PeerId{i}).size(), b.neighbors(PeerId{i}).size());
+    EXPECT_EQ(a.holds_file(PeerId{i}), b.holds_file(PeerId{i}));
+  }
+}
+
+}  // namespace
+}  // namespace lexfor::anonp2p

@@ -1,0 +1,141 @@
+// Message-level query-flooding protocol.
+
+#include <gtest/gtest.h>
+
+#include "anonp2p/protocol.h"
+
+namespace lexfor::anonp2p {
+namespace {
+
+OverlayConfig small_overlay() {
+  OverlayConfig cfg;
+  cfg.num_peers = 40;
+  cfg.trusted_degree = 3;
+  cfg.file_popularity = 0.2;
+  cfg.local_lookup_ms = 10.0;
+  cfg.hop_delay_ms = 30.0;
+  cfg.seed = 14;
+  return cfg;
+}
+
+TEST(FloodTest, QueryReachesHoldersAndReturnsResponse) {
+  Overlay overlay(small_overlay());
+  FloodSimulation sim(overlay, FloodConfig{});
+  Rng rng{1};
+  const auto outcome = sim.run_query(PeerId{0}, rng);
+  EXPECT_TRUE(outcome.first_response_ms.has_value());
+  EXPECT_GT(outcome.responders, 0u);
+  EXPECT_GT(outcome.stats.queries_forwarded, 0u);
+}
+
+TEST(FloodTest, InvalidOriginYieldsEmptyOutcome) {
+  Overlay overlay(small_overlay());
+  FloodSimulation sim(overlay, FloodConfig{});
+  Rng rng{2};
+  const auto outcome = sim.run_query(PeerId{9999}, rng);
+  EXPECT_FALSE(outcome.first_response_ms.has_value());
+  EXPECT_EQ(outcome.responders, 0u);
+}
+
+TEST(FloodTest, ZeroTtlReachesOnlyTheOrigin) {
+  OverlayConfig cfg = small_overlay();
+  cfg.file_popularity = 0.0;  // one forced holder somewhere
+  Overlay overlay(cfg);
+  FloodConfig flood;
+  flood.ttl = 0;
+  FloodSimulation sim(overlay, flood);
+  Rng rng{3};
+  // Pick an origin that is not the holder.
+  PeerId origin;
+  for (std::size_t i = 0; i < overlay.peer_count(); ++i) {
+    if (!overlay.holds_file(PeerId{i})) {
+      origin = PeerId{i};
+      break;
+    }
+  }
+  const auto outcome = sim.run_query(origin, rng);
+  EXPECT_EQ(outcome.stats.queries_forwarded, 0u);
+  EXPECT_FALSE(outcome.first_response_ms.has_value());
+}
+
+TEST(FloodTest, LargerTtlFindsMoreResponders) {
+  Overlay overlay(small_overlay());
+  Rng rng1{4}, rng2{4};
+  FloodConfig shallow;
+  shallow.ttl = 1;
+  FloodConfig deep;
+  deep.ttl = 4;
+  const auto near = FloodSimulation(overlay, shallow).run_query(PeerId{0}, rng1);
+  const auto far = FloodSimulation(overlay, deep).run_query(PeerId{0}, rng2);
+  EXPECT_GE(far.responders, near.responders);
+  EXPECT_GT(far.stats.queries_forwarded, near.stats.queries_forwarded);
+}
+
+TEST(FloodTest, DuplicateSuppressionBoundsWork) {
+  Overlay overlay(small_overlay());
+  FloodSimulation sim(overlay, FloodConfig{});
+  Rng rng{5};
+  const auto outcome = sim.run_query(PeerId{0}, rng);
+  // Every peer processes the query at most once: at most num_peers
+  // non-duplicate handlings; the rest are suppressed.
+  std::uint64_t handled_queries = 0;
+  for (const auto c : outcome.stats.per_peer_messages) handled_queries += c;
+  EXPECT_GT(outcome.stats.duplicates_dropped, 0u);
+  EXPECT_GE(handled_queries, outcome.stats.duplicates_dropped);
+}
+
+TEST(FloodTest, MessageOverheadGrowsWithDegree) {
+  OverlayConfig sparse = small_overlay();
+  sparse.trusted_degree = 2;
+  OverlayConfig dense = small_overlay();
+  dense.trusted_degree = 8;
+  Rng rng1{6}, rng2{6};
+  const auto low =
+      FloodSimulation(Overlay(sparse), FloodConfig{}).run_query(PeerId{0}, rng1);
+  const auto high =
+      FloodSimulation(Overlay(dense), FloodConfig{}).run_query(PeerId{0}, rng2);
+  EXPECT_GT(high.stats.queries_forwarded, low.stats.queries_forwarded);
+}
+
+TEST(FloodTest, FirstResponseFasterWhenNeighborHolds) {
+  // A origin whose direct neighbor holds the file answers much faster
+  // than one whose nearest holder is far.
+  OverlayConfig cfg = small_overlay();
+  cfg.file_popularity = 0.25;
+  Overlay overlay(cfg);
+  Rng rng{7};
+  FloodSimulation sim(overlay, FloodConfig{});
+
+  double near_sum = 0, far_sum = 0;
+  int near_n = 0, far_n = 0;
+  for (std::size_t i = 0; i < overlay.peer_count(); ++i) {
+    const PeerId p{i};
+    const auto hops = overlay.hops_to_nearest_holder(p);
+    if (!hops.has_value() || *hops == 0) continue;
+    const auto outcome = sim.run_query(p, rng);
+    if (!outcome.first_response_ms.has_value()) continue;
+    if (*hops == 1) {
+      near_sum += *outcome.first_response_ms;
+      ++near_n;
+    } else if (*hops >= 2) {
+      far_sum += *outcome.first_response_ms;
+      ++far_n;
+    }
+  }
+  ASSERT_GT(near_n, 0);
+  ASSERT_GT(far_n, 0);
+  EXPECT_LT(near_sum / near_n, far_sum / far_n);
+}
+
+TEST(FloodTest, DeterministicGivenRngState) {
+  Overlay overlay(small_overlay());
+  FloodSimulation sim(overlay, FloodConfig{});
+  Rng rng1{8}, rng2{8};
+  const auto a = sim.run_query(PeerId{3}, rng1);
+  const auto b = sim.run_query(PeerId{3}, rng2);
+  EXPECT_EQ(a.first_response_ms, b.first_response_ms);
+  EXPECT_EQ(a.stats.queries_forwarded, b.stats.queries_forwarded);
+}
+
+}  // namespace
+}  // namespace lexfor::anonp2p

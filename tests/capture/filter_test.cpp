@@ -1,0 +1,166 @@
+#include "capture/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "capture/capture.h"
+
+namespace lexfor::capture {
+namespace {
+
+netsim::PacketHeader header(std::uint64_t src, std::uint64_t dst,
+                            std::uint16_t sport = 1000,
+                            std::uint16_t dport = 80,
+                            netsim::Protocol proto = netsim::Protocol::kTcp,
+                            std::uint32_t size = 100) {
+  netsim::PacketHeader h;
+  h.src = NodeId{src};
+  h.dst = NodeId{dst};
+  h.src_port = sport;
+  h.dst_port = dport;
+  h.protocol = proto;
+  h.payload_size = size;
+  return h;
+}
+
+TEST(FilterTest, DefaultMatchesEverything) {
+  const Filter f;
+  EXPECT_TRUE(f.matches(header(1, 2)));
+  EXPECT_EQ(f.str(), "any");
+}
+
+TEST(FilterTest, HostMatchesEitherDirection) {
+  const Filter f = Filter::host(NodeId{5});
+  EXPECT_TRUE(f.matches(header(5, 9)));
+  EXPECT_TRUE(f.matches(header(9, 5)));
+  EXPECT_FALSE(f.matches(header(1, 2)));
+}
+
+TEST(FilterTest, SrcDstAreDirectional) {
+  EXPECT_TRUE(Filter::src(NodeId{3}).matches(header(3, 4)));
+  EXPECT_FALSE(Filter::src(NodeId{3}).matches(header(4, 3)));
+  EXPECT_TRUE(Filter::dst(NodeId{3}).matches(header(4, 3)));
+  EXPECT_FALSE(Filter::dst(NodeId{3}).matches(header(3, 4)));
+}
+
+TEST(FilterTest, PortMatchesEitherEnd) {
+  const Filter f = Filter::port(80);
+  EXPECT_TRUE(f.matches(header(1, 2, 9999, 80)));
+  EXPECT_TRUE(f.matches(header(1, 2, 80, 9999)));
+  EXPECT_FALSE(f.matches(header(1, 2, 1, 2)));
+  EXPECT_FALSE(Filter::dst_port(80).matches(header(1, 2, 80, 443)));
+}
+
+TEST(FilterTest, ProtocolAndSize) {
+  EXPECT_TRUE(Filter::protocol(netsim::Protocol::kUdp)
+                  .matches(header(1, 2, 1, 2, netsim::Protocol::kUdp)));
+  EXPECT_FALSE(Filter::protocol(netsim::Protocol::kUdp)
+                   .matches(header(1, 2, 1, 2, netsim::Protocol::kTcp)));
+  EXPECT_TRUE(Filter::max_size(100).matches(header(1, 2, 1, 2,
+                                                   netsim::Protocol::kTcp, 100)));
+  EXPECT_FALSE(Filter::max_size(99).matches(header(1, 2, 1, 2,
+                                                   netsim::Protocol::kTcp, 100)));
+}
+
+TEST(FilterTest, Combinators) {
+  const Filter f = Filter::src(NodeId{1}) && Filter::dst_port(80);
+  EXPECT_TRUE(f.matches(header(1, 2, 5, 80)));
+  EXPECT_FALSE(f.matches(header(1, 2, 5, 443)));
+  EXPECT_FALSE(f.matches(header(2, 1, 5, 80)));
+
+  const Filter g = Filter::host(NodeId{1}) || Filter::host(NodeId{2});
+  EXPECT_TRUE(g.matches(header(2, 9)));
+  EXPECT_FALSE(g.matches(header(3, 9)));
+
+  const Filter h = !Filter::protocol(netsim::Protocol::kTcp);
+  EXPECT_TRUE(h.matches(header(1, 2, 1, 2, netsim::Protocol::kUdp)));
+}
+
+TEST(FilterParseTest, ParsesAtoms) {
+  EXPECT_TRUE(Filter::parse("any").value().matches(header(1, 2)));
+  EXPECT_TRUE(Filter::parse("host 5").value().matches(header(5, 2)));
+  EXPECT_TRUE(Filter::parse("src 1").value().matches(header(1, 2)));
+  EXPECT_TRUE(Filter::parse("dst 2").value().matches(header(1, 2)));
+  EXPECT_TRUE(Filter::parse("port 80").value().matches(header(1, 2, 5, 80)));
+  EXPECT_TRUE(Filter::parse("proto tcp").value().matches(header(1, 2)));
+  EXPECT_TRUE(
+      Filter::parse("maxsize 200").value().matches(header(1, 2)));
+}
+
+TEST(FilterParseTest, ParsesBooleanStructure) {
+  const auto f = Filter::parse("src 1 and dstport 80").value();
+  EXPECT_TRUE(f.matches(header(1, 2, 5, 80)));
+  EXPECT_FALSE(f.matches(header(1, 2, 5, 443)));
+
+  const auto g = Filter::parse("host 1 or host 2").value();
+  EXPECT_TRUE(g.matches(header(2, 3)));
+
+  const auto h = Filter::parse("not proto udp").value();
+  EXPECT_TRUE(h.matches(header(1, 2)));
+}
+
+TEST(FilterParseTest, AndBindsTighterThanOr) {
+  // "a or b and c" == "a or (b and c)".
+  const auto f = Filter::parse("src 1 or src 2 and dstport 80").value();
+  EXPECT_TRUE(f.matches(header(1, 9, 5, 443)));   // src 1 alone suffices
+  EXPECT_TRUE(f.matches(header(2, 9, 5, 80)));    // src 2 needs port 80
+  EXPECT_FALSE(f.matches(header(2, 9, 5, 443)));
+}
+
+TEST(FilterParseTest, ParenthesesOverridePrecedence) {
+  const auto f = Filter::parse("(src 1 or src 2) and dstport 80").value();
+  EXPECT_FALSE(f.matches(header(1, 9, 5, 443)));
+  EXPECT_TRUE(f.matches(header(1, 9, 5, 80)));
+}
+
+TEST(FilterParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Filter::parse("").ok());
+  EXPECT_FALSE(Filter::parse("bogus 1").ok());
+  EXPECT_FALSE(Filter::parse("host").ok());
+  EXPECT_FALSE(Filter::parse("host xyz").ok());
+  EXPECT_FALSE(Filter::parse("port 99999").ok());
+  EXPECT_FALSE(Filter::parse("(host 1").ok());
+  EXPECT_FALSE(Filter::parse("host 1 host 2").ok());
+  EXPECT_FALSE(Filter::parse("proto icmp").ok());
+}
+
+TEST(FilterParseTest, IsCaseInsensitive) {
+  EXPECT_TRUE(Filter::parse("HOST 5 AND Proto TCP").ok());
+}
+
+TEST(FilterScopedCaptureTest, OutOfScopeTrafficNeverRetained) {
+  // A warrant scoped to traffic between node 0 and node 2 on port 80:
+  // the device observes everything at the tap but retains only in-scope.
+  legal::LegalProcess p;
+  p.id = ProcessId{1};
+  p.kind = legal::ProcessKind::kWiretapOrder;
+  p.issued_at = SimTime::zero();
+  auto dev = CaptureDevice::create(CaptureMode::kFullContent,
+                                   legal::GrantedAuthority{p},
+                                   legal::ProcessKind::kWiretapOrder,
+                                   NodeId{1}, "isp", SimTime::zero())
+                 .value();
+  dev.set_scope_filter(
+      Filter::parse("(src 0 and dst 2 or src 2 and dst 0) and port 80")
+          .value());
+
+  netsim::Packet in_scope;
+  in_scope.header = header(0, 2, 5000, 80);
+  in_scope.payload = Bytes(50, 1);
+  netsim::Packet out_of_scope;
+  out_of_scope.header = header(0, 3, 5000, 80);  // wrong destination
+  out_of_scope.payload = Bytes(50, 2);
+
+  const netsim::TapEvent ev1{in_scope, LinkId{0}, NodeId{0}, NodeId{1},
+                             SimTime::zero()};
+  const netsim::TapEvent ev2{out_of_scope, LinkId{0}, NodeId{0}, NodeId{1},
+                             SimTime::zero()};
+  dev.on_traversal(ev1);
+  dev.on_traversal(ev2);
+
+  EXPECT_EQ(dev.records().size(), 1u);
+  EXPECT_EQ(dev.stats().packets_out_of_scope, 1u);
+  EXPECT_EQ(dev.records()[0].header.dst, NodeId{2});
+}
+
+}  // namespace
+}  // namespace lexfor::capture

@@ -1,0 +1,38 @@
+#include "crypto/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::crypto {
+namespace {
+
+TEST(Crc32Test, StandardCheckValue) {
+  // The canonical CRC-32 check: crc32("123456789") == 0xCBF43926.
+  const Bytes msg = to_bytes("123456789");
+  EXPECT_EQ(crc32(msg), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) {
+  EXPECT_EQ(crc32(Bytes{}), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const Bytes msg = to_bytes("packet payload for checksumming");
+  std::uint32_t state = crc32_init();
+  state = crc32_update(state, msg.data(), 10);
+  state = crc32_update(state, msg.data() + 10, msg.size() - 10);
+  EXPECT_EQ(crc32_final(state), crc32(msg));
+}
+
+TEST(Crc32Test, SingleBitChangeChangesCrc) {
+  Bytes a = to_bytes("evidence");
+  Bytes b = a;
+  b[0] ^= 0x01;
+  EXPECT_NE(crc32(a), crc32(b));
+}
+
+TEST(Crc32Test, KnownVectorHello) {
+  EXPECT_EQ(crc32(to_bytes("hello")), 0x3610A686u);
+}
+
+}  // namespace
+}  // namespace lexfor::crypto

@@ -1,0 +1,74 @@
+#include "crypto/md5.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::crypto {
+namespace {
+
+// RFC 1321 appendix test suite.
+TEST(Md5Test, EmptyString) {
+  EXPECT_EQ(Md5::hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+}
+
+TEST(Md5Test, A) {
+  EXPECT_EQ(Md5::hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+}
+
+TEST(Md5Test, Abc) {
+  EXPECT_EQ(Md5::hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5Test, MessageDigest) {
+  EXPECT_EQ(Md5::hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+}
+
+TEST(Md5Test, Alphabet) {
+  EXPECT_EQ(Md5::hex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+}
+
+TEST(Md5Test, AlphaNumeric) {
+  EXPECT_EQ(
+      Md5::hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+}
+
+TEST(Md5Test, Digits) {
+  EXPECT_EQ(Md5::hex("1234567890123456789012345678901234567890123456789012345"
+                     "6789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, StreamingEqualsOneShot) {
+  const std::string msg(300, 'q');
+  Md5 streaming;
+  for (std::size_t i = 0; i < msg.size(); i += 11) {
+    streaming.update(msg.substr(i, 11));
+  }
+  const auto a = streaming.finish();
+  const auto b = Md5::hash(Bytes(msg.begin(), msg.end()));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Md5Test, ResetAllowsReuse) {
+  Md5 h;
+  h.update("something else entirely");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  const auto d = h.finish();
+  EXPECT_EQ(to_hex(d.data(), d.size()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5Test, ExactBlockBoundary) {
+  const std::string msg(64, 'b');
+  Md5 a;
+  a.update(msg);
+  Md5 b;
+  b.update(msg.substr(0, 32));
+  b.update(msg.substr(32));
+  EXPECT_EQ(a.finish(), b.finish());
+}
+
+}  // namespace
+}  // namespace lexfor::crypto

@@ -1,0 +1,152 @@
+#include "diskimage/disk_image.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::diskimage {
+namespace {
+
+TEST(DiskImageTest, WriteReadRoundTrip) {
+  DiskImage disk;
+  const Bytes content = to_bytes("hello forensic world");
+  const FileId id = disk.write_file("/docs/a.txt", content);
+  const auto r = disk.read_file(id);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), content);
+}
+
+TEST(DiskImageTest, FindByPathAndId) {
+  DiskImage disk;
+  const FileId id = disk.write_file("/x", to_bytes("x"));
+  ASSERT_NE(disk.find("/x"), nullptr);
+  ASSERT_NE(disk.find(id), nullptr);
+  EXPECT_EQ(disk.find("/x")->id, id);
+  EXPECT_EQ(disk.find("/missing"), nullptr);
+}
+
+TEST(DiskImageTest, DeleteUnlinksButKeepsBytes) {
+  DiskImage disk;
+  const Bytes content = to_bytes("deleted but recoverable");
+  const FileId id = disk.write_file("/tmp/evil.jpg", content);
+  ASSERT_TRUE(disk.delete_file("/tmp/evil.jpg").ok());
+
+  EXPECT_EQ(disk.live_file_count(), 0u);
+  EXPECT_EQ(disk.deleted_file_count(), 1u);
+  EXPECT_EQ(disk.read_file(id).status().code(), StatusCode::kFailedPrecondition);
+
+  const auto recovered = disk.recover_deleted(id);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), content);
+}
+
+TEST(DiskImageTest, DeleteOfMissingFileFails) {
+  DiskImage disk;
+  EXPECT_EQ(disk.delete_file("/nope").code(), StatusCode::kNotFound);
+}
+
+TEST(DiskImageTest, ReuseOverwritesDeletedFile) {
+  DiskImage disk(512);
+  const FileId old_id = disk.write_file("/old", Bytes(400, 0xAA));
+  ASSERT_TRUE(disk.delete_file("/old").ok());
+  // New file fits in the freed extent and reuses it.
+  const FileId new_id = disk.write_file("/new", Bytes(100, 0xBB));
+  const auto* old_entry = disk.find(old_id);
+  const auto* new_entry = disk.find(new_id);
+  ASSERT_NE(old_entry, nullptr);
+  ASSERT_NE(new_entry, nullptr);
+  EXPECT_EQ(new_entry->offset, old_entry->offset);
+  EXPECT_TRUE(old_entry->overwritten);
+  EXPECT_EQ(disk.recover_deleted(old_id).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DiskImageTest, AppendsWhenNoFreeExtentFits) {
+  DiskImage disk(512);
+  const FileId small = disk.write_file("/small", Bytes(100, 1));
+  ASSERT_TRUE(disk.delete_file("/small").ok());
+  // Too big for the freed 1-sector extent: must append, leaving the
+  // deleted file recoverable.
+  (void)disk.write_file("/big", Bytes(2000, 2));
+  const auto recovered = disk.recover_deleted(small);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), Bytes(100, 1));
+}
+
+TEST(DiskImageTest, RecoverRejectsLiveFile) {
+  DiskImage disk;
+  const FileId id = disk.write_file("/live", to_bytes("still here"));
+  EXPECT_EQ(disk.recover_deleted(id).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DiskImageTest, EmptyFileOwnsASector) {
+  DiskImage disk(512);
+  const FileId id = disk.write_file("/empty", {});
+  const auto r = disk.read_file(id);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+  EXPECT_EQ(disk.raw().size(), 512u);
+}
+
+TEST(DiskImageTest, PathShadowingPrefersLiveEntry) {
+  DiskImage disk;
+  (void)disk.write_file("/f", to_bytes("v1"));
+  ASSERT_TRUE(disk.delete_file("/f").ok());
+  const FileId v2 = disk.write_file("/f", to_bytes("v2"));
+  const auto* found = disk.find("/f");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id, v2);
+  EXPECT_FALSE(found->deleted);
+}
+
+}  // namespace
+}  // namespace lexfor::diskimage
+
+// --- file slack (zero_on_reuse = false) --------------------------------
+
+namespace lexfor::diskimage {
+namespace {
+
+TEST(SlackTest, FreshExtentHasZeroSlack) {
+  DiskImage disk(512, /*zero_on_reuse=*/false);
+  const FileId id = disk.write_file("/a", Bytes(100, 0x11));
+  const auto slack = disk.slack_bytes(id);
+  ASSERT_TRUE(slack.ok());
+  EXPECT_EQ(slack.value().size(), 412u);
+  for (const auto b : slack.value()) EXPECT_EQ(b, 0);
+}
+
+TEST(SlackTest, ReuseWithoutScrubLeavesPreviousContentInSlack) {
+  DiskImage disk(512, /*zero_on_reuse=*/false);
+  const FileId secret = disk.write_file("/secret", Bytes(500, 0xAB));
+  ASSERT_TRUE(disk.delete_file("/secret").ok());
+  (void)secret;
+
+  // A small new file reuses the extent; bytes 100..499 keep 0xAB.
+  const FileId cover = disk.write_file("/cover", Bytes(100, 0xCD));
+  const auto slack = disk.slack_bytes(cover).value();
+  ASSERT_EQ(slack.size(), 412u);
+  int remnant = 0;
+  for (std::size_t i = 0; i < 400; ++i) remnant += slack[i] == 0xAB;
+  EXPECT_EQ(remnant, 400);
+}
+
+TEST(SlackTest, ScrubbingModeDestroysSlack) {
+  DiskImage disk(512, /*zero_on_reuse=*/true);
+  (void)disk.write_file("/secret", Bytes(500, 0xAB));
+  ASSERT_TRUE(disk.delete_file("/secret").ok());
+  const FileId cover = disk.write_file("/cover", Bytes(100, 0xCD));
+  const auto slack = disk.slack_bytes(cover).value();
+  for (const auto b : slack) EXPECT_EQ(b, 0);
+}
+
+TEST(SlackTest, SlackOfUnknownOrDeletedFileFails) {
+  DiskImage disk(512, false);
+  EXPECT_EQ(disk.slack_bytes(FileId{77}).status().code(), StatusCode::kNotFound);
+  const FileId id = disk.write_file("/x", Bytes(10, 1));
+  ASSERT_TRUE(disk.delete_file("/x").ok());
+  EXPECT_EQ(disk.slack_bytes(id).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace lexfor::diskimage

@@ -1,0 +1,111 @@
+#include "evidence/custody.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::evidence {
+namespace {
+
+const Bytes kKey = to_bytes("case-0042-hmac-key");
+
+EvidenceItem make_item() {
+  return EvidenceItem(EvidenceId{1}, "suspect laptop drive",
+                      to_bytes("disk contents with contraband"),
+                      "Officer Reed", SimTime::zero(), kKey);
+}
+
+TEST(CustodyTest, SeizureCreatesFirstRecord) {
+  const auto item = make_item();
+  ASSERT_EQ(item.chain().size(), 1u);
+  EXPECT_EQ(item.chain()[0].action, CustodyAction::kSeized);
+  EXPECT_EQ(item.chain()[0].custodian, "Officer Reed");
+}
+
+TEST(CustodyTest, ContentHashIsStableSha256) {
+  const auto item = make_item();
+  EXPECT_EQ(item.content_hash_hex(),
+            crypto::Sha256::hex(to_bytes("disk contents with contraband")));
+}
+
+TEST(CustodyTest, FreshItemVerifies) {
+  const auto item = make_item();
+  EXPECT_TRUE(item.verify(kKey).ok());
+}
+
+TEST(CustodyTest, RecordsExtendTheChain) {
+  auto item = make_item();
+  item.record(CustodyAction::kTransferred, "Analyst Kim", "to lab",
+              SimTime::from_sec(3600), kKey);
+  item.record(CustodyAction::kExamined, "Analyst Kim", "keyword search",
+              SimTime::from_sec(7200), kKey);
+  EXPECT_EQ(item.chain().size(), 3u);
+  EXPECT_TRUE(item.verify(kKey).ok());
+}
+
+TEST(CustodyTest, ContentTamperingIsDetected) {
+  auto item = make_item();
+  item.tamper_with_content_for_test(0, 0xFF);
+  const auto s = item.verify(kKey);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("content"), std::string::npos);
+}
+
+TEST(CustodyTest, ChainTamperingIsDetected) {
+  auto item = make_item();
+  item.record(CustodyAction::kTransferred, "Analyst Kim", "to lab",
+              SimTime::from_sec(100), kKey);
+  item.tamper_with_chain_for_test(1, "Impostor");
+  const auto s = item.verify(kKey);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("custody record 1"), std::string::npos);
+}
+
+TEST(CustodyTest, WrongKeyFailsVerification) {
+  const auto item = make_item();
+  EXPECT_FALSE(item.verify(to_bytes("wrong-key")).ok());
+}
+
+TEST(CustodyTest, EarlierRecordTamperBreaksAllSubsequentMacs) {
+  auto item = make_item();
+  item.record(CustodyAction::kTransferred, "A", "", SimTime::from_sec(1), kKey);
+  item.record(CustodyAction::kExamined, "B", "", SimTime::from_sec(2), kKey);
+  item.tamper_with_chain_for_test(0, "Impostor");
+  const auto s = item.verify(kKey);
+  EXPECT_FALSE(s.ok());
+  // The first failing record is 0.
+  EXPECT_NE(s.message().find("custody record 0"), std::string::npos);
+}
+
+TEST(ImagingTest, ImageSharesContentHashWithOriginal) {
+  auto item = make_item();
+  const auto copy =
+      item.image(EvidenceId{2}, "Analyst Kim", SimTime::from_sec(50), kKey);
+  EXPECT_EQ(copy.content_hash(), item.content_hash());
+  EXPECT_EQ(copy.content(), item.content());
+  EXPECT_TRUE(copy.verify(kKey).ok());
+  EXPECT_TRUE(item.verify(kKey).ok());
+}
+
+TEST(ImagingTest, BothSidesRecordTheImaging) {
+  auto item = make_item();
+  const auto copy =
+      item.image(EvidenceId{2}, "Analyst Kim", SimTime::from_sec(50), kKey);
+  EXPECT_EQ(item.chain().back().action, CustodyAction::kImaged);
+  // Copy: seizure record + imaging provenance record.
+  ASSERT_EQ(copy.chain().size(), 2u);
+  EXPECT_EQ(copy.chain()[1].action, CustodyAction::kImaged);
+}
+
+TEST(WriteBlockerTest, ReadsSucceedWritesBlocked) {
+  const auto item = make_item();
+  WriteBlocker wb(item);
+  EXPECT_EQ(wb.size(), item.content().size());
+  EXPECT_EQ(wb.read(0), item.content()[0]);
+  EXPECT_EQ(wb.write(0, 0xFF).code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(wb.write(1, 0x00).code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(wb.blocked_writes(), 2u);
+  // Content untouched.
+  EXPECT_TRUE(item.verify(kKey).ok());
+}
+
+}  // namespace
+}  // namespace lexfor::evidence

@@ -1,0 +1,94 @@
+#include "evidence/locker.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+
+namespace lexfor::evidence {
+namespace {
+
+struct LockerFixture {
+  EvidenceLocker locker{to_bytes("case-key-007")};
+  EvidenceId drive = locker.deposit("seized drive", to_bytes("drive bytes"),
+                                    "Officer Reed", SimTime::zero());
+};
+
+TEST(LockerTest, DepositCreatesRetrievableItem) {
+  LockerFixture f;
+  const auto* item = f.locker.find(f.drive);
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->description(), "seized drive");
+  EXPECT_EQ(f.locker.size(), 1u);
+}
+
+TEST(LockerTest, IdsAreSequentialAndDistinct) {
+  LockerFixture f;
+  const auto second = f.locker.deposit("phone", to_bytes("phone bytes"),
+                                       "Officer Reed", SimTime::zero());
+  EXPECT_NE(second, f.drive);
+  EXPECT_EQ(f.locker.size(), 2u);
+}
+
+TEST(LockerTest, FindByHashLocatesDuplicates) {
+  LockerFixture f;
+  (void)f.locker.deposit("copy of drive", to_bytes("drive bytes"),
+                         "Analyst Kim", SimTime::zero());
+  const auto hash = crypto::Sha256::hex(to_bytes("drive bytes"));
+  EXPECT_EQ(f.locker.find_by_hash(hash).size(), 2u);
+  EXPECT_TRUE(f.locker.find_by_hash(std::string(64, '0')).empty());
+}
+
+TEST(LockerTest, TransferAndExaminationExtendChain) {
+  LockerFixture f;
+  ASSERT_TRUE(
+      f.locker.transfer(f.drive, "Analyst Kim", "to lab", SimTime::from_sec(60))
+          .ok());
+  ASSERT_TRUE(f.locker
+                  .record_examination(f.drive, "Analyst Kim", "hash search",
+                                      SimTime::from_sec(120))
+                  .ok());
+  const auto* item = f.locker.find(f.drive);
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->chain().size(), 3u);  // seize + transfer + examine
+  EXPECT_TRUE(f.locker.all_verify());
+}
+
+TEST(LockerTest, OperationsOnUnknownIdFail) {
+  LockerFixture f;
+  EXPECT_EQ(f.locker.transfer(EvidenceId{99}, "x", "", SimTime::zero()).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      f.locker.record_examination(EvidenceId{99}, "x", "", SimTime::zero())
+          .code(),
+      StatusCode::kNotFound);
+  EXPECT_FALSE(f.locker.image(EvidenceId{99}, "x", SimTime::zero()).ok());
+}
+
+TEST(LockerTest, ImageCreatesSecondVerifyingItem) {
+  LockerFixture f;
+  const auto copy =
+      f.locker.image(f.drive, "Analyst Kim", SimTime::from_sec(30)).value();
+  EXPECT_NE(copy, f.drive);
+  EXPECT_EQ(f.locker.size(), 2u);
+  const auto* original = f.locker.find(f.drive);
+  const auto* duplicate = f.locker.find(copy);
+  ASSERT_NE(duplicate, nullptr);
+  EXPECT_EQ(duplicate->content_hash(), original->content_hash());
+  EXPECT_TRUE(f.locker.all_verify());
+}
+
+TEST(LockerTest, AuditFlagsTamperedItemOnly) {
+  LockerFixture f;
+  const auto phone = f.locker.deposit("phone", to_bytes("phone bytes"),
+                                      "Officer Reed", SimTime::zero());
+  f.locker.mutable_item_for_test(phone)->tamper_with_content_for_test(0, 0xEE);
+
+  const auto audit = f.locker.audit();
+  ASSERT_EQ(audit.size(), 2u);
+  EXPECT_TRUE(audit[0].status.ok());
+  EXPECT_FALSE(audit[1].status.ok());
+  EXPECT_FALSE(f.locker.all_verify());
+}
+
+}  // namespace
+}  // namespace lexfor::evidence

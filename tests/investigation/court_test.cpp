@@ -1,0 +1,117 @@
+#include "investigation/court.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::investigation {
+namespace {
+
+using legal::CrimeCategory;
+using legal::Fact;
+using legal::FactKind;
+using legal::ProcessKind;
+using legal::StandardOfProof;
+
+Application warrant_application(std::vector<Fact> facts) {
+  Application app;
+  app.requested = ProcessKind::kSearchWarrant;
+  app.facts = std::move(facts);
+  app.category = CrimeCategory::kChildExploitation;
+  app.scope.locations = {"suspect-home"};
+  app.scope.crime = "distribution of contraband";
+  return app;
+}
+
+TEST(CourtTest, GrantsWarrantOnProbableCause) {
+  Court court;
+  const auto ruling = court.adjudicate(
+      warrant_application({{FactKind::kIpAddressLinked, 5.0, "ip"},
+                           {FactKind::kSubscriberIdentified, 2.0, "isp"}}),
+      SimTime::zero());
+  EXPECT_TRUE(ruling.granted) << ruling.explanation;
+  EXPECT_EQ(ruling.process.kind, ProcessKind::kSearchWarrant);
+  EXPECT_EQ(ruling.assessment.standard, StandardOfProof::kProbableCause);
+  EXPECT_TRUE(ruling.process.id.valid());
+}
+
+TEST(CourtTest, DeniesWarrantOnMereSuspicion) {
+  Court court;
+  const auto ruling = court.adjudicate(
+      warrant_application({{FactKind::kAnonymousTip, 1.0, "tip"}}),
+      SimTime::zero());
+  EXPECT_FALSE(ruling.granted);
+  EXPECT_NE(ruling.explanation.find("denied"), std::string::npos);
+}
+
+TEST(CourtTest, GrantsSubpoenaOnMereSuspicion) {
+  Court court;
+  Application app;
+  app.requested = ProcessKind::kSubpoena;
+  app.facts = {{FactKind::kAnonymousTip, 1.0, "tip"}};
+  const auto ruling = court.adjudicate(app, SimTime::zero());
+  EXPECT_TRUE(ruling.granted) << ruling.explanation;
+}
+
+TEST(CourtTest, DeniesOverbroadWarrant) {
+  Court court;
+  Application app = warrant_application(
+      {{FactKind::kContrabandObserved, 0.0, "seen directly"}});
+  app.scope.crime.clear();  // no particularity
+  const auto ruling = court.adjudicate(app, SimTime::zero());
+  EXPECT_FALSE(ruling.granted);
+}
+
+TEST(CourtTest, MembershipAloneCannotGetWarrant) {
+  Court court;
+  const auto ruling = court.adjudicate(
+      warrant_application({{FactKind::kMembershipOnly, 1.0, "member list"}}),
+      SimTime::zero());
+  EXPECT_FALSE(ruling.granted);
+}
+
+TEST(CourtTest, StaleFactsDefeatTheApplicationForGeneralCrimes) {
+  Court court;
+  Application app = warrant_application(
+      {{FactKind::kIpAddressLinked, 400.0, "old"},
+       {FactKind::kSubscriberIdentified, 400.0, "old"}});
+  app.category = CrimeCategory::kFraud;  // staleness applies
+  const auto ruling = court.adjudicate(app, SimTime::zero());
+  EXPECT_FALSE(ruling.granted);
+}
+
+TEST(CourtTest, SameFactsNotStaleForChildExploitation) {
+  Court court;
+  const auto ruling = court.adjudicate(
+      warrant_application({{FactKind::kIpAddressLinked, 400.0, "old"},
+                           {FactKind::kSubscriberIdentified, 400.0, "old"}}),
+      SimTime::zero());
+  EXPECT_TRUE(ruling.granted) << ruling.explanation;
+}
+
+TEST(CourtTest, IssuedProcessCarriesTimestampAndIds) {
+  Court court;
+  const auto r1 = court.adjudicate(
+      warrant_application({{FactKind::kContrabandObserved, 0.0, "x"}}),
+      SimTime::from_sec(100));
+  const auto r2 = court.adjudicate(
+      warrant_application({{FactKind::kContrabandObserved, 0.0, "x"}}),
+      SimTime::from_sec(200));
+  ASSERT_TRUE(r1.granted);
+  ASSERT_TRUE(r2.granted);
+  EXPECT_EQ(r1.process.issued_at, SimTime::from_sec(100));
+  EXPECT_NE(r1.process.id, r2.process.id);
+}
+
+TEST(CourtTest, CountsApplicationsAndIssuances) {
+  Court court;
+  (void)court.adjudicate(
+      warrant_application({{FactKind::kAnonymousTip, 1.0, "weak"}}),
+      SimTime::zero());
+  (void)court.adjudicate(
+      warrant_application({{FactKind::kContrabandObserved, 0.0, "strong"}}),
+      SimTime::zero());
+  EXPECT_EQ(court.applications_heard(), 2u);
+  EXPECT_EQ(court.processes_issued(), 1u);
+}
+
+}  // namespace
+}  // namespace lexfor::investigation

@@ -1,0 +1,231 @@
+#include "investigation/investigation.h"
+
+#include <gtest/gtest.h>
+
+#include "legal/table1.h"
+
+namespace lexfor::investigation {
+namespace {
+
+using legal::CrimeCategory;
+using legal::Fact;
+using legal::FactKind;
+using legal::ProcessKind;
+using legal::Scenario;
+
+struct CaseFixture {
+  Court court;
+  Investigation inv{CaseId{1}, "op lexfor", CrimeCategory::kChildExploitation,
+                    court};
+
+  void add_probable_cause() {
+    inv.add_fact({FactKind::kIpAddressLinked, 3.0, "IP in server logs"});
+    inv.add_fact({FactKind::kSubscriberIdentified, 1.0, "ISP subpoena return"});
+  }
+
+  legal::ProcessScope home_scope() {
+    legal::ProcessScope s;
+    s.locations = {"suspect-home"};
+    s.crime = "distribution of contraband";
+    return s;
+  }
+};
+
+TEST(InvestigationTest, StandardRisesWithFacts) {
+  CaseFixture f;
+  EXPECT_EQ(f.inv.current_standard().standard, legal::StandardOfProof::kNone);
+  f.inv.add_fact({FactKind::kAnonymousTip, 0.0, "tip"});
+  EXPECT_EQ(f.inv.current_standard().standard,
+            legal::StandardOfProof::kMereSuspicion);
+  f.add_probable_cause();
+  EXPECT_EQ(f.inv.current_standard().standard,
+            legal::StandardOfProof::kProbableCause);
+}
+
+TEST(InvestigationTest, ApplyDeniedWithoutFacts) {
+  CaseFixture f;
+  const auto r =
+      f.inv.apply_for(ProcessKind::kSearchWarrant, f.home_scope(), SimTime::zero());
+  EXPECT_EQ(r.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(f.inv.rulings().size(), 1u);
+  EXPECT_FALSE(f.inv.rulings()[0].granted);
+}
+
+TEST(InvestigationTest, ApplyGrantedWithProbableCause) {
+  CaseFixture f;
+  f.add_probable_cause();
+  const auto r =
+      f.inv.apply_for(ProcessKind::kSearchWarrant, f.home_scope(), SimTime::zero());
+  ASSERT_TRUE(r.ok()) << r.status();
+  const auto* proc = f.inv.process(r.value());
+  ASSERT_NE(proc, nullptr);
+  EXPECT_EQ(proc->kind, ProcessKind::kSearchWarrant);
+}
+
+TEST(InvestigationTest, AuthorityResolvesHeldProcess) {
+  CaseFixture f;
+  f.add_probable_cause();
+  const auto id =
+      f.inv.apply_for(ProcessKind::kSearchWarrant, f.home_scope(), SimTime::zero())
+          .value();
+  EXPECT_EQ(f.inv.authority(id).kind(), ProcessKind::kSearchWarrant);
+  EXPECT_EQ(f.inv.authority(ProcessId{999}).kind(), ProcessKind::kNone);
+}
+
+TEST(InvestigationTest, BestAuthorityPicksStrongestInstrument) {
+  CaseFixture f;
+  f.add_probable_cause();
+  (void)f.inv.apply_for(ProcessKind::kSubpoena, {}, SimTime::zero()).value();
+  (void)f.inv.apply_for(ProcessKind::kSearchWarrant, f.home_scope(), SimTime::zero())
+      .value();
+  EXPECT_EQ(f.inv.best_authority().kind(), ProcessKind::kSearchWarrant);
+}
+
+TEST(InvestigationTest, BestAuthorityEmptyWhenNothingHeld) {
+  CaseFixture f;
+  EXPECT_EQ(f.inv.best_authority().kind(), ProcessKind::kNone);
+}
+
+TEST(InvestigationTest, LawfulAcquisitionRecordedAsAdmissible) {
+  CaseFixture f;
+  f.add_probable_cause();
+  const auto pid =
+      f.inv.apply_for(ProcessKind::kSearchWarrant, f.home_scope(), SimTime::zero())
+          .value();
+
+  // Searching the suspect's device with the warrant.
+  const auto outcome = f.inv.acquire(
+      Scenario{}
+          .named("device search")
+          .acquiring(legal::DataKind::kContent)
+          .located(legal::DataState::kOnDevice)
+          .when(legal::Timing::kStored),
+      "laptop contents", f.inv.authority(pid));
+  EXPECT_TRUE(outcome.lawful);
+
+  const auto audit = f.inv.admissibility_audit();
+  EXPECT_EQ(audit.suppressed_count, 0u);
+  EXPECT_FALSE(audit.is_suppressed(outcome.evidence));
+}
+
+TEST(InvestigationTest, WarrantlessDeviceSearchGetsSuppressed) {
+  CaseFixture f;
+  const auto outcome = f.inv.acquire(
+      Scenario{}
+          .named("warrantless device search")
+          .acquiring(legal::DataKind::kContent)
+          .located(legal::DataState::kOnDevice)
+          .when(legal::Timing::kStored),
+      "laptop contents", legal::GrantedAuthority{});
+  EXPECT_FALSE(outcome.lawful);
+  EXPECT_TRUE(f.inv.admissibility_audit().is_suppressed(outcome.evidence));
+}
+
+TEST(InvestigationTest, FruitOfPoisonousTreeFlowsThroughDerivedEvidence) {
+  CaseFixture f;
+  // Unlawful root.
+  const auto root = f.inv.acquire(
+      Scenario{}
+          .acquiring(legal::DataKind::kContent)
+          .located(legal::DataState::kOnDevice),
+      "warrantless image", legal::GrantedAuthority{});
+  // Lawful in itself, but derived from the root.
+  const auto derived = f.inv.acquire(
+      Scenario{}
+          .acquiring(legal::DataKind::kContent)
+          .located(legal::DataState::kPublicVenue)
+          .exposed_publicly(),
+      "public records matched against the image", legal::GrantedAuthority{},
+      {root.evidence});
+  const auto audit = f.inv.admissibility_audit();
+  EXPECT_TRUE(audit.is_suppressed(root.evidence));
+  EXPECT_TRUE(audit.is_suppressed(derived.evidence));
+}
+
+TEST(InvestigationTest, ProcessFreeAcquisitionIsAlwaysLawful) {
+  CaseFixture f;
+  const auto outcome = f.inv.acquire(
+      legal::table1::scene(10).scenario,  // anonymous P2P public info
+      "P2P timing observations", legal::GrantedAuthority{});
+  EXPECT_TRUE(outcome.lawful);
+  EXPECT_FALSE(f.inv.admissibility_audit().is_suppressed(outcome.evidence));
+}
+
+// End-to-end: the paper's §IV.A investigation pattern — process-free
+// observation produces facts; facts support a warrant; the warrant makes
+// the device search admissible.
+TEST(InvestigationIntegrationTest, ObserveThenWarrantThenSearch) {
+  CaseFixture f;
+
+  // Step 1: process-free P2P observation.
+  const auto p2p = f.inv.acquire(legal::table1::scene(10).scenario,
+                                 "timing probes identify source IP",
+                                 legal::GrantedAuthority{});
+  ASSERT_TRUE(p2p.lawful);
+  f.inv.add_fact({FactKind::kIpAddressLinked, 0.0, "source IP from probes"});
+
+  // Step 2: subpoena the ISP for the subscriber.
+  const auto sub_id =
+      f.inv.apply_for(ProcessKind::kSubpoena, {}, SimTime::zero()).value();
+  const auto subscriber = f.inv.acquire(
+      Scenario{}
+          .named("subscriber records")
+          .acquiring(legal::DataKind::kSubscriberRecords)
+          .located(legal::DataState::kStoredAtProvider)
+          .when(legal::Timing::kStored)
+          .at_provider(legal::ProviderClass::kEcs),
+      "ISP subscriber return", f.inv.authority(sub_id), {p2p.evidence});
+  ASSERT_TRUE(subscriber.lawful);
+  f.inv.add_fact({FactKind::kSubscriberIdentified, 0.0, "ISP return"});
+
+  // Step 3: warrant for the home search.
+  const auto warrant_id =
+      f.inv.apply_for(ProcessKind::kSearchWarrant, f.home_scope(),
+                      SimTime::from_sec(3600))
+          .value();
+  const auto device = f.inv.acquire(
+      Scenario{}
+          .named("home computer search")
+          .acquiring(legal::DataKind::kContent)
+          .located(legal::DataState::kOnDevice)
+          .when(legal::Timing::kStored),
+      "laptop search", f.inv.authority(warrant_id),
+      {p2p.evidence, subscriber.evidence});
+  ASSERT_TRUE(device.lawful);
+
+  const auto audit = f.inv.admissibility_audit();
+  EXPECT_EQ(audit.suppressed_count, 0u);
+  EXPECT_EQ(audit.admissible_count, 3u);
+}
+
+}  // namespace
+}  // namespace lexfor::investigation
+
+// --- standing-aware motions -----------------------------------------------
+
+namespace lexfor::investigation {
+namespace {
+
+TEST(MotionTest, MotionRespectsStanding) {
+  Court court;
+  Investigation inv(CaseId{55}, "two-defendant case",
+                    legal::CrimeCategory::kFraud, court);
+
+  // Unlawful search of ALICE's office produces evidence against both.
+  const auto alice_docs = inv.acquire(
+      legal::Scenario{}
+          .acquiring(legal::DataKind::kContent)
+          .located(legal::DataState::kOnDevice)
+          .when(legal::Timing::kStored),
+      "warrantless search of Alice's office", legal::GrantedAuthority{},
+      /*derived_from=*/{}, /*aggrieved_party=*/"alice");
+
+  // Alice suppresses it; Bob cannot.
+  EXPECT_TRUE(inv.motion_to_suppress("alice").is_suppressed(alice_docs.evidence));
+  EXPECT_FALSE(inv.motion_to_suppress("bob").is_suppressed(alice_docs.evidence));
+  // The general audit (no movant) still shows the violation.
+  EXPECT_TRUE(inv.admissibility_audit().is_suppressed(alice_docs.evidence));
+}
+
+}  // namespace
+}  // namespace lexfor::investigation

@@ -1,0 +1,104 @@
+#include "investigation/report.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::investigation {
+namespace {
+
+using legal::CrimeCategory;
+using legal::FactKind;
+using legal::ProcessKind;
+using legal::Scenario;
+
+struct ReportFixture {
+  Court court;
+  Investigation inv{CaseId{42}, "operation paper trail",
+                    CrimeCategory::kFraud, court};
+};
+
+TEST(ReportTest, EmptyCaseReportsPlaceholders) {
+  ReportFixture f;
+  const auto report = case_report(f.inv);
+  EXPECT_NE(report.find("operation paper trail"), std::string::npos);
+  EXPECT_NE(report.find("(no facts on record)"), std::string::npos);
+  EXPECT_NE(report.find("## Process applications"), std::string::npos);
+}
+
+TEST(ReportTest, FactsAndStandardAppear) {
+  ReportFixture f;
+  f.inv.add_fact({FactKind::kWitnessStatement, 3.0, "teller statement"});
+  const auto report = case_report(f.inv);
+  EXPECT_NE(report.find("teller statement"), std::string::npos);
+  EXPECT_NE(report.find("mere suspicion"), std::string::npos);
+}
+
+TEST(ReportTest, DeniedApplicationsAreShown) {
+  ReportFixture f;
+  legal::ProcessScope scope;
+  scope.locations = {"office"};
+  scope.crime = "fraud";
+  (void)f.inv.apply_for(ProcessKind::kSearchWarrant, scope, SimTime::zero());
+  const auto report = case_report(f.inv);
+  EXPECT_NE(report.find("DENIED"), std::string::npos);
+}
+
+TEST(ReportTest, GrantedProcessAndAcquisitionsAppear) {
+  ReportFixture f;
+  f.inv.add_fact({FactKind::kContrabandObserved, 0.0, "ledger in plain sight"});
+  legal::ProcessScope scope;
+  scope.locations = {"office"};
+  scope.crime = "fraud";
+  const auto id =
+      f.inv.apply_for(ProcessKind::kSearchWarrant, scope, SimTime::zero())
+          .value();
+  (void)f.inv.acquire(Scenario{}
+                          .acquiring(legal::DataKind::kContent)
+                          .located(legal::DataState::kOnDevice),
+                      "office workstation image", f.inv.authority(id));
+  const auto report = case_report(f.inv);
+  EXPECT_NE(report.find("GRANTED"), std::string::npos);
+  EXPECT_NE(report.find("office workstation image"), std::string::npos);
+  EXPECT_NE(report.find("(lawful)"), std::string::npos);
+}
+
+TEST(ReportTest, UnlawfulAcquisitionsAreFlagged) {
+  ReportFixture f;
+  (void)f.inv.acquire(Scenario{}
+                          .acquiring(legal::DataKind::kContent)
+                          .located(legal::DataState::kOnDevice),
+                      "warrantless grab", legal::GrantedAuthority{});
+  const auto report = case_report(f.inv);
+  EXPECT_NE(report.find("UNLAWFUL"), std::string::npos);
+  EXPECT_NE(report.find("SUPPRESSED"), std::string::npos);
+}
+
+TEST(ReportTest, DerivationEdgesAreListed) {
+  ReportFixture f;
+  const auto root = f.inv.acquire(Scenario{}
+                                      .acquiring(legal::DataKind::kContent)
+                                      .located(legal::DataState::kPublicVenue)
+                                      .exposed_publicly(),
+                                  "public post", legal::GrantedAuthority{});
+  (void)f.inv.acquire(Scenario{}
+                          .acquiring(legal::DataKind::kContent)
+                          .located(legal::DataState::kPublicVenue)
+                          .exposed_publicly(),
+                      "follow-up", legal::GrantedAuthority{},
+                      {root.evidence});
+  const auto report = case_report(f.inv);
+  EXPECT_NE(report.find("derived from #1"), std::string::npos);
+}
+
+TEST(ReportTest, SuppressionReportIsSubsetOfCaseReport) {
+  ReportFixture f;
+  (void)f.inv.acquire(Scenario{}
+                          .acquiring(legal::DataKind::kContent)
+                          .located(legal::DataState::kOnDevice),
+                      "grab", legal::GrantedAuthority{});
+  const auto sub = suppression_report(f.inv);
+  const auto full = case_report(f.inv);
+  EXPECT_NE(full.find(sub), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lexfor::investigation

@@ -1,0 +1,138 @@
+#include "legal/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "legal/table1.h"
+
+namespace lexfor::legal {
+namespace {
+
+FeasibilityAnalyzer analyzer;
+
+// The paper's §IV.A technique: probe an anonymous P2P overlay.
+Technique p2p_technique() {
+  Technique t;
+  t.name = "anonymous P2P timing attack";
+  t.steps.push_back({"join overlay and issue queries",
+                     table1::scene(10).scenario});
+  t.steps.push_back({"measure response delays of replies received",
+                     Scenario{}
+                         .acquiring(DataKind::kContent)
+                         .located(DataState::kPublicVenue)
+                         .when(Timing::kStored)
+                         .exposed_publicly()
+                         .delivered()});
+  return t;
+}
+
+// The paper's §IV.B technique: DSSS watermark traceback.
+Technique watermark_technique() {
+  Technique t;
+  t.name = "PN-code DSSS watermark traceback";
+  t.steps.push_back({"modulate seized server's transmission rate",
+                     Scenario{}
+                         .acquiring(DataKind::kContent)
+                         .located(DataState::kOnDevice)
+                         .when(Timing::kStored)
+                         .with_consent(ConsentKind::kOwnerConsent)});
+  t.steps.push_back({"collect per-flow rates at the suspect's ISP",
+                     Scenario{}
+                         .acquiring(DataKind::kAddressing)
+                         .located(DataState::kInTransit)
+                         .when(Timing::kRealTime)});
+  return t;
+}
+
+// A naive technique that intercepts full content.
+Technique naive_technique() {
+  Technique t;
+  t.name = "full-content interception";
+  t.steps.push_back({"sniff entire packets at the ISP",
+                     Scenario{}
+                         .acquiring(DataKind::kContent)
+                         .located(DataState::kInTransit)
+                         .when(Timing::kRealTime)});
+  return t;
+}
+
+TEST(AnalysisTest, P2pTechniqueWorkableWithoutProcess) {
+  // §IV.A: "such kinds of attack can be directly used in criminal
+  // investigations ahead of a warrant/court order/subpoena."
+  const auto report = analyzer.analyze(p2p_technique());
+  EXPECT_EQ(report.feasibility, Feasibility::kWorkableWithoutProcess)
+      << report.summary();
+  EXPECT_EQ(report.bottleneck, ProcessKind::kNone);
+}
+
+TEST(AnalysisTest, WatermarkTechniqueWorkableWithCourtOrder) {
+  // §IV.B: "workable and legal ... a court order should be good enough."
+  const auto report = analyzer.analyze(watermark_technique());
+  EXPECT_EQ(report.feasibility, Feasibility::kWorkableWithProcess)
+      << report.summary();
+  EXPECT_EQ(report.bottleneck, ProcessKind::kCourtOrder);
+  EXPECT_EQ(report.bottleneck_step, "collect per-flow rates at the suspect's ISP");
+}
+
+TEST(AnalysisTest, FullContentInterceptionIsImpractical) {
+  const auto report = analyzer.analyze(naive_technique());
+  EXPECT_EQ(report.feasibility, Feasibility::kImpractical);
+  EXPECT_EQ(report.bottleneck, ProcessKind::kWiretapOrder);
+}
+
+TEST(AnalysisTest, WiretapBoundStepGetsRedesignGuidance) {
+  const auto report = analyzer.analyze(naive_technique());
+  bool has_pivot_advice = false;
+  for (const auto& r : report.recommendations) {
+    has_pivot_advice =
+        has_pivot_advice || r.find("addressing/size") != std::string::npos;
+  }
+  EXPECT_TRUE(has_pivot_advice) << report.summary();
+}
+
+TEST(AnalysisTest, StepsAreAnalyzedInOrderWithDeterminations) {
+  const auto report = analyzer.analyze(watermark_technique());
+  ASSERT_EQ(report.steps.size(), 2u);
+  EXPECT_EQ(report.steps[0].step_name,
+            "modulate seized server's transmission rate");
+  EXPECT_FALSE(report.steps[0].determination.needs_process);
+  EXPECT_TRUE(report.steps[1].determination.needs_process);
+}
+
+TEST(AnalysisTest, EmptyTechniqueIsTriviallyProcessFree) {
+  const auto report = analyzer.analyze(Technique{"noop", {}});
+  EXPECT_EQ(report.feasibility, Feasibility::kWorkableWithoutProcess);
+  EXPECT_TRUE(report.steps.empty());
+}
+
+TEST(AnalysisTest, SummaryContainsVerdictsAndBottleneck) {
+  const auto report = analyzer.analyze(watermark_technique());
+  const auto s = report.summary();
+  EXPECT_NE(s.find("workable with warrant/court order/subpoena"),
+            std::string::npos);
+  EXPECT_NE(s.find("court order"), std::string::npos);
+  EXPECT_NE(s.find("No need"), std::string::npos);
+}
+
+TEST(AnalysisTest, BottleneckIsMaxAcrossSteps) {
+  Technique t;
+  t.name = "mixed";
+  t.steps.push_back({"free", table1::scene(10).scenario});
+  t.steps.push_back({"subpoena-bound",
+                     Scenario{}
+                         .acquiring(DataKind::kSubscriberRecords)
+                         .located(DataState::kStoredAtProvider)
+                         .when(Timing::kStored)
+                         .at_provider(ProviderClass::kEcs)});
+  t.steps.push_back({"warrant-bound",
+                     Scenario{}
+                         .acquiring(DataKind::kContent)
+                         .located(DataState::kOnDevice)
+                         .when(Timing::kStored)});
+  const auto report = analyzer.analyze(t);
+  EXPECT_EQ(report.bottleneck, ProcessKind::kSearchWarrant);
+  EXPECT_EQ(report.bottleneck_step, "warrant-bound");
+  EXPECT_EQ(report.feasibility, Feasibility::kWorkableWithProcess);
+}
+
+}  // namespace
+}  // namespace lexfor::legal

@@ -1,0 +1,70 @@
+#include "legal/caselaw.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lexfor::legal {
+namespace {
+
+TEST(CaseLawTest, DatabaseIsNonTrivial) {
+  EXPECT_GE(case_law_database().size(), 40u);
+}
+
+TEST(CaseLawTest, IdsAreUnique) {
+  std::set<std::string> ids;
+  for (const auto& c : case_law_database()) {
+    EXPECT_TRUE(ids.insert(c.id).second) << "duplicate id " << c.id;
+  }
+}
+
+TEST(CaseLawTest, EveryEntryIsComplete) {
+  for (const auto& c : case_law_database()) {
+    EXPECT_FALSE(c.id.empty());
+    EXPECT_FALSE(c.name.empty()) << c.id;
+    EXPECT_FALSE(c.citation.empty()) << c.id;
+    EXPECT_GT(c.year, 1900) << c.id;
+    EXPECT_LE(c.year, 2012) << c.id;  // nothing postdates the paper
+    EXPECT_FALSE(c.holding.empty()) << c.id;
+    EXPECT_FALSE(c.doctrines.empty()) << c.id;
+  }
+}
+
+TEST(CaseLawTest, FindCaseResolvesKnownIds) {
+  const auto katz = find_case("katz-1967");
+  ASSERT_TRUE(katz.has_value());
+  EXPECT_EQ(katz->name, "Katz v. United States");
+  EXPECT_EQ(katz->year, 1967);
+}
+
+TEST(CaseLawTest, FindCaseReturnsNulloptForUnknown) {
+  EXPECT_FALSE(find_case("made-up-2099").has_value());
+}
+
+TEST(CaseLawTest, CasesForDoctrineFindsSupport) {
+  const auto rep = cases_for(Doctrine::kReasonableExpectationOfPrivacy);
+  EXPECT_FALSE(rep.empty());
+  bool has_katz = false;
+  for (const auto& c : rep) has_katz = has_katz || c.id == "katz-1967";
+  EXPECT_TRUE(has_katz);
+}
+
+TEST(CaseLawTest, KeyDoctrinesAllHaveSupport) {
+  for (const auto d :
+       {Doctrine::kThirdPartyDoctrine, Doctrine::kClosedContainer,
+        Doctrine::kSenseEnhancingTech, Doctrine::kConsent,
+        Doctrine::kProbableCauseIp, Doctrine::kStaleness,
+        Doctrine::kWiretapIntercept, Doctrine::kHashSearchIsSearch,
+        Doctrine::kMiningLawfulData}) {
+    EXPECT_FALSE(cases_for(d).empty());
+  }
+}
+
+TEST(CaseLawTest, FormatCitationIncludesNameCiteYear) {
+  const auto katz = find_case("katz-1967");
+  ASSERT_TRUE(katz.has_value());
+  EXPECT_EQ(format_citation(*katz), "Katz v. United States, 389 U.S. 347 (1967)");
+}
+
+}  // namespace
+}  // namespace lexfor::legal

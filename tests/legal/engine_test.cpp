@@ -1,0 +1,153 @@
+#include "legal/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::legal {
+namespace {
+
+ComplianceEngine engine;
+
+TEST(EngineTest, WiretapBeatsPenTrapWhenBothRegimesTouched) {
+  // Full-packet capture acquires content; the composed requirement is the
+  // Title III order, the strictest applicable instrument.
+  const auto d = engine.evaluate(Scenario{}
+                                     .named("full packet capture at ISP")
+                                     .acquiring(DataKind::kContent)
+                                     .located(DataState::kInTransit)
+                                     .when(Timing::kRealTime));
+  EXPECT_EQ(d.required_process, ProcessKind::kWiretapOrder);
+  EXPECT_EQ(d.required_proof, StandardOfProof::kProbableCausePlus);
+}
+
+TEST(EngineTest, SubscriberRecordsNeedOnlySubpoena) {
+  const auto d = engine.evaluate(Scenario{}
+                                     .acquiring(DataKind::kSubscriberRecords)
+                                     .located(DataState::kStoredAtProvider)
+                                     .when(Timing::kStored)
+                                     .at_provider(ProviderClass::kEcs));
+  EXPECT_TRUE(d.needs_process);
+  EXPECT_EQ(d.required_process, ProcessKind::kSubpoena);
+  EXPECT_EQ(d.required_proof, StandardOfProof::kMereSuspicion);
+}
+
+TEST(EngineTest, StoredContentAtPublicProviderNeedsWarrant) {
+  const auto d = engine.evaluate(Scenario{}
+                                     .acquiring(DataKind::kContent)
+                                     .located(DataState::kStoredAtProvider)
+                                     .when(Timing::kStored)
+                                     .at_provider(ProviderClass::kRcs));
+  EXPECT_EQ(d.required_process, ProcessKind::kSearchWarrant);
+}
+
+TEST(EngineTest, DeterminationReportContainsVerdictAndCitations) {
+  const auto d = engine.evaluate(Scenario{}
+                                     .named("device search")
+                                     .acquiring(DataKind::kContent)
+                                     .located(DataState::kOnDevice)
+                                     .when(Timing::kStored));
+  const std::string report = d.report();
+  EXPECT_NE(report.find("device search"), std::string::npos);
+  EXPECT_NE(report.find("Need"), std::string::npos);
+  EXPECT_NE(report.find("Citations"), std::string::npos);
+}
+
+TEST(EngineTest, VerdictStringMatchesNeedsProcess) {
+  const auto need = engine.evaluate(
+      Scenario{}.acquiring(DataKind::kContent).located(DataState::kOnDevice));
+  EXPECT_EQ(need.verdict(), "Need");
+  const auto no_need = engine.evaluate(Scenario{}
+                                           .acquiring(DataKind::kContent)
+                                           .located(DataState::kPublicVenue)
+                                           .exposed_publicly());
+  EXPECT_EQ(no_need.verdict(), "No need");
+}
+
+TEST(EngineTest, EvaluationIsDeterministic) {
+  const Scenario s = Scenario{}
+                         .acquiring(DataKind::kAddressing)
+                         .located(DataState::kInTransit)
+                         .when(Timing::kRealTime);
+  const auto a = engine.evaluate(s);
+  const auto b = engine.evaluate(s);
+  EXPECT_EQ(a.needs_process, b.needs_process);
+  EXPECT_EQ(a.required_process, b.required_process);
+  EXPECT_EQ(a.rationale, b.rationale);
+  EXPECT_EQ(a.citations, b.citations);
+}
+
+TEST(EngineTest, CitationsAreDeduplicated) {
+  const auto d = engine.evaluate(Scenario{}
+                                     .acquiring(DataKind::kAddressing)
+                                     .located(DataState::kInTransit)
+                                     .when(Timing::kRealTime));
+  for (std::size_t i = 0; i < d.citations.size(); ++i) {
+    for (std::size_t j = i + 1; j < d.citations.size(); ++j) {
+      EXPECT_NE(d.citations[i], d.citations[j]);
+    }
+  }
+}
+
+// Property sweep: adding an excusing circumstance can only weaken (or
+// keep) the required process, never strengthen it.
+class MonotonicityTest
+    : public ::testing::TestWithParam<std::tuple<DataKind, DataState, Timing>> {};
+
+TEST_P(MonotonicityTest, ConsentNeverIncreasesRequiredProcess) {
+  const auto [kind, state, timing] = GetParam();
+  Scenario base = Scenario{}.acquiring(kind).located(state).when(timing);
+  if (state == DataState::kStoredAtProvider) {
+    base.at_provider(ProviderClass::kEcs);
+  }
+  const auto without = engine.evaluate(base);
+
+  Scenario with = base;
+  with.with_consent(ConsentKind::kPolicyBanner);
+  const auto d = engine.evaluate(with);
+
+  EXPECT_LE(static_cast<int>(d.required_process),
+            static_cast<int>(without.required_process))
+      << "kind=" << to_string(kind) << " state=" << to_string(state)
+      << " timing=" << to_string(timing);
+}
+
+TEST_P(MonotonicityTest, PublicExposureNeverIncreasesRequiredProcess) {
+  const auto [kind, state, timing] = GetParam();
+  Scenario base = Scenario{}.acquiring(kind).located(state).when(timing);
+  if (state == DataState::kStoredAtProvider) {
+    base.at_provider(ProviderClass::kEcs);
+  }
+  const auto without = engine.evaluate(base);
+
+  Scenario with = base;
+  with.exposed_publicly().publicly_accessible();
+  const auto d = engine.evaluate(with);
+
+  EXPECT_LE(static_cast<int>(d.required_process),
+            static_cast<int>(without.required_process));
+}
+
+TEST_P(MonotonicityTest, PrivateActorNeverNeedsMoreThanGovernment) {
+  const auto [kind, state, timing] = GetParam();
+  Scenario gov = Scenario{}.acquiring(kind).located(state).when(timing);
+  if (state == DataState::kStoredAtProvider) gov.at_provider(ProviderClass::kEcs);
+  Scenario priv = gov;
+  priv.by(ActorKind::kProviderAdmin);
+
+  const auto dg = engine.evaluate(gov);
+  const auto dp = engine.evaluate(priv);
+  EXPECT_LE(static_cast<int>(dp.required_process),
+            static_cast<int>(dg.required_process));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, MonotonicityTest,
+    ::testing::Combine(
+        ::testing::Values(DataKind::kContent, DataKind::kAddressing,
+                          DataKind::kSubscriberRecords,
+                          DataKind::kTransactionalRecords),
+        ::testing::Values(DataState::kInTransit, DataState::kStoredAtProvider,
+                          DataState::kOnDevice, DataState::kPublicVenue),
+        ::testing::Values(Timing::kRealTime, Timing::kStored)));
+
+}  // namespace
+}  // namespace lexfor::legal

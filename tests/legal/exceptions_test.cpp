@@ -1,0 +1,245 @@
+#include "legal/exceptions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lexfor::legal {
+namespace {
+
+std::vector<ExceptionFinding> run(const Scenario& s) {
+  const auto rep = analyze_rep(s);
+  const auto statutes = analyze_statutes(s, rep);
+  return applicable_exceptions(s, rep, statutes);
+}
+
+const ExceptionFinding* find_kind(const std::vector<ExceptionFinding>& fs,
+                                  ExceptionKind k) {
+  const auto it = std::find_if(fs.begin(), fs.end(),
+                               [&](const auto& f) { return f.kind == k; });
+  return it == fs.end() ? nullptr : &*it;
+}
+
+TEST(ExceptionsTest, PrivatePartySearchIsPrivateSearch) {
+  const auto fs = run(Scenario{}
+                          .by(ActorKind::kPrivateParty)
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kOnDevice));
+  const auto* f = find_kind(fs, ExceptionKind::kPrivateSearch);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->excuses_fourth);
+}
+
+TEST(ExceptionsTest, ProviderAdminAlsoEscapesWiretap) {
+  const auto fs = run(Scenario{}
+                          .by(ActorKind::kProviderAdmin)
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kInTransit)
+                          .when(Timing::kRealTime));
+  const auto* f = find_kind(fs, ExceptionKind::kPrivateSearch);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->excuses_wiretap);
+  EXPECT_TRUE(f->excuses_pen_trap);
+}
+
+TEST(ExceptionsTest, GovernmentAgentGetsNoPrivateSearch) {
+  const auto fs = run(Scenario{}
+                          .by(ActorKind::kPrivateParty)
+                          .under_color_of_law()
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kOnDevice));
+  EXPECT_EQ(find_kind(fs, ExceptionKind::kPrivateSearch), nullptr);
+}
+
+TEST(ExceptionsTest, OnePartyConsentExcusesWiretapAndFourth) {
+  // 2511(2)(c) plus the misplaced-confidence doctrine (Hoffa): the
+  // non-consenting party assumed the risk of disclosure.
+  const auto fs = run(Scenario{}
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kInTransit)
+                          .when(Timing::kRealTime)
+                          .with_consent(ConsentKind::kOnePartyToComm));
+  const auto* f = find_kind(fs, ExceptionKind::kConsent);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->excuses_wiretap);
+  EXPECT_TRUE(f->excuses_fourth);
+  EXPECT_FALSE(f->excuses_sca);
+}
+
+TEST(ExceptionsTest, RevokedConsentDoesNotApply) {
+  const auto fs = run(Scenario{}
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kOnDevice)
+                          .with_consent(ConsentKind::kOwnerConsent)
+                          .revoked());
+  EXPECT_EQ(find_kind(fs, ExceptionKind::kConsent), nullptr);
+}
+
+TEST(ExceptionsTest, TrespasserExceptionRequiresVictimConsentOnVictimSystem) {
+  const auto fs = run(Scenario{}
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kInTransit)
+                          .when(Timing::kRealTime)
+                          .with_consent(ConsentKind::kVictimOfAttack)
+                          .on_victim_system());
+  const auto* f = find_kind(fs, ExceptionKind::kComputerTrespasser);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->excuses_wiretap);
+}
+
+TEST(ExceptionsTest, TrespasserExceptionNeverReachesAttackerMachine) {
+  const auto fs = run(Scenario{}
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kOnDevice)
+                          .with_consent(ConsentKind::kVictimOfAttack)
+                          .on_victim_system()
+                          .reaching_attacker());
+  EXPECT_EQ(find_kind(fs, ExceptionKind::kComputerTrespasser), nullptr);
+  const auto* consent = find_kind(fs, ExceptionKind::kConsent);
+  ASSERT_NE(consent, nullptr);
+  EXPECT_FALSE(consent->excuses_fourth);
+}
+
+TEST(ExceptionsTest, PublicAccessibilityExcusesInterception) {
+  const auto fs = run(Scenario{}
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kInTransit)
+                          .when(Timing::kRealTime)
+                          .publicly_accessible());
+  const auto* f = find_kind(fs, ExceptionKind::kAccessibleToPublic);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->excuses_wiretap);
+  EXPECT_TRUE(f->excuses_pen_trap);
+}
+
+TEST(ExceptionsTest, ExigencyExcusesFourthOnly) {
+  const auto fs = run(Scenario{}
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kOnDevice)
+                          .exigent());
+  const auto* f = find_kind(fs, ExceptionKind::kExigentCircumstances);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->excuses_fourth);
+  EXPECT_FALSE(f->excuses_wiretap);
+}
+
+TEST(ExceptionsTest, PlainViewApplies) {
+  const auto fs = run(Scenario{}
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kOnDevice)
+                          .plain_view());
+  EXPECT_NE(find_kind(fs, ExceptionKind::kPlainView), nullptr);
+}
+
+TEST(ExceptionsTest, ProbationersHaveDiminishedProtection) {
+  const auto fs = run(Scenario{}
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kOnDevice)
+                          .probationer());
+  const auto* f = find_kind(fs, ExceptionKind::kProbationParole);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->excuses_fourth);
+}
+
+TEST(ExceptionsTest, EmergencyPenTrapOnlyWhenPenTrapApplies) {
+  // Real-time addressing: the statute applies, emergency excuses it.
+  const auto with = run(Scenario{}
+                            .acquiring(DataKind::kAddressing)
+                            .located(DataState::kInTransit)
+                            .when(Timing::kRealTime)
+                            .pen_trap_emergency());
+  EXPECT_NE(find_kind(with, ExceptionKind::kEmergencyPenTrap), nullptr);
+
+  // Stored content: pen/trap inapplicable; the emergency flag is moot.
+  const auto without = run(Scenario{}
+                               .acquiring(DataKind::kContent)
+                               .located(DataState::kOnDevice)
+                               .when(Timing::kStored)
+                               .pen_trap_emergency());
+  EXPECT_EQ(find_kind(without, ExceptionKind::kEmergencyPenTrap), nullptr);
+}
+
+TEST(ExceptionsTest, NoRepFindingCarriesRepCitations) {
+  const auto fs = run(Scenario{}
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kPublicVenue)
+                          .exposed_publicly());
+  const auto* f =
+      find_kind(fs, ExceptionKind::kNoReasonableExpectationOfPrivacy);
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->citations.empty());
+}
+
+TEST(ExceptionsTest, PolicyBannerExcusesEverything) {
+  const auto fs = run(Scenario{}
+                          .acquiring(DataKind::kContent)
+                          .located(DataState::kInTransit)
+                          .when(Timing::kRealTime)
+                          .with_consent(ConsentKind::kPolicyBanner));
+  const auto* f = find_kind(fs, ExceptionKind::kConsent);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->excuses_everything());
+}
+
+}  // namespace
+}  // namespace lexfor::legal
+
+// --- consent scope (Trulock) --------------------------------------------
+#include "legal/engine.h"
+
+namespace lexfor::legal {
+namespace {
+
+TEST(ConsentScopeTest, CoUserConsentStopsAtPasswordProtectedAreas) {
+  const auto open = run(Scenario{}
+                            .acquiring(DataKind::kContent)
+                            .located(DataState::kOnDevice)
+                            .with_consent(ConsentKind::kCoUserSharedSpace));
+  const auto* f_open = find_kind(open, ExceptionKind::kConsent);
+  ASSERT_NE(f_open, nullptr);
+  EXPECT_TRUE(f_open->excuses_fourth);
+
+  const auto locked = run(Scenario{}
+                              .acquiring(DataKind::kContent)
+                              .located(DataState::kOnDevice)
+                              .with_consent(ConsentKind::kCoUserSharedSpace)
+                              .password_protected());
+  const auto* f_locked = find_kind(locked, ExceptionKind::kConsent);
+  ASSERT_NE(f_locked, nullptr);
+  EXPECT_FALSE(f_locked->excuses_fourth);
+}
+
+TEST(ConsentScopeTest, SpouseConsentAlsoLimited) {
+  const auto locked = run(Scenario{}
+                              .acquiring(DataKind::kContent)
+                              .located(DataState::kOnDevice)
+                              .with_consent(ConsentKind::kSpouseConsent)
+                              .password_protected());
+  const auto* f = find_kind(locked, ExceptionKind::kConsent);
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->excuses_fourth);
+}
+
+TEST(ConsentScopeTest, OwnerConsentUnaffectedByPasswordFlag) {
+  const auto d = ComplianceEngine{}.evaluate(
+      Scenario{}
+          .acquiring(DataKind::kContent)
+          .located(DataState::kOnDevice)
+          .with_consent(ConsentKind::kOwnerConsent)
+          .password_protected());
+  EXPECT_FALSE(d.needs_process);
+}
+
+TEST(ConsentScopeTest, EngineRequiresWarrantForLockedAreaDespiteCoUserConsent) {
+  const auto d = ComplianceEngine{}.evaluate(
+      Scenario{}
+          .acquiring(DataKind::kContent)
+          .located(DataState::kOnDevice)
+          .with_consent(ConsentKind::kCoUserSharedSpace)
+          .password_protected());
+  EXPECT_TRUE(d.needs_process);
+  EXPECT_EQ(d.required_process, ProcessKind::kSearchWarrant);
+}
+
+}  // namespace
+}  // namespace lexfor::legal

@@ -1,0 +1,113 @@
+#include "legal/exigency.h"
+
+#include <gtest/gtest.h>
+
+#include "legal/engine.h"
+
+namespace lexfor::legal {
+namespace {
+
+TEST(ExigencyTest, NoFactorsNoExigency) {
+  const auto f = assess_exigency({});
+  EXPECT_FALSE(f.exigency_exists);
+  EXPECT_FALSE(f.justifies_search);
+  EXPECT_FALSE(f.justifies_seizure);
+  EXPECT_FALSE(f.rationale.empty());
+}
+
+TEST(ExigencyTest, ImminentDestructionJustifiesSearchAndSeizure) {
+  ExigencyFactors factors;
+  factors.evidence_destruction_imminent = true;
+  const auto f = assess_exigency(factors);
+  EXPECT_TRUE(f.exigency_exists);
+  EXPECT_TRUE(f.justifies_search);
+  EXPECT_TRUE(f.justifies_seizure);
+}
+
+TEST(ExigencyTest, DeviceVolatilityFactorsCount) {
+  for (const auto setter :
+       {+[](ExigencyFactors& x) { x.remote_wipe_possible = true; },
+        +[](ExigencyFactors& x) { x.auto_delete_timer = true; },
+        +[](ExigencyFactors& x) { x.battery_dying = true; },
+        +[](ExigencyFactors& x) { x.incoming_traffic_overwrites = true; }}) {
+    ExigencyFactors factors;
+    setter(factors);
+    const auto f = assess_exigency(factors);
+    EXPECT_TRUE(f.exigency_exists);
+    EXPECT_TRUE(f.justifies_seizure);
+  }
+}
+
+TEST(ExigencyTest, IsolationDowngradesSearchToSeizure) {
+  // A Faraday-bagged phone can wait for the warrant: the exigency
+  // justifies holding the device, not examining it.
+  ExigencyFactors factors;
+  factors.remote_wipe_possible = true;
+  factors.device_can_be_isolated = true;
+  const auto f = assess_exigency(factors);
+  EXPECT_TRUE(f.exigency_exists);
+  EXPECT_TRUE(f.justifies_seizure);
+  EXPECT_FALSE(f.justifies_search);
+}
+
+TEST(ExigencyTest, DangerAndPursuitJustifySearch) {
+  ExigencyFactors danger;
+  danger.danger_to_public_or_police = true;
+  EXPECT_TRUE(assess_exigency(danger).justifies_search);
+
+  ExigencyFactors pursuit;
+  pursuit.hot_pursuit = true;
+  EXPECT_TRUE(assess_exigency(pursuit).justifies_search);
+}
+
+TEST(ExigencyTest, EscapeRiskAloneJustifiesSeizureOnly) {
+  ExigencyFactors factors;
+  factors.suspect_escape_risk = true;
+  const auto f = assess_exigency(factors);
+  EXPECT_TRUE(f.justifies_seizure);
+  EXPECT_FALSE(f.justifies_search);
+}
+
+TEST(ExigencyTest, FindingsCarryCitations) {
+  ExigencyFactors factors;
+  factors.evidence_destruction_imminent = true;
+  factors.hot_pursuit = true;
+  const auto f = assess_exigency(factors);
+  EXPECT_FALSE(f.citations.empty());
+}
+
+TEST(ExigencyEngineTest, AppliedExigencyExcusesTheWarrant) {
+  ExigencyFactors factors;
+  factors.remote_wipe_possible = true;
+
+  const Scenario base = Scenario{}
+                            .named("phone search in the field")
+                            .acquiring(DataKind::kContent)
+                            .located(DataState::kOnDevice)
+                            .when(Timing::kStored);
+  ComplianceEngine engine;
+
+  const auto without = engine.evaluate(base);
+  EXPECT_TRUE(without.needs_process);
+
+  const auto with = engine.evaluate(apply_exigency(base, factors));
+  EXPECT_FALSE(with.needs_process) << with.report();
+}
+
+TEST(ExigencyEngineTest, IsolatedDeviceStillNeedsTheWarrant) {
+  ExigencyFactors factors;
+  factors.remote_wipe_possible = true;
+  factors.device_can_be_isolated = true;
+
+  const Scenario s = apply_exigency(Scenario{}
+                                        .acquiring(DataKind::kContent)
+                                        .located(DataState::kOnDevice)
+                                        .when(Timing::kStored),
+                                    factors);
+  const auto d = ComplianceEngine{}.evaluate(s);
+  EXPECT_TRUE(d.needs_process);
+  EXPECT_EQ(d.required_process, ProcessKind::kSearchWarrant);
+}
+
+}  // namespace
+}  // namespace lexfor::legal

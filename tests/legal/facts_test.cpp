@@ -1,0 +1,121 @@
+#include "legal/facts.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::legal {
+namespace {
+
+TEST(FactsTest, NoFactsMeansNoStandard) {
+  const auto a = assess_proof({}, CrimeCategory::kGeneral);
+  EXPECT_EQ(a.standard, StandardOfProof::kNone);
+}
+
+TEST(FactsTest, AnonymousTipIsMereSuspicion) {
+  const auto a = assess_proof({{FactKind::kAnonymousTip, 1.0, "hotline tip"}},
+                              CrimeCategory::kGeneral);
+  EXPECT_EQ(a.standard, StandardOfProof::kMereSuspicion);
+}
+
+TEST(FactsTest, IpPlusSubscriberIsProbableCause) {
+  // §III.A.1(a): IP address resolved to a subscriber typically supports
+  // a search warrant.
+  const auto a = assess_proof(
+      {{FactKind::kIpAddressLinked, 5.0, "IP seen distributing contraband"},
+       {FactKind::kSubscriberIdentified, 2.0, "ISP resolved IP to suspect"}},
+      CrimeCategory::kChildExploitation);
+  EXPECT_EQ(a.standard, StandardOfProof::kProbableCause);
+}
+
+TEST(FactsTest, IpAloneIsOnlyArticulableFacts) {
+  const auto a =
+      assess_proof({{FactKind::kIpAddressLinked, 5.0, "IP seen in logs"}},
+                   CrimeCategory::kGeneral);
+  EXPECT_EQ(a.standard, StandardOfProof::kArticulableFacts);
+}
+
+TEST(FactsTest, MembershipAloneCappedBelowProbableCause) {
+  // Coreas: bare membership may not support a warrant.
+  const auto a = assess_proof(
+      {{FactKind::kMembershipOnly, 1.0, "member of illicit e-group"},
+       {FactKind::kMembershipOnly, 1.0, "second membership record"},
+       {FactKind::kMembershipOnly, 1.0, "third membership record"}},
+      CrimeCategory::kChildExploitation);
+  EXPECT_LT(a.standard, StandardOfProof::kProbableCause);
+}
+
+TEST(FactsTest, MembershipPlusIntentIsProbableCause) {
+  // Gourde: membership plus evidence of intent supports probable cause.
+  const auto a = assess_proof(
+      {{FactKind::kMembershipOnly, 1.0, "paid membership"},
+       {FactKind::kAccountLinked, 1.0, "account used for downloads"},
+       {FactKind::kIntentEvidence, 1.0, "search history shows intent"}},
+      CrimeCategory::kChildExploitation);
+  EXPECT_EQ(a.standard, StandardOfProof::kProbableCause);
+}
+
+TEST(FactsTest, ContrabandObservedIsProbableCause) {
+  const auto a = assess_proof(
+      {{FactKind::kContrabandObserved, 0.0, "officer saw contraband"}},
+      CrimeCategory::kGeneral);
+  EXPECT_EQ(a.standard, StandardOfProof::kProbableCause);
+}
+
+TEST(StalenessTest, ChildExploitationFactsNeverGoStale) {
+  // Irving / Paull: years-old information still supports the warrant.
+  const Fact f{FactKind::kIpAddressLinked, 2000.0, "two-year-old IP link"};
+  EXPECT_FALSE(is_stale(f, CrimeCategory::kChildExploitation));
+}
+
+TEST(StalenessTest, GeneralFactsGoStaleAfterSixMonths) {
+  const Fact fresh{FactKind::kWitnessStatement, 30.0, "recent statement"};
+  const Fact old{FactKind::kWitnessStatement, 200.0, "old statement"};
+  EXPECT_FALSE(is_stale(fresh, CrimeCategory::kFraud));
+  EXPECT_TRUE(is_stale(old, CrimeCategory::kFraud));
+}
+
+TEST(StalenessTest, PriorConvictionsNeverStale) {
+  const Fact f{FactKind::kPriorConviction, 3650.0, "decade-old conviction"};
+  EXPECT_FALSE(is_stale(f, CrimeCategory::kFraud));
+}
+
+TEST(StalenessTest, StaleFactsAreDiscountedInAssessment) {
+  // The same facts, fresh vs stale, in a fraud case.
+  const std::vector<Fact> fresh = {
+      {FactKind::kIpAddressLinked, 10.0, "IP link"},
+      {FactKind::kSubscriberIdentified, 10.0, "subscriber"}};
+  const std::vector<Fact> stale = {
+      {FactKind::kIpAddressLinked, 400.0, "IP link"},
+      {FactKind::kSubscriberIdentified, 400.0, "subscriber"}};
+  const auto a = assess_proof(fresh, CrimeCategory::kFraud);
+  const auto b = assess_proof(stale, CrimeCategory::kFraud);
+  EXPECT_EQ(a.standard, StandardOfProof::kProbableCause);
+  EXPECT_EQ(b.standard, StandardOfProof::kNone);
+  EXPECT_FALSE(b.notes.empty());
+}
+
+TEST(FactsTest, AssessmentCitesDoctrinalCases) {
+  const auto a = assess_proof(
+      {{FactKind::kIpAddressLinked, 1.0, "x"},
+       {FactKind::kSubscriberIdentified, 1.0, "y"}},
+      CrimeCategory::kGeneral);
+  EXPECT_FALSE(a.citations.empty());
+}
+
+TEST(FactsTest, MoreFactsNeverLowerTheStandard) {
+  // Property: appending a (non-stale) fact never weakens the assessment.
+  std::vector<Fact> facts;
+  StandardOfProof prev = StandardOfProof::kNone;
+  const FactKind kinds[] = {FactKind::kAnonymousTip, FactKind::kWitnessStatement,
+                            FactKind::kIpAddressLinked,
+                            FactKind::kSubscriberIdentified,
+                            FactKind::kContrabandObserved};
+  for (const auto k : kinds) {
+    facts.push_back({k, 1.0, "fact"});
+    const auto a = assess_proof(facts, CrimeCategory::kGeneral);
+    EXPECT_GE(static_cast<int>(a.standard), static_cast<int>(prev));
+    prev = a.standard;
+  }
+}
+
+}  // namespace
+}  // namespace lexfor::legal

@@ -1,0 +1,121 @@
+#include "legal/privacy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lexfor::legal {
+namespace {
+
+bool cites(const RepAnalysis& r, const std::string& id) {
+  return std::find(r.citations.begin(), r.citations.end(), id) !=
+         r.citations.end();
+}
+
+TEST(PrivacyTest, ContentOnDeviceRetainsRep) {
+  const auto r = analyze_rep(Scenario{}
+                                 .acquiring(DataKind::kContent)
+                                 .located(DataState::kOnDevice)
+                                 .when(Timing::kStored));
+  EXPECT_TRUE(r.has_rep);
+  EXPECT_TRUE(cites(r, "guest-2001"));
+}
+
+TEST(PrivacyTest, ContentInTransitRetainsRep) {
+  const auto r = analyze_rep(Scenario{}
+                                 .acquiring(DataKind::kContent)
+                                 .located(DataState::kInTransit)
+                                 .when(Timing::kRealTime));
+  EXPECT_TRUE(r.has_rep);
+  EXPECT_TRUE(cites(r, "villarreal-1992"));
+}
+
+TEST(PrivacyTest, PublicExposureDefeatsRep) {
+  const auto r = analyze_rep(Scenario{}
+                                 .acquiring(DataKind::kContent)
+                                 .located(DataState::kPublicVenue)
+                                 .exposed_publicly());
+  EXPECT_FALSE(r.has_rep);
+  EXPECT_TRUE(cites(r, "hoffa-1966"));
+}
+
+TEST(PrivacyTest, SharedFolderDefeatsRep) {
+  const auto r = analyze_rep(Scenario{}
+                                 .acquiring(DataKind::kContent)
+                                 .located(DataState::kOnDevice)
+                                 .shared());
+  EXPECT_FALSE(r.has_rep);
+  EXPECT_TRUE(cites(r, "king-2007"));
+}
+
+TEST(PrivacyTest, DeliveryTerminatesSenderRep) {
+  const auto r = analyze_rep(Scenario{}
+                                 .acquiring(DataKind::kContent)
+                                 .located(DataState::kStoredAtProvider)
+                                 .delivered());
+  EXPECT_FALSE(r.has_rep);
+  EXPECT_TRUE(cites(r, "king-1995"));
+}
+
+TEST(PrivacyTest, SubscriberRecordsFallUnderThirdPartyDoctrine) {
+  const auto r = analyze_rep(Scenario{}
+                                 .acquiring(DataKind::kSubscriberRecords)
+                                 .located(DataState::kStoredAtProvider));
+  EXPECT_FALSE(r.has_rep);
+  EXPECT_TRUE(cites(r, "smith-1979"));
+}
+
+TEST(PrivacyTest, AddressingHasNoConstitutionalRep) {
+  const auto r = analyze_rep(Scenario{}
+                                 .acquiring(DataKind::kAddressing)
+                                 .located(DataState::kInTransit)
+                                 .when(Timing::kRealTime));
+  EXPECT_FALSE(r.has_rep);
+  EXPECT_TRUE(cites(r, "forrester-2008"));
+}
+
+TEST(PrivacyTest, KylloRestoresRepForSenseEnhancingTech) {
+  const auto r = analyze_rep(Scenario{}
+                                 .acquiring(DataKind::kContent)
+                                 .located(DataState::kOnDevice)
+                                 .in_home()
+                                 .sense_enhancing());
+  EXPECT_TRUE(r.has_rep);
+  EXPECT_TRUE(cites(r, "kyllo-2001"));
+}
+
+TEST(PrivacyTest, KylloDoesNotApplyWhenTechIsInGeneralPublicUse) {
+  const auto r = analyze_rep(Scenario{}
+                                 .acquiring(DataKind::kContent)
+                                 .located(DataState::kPublicVenue)
+                                 .exposed_publicly()
+                                 .in_home()
+                                 .sense_enhancing()
+                                 .general_public_use());
+  // With the tech in general public use the Kyllo shortcut does not fire
+  // and ordinary exposure analysis applies.
+  EXPECT_FALSE(r.has_rep);
+}
+
+TEST(PrivacyTest, PreviouslyAcquiredDataHasNoRep) {
+  const auto r = analyze_rep(Scenario{}
+                                 .acquiring(DataKind::kContent)
+                                 .located(DataState::kOnDevice)
+                                 .previously_acquired());
+  EXPECT_FALSE(r.has_rep);
+  EXPECT_TRUE(cites(r, "sloane-2008"));
+}
+
+TEST(PrivacyTest, ReasonsAccompanyEveryFinding) {
+  for (const auto state :
+       {DataState::kOnDevice, DataState::kInTransit, DataState::kStoredAtProvider,
+        DataState::kPublicVenue}) {
+    const auto r = analyze_rep(
+        Scenario{}.acquiring(DataKind::kContent).located(state).exposed_publicly(
+            state == DataState::kPublicVenue));
+    EXPECT_FALSE(r.reasons.empty()) << to_string(state);
+  }
+}
+
+}  // namespace
+}  // namespace lexfor::legal

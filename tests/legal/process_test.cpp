@@ -1,0 +1,145 @@
+#include "legal/process.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::legal {
+namespace {
+
+LegalProcess make_warrant() {
+  LegalProcess p;
+  p.id = ProcessId{1};
+  p.kind = ProcessKind::kSearchWarrant;
+  p.scope.data_kinds = {DataKind::kContent};
+  p.scope.locations = {"suspect-laptop"};
+  p.scope.crime = "distribution of contraband images";
+  p.issued_at = SimTime::zero();
+  p.supported_by = StandardOfProof::kProbableCause;
+  return p;
+}
+
+TEST(ProcessTest, AuthorizesWithinScope) {
+  const auto w = make_warrant();
+  EXPECT_TRUE(w.authorizes(DataKind::kContent, "suspect-laptop",
+                           SimTime::from_sec(3600))
+                  .ok());
+}
+
+TEST(ProcessTest, RejectsWrongDataKind) {
+  const auto w = make_warrant();
+  const auto s =
+      w.authorizes(DataKind::kAddressing, "suspect-laptop", SimTime::zero());
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+}
+
+TEST(ProcessTest, RejectsWrongLocation) {
+  const auto w = make_warrant();
+  const auto s =
+      w.authorizes(DataKind::kContent, "other-machine", SimTime::zero());
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(s.message().find("multiple warrants"), std::string::npos);
+}
+
+TEST(ProcessTest, ExpiresAfterValidityWindow) {
+  auto w = make_warrant();
+  w.validity = SimDuration::from_sec(100.0);
+  EXPECT_FALSE(w.expired_at(SimTime::from_sec(99.0)));
+  EXPECT_TRUE(w.expired_at(SimTime::from_sec(101.0)));
+  const auto s =
+      w.authorizes(DataKind::kContent, "suspect-laptop", SimTime::from_sec(200));
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ProcessTest, DefaultValidityIsFourteenDays) {
+  const LegalProcess p;
+  EXPECT_DOUBLE_EQ(p.validity.seconds(), 14 * 24 * 3600.0);
+}
+
+TEST(ProcessTest, EmptyScopeAxesAreUnrestricted) {
+  LegalProcess p;
+  p.id = ProcessId{2};
+  p.kind = ProcessKind::kWiretapOrder;
+  p.issued_at = SimTime::zero();
+  EXPECT_TRUE(p.authorizes(DataKind::kContent, "anywhere", SimTime::zero()).ok());
+  EXPECT_TRUE(
+      p.authorizes(DataKind::kAddressing, "elsewhere", SimTime::zero()).ok());
+}
+
+TEST(ProcessTest, NoProcessNeverAuthorizes) {
+  const LegalProcess p;  // kind == kNone
+  EXPECT_EQ(p.authorizes(DataKind::kContent, "x", SimTime::zero()).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(ApplicationTest, StandardMustMeetRequirement) {
+  ProcessScope scope;
+  scope.locations = {"somewhere"};
+  scope.crime = "fraud";
+  EXPECT_TRUE(validate_application(ProcessKind::kSubpoena,
+                                   StandardOfProof::kMereSuspicion, scope)
+                  .ok());
+  EXPECT_EQ(validate_application(ProcessKind::kSearchWarrant,
+                                 StandardOfProof::kMereSuspicion, scope)
+                .code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_TRUE(validate_application(ProcessKind::kSearchWarrant,
+                                   StandardOfProof::kProbableCause, scope)
+                  .ok());
+}
+
+TEST(ApplicationTest, StrongerStandardSatisfiesWeakerRequirement) {
+  ProcessScope scope;
+  EXPECT_TRUE(validate_application(ProcessKind::kSubpoena,
+                                   StandardOfProof::kProbableCause, scope)
+                  .ok());
+}
+
+TEST(ApplicationTest, WarrantNeedsParticularity) {
+  ProcessScope no_location;
+  no_location.crime = "fraud";
+  EXPECT_EQ(validate_application(ProcessKind::kSearchWarrant,
+                                 StandardOfProof::kProbableCause, no_location)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  ProcessScope no_crime;
+  no_crime.locations = {"office"};
+  EXPECT_EQ(validate_application(ProcessKind::kSearchWarrant,
+                                 StandardOfProof::kProbableCause, no_crime)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ApplicationTest, SubpoenaNeedsNoParticularity) {
+  EXPECT_TRUE(validate_application(ProcessKind::kSubpoena,
+                                   StandardOfProof::kMereSuspicion, {})
+                  .ok());
+}
+
+TEST(ApplicationTest, CannotApplyForNoProcess) {
+  EXPECT_EQ(validate_application(ProcessKind::kNone, StandardOfProof::kProbableCause,
+                                 {})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TypesTest, ProcessLadderOrdering) {
+  EXPECT_TRUE(satisfies(ProcessKind::kSearchWarrant, ProcessKind::kSubpoena));
+  EXPECT_TRUE(satisfies(ProcessKind::kWiretapOrder, ProcessKind::kSearchWarrant));
+  EXPECT_FALSE(satisfies(ProcessKind::kSubpoena, ProcessKind::kCourtOrder));
+  EXPECT_EQ(stricter(ProcessKind::kSubpoena, ProcessKind::kSearchWarrant),
+            ProcessKind::kSearchWarrant);
+}
+
+TEST(TypesTest, RequiredStandardLadder) {
+  EXPECT_EQ(required_standard(ProcessKind::kSubpoena),
+            StandardOfProof::kMereSuspicion);
+  EXPECT_EQ(required_standard(ProcessKind::kCourtOrder),
+            StandardOfProof::kArticulableFacts);
+  EXPECT_EQ(required_standard(ProcessKind::kSearchWarrant),
+            StandardOfProof::kProbableCause);
+  EXPECT_EQ(required_standard(ProcessKind::kWiretapOrder),
+            StandardOfProof::kProbableCausePlus);
+}
+
+}  // namespace
+}  // namespace lexfor::legal

@@ -1,0 +1,150 @@
+// Exhaustive property sweep of the compliance engine over the scenario
+// input space.  These are the invariants a downstream user relies on:
+// totality (no crash, coherent output on every input), internal
+// consistency, and doctrinal monotonicity.
+
+#include <gtest/gtest.h>
+
+#include "legal/engine.h"
+
+namespace lexfor::legal {
+namespace {
+
+// Enumerates a representative cross-product of the scenario space.
+std::vector<Scenario> scenario_space() {
+  std::vector<Scenario> out;
+  for (const auto actor : {ActorKind::kLawEnforcement, ActorKind::kProviderAdmin,
+                           ActorKind::kPrivateParty}) {
+    for (const auto data :
+         {DataKind::kContent, DataKind::kAddressing,
+          DataKind::kSubscriberRecords, DataKind::kTransactionalRecords}) {
+      for (const auto state :
+           {DataState::kInTransit, DataState::kStoredAtProvider,
+            DataState::kOnDevice, DataState::kPublicVenue}) {
+        for (const auto timing : {Timing::kRealTime, Timing::kStored}) {
+          for (const auto provider :
+               {ProviderClass::kNotAProvider, ProviderClass::kEcs,
+                ProviderClass::kNonPublic}) {
+            for (const auto consent :
+                 {ConsentKind::kNone, ConsentKind::kOwnerConsent,
+                  ConsentKind::kOnePartyToComm, ConsentKind::kVictimOfAttack,
+                  ConsentKind::kPolicyBanner}) {
+              for (const bool exposed : {false, true}) {
+                Scenario s;
+                s.actor = actor;
+                s.data = data;
+                s.state = state;
+                s.timing = timing;
+                s.provider = provider;
+                s.consent = consent;
+                s.knowingly_exposed_to_public = exposed;
+                out.push_back(s);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;  // 3*4*4*2*3*5*2 = 2880 scenarios
+}
+
+TEST(EnginePropertyTest, TotalityAndCoherenceOverTheInputSpace) {
+  ComplianceEngine engine;
+  const auto space = scenario_space();
+  ASSERT_EQ(space.size(), 2880u);
+  for (const auto& s : space) {
+    const auto d = engine.evaluate(s);
+    // needs_process and required_process agree.
+    EXPECT_EQ(d.needs_process, d.required_process != ProcessKind::kNone);
+    // required standard matches the ladder.
+    EXPECT_EQ(d.required_proof, required_standard(d.required_process));
+    // rationale is never empty.
+    EXPECT_FALSE(d.rationale.empty());
+    // no duplicate citations.
+    for (std::size_t i = 0; i < d.citations.size(); ++i) {
+      for (std::size_t j = i + 1; j < d.citations.size(); ++j) {
+        EXPECT_NE(d.citations[i], d.citations[j]);
+      }
+    }
+  }
+}
+
+TEST(EnginePropertyTest, PrivateActorNeverStricterThanLawEnforcement) {
+  ComplianceEngine engine;
+  for (auto s : scenario_space()) {
+    if (s.actor != ActorKind::kLawEnforcement) continue;
+    const auto gov = engine.evaluate(s);
+    s.actor = ActorKind::kPrivateParty;
+    const auto priv = engine.evaluate(s);
+    EXPECT_LE(static_cast<int>(priv.required_process),
+              static_cast<int>(gov.required_process));
+  }
+}
+
+TEST(EnginePropertyTest, ExposureNeverStrengthensTheRequirement) {
+  ComplianceEngine engine;
+  for (auto s : scenario_space()) {
+    if (s.knowingly_exposed_to_public) continue;
+    const auto covered = engine.evaluate(s);
+    s.knowingly_exposed_to_public = true;
+    const auto exposed = engine.evaluate(s);
+    EXPECT_LE(static_cast<int>(exposed.required_process),
+              static_cast<int>(covered.required_process));
+  }
+}
+
+TEST(EnginePropertyTest, ExigencyNeverStrengthensTheRequirement) {
+  ComplianceEngine engine;
+  for (auto s : scenario_space()) {
+    const auto base = engine.evaluate(s);
+    s.exigent_circumstances = true;
+    const auto exigent = engine.evaluate(s);
+    EXPECT_LE(static_cast<int>(exigent.required_process),
+              static_cast<int>(base.required_process));
+  }
+}
+
+TEST(EnginePropertyTest, ContentNeverCheaperThanAddressing) {
+  // For government acquisition with no excusing circumstances, content
+  // is always at least as protected as addressing in the same posture.
+  ComplianceEngine engine;
+  for (auto s : scenario_space()) {
+    if (s.actor != ActorKind::kLawEnforcement) continue;
+    if (s.consent != ConsentKind::kNone) continue;
+    if (s.knowingly_exposed_to_public) continue;
+    if (s.data != DataKind::kAddressing) continue;
+    const auto addressing = engine.evaluate(s);
+    s.data = DataKind::kContent;
+    const auto content = engine.evaluate(s);
+    EXPECT_GE(static_cast<int>(content.required_process),
+              static_cast<int>(addressing.required_process));
+  }
+}
+
+TEST(EnginePropertyTest, GovernanceListMatchesFlags) {
+  ComplianceEngine engine;
+  for (const auto& s : scenario_space()) {
+    const auto d = engine.evaluate(s);
+    // Wiretap can only govern real-time in-transit content.
+    const bool wiretap_listed =
+        std::find(d.governing_statutes.begin(), d.governing_statutes.end(),
+                  Statute::kWiretapAct) != d.governing_statutes.end();
+    if (wiretap_listed) {
+      EXPECT_EQ(s.data, DataKind::kContent);
+      EXPECT_EQ(s.timing, Timing::kRealTime);
+      EXPECT_EQ(s.state, DataState::kInTransit);
+    }
+    // SCA can only govern data stored at a provider.
+    const bool sca_listed =
+        std::find(d.governing_statutes.begin(), d.governing_statutes.end(),
+                  Statute::kStoredCommunicationsAct) !=
+        d.governing_statutes.end();
+    if (sca_listed) {
+      EXPECT_EQ(s.state, DataState::kStoredAtProvider);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lexfor::legal

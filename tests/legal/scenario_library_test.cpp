@@ -1,0 +1,88 @@
+#include "legal/scenario_library.h"
+
+#include <gtest/gtest.h>
+
+#include "legal/engine.h"
+
+namespace lexfor::legal {
+namespace {
+
+ComplianceEngine engine;
+
+TEST(LibraryTest, ThermalImagingOfHomeNeedsWarrant) {
+  const auto d = engine.evaluate(library::thermal_imaging_of_home());
+  EXPECT_TRUE(d.needs_process) << d.report();
+  EXPECT_EQ(d.required_process, ProcessKind::kSearchWarrant);
+  // The Kyllo citation must appear.
+  const bool cites_kyllo =
+      std::find(d.citations.begin(), d.citations.end(), "kyllo-2001") !=
+      d.citations.end();
+  EXPECT_TRUE(cites_kyllo);
+}
+
+TEST(LibraryTest, PublicTechThermalImagingIsProcessFree) {
+  const auto d = engine.evaluate(library::thermal_imaging_public_tech());
+  EXPECT_FALSE(d.needs_process) << d.report();
+}
+
+TEST(LibraryTest, GarbagePullIsProcessFree) {
+  const auto d = engine.evaluate(library::curbside_garbage_pull());
+  EXPECT_FALSE(d.needs_process) << d.report();
+}
+
+TEST(LibraryTest, UndercoverChatFederalIsProcessFree) {
+  const auto d = engine.evaluate(library::undercover_chat_recording());
+  EXPECT_FALSE(d.needs_process) << d.report();
+}
+
+TEST(LibraryTest, UndercoverChatAllPartyStateNeedsProcess) {
+  const auto d =
+      engine.evaluate(library::undercover_chat_recording_all_party_state());
+  EXPECT_TRUE(d.needs_process) << d.report();
+  EXPECT_EQ(d.required_process, ProcessKind::kWiretapOrder);
+}
+
+TEST(LibraryTest, PlantedTrackerNeedsWarrant) {
+  const auto d = engine.evaluate(library::planted_tracker_on_vehicle());
+  EXPECT_TRUE(d.needs_process);
+  EXPECT_EQ(d.required_process, ProcessKind::kSearchWarrant);
+}
+
+TEST(LibraryTest, RepairShopDiscoveryIsPrivateSearch) {
+  const auto d = engine.evaluate(library::repair_shop_discovery());
+  EXPECT_FALSE(d.needs_process) << d.report();
+  const bool private_search =
+      std::find(d.exceptions_applied.begin(), d.exceptions_applied.end(),
+                ExceptionKind::kPrivateSearch) != d.exceptions_applied.end();
+  EXPECT_TRUE(private_search);
+}
+
+TEST(LibraryTest, PlainViewDuringLawfulSearchIsProcessFree) {
+  const auto d = engine.evaluate(library::plain_view_during_lawful_search());
+  EXPECT_FALSE(d.needs_process) << d.report();
+}
+
+TEST(LibraryTest, ParoleeSearchIsProcessFree) {
+  const auto d = engine.evaluate(library::parolee_laptop_search());
+  EXPECT_FALSE(d.needs_process) << d.report();
+}
+
+TEST(LibraryTest, AbandonedHotelDeviceIsProcessFree) {
+  const auto d = engine.evaluate(library::hotel_abandoned_device());
+  EXPECT_FALSE(d.needs_process) << d.report();
+}
+
+TEST(LibraryTest, EveryLibraryScenarioHasAName) {
+  for (const auto& s :
+       {library::thermal_imaging_of_home(), library::curbside_garbage_pull(),
+        library::undercover_chat_recording(),
+        library::planted_tracker_on_vehicle(),
+        library::repair_shop_discovery(),
+        library::plain_view_during_lawful_search(),
+        library::parolee_laptop_search(), library::hotel_abandoned_device()}) {
+    EXPECT_FALSE(s.name.empty());
+  }
+}
+
+}  // namespace
+}  // namespace lexfor::legal

@@ -1,0 +1,135 @@
+#include "legal/statutes.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::legal {
+namespace {
+
+StatuteAnalysis analyze(const Scenario& s) {
+  return analyze_statutes(s, analyze_rep(s));
+}
+
+TEST(StatutesTest, RealTimeContentInTransitIsWiretap) {
+  const auto a = analyze(Scenario{}
+                             .acquiring(DataKind::kContent)
+                             .located(DataState::kInTransit)
+                             .when(Timing::kRealTime));
+  EXPECT_TRUE(a.wiretap_act);
+  EXPECT_FALSE(a.pen_trap);
+  EXPECT_FALSE(a.sca);
+}
+
+TEST(StatutesTest, RealTimeAddressingIsPenTrap) {
+  const auto a = analyze(Scenario{}
+                             .acquiring(DataKind::kAddressing)
+                             .located(DataState::kInTransit)
+                             .when(Timing::kRealTime));
+  EXPECT_TRUE(a.pen_trap);
+  EXPECT_FALSE(a.wiretap_act);
+}
+
+TEST(StatutesTest, StoredContentIsNeverAnInterception) {
+  // Steve Jackson Games / Konop: contemporaneity is required.
+  const auto a = analyze(Scenario{}
+                             .acquiring(DataKind::kContent)
+                             .located(DataState::kStoredAtProvider)
+                             .when(Timing::kStored)
+                             .at_provider(ProviderClass::kEcs));
+  EXPECT_FALSE(a.wiretap_act);
+  EXPECT_TRUE(a.sca);
+}
+
+TEST(StatutesTest, EcsAndRcsProvidersAreScaCovered) {
+  for (const auto p : {ProviderClass::kEcs, ProviderClass::kRcs}) {
+    const auto a = analyze(Scenario{}
+                               .acquiring(DataKind::kContent)
+                               .located(DataState::kStoredAtProvider)
+                               .when(Timing::kStored)
+                               .at_provider(p));
+    EXPECT_TRUE(a.sca) << to_string(p);
+  }
+}
+
+TEST(StatutesTest, OpenedMailOnNonPublicProviderDropsOutOfSca) {
+  // The paper's Alice example: once Alice opens the email on the
+  // university server, that server is neither ECS nor RCS for it.
+  const auto a = analyze(Scenario{}
+                             .acquiring(DataKind::kContent)
+                             .located(DataState::kStoredAtProvider)
+                             .when(Timing::kStored)
+                             .at_provider(ProviderClass::kNonPublic)
+                             .opened());
+  EXPECT_FALSE(a.sca);
+  EXPECT_TRUE(a.fourth_amendment);  // only the Fourth Amendment governs
+}
+
+TEST(StatutesTest, UnopenedMailOnNonPublicProviderIsStillEcsStorage) {
+  const auto a = analyze(Scenario{}
+                             .acquiring(DataKind::kContent)
+                             .located(DataState::kStoredAtProvider)
+                             .when(Timing::kStored)
+                             .at_provider(ProviderClass::kNonPublic));
+  EXPECT_TRUE(a.sca);
+}
+
+TEST(StatutesTest, NonProviderCustodianIsFourthAmendmentOnly) {
+  const auto a = analyze(Scenario{}
+                             .acquiring(DataKind::kContent)
+                             .located(DataState::kStoredAtProvider)
+                             .when(Timing::kStored)
+                             .at_provider(ProviderClass::kNotAProvider));
+  EXPECT_FALSE(a.sca);
+  EXPECT_TRUE(a.fourth_amendment);
+}
+
+TEST(StatutesTest, FourthAmendmentOnlyBindsGovernmentActors) {
+  const auto a = analyze(Scenario{}
+                             .by(ActorKind::kPrivateParty)
+                             .acquiring(DataKind::kContent)
+                             .located(DataState::kOnDevice)
+                             .when(Timing::kStored));
+  EXPECT_FALSE(a.fourth_amendment);
+}
+
+TEST(StatutesTest, FourthAmendmentNeedsSurvivingRep) {
+  const auto a = analyze(Scenario{}
+                             .acquiring(DataKind::kContent)
+                             .located(DataState::kPublicVenue)
+                             .exposed_publicly());
+  EXPECT_FALSE(a.fourth_amendment);
+}
+
+TEST(StatutesTest, ColorOfLawMakesPrivatePartyGovernmental) {
+  const auto a = analyze(Scenario{}
+                             .by(ActorKind::kPrivateParty)
+                             .under_color_of_law()
+                             .acquiring(DataKind::kContent)
+                             .located(DataState::kOnDevice)
+                             .when(Timing::kStored));
+  EXPECT_TRUE(a.fourth_amendment);
+}
+
+TEST(ScaLadderTest, SubscriberRecordsNeedOnlySubpoena) {
+  EXPECT_EQ(sca_required_process(DataKind::kSubscriberRecords),
+            ProcessKind::kSubpoena);
+}
+
+TEST(ScaLadderTest, TransactionalRecordsNeedCourtOrder) {
+  EXPECT_EQ(sca_required_process(DataKind::kTransactionalRecords),
+            ProcessKind::kCourtOrder);
+}
+
+TEST(ScaLadderTest, ContentNeedsSearchWarrant) {
+  EXPECT_EQ(sca_required_process(DataKind::kContent),
+            ProcessKind::kSearchWarrant);
+}
+
+TEST(ScaLadderTest, LadderIsMonotoneInSensitivity) {
+  EXPECT_TRUE(satisfies(sca_required_process(DataKind::kContent),
+                        sca_required_process(DataKind::kTransactionalRecords)));
+  EXPECT_TRUE(satisfies(sca_required_process(DataKind::kTransactionalRecords),
+                        sca_required_process(DataKind::kSubscriberRecords)));
+}
+
+}  // namespace
+}  // namespace lexfor::legal

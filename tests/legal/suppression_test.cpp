@@ -1,0 +1,241 @@
+#include "legal/suppression.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::legal {
+namespace {
+
+AcquisitionRecord rec(std::uint64_t id, ProcessKind required, ProcessKind held,
+                      std::vector<EvidenceId> parents = {}) {
+  AcquisitionRecord r;
+  r.id = EvidenceId{id};
+  r.description = "evidence " + std::to_string(id);
+  r.required = required;
+  r.held = held;
+  r.derived_from = std::move(parents);
+  return r;
+}
+
+TEST(ProvenanceGraphTest, RejectsInvalidId) {
+  ProvenanceGraph g;
+  AcquisitionRecord r;  // default id invalid
+  EXPECT_EQ(g.add(r).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProvenanceGraphTest, RejectsDuplicateId) {
+  ProvenanceGraph g;
+  EXPECT_TRUE(g.add(rec(1, ProcessKind::kNone, ProcessKind::kNone)).ok());
+  EXPECT_EQ(g.add(rec(1, ProcessKind::kNone, ProcessKind::kNone)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ProvenanceGraphTest, RejectsUnknownParent) {
+  ProvenanceGraph g;
+  EXPECT_EQ(g.add(rec(2, ProcessKind::kNone, ProcessKind::kNone,
+                      {EvidenceId{99}}))
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ProvenanceGraphTest, FindResolvesRecords) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.add(rec(5, ProcessKind::kSubpoena, ProcessKind::kSubpoena)).ok());
+  const auto* r = g.find(EvidenceId{5});
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->required, ProcessKind::kSubpoena);
+  EXPECT_EQ(g.find(EvidenceId{6}), nullptr);
+}
+
+TEST(SuppressionTest, LawfulAcquisitionIsAdmissible) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(
+      g.add(rec(1, ProcessKind::kSearchWarrant, ProcessKind::kSearchWarrant))
+          .ok());
+  const auto report = analyze_suppression(g);
+  EXPECT_EQ(report.suppressed_count, 0u);
+  EXPECT_FALSE(report.is_suppressed(EvidenceId{1}));
+}
+
+TEST(SuppressionTest, InsufficientProcessIsSuppressed) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(
+      g.add(rec(1, ProcessKind::kSearchWarrant, ProcessKind::kSubpoena)).ok());
+  const auto report = analyze_suppression(g);
+  EXPECT_TRUE(report.is_suppressed(EvidenceId{1}));
+}
+
+TEST(SuppressionTest, StrongerProcessThanRequiredIsFine) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(
+      g.add(rec(1, ProcessKind::kSubpoena, ProcessKind::kWiretapOrder)).ok());
+  EXPECT_FALSE(analyze_suppression(g).is_suppressed(EvidenceId{1}));
+}
+
+TEST(SuppressionTest, FruitOfThePoisonousTreePropagates) {
+  ProvenanceGraph g;
+  // Unlawful root -> derived child -> grandchild.
+  ASSERT_TRUE(
+      g.add(rec(1, ProcessKind::kSearchWarrant, ProcessKind::kNone)).ok());
+  ASSERT_TRUE(g.add(rec(2, ProcessKind::kNone, ProcessKind::kNone,
+                        {EvidenceId{1}}))
+                  .ok());
+  ASSERT_TRUE(g.add(rec(3, ProcessKind::kNone, ProcessKind::kNone,
+                        {EvidenceId{2}}))
+                  .ok());
+  const auto report = analyze_suppression(g);
+  EXPECT_TRUE(report.is_suppressed(EvidenceId{1}));
+  EXPECT_TRUE(report.is_suppressed(EvidenceId{2}));
+  EXPECT_TRUE(report.is_suppressed(EvidenceId{3}));
+  EXPECT_EQ(report.suppressed_count, 3u);
+}
+
+TEST(SuppressionTest, IndependentSourceSavesDerivedEvidence) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(
+      g.add(rec(1, ProcessKind::kSearchWarrant, ProcessKind::kNone)).ok());  // tainted
+  ASSERT_TRUE(
+      g.add(rec(2, ProcessKind::kSubpoena, ProcessKind::kSubpoena)).ok());  // clean
+  ASSERT_TRUE(g.add(rec(3, ProcessKind::kNone, ProcessKind::kNone,
+                        {EvidenceId{1}, EvidenceId{2}}))
+                  .ok());
+  const auto report = analyze_suppression(g);
+  EXPECT_FALSE(report.is_suppressed(EvidenceId{3}));
+}
+
+TEST(SuppressionTest, InevitableDiscoveryCleansesTaint) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(
+      g.add(rec(1, ProcessKind::kSearchWarrant, ProcessKind::kNone)).ok());
+  auto child = rec(2, ProcessKind::kNone, ProcessKind::kNone, {EvidenceId{1}});
+  child.inevitable_discovery = true;
+  ASSERT_TRUE(g.add(child).ok());
+  const auto report = analyze_suppression(g);
+  EXPECT_FALSE(report.is_suppressed(EvidenceId{2}));
+}
+
+TEST(SuppressionTest, GoodFaithExceptionKeepsAcquisitionAdmissible) {
+  ProvenanceGraph g;
+  auto r = rec(1, ProcessKind::kSearchWarrant, ProcessKind::kCourtOrder);
+  r.good_faith = true;
+  ASSERT_TRUE(g.add(r).ok());
+  const auto report = analyze_suppression(g);
+  EXPECT_FALSE(report.is_suppressed(EvidenceId{1}));
+}
+
+TEST(SuppressionTest, GoodFaithDoesNotShieldDescendantsOfOtherTaint) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(
+      g.add(rec(1, ProcessKind::kWiretapOrder, ProcessKind::kNone)).ok());
+  auto child = rec(2, ProcessKind::kNone, ProcessKind::kNone, {EvidenceId{1}});
+  child.good_faith = true;  // good faith about its own acquisition only
+  ASSERT_TRUE(g.add(child).ok());
+  EXPECT_TRUE(analyze_suppression(g).is_suppressed(EvidenceId{2}));
+}
+
+TEST(SuppressionTest, CountsPartitionFindings) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.add(rec(1, ProcessKind::kNone, ProcessKind::kNone)).ok());
+  ASSERT_TRUE(
+      g.add(rec(2, ProcessKind::kSearchWarrant, ProcessKind::kNone)).ok());
+  const auto report = analyze_suppression(g);
+  EXPECT_EQ(report.suppressed_count + report.admissible_count,
+            report.findings.size());
+}
+
+TEST(SuppressionTest, DeepChainPropagationIsLinear) {
+  // A 1000-node chain rooted in an unlawful acquisition: every node
+  // suppressed; exercises the topological pass at scale.
+  ProvenanceGraph g;
+  ASSERT_TRUE(
+      g.add(rec(0, ProcessKind::kSearchWarrant, ProcessKind::kNone)).ok());
+  for (std::uint64_t i = 1; i < 1000; ++i) {
+    ASSERT_TRUE(g.add(rec(i, ProcessKind::kNone, ProcessKind::kNone,
+                          {EvidenceId{i - 1}}))
+                    .ok());
+  }
+  const auto report = analyze_suppression(g);
+  EXPECT_EQ(report.suppressed_count, 1000u);
+}
+
+}  // namespace
+}  // namespace lexfor::legal
+
+// --- standing doctrine ----------------------------------------------------
+
+namespace lexfor::legal {
+namespace {
+
+AcquisitionRecord rec_against(std::uint64_t id, std::string aggrieved,
+                              ProcessKind required, ProcessKind held,
+                              std::vector<EvidenceId> parents = {}) {
+  auto r = rec(id, required, held, std::move(parents));
+  r.aggrieved_party = std::move(aggrieved);
+  return r;
+}
+
+TEST(StandingTest, DefaultAnalysisIgnoresStanding) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.add(rec_against(1, "alice", ProcessKind::kSearchWarrant,
+                                ProcessKind::kNone))
+                  .ok());
+  EXPECT_TRUE(analyze_suppression(g).is_suppressed(EvidenceId{1}));
+}
+
+TEST(StandingTest, AggrievedPartyCanSuppress) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.add(rec_against(1, "alice", ProcessKind::kSearchWarrant,
+                                ProcessKind::kNone))
+                  .ok());
+  EXPECT_TRUE(
+      analyze_suppression_for(g, "alice").is_suppressed(EvidenceId{1}));
+}
+
+TEST(StandingTest, ThirdPartyCannotSuppress) {
+  // Evidence unlawfully seized from Alice is admissible against Bob.
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.add(rec_against(1, "alice", ProcessKind::kSearchWarrant,
+                                ProcessKind::kNone))
+                  .ok());
+  const auto report = analyze_suppression_for(g, "bob");
+  EXPECT_FALSE(report.is_suppressed(EvidenceId{1}));
+  EXPECT_NE(report.findings[0].reason.find("no standing"), std::string::npos);
+}
+
+TEST(StandingTest, EmptyAggrievedPartyMeansEveryMovantHasStanding) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(
+      g.add(rec(1, ProcessKind::kSearchWarrant, ProcessKind::kNone)).ok());
+  EXPECT_TRUE(analyze_suppression_for(g, "anyone").is_suppressed(EvidenceId{1}));
+}
+
+TEST(StandingTest, FruitAnalysisRespectsStanding) {
+  // A derived item whose only tainted source invaded a third party's
+  // rights is admissible against this movant (the source isn't
+  // poisonous as to them).
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.add(rec_against(1, "alice", ProcessKind::kSearchWarrant,
+                                ProcessKind::kNone))
+                  .ok());
+  ASSERT_TRUE(g.add(rec_against(2, "bob", ProcessKind::kNone,
+                                ProcessKind::kNone, {EvidenceId{1}}))
+                  .ok());
+  const auto vs_bob = analyze_suppression_for(g, "bob");
+  EXPECT_FALSE(vs_bob.is_suppressed(EvidenceId{2}));
+
+  const auto vs_alice = analyze_suppression_for(g, "alice");
+  EXPECT_TRUE(vs_alice.is_suppressed(EvidenceId{1}));
+  EXPECT_TRUE(vs_alice.is_suppressed(EvidenceId{2}));
+}
+
+TEST(StandingTest, LawfulEvidenceUnaffectedByMovantIdentity) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.add(rec_against(1, "alice", ProcessKind::kSubpoena,
+                                ProcessKind::kSearchWarrant))
+                  .ok());
+  for (const char* movant : {"alice", "bob", "carol"}) {
+    EXPECT_FALSE(analyze_suppression_for(g, movant).is_suppressed(EvidenceId{1}));
+  }
+}
+
+}  // namespace
+}  // namespace lexfor::legal

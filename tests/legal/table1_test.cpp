@@ -1,0 +1,122 @@
+// The paper's evaluation: Table 1 lists twenty digital crime scenes and
+// whether law enforcement needs a warrant/court order/subpoena.  The
+// compliance engine must reproduce every row.
+
+#include "legal/table1.h"
+
+#include <gtest/gtest.h>
+
+#include "legal/engine.h"
+
+namespace lexfor::legal {
+namespace {
+
+class Table1Row : public ::testing::TestWithParam<int> {};
+
+TEST_P(Table1Row, EngineMatchesPaperVerdict) {
+  const auto& scene = table1::scene(GetParam());
+  ComplianceEngine engine;
+  const Determination d = engine.evaluate(scene.scenario);
+  EXPECT_EQ(d.needs_process, scene.paper_says_need)
+      << "scene " << scene.number << " (" << scene.summary << ")\n"
+      << d.report();
+}
+
+TEST_P(Table1Row, RationaleIsNeverEmpty) {
+  const auto& scene = table1::scene(GetParam());
+  ComplianceEngine engine;
+  const Determination d = engine.evaluate(scene.scenario);
+  EXPECT_FALSE(d.rationale.empty()) << "scene " << scene.number;
+}
+
+TEST_P(Table1Row, NeedVerdictsCarryAProcessAndStandard) {
+  const auto& scene = table1::scene(GetParam());
+  ComplianceEngine engine;
+  const Determination d = engine.evaluate(scene.scenario);
+  if (d.needs_process) {
+    EXPECT_NE(d.required_process, ProcessKind::kNone);
+    EXPECT_NE(d.required_proof, StandardOfProof::kNone);
+  } else {
+    EXPECT_EQ(d.required_process, ProcessKind::kNone);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, Table1Row,
+                         ::testing::Range(1, table1::kSceneCount + 1));
+
+TEST(Table1Test, SceneAccessorRejectsOutOfRange) {
+  EXPECT_THROW((void)table1::scene(0), std::out_of_range);
+  EXPECT_THROW((void)table1::scene(21), std::out_of_range);
+}
+
+TEST(Table1Test, ScenesAreNumberedSequentially) {
+  const auto& all = table1::all_scenes();
+  for (int i = 0; i < table1::kSceneCount; ++i) {
+    EXPECT_EQ(all[static_cast<std::size_t>(i)].number, i + 1);
+  }
+}
+
+TEST(Table1Test, ExactlyFourStarredAuthorJudgments) {
+  // The paper stars scenes 3-6 ("answers with (*) ... judgments based on
+  // our own knowledge").
+  int starred = 0;
+  for (const auto& s : table1::all_scenes()) {
+    if (s.author_judgment) {
+      ++starred;
+      EXPECT_GE(s.number, 3);
+      EXPECT_LE(s.number, 6);
+    }
+  }
+  EXPECT_EQ(starred, 4);
+}
+
+TEST(Table1Test, PaperVerdictSplit) {
+  // Paper's table: scenes 4,6,7,8,12,13,14,16,18 say Need (9 rows),
+  // the other 11 say No need.
+  int need = 0;
+  for (const auto& s : table1::all_scenes()) need += s.paper_says_need;
+  EXPECT_EQ(need, 9);
+}
+
+// Specific minimum-process expectations the paper's prose implies.
+TEST(Table1Test, PenTrapSceneRequiresCourtOrderNotWarrant) {
+  // Scene 7: header logging at an ISP is Pen/Trap territory; a court
+  // order suffices (no wiretap order needed).
+  ComplianceEngine engine;
+  const auto d = engine.evaluate(table1::scene(7).scenario);
+  EXPECT_EQ(d.required_process, ProcessKind::kCourtOrder) << d.report();
+}
+
+TEST(Table1Test, FullContentSceneRequiresWiretapOrder) {
+  // Scene 8: full-packet capture is a Title III interception.
+  ComplianceEngine engine;
+  const auto d = engine.evaluate(table1::scene(8).scenario);
+  EXPECT_EQ(d.required_process, ProcessKind::kWiretapOrder) << d.report();
+}
+
+TEST(Table1Test, HashSearchSceneRequiresSearchWarrant) {
+  // Scene 18 (U.S. v. Crist): hashing a lawfully held drive is a search.
+  ComplianceEngine engine;
+  const auto d = engine.evaluate(table1::scene(18).scenario);
+  EXPECT_EQ(d.required_process, ProcessKind::kSearchWarrant) << d.report();
+}
+
+TEST(Table1Test, TrespasserSceneIsExcusedByStatutoryException) {
+  ComplianceEngine engine;
+  const auto d = engine.evaluate(table1::scene(15).scenario);
+  EXPECT_FALSE(d.needs_process);
+  const bool has_trespasser =
+      std::find(d.exceptions_applied.begin(), d.exceptions_applied.end(),
+                ExceptionKind::kComputerTrespasser) != d.exceptions_applied.end();
+  EXPECT_TRUE(has_trespasser) << d.report();
+}
+
+TEST(Table1Test, ReachingAttackerMachineNeedsWarrantDespiteVictimConsent) {
+  ComplianceEngine engine;
+  const auto d = engine.evaluate(table1::scene(16).scenario);
+  EXPECT_TRUE(d.needs_process);
+  EXPECT_EQ(d.required_process, ProcessKind::kSearchWarrant) << d.report();
+}
+
+}  // namespace
+}  // namespace lexfor::legal

@@ -1,0 +1,107 @@
+#include "netsim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lexfor::netsim {
+namespace {
+
+TEST(EventQueueTest, EventsFireInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime::from_ms(30), [&] { order.push_back(3); });
+  q.schedule_at(SimTime::from_ms(10), [&] { order.push_back(1); });
+  q.schedule_at(SimTime::from_ms(20), [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SimultaneousEventsFireFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(SimTime::from_ms(5), [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, ClockAdvancesToEventTime) {
+  EventQueue q;
+  SimTime seen;
+  q.schedule_at(SimTime::from_ms(42), [&] { seen = q.now(); });
+  q.run();
+  EXPECT_EQ(seen, SimTime::from_ms(42));
+  EXPECT_EQ(q.now(), SimTime::from_ms(42));
+}
+
+TEST(EventQueueTest, ScheduleInIsRelative) {
+  EventQueue q;
+  SimTime first, second;
+  q.schedule_at(SimTime::from_ms(10), [&] {
+    first = q.now();
+    q.schedule_in(SimDuration::from_ms(5), [&] { second = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(first, SimTime::from_ms(10));
+  EXPECT_EQ(second, SimTime::from_ms(15));
+}
+
+TEST(EventQueueTest, PastEventsClampToNow) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_at(SimTime::from_ms(100), [&] {
+    q.schedule_at(SimTime::from_ms(1), [&] {
+      fired = true;
+      EXPECT_EQ(q.now(), SimTime::from_ms(100));  // not time travel
+    });
+  });
+  q.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(SimTime::from_ms(10), [&] { ++fired; });
+  q.schedule_at(SimTime::from_ms(20), [&] { ++fired; });
+  q.schedule_at(SimTime::from_ms(30), [&] { ++fired; });
+  q.run_until(SimTime::from_ms(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), SimTime::from_ms(20));
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenQueueDrains) {
+  EventQueue q;
+  q.run_until(SimTime::from_sec(5));
+  EXPECT_EQ(q.now(), SimTime::from_sec(5));
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ProcessedCountsEvents) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule_in(SimDuration::from_ms(i), [] {});
+  q.run();
+  EXPECT_EQ(q.processed(), 5u);
+}
+
+TEST(EventQueueTest, RunWithLimitStopsEarly) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_in(SimDuration::from_ms(i), [&] { ++fired; });
+  }
+  q.run(3);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.pending(), 7u);
+}
+
+}  // namespace
+}  // namespace lexfor::netsim

@@ -1,0 +1,105 @@
+#include "netsim/flow.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::netsim {
+namespace {
+
+struct FlowFixture {
+  Network net{5};
+  NodeId src = net.add_node("src");
+  NodeId dst = net.add_node("dst");
+  FlowFixture() {
+    LinkConfig cfg;
+    cfg.latency = SimDuration::from_ms(1);
+    (void)net.connect(src, dst, cfg).value();
+  }
+  FlowConfig config(double rate, double stop_sec) {
+    FlowConfig c;
+    c.id = FlowId{1};
+    c.src = src;
+    c.dst = dst;
+    c.packets_per_sec = rate;
+    c.stop = SimTime::from_sec(stop_sec);
+    return c;
+  }
+};
+
+TEST(FlowTest, ConstantRateEmitsExpectedCount) {
+  FlowFixture f;
+  FlowSource flow(f.net, f.config(100.0, 2.0), ArrivalProcess::kConstant, 1);
+  flow.start();
+  f.net.run();
+  // 100 pps for 2 seconds: ~200 packets (first at t=0).
+  EXPECT_NEAR(static_cast<double>(flow.emitted()), 200.0, 2.0);
+}
+
+TEST(FlowTest, PoissonRateApproximatesExpectedCount) {
+  FlowFixture f;
+  FlowSource flow(f.net, f.config(200.0, 5.0), ArrivalProcess::kPoisson, 2);
+  flow.start();
+  f.net.run();
+  // 200 pps over 5 s: ~1000 expected, sd ~ sqrt(1000) ~ 32.
+  EXPECT_NEAR(static_cast<double>(flow.emitted()), 1000.0, 150.0);
+}
+
+TEST(FlowTest, RateMultiplierScalesEmission) {
+  FlowFixture f;
+  FlowSource slow(f.net, f.config(100.0, 2.0), ArrivalProcess::kConstant, 3,
+                  [](SimTime) { return 0.5; });
+  slow.start();
+  f.net.run();
+  EXPECT_NEAR(static_cast<double>(slow.emitted()), 100.0, 3.0);
+}
+
+TEST(FlowTest, StopTimeIsRespected) {
+  FlowFixture f;
+  FlowSource flow(f.net, f.config(1000.0, 0.5), ArrivalProcess::kConstant, 4);
+  flow.start();
+  f.net.run();
+  EXPECT_LE(f.net.now().seconds(), 0.6);
+  EXPECT_NEAR(static_cast<double>(flow.emitted()), 500.0, 3.0);
+}
+
+TEST(RateRecorderTest, BinsObservationsByWindow) {
+  RateRecorder rec(SimDuration::from_ms(100));
+  rec.observe(SimTime::from_ms(10));
+  rec.observe(SimTime::from_ms(50));
+  rec.observe(SimTime::from_ms(150));
+  rec.observe(SimTime::from_ms(250));
+  ASSERT_EQ(rec.bins().size(), 3u);
+  EXPECT_EQ(rec.bins()[0], 2u);
+  EXPECT_EQ(rec.bins()[1], 1u);
+  EXPECT_EQ(rec.bins()[2], 1u);
+}
+
+TEST(RateRecorderTest, RatesNormalizeByBinWidth) {
+  RateRecorder rec(SimDuration::from_ms(500));
+  for (int i = 0; i < 10; ++i) rec.observe(SimTime::from_ms(i * 40));
+  const auto rates = rec.rates();
+  ASSERT_FALSE(rates.empty());
+  // 10 packets in the first 500 ms bin: 20 packets/sec.
+  EXPECT_NEAR(rates[0], 20.0, 1e-9);
+}
+
+TEST(FlowIntegrationTest, RecorderAtTapMatchesEmittedRate) {
+  FlowFixture f;
+  RateRecorder rec(SimDuration::from_ms(200));
+  ASSERT_TRUE(f.net
+                  .add_node_tap(f.dst, [&](const TapEvent& ev) {
+                    if (ev.to == f.dst) rec.observe(ev.at);
+                  })
+                  .ok());
+  FlowSource flow(f.net, f.config(50.0, 4.0), ArrivalProcess::kConstant, 6);
+  flow.start();
+  f.net.run();
+  const auto rates = rec.rates();
+  ASSERT_GE(rates.size(), 10u);
+  // Interior bins should all be close to 50 pps.
+  for (std::size_t i = 1; i + 1 < rates.size(); ++i) {
+    EXPECT_NEAR(rates[i], 50.0, 10.0) << "bin " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lexfor::netsim

@@ -1,0 +1,295 @@
+#include "netsim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::netsim {
+namespace {
+
+// A linear topology: client -- isp -- server.
+struct LineFixture {
+  Network net{123};
+  NodeId client = net.add_node("client");
+  NodeId isp = net.add_node("isp");
+  NodeId server = net.add_node("server");
+  LineFixture() {
+    LinkConfig cfg;
+    cfg.latency = SimDuration::from_ms(10);
+    (void)net.connect(client, isp, cfg).value();
+    (void)net.connect(isp, server, cfg).value();
+  }
+};
+
+TEST(NetworkTest, ConnectRejectsUnknownNodes) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  EXPECT_EQ(net.connect(a, NodeId{99}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(NetworkTest, ConnectRejectsSelfLoop) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  EXPECT_EQ(net.connect(a, a).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetworkTest, ConnectRejectsDuplicateLink) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  EXPECT_TRUE(net.connect(a, b).ok());
+  EXPECT_EQ(net.connect(a, b).status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(net.connect(b, a).status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(NetworkTest, ShortestPathOnLine) {
+  LineFixture f;
+  const auto path = f.net.shortest_path(f.client, f.server);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], f.client);
+  EXPECT_EQ(path[1], f.isp);
+  EXPECT_EQ(path[2], f.server);
+}
+
+TEST(NetworkTest, ShortestPathPrefersFewerHops) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId c = net.add_node("c");
+  const NodeId d = net.add_node("d");
+  (void)net.connect(a, b).value();
+  (void)net.connect(b, c).value();
+  (void)net.connect(c, d).value();
+  (void)net.connect(a, d).value();  // shortcut
+  const auto path = net.shortest_path(a, d);
+  EXPECT_EQ(path.size(), 2u);
+}
+
+TEST(NetworkTest, NoRouteReturnsEmptyPathAndSendFails) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");  // isolated
+  EXPECT_TRUE(net.shortest_path(a, b).empty());
+  PacketHeader h;
+  h.src = a;
+  h.dst = b;
+  EXPECT_EQ(net.send(FlowId{1}, h, {}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(NetworkTest, PacketDeliveredWithAccumulatedLatency) {
+  LineFixture f;
+  SimTime arrival;
+  bool got = false;
+  (void)f.net.set_receive_handler(f.server,
+                                  [&](const Packet&, SimTime at) {
+                                    arrival = at;
+                                    got = true;
+                                  });
+  PacketHeader h;
+  h.src = f.client;
+  h.dst = f.server;
+  ASSERT_TRUE(f.net.send(FlowId{1}, h, to_bytes("hello server")).ok());
+  f.net.run();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(arrival, SimTime::from_ms(20));  // two 10ms hops
+  EXPECT_EQ(f.net.packets_delivered(), 1u);
+}
+
+TEST(NetworkTest, PayloadArrivesIntactWithSizeInHeader) {
+  LineFixture f;
+  Bytes received;
+  std::uint32_t header_size = 0;
+  (void)f.net.set_receive_handler(f.server, [&](const Packet& p, SimTime) {
+    received = p.payload;
+    header_size = p.header.payload_size;
+  });
+  PacketHeader h;
+  h.src = f.client;
+  h.dst = f.server;
+  const Bytes payload = to_bytes("incriminating content");
+  ASSERT_TRUE(f.net.send(FlowId{1}, h, payload).ok());
+  f.net.run();
+  EXPECT_EQ(received, payload);
+  EXPECT_EQ(header_size, payload.size());
+}
+
+TEST(NetworkTest, LinkTapSeesTraversals) {
+  LineFixture f;
+  int tap_count = 0;
+  // Tap every link at the ISP.
+  ASSERT_TRUE(f.net
+                  .add_node_tap(f.isp,
+                                [&](const TapEvent& ev) {
+                                  ++tap_count;
+                                  EXPECT_TRUE(ev.from == f.isp ||
+                                              ev.to == f.isp);
+                                })
+                  .ok());
+  PacketHeader h;
+  h.src = f.client;
+  h.dst = f.server;
+  ASSERT_TRUE(f.net.send(FlowId{1}, h, to_bytes("x")).ok());
+  f.net.run();
+  // The packet traverses client->isp and isp->server: both tapped.
+  EXPECT_EQ(tap_count, 2);
+}
+
+TEST(NetworkTest, DropProbabilityLosesPackets) {
+  Network net{7};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkConfig cfg;
+  cfg.drop_probability = 0.5;
+  (void)net.connect(a, b, cfg).value();
+  int received = 0;
+  (void)net.set_receive_handler(b, [&](const Packet&, SimTime) { ++received; });
+  PacketHeader h;
+  h.src = a;
+  h.dst = b;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(net.send(FlowId{1}, h, {}).ok());
+  }
+  net.run();
+  EXPECT_GT(received, 150);
+  EXPECT_LT(received, 350);
+  EXPECT_EQ(net.packets_dropped() + net.packets_delivered(), 500u);
+}
+
+TEST(NetworkTest, BandwidthAddsSerializationDelay) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkConfig cfg;
+  cfg.latency = SimDuration::from_ms(0);
+  cfg.bandwidth_bytes_per_sec = 1000.0;  // 1 KB/s
+  (void)net.connect(a, b, cfg).value();
+  SimTime arrival;
+  (void)net.set_receive_handler(b, [&](const Packet&, SimTime at) { arrival = at; });
+  PacketHeader h;
+  h.src = a;
+  h.dst = b;
+  ASSERT_TRUE(net.send(FlowId{1}, h, Bytes(960, 0)).ok());  // +40 hdr = 1000B
+  net.run();
+  EXPECT_NEAR(arrival.seconds(), 1.0, 0.01);
+}
+
+TEST(NetworkTest, JitterIsBoundedAndDeterministic) {
+  auto run_once = [] {
+    Network net{99};
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    LinkConfig cfg;
+    cfg.latency = SimDuration::from_ms(10);
+    cfg.jitter = SimDuration::from_ms(5);
+    (void)net.connect(a, b, cfg).value();
+    std::vector<double> arrivals;
+    (void)net.set_receive_handler(b, [&](const Packet&, SimTime at) {
+      arrivals.push_back(at.millis());
+    });
+    PacketHeader h;
+    h.src = a;
+    h.dst = b;
+    for (int i = 0; i < 50; ++i) (void)net.send(FlowId{1}, h, {});
+    net.run();
+    return arrivals;
+  };
+  const auto a1 = run_once();
+  const auto a2 = run_once();
+  EXPECT_EQ(a1, a2);  // same seed, same timing
+  for (const double ms : a1) {
+    EXPECT_GE(ms, 10.0);
+    EXPECT_LT(ms, 15.0);
+  }
+}
+
+TEST(NetworkTest, NodeTapRequiresLinks) {
+  Network net;
+  const NodeId lonely = net.add_node("lonely");
+  EXPECT_EQ(net.add_node_tap(lonely, [](const TapEvent&) {}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(NetworkTest, NodeNamesResolve) {
+  Network net;
+  const NodeId a = net.add_node("alpha");
+  EXPECT_EQ(net.node_name(a).value_or(""), "alpha");
+  EXPECT_FALSE(net.node_name(NodeId{42}).has_value());
+}
+
+}  // namespace
+}  // namespace lexfor::netsim
+
+// --- FIFO queueing on bandwidth-limited links ----------------------------
+
+namespace lexfor::netsim {
+namespace {
+
+TEST(QueueingTest, SimultaneousPacketsSerializeOnTheLink) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkConfig cfg;
+  cfg.latency = SimDuration::from_ms(0);
+  cfg.bandwidth_bytes_per_sec = 1000.0;  // 1 KB/s
+  (void)net.connect(a, b, cfg).value();
+
+  std::vector<double> arrivals;
+  (void)net.set_receive_handler(b, [&](const Packet&, SimTime at) {
+    arrivals.push_back(at.seconds());
+  });
+  PacketHeader h;
+  h.src = a;
+  h.dst = b;
+  // Three packets of 1000 wire bytes each, sent at the same instant.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(net.send(FlowId{1}, h, Bytes(960, 0)).ok());
+  }
+  net.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  std::sort(arrivals.begin(), arrivals.end());
+  // First finishes at ~1s, second ~2s, third ~3s: the link is a FIFO
+  // transmitter, not three parallel pipes.
+  EXPECT_NEAR(arrivals[0], 1.0, 0.02);
+  EXPECT_NEAR(arrivals[1], 2.0, 0.02);
+  EXPECT_NEAR(arrivals[2], 3.0, 0.02);
+}
+
+TEST(QueueingTest, IdleLinkAddsNoQueueingDelay) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkConfig cfg;
+  cfg.latency = SimDuration::from_ms(5);
+  cfg.bandwidth_bytes_per_sec = 1e6;
+  (void)net.connect(a, b, cfg).value();
+  SimTime arrival;
+  (void)net.set_receive_handler(b, [&](const Packet&, SimTime at) { arrival = at; });
+  PacketHeader h;
+  h.src = a;
+  h.dst = b;
+  ASSERT_TRUE(net.send(FlowId{1}, h, Bytes(960, 0)).ok());
+  net.run();
+  // 5ms latency + 1ms tx.
+  EXPECT_NEAR(arrival.millis(), 6.0, 0.2);
+}
+
+TEST(QueueingTest, UnlimitedLinksDoNotQueue) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkConfig cfg;
+  cfg.latency = SimDuration::from_ms(10);  // bandwidth 0 = infinite
+  (void)net.connect(a, b, cfg).value();
+  std::vector<double> arrivals;
+  (void)net.set_receive_handler(b, [&](const Packet&, SimTime at) {
+    arrivals.push_back(at.millis());
+  });
+  PacketHeader h;
+  h.src = a;
+  h.dst = b;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(net.send(FlowId{1}, h, Bytes(500, 0)).ok());
+  net.run();
+  ASSERT_EQ(arrivals.size(), 5u);
+  for (const double ms : arrivals) EXPECT_NEAR(ms, 10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace lexfor::netsim

@@ -1,0 +1,93 @@
+#include "netsim/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::netsim {
+namespace {
+
+TEST(CampusTest, StructureIsCorrect) {
+  Network net;
+  const auto campus = make_campus(net, 10);
+  EXPECT_EQ(net.node_count(), 13u);          // internet + isp + gw + 10
+  EXPECT_EQ(net.link_count(), 12u);          // 2 backbone + 10 access
+  EXPECT_EQ(campus.hosts.size(), 10u);
+  // Every host routes to the internet through the gateway and ISP.
+  for (const auto h : campus.hosts) {
+    const auto path = net.shortest_path(h, campus.internet);
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path[1], campus.gateway);
+    EXPECT_EQ(path[2], campus.isp);
+  }
+}
+
+TEST(CampusTest, GatewayTapSeesAllHostTraffic) {
+  Network net;
+  const auto campus = make_campus(net, 4);
+  int tapped = 0;
+  ASSERT_TRUE(net.add_node_tap(campus.gateway,
+                               [&](const TapEvent&) { ++tapped; })
+                  .ok());
+  PacketHeader h;
+  h.src = campus.hosts[0];
+  h.dst = campus.internet;
+  ASSERT_TRUE(net.send(FlowId{1}, h, {}).ok());
+  net.run();
+  // host->gw and gw->isp traversals both touch gateway links.
+  EXPECT_EQ(tapped, 2);
+}
+
+TEST(StarTest, HubConnectsAllLeaves) {
+  Network net;
+  const auto star = make_star(net, 7);
+  EXPECT_EQ(net.node_count(), 8u);
+  EXPECT_EQ(net.link_count(), 7u);
+  for (const auto leaf : star.leaves) {
+    const auto path = net.shortest_path(leaf, star.hub);
+    EXPECT_EQ(path.size(), 2u);
+  }
+  // Leaf-to-leaf goes through the hub.
+  const auto path = net.shortest_path(star.leaves[0], star.leaves[6]);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], star.hub);
+}
+
+TEST(TreeTest, NodeCountMatchesGeometry) {
+  Network net;
+  const auto nodes = make_tree(net, 2, 3);  // 1 + 2 + 4 + 8 = 15
+  EXPECT_EQ(nodes.size(), 15u);
+  EXPECT_EQ(net.link_count(), 14u);  // tree: n-1 edges
+}
+
+TEST(TreeTest, LeafToLeafPathGoesThroughRoot) {
+  Network net;
+  const auto nodes = make_tree(net, 2, 2);  // root, 2 mid, 4 leaves
+  // The leaves under different mid nodes route via the root.
+  const auto path = net.shortest_path(nodes[3], nodes[6]);
+  ASSERT_GE(path.size(), 3u);
+  EXPECT_EQ(path[path.size() / 2], nodes[0]);
+}
+
+TEST(RandomTest, AlwaysConnected) {
+  Network net;
+  const auto nodes = make_random(net, 40, 0.0, 11);  // chain only
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_FALSE(net.shortest_path(nodes[0], nodes[i]).empty());
+  }
+}
+
+TEST(RandomTest, EdgeProbabilityAddsChords) {
+  Network sparse_net, dense_net;
+  (void)make_random(sparse_net, 40, 0.0, 11);
+  (void)make_random(dense_net, 40, 0.3, 11);
+  EXPECT_GT(dense_net.link_count(), sparse_net.link_count());
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Network a, b;
+  (void)make_random(a, 30, 0.2, 5);
+  (void)make_random(b, 30, 0.2, 5);
+  EXPECT_EQ(a.link_count(), b.link_count());
+}
+
+}  // namespace
+}  // namespace lexfor::netsim

@@ -1,0 +1,138 @@
+// Property sweeps over the stored-communications provider: randomized
+// mail corpora, invariants the SCA model must keep regardless of
+// workload shape.
+
+#include <gtest/gtest.h>
+
+#include "storedcomm/provider.h"
+#include "util/rng.h"
+
+namespace lexfor::storedcomm {
+namespace {
+
+using legal::GrantedAuthority;
+using legal::LegalProcess;
+using legal::ProcessKind;
+
+GrantedAuthority auth(ProcessKind kind) {
+  LegalProcess p;
+  p.id = ProcessId{1};
+  p.kind = kind;
+  p.issued_at = SimTime::zero();
+  return GrantedAuthority{p};
+}
+
+struct Corpus {
+  Provider provider;
+  AccountId account;
+  std::vector<MessageId> messages;
+
+  Corpus(ProviderPublicity publicity, std::uint64_t seed, std::size_t n)
+      : provider("prov", publicity),
+        account(provider.create_account("u@prov", {"U", "addr", "pay"})) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = provider
+                          .deliver("u@prov", "peer", "m" + std::to_string(i),
+                                   Bytes(rng.uniform(200), 0x42),
+                                   SimTime::from_sec(static_cast<double>(i)))
+                          .value();
+      messages.push_back(id);
+      if (rng.bernoulli(0.5)) {
+        (void)provider.open_message(id, SimTime::from_sec(1000.0 + i));
+      }
+      if (rng.bernoulli(0.2)) {
+        (void)provider.delete_message(id, SimTime::from_sec(2000.0 + i));
+      }
+    }
+  }
+};
+
+class ProviderPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ProviderPropertyTest, ClassificationIsTotalAndLawful) {
+  const auto [publicity_idx, seed] = GetParam();
+  const auto publicity = publicity_idx == 0 ? ProviderPublicity::kPublic
+                                            : ProviderPublicity::kNonPublic;
+  Corpus c(publicity, static_cast<std::uint64_t>(seed), 40);
+
+  for (const auto id : c.messages) {
+    const auto cls = c.provider.classify(id);
+    const auto* m = c.provider.find_message(id);
+    ASSERT_NE(m, nullptr);
+    switch (m->state) {
+      case MessageState::kAwaitingRetrieval:
+        EXPECT_EQ(cls, legal::ProviderClass::kEcs);
+        break;
+      case MessageState::kOpened:
+        EXPECT_EQ(cls, publicity == ProviderPublicity::kPublic
+                           ? legal::ProviderClass::kRcs
+                           : legal::ProviderClass::kNonPublic);
+        break;
+      case MessageState::kDeleted:
+        EXPECT_EQ(cls, legal::ProviderClass::kNotAProvider);
+        break;
+    }
+  }
+}
+
+TEST_P(ProviderPropertyTest, ContentAlwaysNeedsAtLeastAWarrant) {
+  const auto [publicity_idx, seed] = GetParam();
+  const auto publicity = publicity_idx == 0 ? ProviderPublicity::kPublic
+                                            : ProviderPublicity::kNonPublic;
+  Corpus c(publicity, static_cast<std::uint64_t>(seed), 25);
+  for (const auto id : c.messages) {
+    const auto det = c.provider.required_process(DisclosureKind::kContent, id);
+    EXPECT_TRUE(legal::satisfies(det.required_process,
+                                 legal::ProcessKind::kSearchWarrant));
+  }
+}
+
+TEST_P(ProviderPropertyTest, DisclosureMonotoneInAuthority) {
+  // If a weaker instrument compels a disclosure kind, every stronger
+  // instrument does too.
+  const auto [publicity_idx, seed] = GetParam();
+  const auto publicity = publicity_idx == 0 ? ProviderPublicity::kPublic
+                                            : ProviderPublicity::kNonPublic;
+  Corpus c(publicity, static_cast<std::uint64_t>(seed), 10);
+
+  const ProcessKind ladder[] = {ProcessKind::kSubpoena, ProcessKind::kCourtOrder,
+                                ProcessKind::kSearchWarrant,
+                                ProcessKind::kWiretapOrder};
+  for (const auto kind :
+       {DisclosureKind::kBasicSubscriber, DisclosureKind::kTransactionalRecords,
+        DisclosureKind::kContent}) {
+    bool previously_ok = false;
+    for (const auto held : ladder) {
+      const bool ok =
+          c.provider.compelled_disclosure(kind, c.account, auth(held),
+                                          SimTime::from_sec(5000))
+              .ok();
+      EXPECT_TRUE(!previously_ok || ok)
+          << "disclosure became unavailable with a stronger instrument";
+      previously_ok = ok;
+    }
+    // The top of the ladder always compels.
+    EXPECT_TRUE(previously_ok);
+  }
+}
+
+TEST_P(ProviderPropertyTest, MailboxNeverShowsDeletedMessages) {
+  const auto [publicity_idx, seed] = GetParam();
+  const auto publicity = publicity_idx == 0 ? ProviderPublicity::kPublic
+                                            : ProviderPublicity::kNonPublic;
+  Corpus c(publicity, static_cast<std::uint64_t>(seed), 40);
+  for (const auto id : c.provider.mailbox(c.account)) {
+    const auto* m = c.provider.find_message(id);
+    ASSERT_NE(m, nullptr);
+    EXPECT_NE(m->state, MessageState::kDeleted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpora, ProviderPropertyTest,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(1, 2, 3, 4, 5)));
+
+}  // namespace
+}  // namespace lexfor::storedcomm

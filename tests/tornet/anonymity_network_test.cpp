@@ -1,0 +1,135 @@
+#include "tornet/anonymity_network.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lexfor::tornet {
+namespace {
+
+TEST(CircuitTest, BuildsDistinctRelays) {
+  TorConfig cfg;
+  cfg.num_relays = 10;
+  cfg.circuit_length = 3;
+  AnonymityNetwork net(cfg);
+  Rng rng{1};
+  const auto c = net.build_circuit(rng).value();
+  EXPECT_EQ(c.relays.size(), 3u);
+  const std::set<std::size_t> unique(c.relays.begin(), c.relays.end());
+  EXPECT_EQ(unique.size(), 3u);
+  for (const auto r : c.relays) EXPECT_LT(r, 10u);
+}
+
+TEST(CircuitTest, RejectsCircuitLongerThanRelayPool) {
+  TorConfig cfg;
+  cfg.num_relays = 2;
+  cfg.circuit_length = 3;
+  AnonymityNetwork net(cfg);
+  Rng rng{1};
+  EXPECT_EQ(net.build_circuit(rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CircuitTest, CircuitIdsAreUnique) {
+  AnonymityNetwork net(TorConfig{});
+  Rng rng{2};
+  const auto a = net.build_circuit(rng).value();
+  const auto b = net.build_circuit(rng).value();
+  EXPECT_NE(a.id, b.id);
+}
+
+TEST(TransitTest, DelaysAreAtLeastBaseLatency) {
+  TorConfig cfg;
+  cfg.circuit_length = 3;
+  cfg.hop_latency_ms = 25.0;
+  AnonymityNetwork net(cfg);
+  Rng rng{3};
+  const auto c = net.build_circuit(rng).value();
+  const std::vector<double> sends{0.0, 0.5, 1.0};
+  const auto arrivals = net.transit(c, sends, rng);
+  ASSERT_EQ(arrivals.size(), 3u);
+  // Minimum added delay: 3 hops x 25 ms.
+  EXPECT_GE(arrivals[0], 0.075);
+}
+
+TEST(TransitTest, OutputIsSorted) {
+  AnonymityNetwork net(TorConfig{});
+  Rng rng{4};
+  const auto c = net.build_circuit(rng).value();
+  std::vector<double> sends;
+  for (int i = 0; i < 200; ++i) sends.push_back(i * 0.01);
+  const auto arrivals = net.transit(c, sends, rng);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  EXPECT_EQ(arrivals.size(), sends.size());
+}
+
+TEST(TransitTest, RateEnvelopeSurvivesTheCircuit) {
+  // The property §IV.B depends on: coarse rate structure persists through
+  // relay jitter.  Send a burst then silence; the far side must show the
+  // same epoch structure.
+  AnonymityNetwork net(TorConfig{});
+  Rng rng{5};
+  const auto c = net.build_circuit(rng).value();
+  std::vector<double> sends;
+  for (int i = 0; i < 500; ++i) sends.push_back(i * 0.002);       // 0-1s busy
+  for (int i = 0; i < 50; ++i) sends.push_back(2.0 + i * 0.02);   // 2-3s sparse
+  const auto arrivals = net.transit(c, sends, rng);
+  const auto bins = bin_arrivals(arrivals, 0.0, 0.5, 8);
+  // Bins covering the busy second greatly exceed the sparse second.
+  const auto busy = bins[0] + bins[1] + bins[2];
+  const auto sparse = bins[4] + bins[5] + bins[6] + bins[7];
+  EXPECT_GT(busy, sparse * 3);
+}
+
+TEST(PoissonTest, HomogeneousRateMatches) {
+  Rng rng{6};
+  const auto times = generate_modulated_poisson(200.0, 10.0, 1.0, nullptr, rng);
+  EXPECT_NEAR(static_cast<double>(times.size()), 2000.0, 200.0);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  for (const double t : times) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 10.0);
+  }
+}
+
+TEST(PoissonTest, ModulationShapesTheRate) {
+  Rng rng{7};
+  // Rate doubles in the second half.
+  const auto mult = [](double t) { return t < 5.0 ? 0.5 : 1.0; };
+  const auto times = generate_modulated_poisson(200.0, 10.0, 1.0, mult, rng);
+  std::size_t first_half = 0;
+  for (const double t : times) first_half += t < 5.0;
+  const std::size_t second_half = times.size() - first_half;
+  EXPECT_NEAR(static_cast<double>(second_half) /
+                  static_cast<double>(first_half),
+              2.0, 0.4);
+}
+
+TEST(PoissonTest, DegenerateInputsYieldEmpty) {
+  Rng rng{8};
+  EXPECT_TRUE(generate_modulated_poisson(0.0, 10.0, 1.0, nullptr, rng).empty());
+  EXPECT_TRUE(generate_modulated_poisson(10.0, 0.0, 1.0, nullptr, rng).empty());
+}
+
+TEST(BinArrivalsTest, CountsFallIntoCorrectWindows) {
+  const std::vector<double> arrivals{0.1, 0.2, 1.1, 2.9, 5.0};
+  const auto bins = bin_arrivals(arrivals, 0.0, 1.0, 4);
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins[0], 2u);
+  EXPECT_EQ(bins[1], 1u);
+  EXPECT_EQ(bins[2], 1u);
+  EXPECT_EQ(bins[3], 0u);  // 5.0 is beyond the window
+}
+
+TEST(BinArrivalsTest, StartOffsetShiftsBins) {
+  const std::vector<double> arrivals{1.1, 1.6};
+  const auto bins = bin_arrivals(arrivals, 1.0, 0.5, 2);
+  EXPECT_EQ(bins[0], 1u);
+  EXPECT_EQ(bins[1], 1u);
+  // Arrivals before the start are ignored.
+  const auto bins2 = bin_arrivals({0.5}, 1.0, 0.5, 2);
+  EXPECT_EQ(bins2[0] + bins2[1], 0u);
+}
+
+}  // namespace
+}  // namespace lexfor::tornet

@@ -1,0 +1,92 @@
+// Multi-flow (Gold-code) traceback: many accounts marked concurrently,
+// one observed client identified by which code despreads.
+
+#include <gtest/gtest.h>
+
+#include "tornet/traceback.h"
+
+namespace lexfor::tornet {
+namespace {
+
+MultiflowConfig easy() {
+  MultiflowConfig cfg;
+  cfg.gold_degree = 9;
+  cfg.num_accounts = 8;
+  cfg.true_account = 3;
+  cfg.chip_ms = 400.0;
+  cfg.depth = 0.35;
+  cfg.base_rate_pps = 120.0;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(MultiflowTest, IdentifiesTheTrueAccount) {
+  const auto r = run_multiflow_traceback(easy()).value();
+  EXPECT_TRUE(r.correct) << "identified " << r.identified_account;
+  EXPECT_TRUE(r.above_threshold);
+  EXPECT_GT(r.margin, 0.2);
+}
+
+TEST(MultiflowTest, AllAccountCorrelationsReported) {
+  const auto r = run_multiflow_traceback(easy()).value();
+  ASSERT_EQ(r.correlations.size(), 8u);
+  // The winner dominates every other account's despread.
+  for (std::size_t a = 0; a < r.correlations.size(); ++a) {
+    if (a == r.identified_account) continue;
+    EXPECT_LT(r.correlations[a], r.correlations[r.identified_account]);
+  }
+}
+
+TEST(MultiflowTest, WorksForEveryTrueAccount) {
+  for (std::size_t target = 0; target < 8; ++target) {
+    auto cfg = easy();
+    cfg.true_account = target;
+    cfg.seed = 100 + target;
+    const auto r = run_multiflow_traceback(cfg).value();
+    EXPECT_TRUE(r.correct) << "target " << target << " identified as "
+                           << r.identified_account;
+  }
+}
+
+TEST(MultiflowTest, RejectsOutOfRangeTarget) {
+  auto cfg = easy();
+  cfg.true_account = 99;
+  EXPECT_FALSE(run_multiflow_traceback(cfg).ok());
+}
+
+TEST(MultiflowTest, RejectsUnsupportedGoldDegree) {
+  auto cfg = easy();
+  cfg.gold_degree = 8;  // no preferred pair
+  EXPECT_FALSE(run_multiflow_traceback(cfg).ok());
+}
+
+TEST(MultiflowTest, ScalesToManyAccounts) {
+  auto cfg = easy();
+  cfg.num_accounts = 64;
+  cfg.true_account = 41;
+  cfg.seed = 21;
+  const auto r = run_multiflow_traceback(cfg).value();
+  EXPECT_TRUE(r.correct);
+  EXPECT_TRUE(r.above_threshold);
+}
+
+TEST(MultiflowTest, DeterministicForSeed) {
+  const auto a = run_multiflow_traceback(easy()).value();
+  const auto b = run_multiflow_traceback(easy()).value();
+  EXPECT_EQ(a.identified_account, b.identified_account);
+  EXPECT_EQ(a.correlations, b.correlations);
+}
+
+TEST(MultiflowTest, HeavyJitterErodesMarginButNotCorrectness) {
+  auto calm = easy();
+  auto stormy = easy();
+  stormy.network.relay_jitter_ms = 150.0;
+  const auto r_calm = run_multiflow_traceback(calm).value();
+  const auto r_stormy = run_multiflow_traceback(stormy).value();
+  EXPECT_TRUE(r_calm.correct);
+  EXPECT_TRUE(r_stormy.correct);
+  EXPECT_GT(r_calm.margin, r_stormy.margin);
+}
+
+}  // namespace
+}  // namespace lexfor::tornet

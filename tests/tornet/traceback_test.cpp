@@ -1,0 +1,98 @@
+#include "tornet/traceback.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::tornet {
+namespace {
+
+TracebackConfig easy_config() {
+  TracebackConfig cfg;
+  cfg.pn_degree = 9;          // 511 chips
+  cfg.chip_ms = 400.0;
+  cfg.depth = 0.35;
+  cfg.base_rate_pps = 120.0;
+  cfg.num_decoys = 6;
+  cfg.seed = 101;
+  return cfg;
+}
+
+TEST(TracebackTest, CollectionScenarioNeedsOnlyCourtOrder) {
+  // §IV.B: rate collection at the ISP is non-content — a court order,
+  // not a wiretap order.
+  const auto d = legal::ComplianceEngine{}.evaluate(collection_scenario());
+  EXPECT_TRUE(d.needs_process);
+  EXPECT_EQ(d.required_process, legal::ProcessKind::kCourtOrder) << d.report();
+}
+
+TEST(TracebackTest, SuspectDetectedDecoysClean) {
+  const auto r = run_traceback(easy_config());
+  ASSERT_TRUE(r.ok()) << r.status();
+  const auto& result = r.value();
+  EXPECT_TRUE(result.suspect_detected)
+      << "suspect corr=" << result.suspect_correlation;
+  EXPECT_EQ(result.decoys_flagged, 0u)
+      << "max decoy corr=" << result.max_decoy_correlation;
+  EXPECT_GT(result.suspect_correlation, result.max_decoy_correlation);
+}
+
+TEST(TracebackTest, ResultContainsAllFlows) {
+  auto cfg = easy_config();
+  cfg.num_decoys = 4;
+  const auto result = run_traceback(cfg).value();
+  ASSERT_EQ(result.flows.size(), 5u);
+  EXPECT_TRUE(result.flows[0].is_suspect);
+  for (std::size_t i = 1; i < result.flows.size(); ++i) {
+    EXPECT_FALSE(result.flows[i].is_suspect);
+  }
+}
+
+TEST(TracebackTest, LegalityDeterminationIsEmbedded) {
+  const auto result = run_traceback(easy_config()).value();
+  EXPECT_TRUE(result.collection_legality.needs_process);
+  EXPECT_EQ(result.collection_legality.required_process,
+            legal::ProcessKind::kCourtOrder);
+}
+
+TEST(TracebackTest, DeterministicForFixedSeed) {
+  const auto a = run_traceback(easy_config()).value();
+  const auto b = run_traceback(easy_config()).value();
+  EXPECT_DOUBLE_EQ(a.suspect_correlation, b.suspect_correlation);
+  EXPECT_EQ(a.decoys_flagged, b.decoys_flagged);
+}
+
+TEST(TracebackTest, HigherDepthRaisesCorrelation) {
+  auto weak = easy_config();
+  weak.depth = 0.1;
+  weak.num_decoys = 0;
+  auto strong = easy_config();
+  strong.depth = 0.5;
+  strong.num_decoys = 0;
+  const auto r_weak = run_traceback(weak).value();
+  const auto r_strong = run_traceback(strong).value();
+  EXPECT_GT(r_strong.suspect_correlation, r_weak.suspect_correlation);
+}
+
+TEST(TracebackTest, InvalidPnDegreeFails) {
+  auto cfg = easy_config();
+  cfg.pn_degree = 99;
+  EXPECT_FALSE(run_traceback(cfg).ok());
+}
+
+TEST(TracebackTest, HeavyJitterDegradesButLongCodeRecovers) {
+  // Ablation in miniature: crank relay jitter; a short code fails more
+  // often than a long one.
+  auto shorter = easy_config();
+  shorter.pn_degree = 5;  // 31 chips
+  shorter.network.relay_jitter_ms = 150.0;
+  shorter.num_decoys = 0;
+  auto longer = shorter;
+  longer.pn_degree = 10;  // 1023 chips
+
+  const auto r_short = run_traceback(shorter).value();
+  const auto r_long = run_traceback(longer).value();
+  EXPECT_GE(r_long.suspect_correlation / r_long.flows[0].detection.threshold,
+            r_short.suspect_correlation / r_short.flows[0].detection.threshold);
+}
+
+}  // namespace
+}  // namespace lexfor::tornet

@@ -1,0 +1,65 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes data = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x7F};
+  const std::string hex = to_hex(data);
+  EXPECT_EQ(hex, "deadbeef007f");
+  const auto back = from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(BytesTest, FromHexAcceptsUppercase) {
+  const auto b = from_hex("DEADBEEF");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(to_hex(*b), "deadbeef");
+}
+
+TEST(BytesTest, FromHexRejectsOddLength) {
+  EXPECT_FALSE(from_hex("abc").has_value());
+}
+
+TEST(BytesTest, FromHexRejectsNonHexChars) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+  EXPECT_FALSE(from_hex("0g").has_value());
+}
+
+TEST(BytesTest, EmptyHexIsEmptyBytes) {
+  const auto b = from_hex("");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(b->empty());
+  EXPECT_EQ(to_hex(Bytes{}), "");
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  const std::string s = "forensic evidence";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(BytesTest, IntegerAppendReadRoundTrip) {
+  Bytes buf;
+  append_u16(buf, 0x1234);
+  append_u32(buf, 0xDEADBEEF);
+  append_u64(buf, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(buf.size(), 14u);
+  EXPECT_EQ(read_u16(buf, 0), 0x1234);
+  EXPECT_EQ(read_u32(buf, 2), 0xDEADBEEFu);
+  EXPECT_EQ(read_u64(buf, 6), 0x0123456789ABCDEFULL);
+}
+
+TEST(BytesTest, IntegersAreLittleEndian) {
+  Bytes buf;
+  append_u32(buf, 0x01020304);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[1], 0x03);
+  EXPECT_EQ(buf[2], 0x02);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+}  // namespace
+}  // namespace lexfor

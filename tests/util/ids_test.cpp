@@ -1,0 +1,69 @@
+#include "util/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace lexfor {
+namespace {
+
+TEST(IdsTest, DefaultConstructedIdIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(IdsTest, ExplicitIdIsValid) {
+  NodeId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(IdsTest, EqualityComparesValues) {
+  EXPECT_EQ(NodeId{7}, NodeId{7});
+  EXPECT_NE(NodeId{7}, NodeId{8});
+}
+
+TEST(IdsTest, OrderingComparesValues) {
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_FALSE(NodeId{2} < NodeId{1});
+}
+
+TEST(IdsTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, LinkId>);
+  static_assert(!std::is_same_v<EvidenceId, ProcessId>);
+}
+
+TEST(IdsTest, GeneratorIssuesMonotonicIds) {
+  IdGenerator<PacketId> gen;
+  const auto a = gen.next();
+  const auto b = gen.next();
+  const auto c = gen.next();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(gen.issued(), 3u);
+}
+
+TEST(IdsTest, GeneratorStartsAtGivenValue) {
+  IdGenerator<PacketId> gen{100};
+  EXPECT_EQ(gen.next().value(), 100u);
+  EXPECT_EQ(gen.next().value(), 101u);
+}
+
+TEST(IdsTest, IdsHashIntoUnorderedContainers) {
+  std::unordered_set<EvidenceId> set;
+  set.insert(EvidenceId{1});
+  set.insert(EvidenceId{2});
+  set.insert(EvidenceId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(EvidenceId{1}));
+  EXPECT_FALSE(set.count(EvidenceId{3}));
+}
+
+TEST(IdsTest, StreamOperatorPrintsValue) {
+  std::ostringstream os;
+  os << NodeId{5};
+  EXPECT_EQ(os.str(), "#5");
+}
+
+}  // namespace
+}  // namespace lexfor

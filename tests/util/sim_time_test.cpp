@@ -1,0 +1,54 @@
+#include "util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor {
+namespace {
+
+TEST(SimTimeTest, ConversionsAreConsistent) {
+  const SimTime t = SimTime::from_ms(1500);
+  EXPECT_EQ(t.us, 1500000);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.millis(), 1500.0);
+}
+
+TEST(SimTimeTest, FromSecRoundsToMicros) {
+  const SimTime t = SimTime::from_sec(0.000001);
+  EXPECT_EQ(t.us, 1);
+}
+
+TEST(SimTimeTest, ComparisonOperators) {
+  const SimTime a = SimTime::from_us(10);
+  const SimTime b = SimTime::from_us(20);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  EXPECT_GE(b, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, SimTime::from_us(10));
+}
+
+TEST(SimTimeTest, ArithmeticWithDurations) {
+  const SimTime t = SimTime::from_ms(100);
+  const SimDuration d = SimDuration::from_ms(25);
+  EXPECT_EQ((t + d).us, 125000);
+  EXPECT_EQ((t - d).us, 75000);
+  const SimDuration diff = (t + d) - t;
+  EXPECT_EQ(diff.us, d.us);
+}
+
+TEST(SimTimeTest, DurationArithmetic) {
+  const SimDuration a = SimDuration::from_ms(10);
+  const SimDuration b = SimDuration::from_ms(5);
+  EXPECT_EQ((a + b).us, 15000);
+  EXPECT_EQ((a * 3).us, 30000);
+  EXPECT_LT(b, a);
+}
+
+TEST(SimTimeTest, ZeroIsOrigin) {
+  EXPECT_EQ(SimTime::zero().us, 0);
+  EXPECT_DOUBLE_EQ(SimTime::zero().seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace lexfor

@@ -1,0 +1,65 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  const Status s = PermissionDenied("needs a warrant");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(s.message(), "needs a warrant");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(to_string(StatusCode::kOk), "OK");
+  EXPECT_EQ(to_string(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_EQ(to_string(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(to_string(StatusCode::kFailedPrecondition), "FAILED_PRECONDITION");
+  EXPECT_EQ(to_string(StatusCode::kPermissionDenied), "PERMISSION_DENIED");
+  EXPECT_EQ(to_string(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_EQ(to_string(StatusCode::kAlreadyExists), "ALREADY_EXISTS");
+  EXPECT_EQ(to_string(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusTest, StreamOperatorIncludesCodeAndMessage) {
+  std::ostringstream os;
+  os << NotFound("missing thing");
+  EXPECT_EQ(os.str(), "NOT_FOUND: missing thing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InvalidArgument("bad");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> good = 7;
+  Result<int> bad = NotFound("nope");
+  EXPECT_EQ(good.value_or(0), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+}  // namespace
+}  // namespace lexfor

@@ -1,0 +1,139 @@
+#include "watermark/multibit.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace lexfor::watermark {
+namespace {
+
+PnCode code10() { return PnCode::m_sequence(10).value(); }  // 1023 chips
+
+MultiBitParams params(std::size_t chips_per_bit = 63) {
+  MultiBitParams p;
+  p.start = SimTime::zero();
+  p.chip_duration = SimDuration::from_ms(100.0);
+  p.depth = 0.3;
+  p.chips_per_bit = chips_per_bit;
+  return p;
+}
+
+std::vector<std::int8_t> payload16() {
+  return {1, -1, -1, 1, 1, 1, -1, 1, -1, -1, 1, -1, 1, 1, -1, -1};
+}
+
+TEST(MultiBitTest, CreateValidatesInputs) {
+  EXPECT_FALSE(MultiBitEmbedder::create(code10(), {}, params()).ok());
+  EXPECT_FALSE(MultiBitEmbedder::create(code10(), {1, 0, -1}, params()).ok());
+  auto zero_l = params();
+  zero_l.chips_per_bit = 0;
+  EXPECT_FALSE(MultiBitEmbedder::create(code10(), {1, -1}, zero_l).ok());
+  // 17 bits x 63 chips = 1071 > 1023: too long.
+  std::vector<std::int8_t> too_many(17, 1);
+  EXPECT_FALSE(MultiBitEmbedder::create(code10(), too_many, params()).ok());
+  EXPECT_TRUE(MultiBitEmbedder::create(code10(), payload16(), params()).ok());
+}
+
+TEST(MultiBitTest, MultiplierEncodesBitTimesChip) {
+  const auto code = code10();
+  const auto emb =
+      MultiBitEmbedder::create(code, payload16(), params()).value();
+  const auto bits = payload16();
+  for (std::size_t chip = 0; chip < 16 * 63; chip += 97) {
+    const SimTime mid = SimTime::from_ms(100.0 * static_cast<double>(chip) + 50.0);
+    const double expected =
+        1.0 + 0.3 * static_cast<double>(bits[chip / 63]) *
+                  static_cast<double>(code.chips()[chip]);
+    EXPECT_DOUBLE_EQ(emb.multiplier(mid), expected) << "chip " << chip;
+  }
+}
+
+TEST(MultiBitTest, MultiplierIsOneOutsideTheMark) {
+  const auto emb =
+      MultiBitEmbedder::create(code10(), payload16(), params()).value();
+  EXPECT_DOUBLE_EQ(
+      emb.multiplier(emb.end() + SimDuration::from_ms(1)), 1.0);
+  // end = 16 * 63 chips * 100ms.
+  EXPECT_NEAR(emb.end().seconds(), 16 * 63 * 0.1, 1e-9);
+}
+
+TEST(MultiBitTest, CleanSignalDecodesPerfectly) {
+  const auto code = code10();
+  const auto bits = payload16();
+  std::vector<double> rates;
+  for (std::size_t chip = 0; chip < bits.size() * 63; ++chip) {
+    rates.push_back(100.0 * (1.0 + 0.3 * bits[chip / 63] *
+                                       code.chips()[chip]));
+  }
+  const MultiBitDecoder decoder(code, 63);
+  const auto r = decoder.decode_and_compare(rates, bits).value();
+  EXPECT_DOUBLE_EQ(r.bit_error_rate, 0.0);
+  EXPECT_EQ(r.bits, bits);
+}
+
+TEST(MultiBitTest, NoisySignalDecodesWithLowBer) {
+  const auto code = code10();
+  const auto bits = payload16();
+  Rng rng{3};
+  std::vector<double> rates;
+  for (std::size_t chip = 0; chip < bits.size() * 63; ++chip) {
+    rates.push_back(100.0 + 30.0 * bits[chip / 63] * code.chips()[chip] +
+                    rng.normal(0.0, 60.0));  // SNR 0.5 per chip
+  }
+  const MultiBitDecoder decoder(code, 63);
+  const auto r = decoder.decode_and_compare(rates, bits).value();
+  EXPECT_LE(r.bit_error_rate, 1.0 / 16.0);  // at most one bit wrong
+}
+
+TEST(MultiBitTest, BaselineDriftIsToleratedBySegmentMeans) {
+  const auto code = code10();
+  const auto bits = payload16();
+  std::vector<double> rates;
+  for (std::size_t chip = 0; chip < bits.size() * 63; ++chip) {
+    const double drift = 0.05 * static_cast<double>(chip);  // slow ramp
+    rates.push_back(100.0 + drift +
+                    30.0 * bits[chip / 63] * code.chips()[chip]);
+  }
+  const MultiBitDecoder decoder(code, 63);
+  const auto r = decoder.decode_and_compare(rates, bits).value();
+  EXPECT_DOUBLE_EQ(r.bit_error_rate, 0.0);
+}
+
+TEST(MultiBitTest, DecodeRejectsShortSeries) {
+  const MultiBitDecoder decoder(code10(), 63);
+  const std::vector<double> short_series(100, 1.0);
+  EXPECT_FALSE(decoder.decode(short_series, 16).ok());
+}
+
+TEST(MultiBitTest, LongerSpreadingLowersBerAtFixedNoise) {
+  const auto code = code10();
+  Rng rng{9};
+  auto ber_at = [&](std::size_t chips_per_bit, std::size_t n_bits) {
+    std::vector<std::int8_t> bits;
+    for (std::size_t i = 0; i < n_bits; ++i) {
+      bits.push_back(rng.bernoulli(0.5) ? 1 : -1);
+    }
+    double total_errors = 0, total_bits = 0;
+    constexpr int kTrials = 20;
+    for (int t = 0; t < kTrials; ++t) {
+      std::vector<double> rates;
+      for (std::size_t chip = 0; chip < n_bits * chips_per_bit; ++chip) {
+        rates.push_back(100.0 +
+                        10.0 * bits[chip / chips_per_bit] * code.chips()[chip] +
+                        rng.normal(0.0, 50.0));
+      }
+      const MultiBitDecoder decoder(code, chips_per_bit);
+      const auto r = decoder.decode_and_compare(rates, bits).value();
+      total_errors += r.bit_error_rate * static_cast<double>(n_bits);
+      total_bits += static_cast<double>(n_bits);
+    }
+    return total_errors / total_bits;
+  };
+  // Same noise, same code: 15 chips/bit vs 127 chips/bit.
+  const double short_spread = ber_at(15, 8);
+  const double long_spread = ber_at(127, 8);
+  EXPECT_LT(long_spread, short_spread);
+}
+
+}  // namespace
+}  // namespace lexfor::watermark
