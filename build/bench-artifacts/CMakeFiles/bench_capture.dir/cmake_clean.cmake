@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_capture"
+  "../bench/bench_capture.pdb"
+  "CMakeFiles/bench_capture.dir/bench_capture.cpp.o"
+  "CMakeFiles/bench_capture.dir/bench_capture.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

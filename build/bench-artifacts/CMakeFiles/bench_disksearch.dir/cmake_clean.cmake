@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_disksearch"
+  "../bench/bench_disksearch.pdb"
+  "CMakeFiles/bench_disksearch.dir/bench_disksearch.cpp.o"
+  "CMakeFiles/bench_disksearch.dir/bench_disksearch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disksearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multiflow"
+  "../bench/bench_multiflow.pdb"
+  "CMakeFiles/bench_multiflow.dir/bench_multiflow.cpp.o"
+  "CMakeFiles/bench_multiflow.dir/bench_multiflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_netsim"
+  "../bench/bench_netsim.pdb"
+  "CMakeFiles/bench_netsim.dir/bench_netsim.cpp.o"
+  "CMakeFiles/bench_netsim.dir/bench_netsim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

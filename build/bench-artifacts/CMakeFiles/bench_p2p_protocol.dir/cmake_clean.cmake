@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_p2p_protocol"
+  "../bench/bench_p2p_protocol.pdb"
+  "CMakeFiles/bench_p2p_protocol.dir/bench_p2p_protocol.cpp.o"
+  "CMakeFiles/bench_p2p_protocol.dir/bench_p2p_protocol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p2p_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_p2p_timing"
+  "../bench/bench_p2p_timing.pdb"
+  "CMakeFiles/bench_p2p_timing.dir/bench_p2p_timing.cpp.o"
+  "CMakeFiles/bench_p2p_timing.dir/bench_p2p_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p2p_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_suppression"
+  "../bench/bench_suppression.pdb"
+  "CMakeFiles/bench_suppression.dir/bench_suppression.cpp.o"
+  "CMakeFiles/bench_suppression.dir/bench_suppression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suppression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

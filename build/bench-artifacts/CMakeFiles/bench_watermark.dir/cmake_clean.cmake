@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_watermark"
+  "../bench/bench_watermark.pdb"
+  "CMakeFiles/bench_watermark.dir/bench_watermark.cpp.o"
+  "CMakeFiles/bench_watermark.dir/bench_watermark.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_watermark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

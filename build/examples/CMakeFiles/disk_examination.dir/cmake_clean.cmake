@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_examination.dir/disk_examination.cpp.o"
+  "CMakeFiles/disk_examination.dir/disk_examination.cpp.o.d"
+  "disk_examination"
+  "disk_examination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_examination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_sca_lifecycle.dir/email_sca_lifecycle.cpp.o"
+  "CMakeFiles/email_sca_lifecycle.dir/email_sca_lifecycle.cpp.o.d"
+  "email_sca_lifecycle"
+  "email_sca_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_sca_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

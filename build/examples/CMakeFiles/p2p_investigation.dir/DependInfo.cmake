@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/p2p_investigation.cpp" "examples/CMakeFiles/p2p_investigation.dir/p2p_investigation.cpp.o" "gcc" "examples/CMakeFiles/p2p_investigation.dir/p2p_investigation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anonp2p/CMakeFiles/lexfor_anonp2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/investigation/CMakeFiles/lexfor_investigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/lexfor_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lexfor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/legal/CMakeFiles/lexfor_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

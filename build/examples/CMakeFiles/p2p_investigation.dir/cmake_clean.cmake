@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_investigation.dir/p2p_investigation.cpp.o"
+  "CMakeFiles/p2p_investigation.dir/p2p_investigation.cpp.o.d"
+  "p2p_investigation"
+  "p2p_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

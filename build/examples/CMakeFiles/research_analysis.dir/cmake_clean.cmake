@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/research_analysis.dir/research_analysis.cpp.o"
+  "CMakeFiles/research_analysis.dir/research_analysis.cpp.o.d"
+  "research_analysis"
+  "research_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/research_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

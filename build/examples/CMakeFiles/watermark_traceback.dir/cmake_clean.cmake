@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watermark_traceback.dir/watermark_traceback.cpp.o"
+  "CMakeFiles/watermark_traceback.dir/watermark_traceback.cpp.o.d"
+  "watermark_traceback"
+  "watermark_traceback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watermark_traceback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

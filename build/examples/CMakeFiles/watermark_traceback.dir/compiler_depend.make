@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for watermark_traceback.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for watermark_traceback.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("legal")
+subdirs("netsim")
+subdirs("capture")
+subdirs("storedcomm")
+subdirs("evidence")
+subdirs("diskimage")
+subdirs("watermark")
+subdirs("anonp2p")
+subdirs("tornet")
+subdirs("investigation")

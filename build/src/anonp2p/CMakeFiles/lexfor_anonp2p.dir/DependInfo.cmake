@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anonp2p/investigator.cpp" "src/anonp2p/CMakeFiles/lexfor_anonp2p.dir/investigator.cpp.o" "gcc" "src/anonp2p/CMakeFiles/lexfor_anonp2p.dir/investigator.cpp.o.d"
+  "/root/repo/src/anonp2p/overlay.cpp" "src/anonp2p/CMakeFiles/lexfor_anonp2p.dir/overlay.cpp.o" "gcc" "src/anonp2p/CMakeFiles/lexfor_anonp2p.dir/overlay.cpp.o.d"
+  "/root/repo/src/anonp2p/protocol.cpp" "src/anonp2p/CMakeFiles/lexfor_anonp2p.dir/protocol.cpp.o" "gcc" "src/anonp2p/CMakeFiles/lexfor_anonp2p.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/legal/CMakeFiles/lexfor_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/lexfor_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lexfor_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_anonp2p.dir/investigator.cpp.o"
+  "CMakeFiles/lexfor_anonp2p.dir/investigator.cpp.o.d"
+  "CMakeFiles/lexfor_anonp2p.dir/overlay.cpp.o"
+  "CMakeFiles/lexfor_anonp2p.dir/overlay.cpp.o.d"
+  "CMakeFiles/lexfor_anonp2p.dir/protocol.cpp.o"
+  "CMakeFiles/lexfor_anonp2p.dir/protocol.cpp.o.d"
+  "liblexfor_anonp2p.a"
+  "liblexfor_anonp2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_anonp2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

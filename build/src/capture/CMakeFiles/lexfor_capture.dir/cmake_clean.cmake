@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_capture.dir/capture.cpp.o"
+  "CMakeFiles/lexfor_capture.dir/capture.cpp.o.d"
+  "CMakeFiles/lexfor_capture.dir/filter.cpp.o"
+  "CMakeFiles/lexfor_capture.dir/filter.cpp.o.d"
+  "liblexfor_capture.a"
+  "liblexfor_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_crypto.dir/crc32.cpp.o"
+  "CMakeFiles/lexfor_crypto.dir/crc32.cpp.o.d"
+  "CMakeFiles/lexfor_crypto.dir/md5.cpp.o"
+  "CMakeFiles/lexfor_crypto.dir/md5.cpp.o.d"
+  "CMakeFiles/lexfor_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/lexfor_crypto.dir/sha256.cpp.o.d"
+  "liblexfor_crypto.a"
+  "liblexfor_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

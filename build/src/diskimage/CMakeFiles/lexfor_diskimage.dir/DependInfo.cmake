@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diskimage/disk_image.cpp" "src/diskimage/CMakeFiles/lexfor_diskimage.dir/disk_image.cpp.o" "gcc" "src/diskimage/CMakeFiles/lexfor_diskimage.dir/disk_image.cpp.o.d"
+  "/root/repo/src/diskimage/hash_search.cpp" "src/diskimage/CMakeFiles/lexfor_diskimage.dir/hash_search.cpp.o" "gcc" "src/diskimage/CMakeFiles/lexfor_diskimage.dir/hash_search.cpp.o.d"
+  "/root/repo/src/diskimage/keyword_search.cpp" "src/diskimage/CMakeFiles/lexfor_diskimage.dir/keyword_search.cpp.o" "gcc" "src/diskimage/CMakeFiles/lexfor_diskimage.dir/keyword_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/lexfor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/legal/CMakeFiles/lexfor_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

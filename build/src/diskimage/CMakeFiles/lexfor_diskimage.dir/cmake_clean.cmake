@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_diskimage.dir/disk_image.cpp.o"
+  "CMakeFiles/lexfor_diskimage.dir/disk_image.cpp.o.d"
+  "CMakeFiles/lexfor_diskimage.dir/hash_search.cpp.o"
+  "CMakeFiles/lexfor_diskimage.dir/hash_search.cpp.o.d"
+  "CMakeFiles/lexfor_diskimage.dir/keyword_search.cpp.o"
+  "CMakeFiles/lexfor_diskimage.dir/keyword_search.cpp.o.d"
+  "liblexfor_diskimage.a"
+  "liblexfor_diskimage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_diskimage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lexfor_diskimage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evidence/custody.cpp" "src/evidence/CMakeFiles/lexfor_evidence.dir/custody.cpp.o" "gcc" "src/evidence/CMakeFiles/lexfor_evidence.dir/custody.cpp.o.d"
+  "/root/repo/src/evidence/locker.cpp" "src/evidence/CMakeFiles/lexfor_evidence.dir/locker.cpp.o" "gcc" "src/evidence/CMakeFiles/lexfor_evidence.dir/locker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/lexfor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

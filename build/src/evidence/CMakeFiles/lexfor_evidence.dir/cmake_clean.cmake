@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_evidence.dir/custody.cpp.o"
+  "CMakeFiles/lexfor_evidence.dir/custody.cpp.o.d"
+  "CMakeFiles/lexfor_evidence.dir/locker.cpp.o"
+  "CMakeFiles/lexfor_evidence.dir/locker.cpp.o.d"
+  "liblexfor_evidence.a"
+  "liblexfor_evidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_evidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/investigation/court.cpp" "src/investigation/CMakeFiles/lexfor_investigation.dir/court.cpp.o" "gcc" "src/investigation/CMakeFiles/lexfor_investigation.dir/court.cpp.o.d"
+  "/root/repo/src/investigation/investigation.cpp" "src/investigation/CMakeFiles/lexfor_investigation.dir/investigation.cpp.o" "gcc" "src/investigation/CMakeFiles/lexfor_investigation.dir/investigation.cpp.o.d"
+  "/root/repo/src/investigation/report.cpp" "src/investigation/CMakeFiles/lexfor_investigation.dir/report.cpp.o" "gcc" "src/investigation/CMakeFiles/lexfor_investigation.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/legal/CMakeFiles/lexfor_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_investigation.dir/court.cpp.o"
+  "CMakeFiles/lexfor_investigation.dir/court.cpp.o.d"
+  "CMakeFiles/lexfor_investigation.dir/investigation.cpp.o"
+  "CMakeFiles/lexfor_investigation.dir/investigation.cpp.o.d"
+  "CMakeFiles/lexfor_investigation.dir/report.cpp.o"
+  "CMakeFiles/lexfor_investigation.dir/report.cpp.o.d"
+  "liblexfor_investigation.a"
+  "liblexfor_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/legal/analysis.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/analysis.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/analysis.cpp.o.d"
+  "/root/repo/src/legal/caselaw.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/caselaw.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/caselaw.cpp.o.d"
+  "/root/repo/src/legal/engine.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/engine.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/engine.cpp.o.d"
+  "/root/repo/src/legal/exceptions.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/exceptions.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/exceptions.cpp.o.d"
+  "/root/repo/src/legal/exigency.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/exigency.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/exigency.cpp.o.d"
+  "/root/repo/src/legal/export.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/export.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/export.cpp.o.d"
+  "/root/repo/src/legal/facts.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/facts.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/facts.cpp.o.d"
+  "/root/repo/src/legal/jurisdiction.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/jurisdiction.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/jurisdiction.cpp.o.d"
+  "/root/repo/src/legal/privacy.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/privacy.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/privacy.cpp.o.d"
+  "/root/repo/src/legal/process.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/process.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/process.cpp.o.d"
+  "/root/repo/src/legal/scenario_library.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/scenario_library.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/scenario_library.cpp.o.d"
+  "/root/repo/src/legal/statutes.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/statutes.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/statutes.cpp.o.d"
+  "/root/repo/src/legal/suppression.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/suppression.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/suppression.cpp.o.d"
+  "/root/repo/src/legal/table1.cpp" "src/legal/CMakeFiles/lexfor_legal.dir/table1.cpp.o" "gcc" "src/legal/CMakeFiles/lexfor_legal.dir/table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_legal.dir/analysis.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/analysis.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/caselaw.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/caselaw.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/engine.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/engine.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/exceptions.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/exceptions.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/exigency.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/exigency.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/export.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/export.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/facts.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/facts.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/jurisdiction.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/jurisdiction.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/privacy.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/privacy.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/process.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/process.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/scenario_library.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/scenario_library.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/statutes.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/statutes.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/suppression.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/suppression.cpp.o.d"
+  "CMakeFiles/lexfor_legal.dir/table1.cpp.o"
+  "CMakeFiles/lexfor_legal.dir/table1.cpp.o.d"
+  "liblexfor_legal.a"
+  "liblexfor_legal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_legal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

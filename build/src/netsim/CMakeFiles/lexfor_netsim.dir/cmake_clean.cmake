@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_netsim.dir/network.cpp.o"
+  "CMakeFiles/lexfor_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/lexfor_netsim.dir/topology.cpp.o"
+  "CMakeFiles/lexfor_netsim.dir/topology.cpp.o.d"
+  "CMakeFiles/lexfor_netsim.dir/trace.cpp.o"
+  "CMakeFiles/lexfor_netsim.dir/trace.cpp.o.d"
+  "liblexfor_netsim.a"
+  "liblexfor_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_storedcomm.dir/provider.cpp.o"
+  "CMakeFiles/lexfor_storedcomm.dir/provider.cpp.o.d"
+  "liblexfor_storedcomm.a"
+  "liblexfor_storedcomm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_storedcomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

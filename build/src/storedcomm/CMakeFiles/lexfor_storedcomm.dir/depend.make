@@ -1,0 +1,2 @@
+# Empty dependencies file for lexfor_storedcomm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_tornet.dir/anonymity_network.cpp.o"
+  "CMakeFiles/lexfor_tornet.dir/anonymity_network.cpp.o.d"
+  "CMakeFiles/lexfor_tornet.dir/baseline.cpp.o"
+  "CMakeFiles/lexfor_tornet.dir/baseline.cpp.o.d"
+  "CMakeFiles/lexfor_tornet.dir/traceback.cpp.o"
+  "CMakeFiles/lexfor_tornet.dir/traceback.cpp.o.d"
+  "liblexfor_tornet.a"
+  "liblexfor_tornet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_tornet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lexfor_tornet.
+# This may be replaced when dependencies are built.

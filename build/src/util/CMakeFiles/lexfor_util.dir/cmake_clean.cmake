@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_util.dir/bytes.cpp.o"
+  "CMakeFiles/lexfor_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/lexfor_util.dir/rng.cpp.o"
+  "CMakeFiles/lexfor_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lexfor_util.dir/string_util.cpp.o"
+  "CMakeFiles/lexfor_util.dir/string_util.cpp.o.d"
+  "liblexfor_util.a"
+  "liblexfor_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

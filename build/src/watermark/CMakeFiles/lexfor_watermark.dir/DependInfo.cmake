@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/watermark/dsss.cpp" "src/watermark/CMakeFiles/lexfor_watermark.dir/dsss.cpp.o" "gcc" "src/watermark/CMakeFiles/lexfor_watermark.dir/dsss.cpp.o.d"
+  "/root/repo/src/watermark/gold_code.cpp" "src/watermark/CMakeFiles/lexfor_watermark.dir/gold_code.cpp.o" "gcc" "src/watermark/CMakeFiles/lexfor_watermark.dir/gold_code.cpp.o.d"
+  "/root/repo/src/watermark/multibit.cpp" "src/watermark/CMakeFiles/lexfor_watermark.dir/multibit.cpp.o" "gcc" "src/watermark/CMakeFiles/lexfor_watermark.dir/multibit.cpp.o.d"
+  "/root/repo/src/watermark/pn_code.cpp" "src/watermark/CMakeFiles/lexfor_watermark.dir/pn_code.cpp.o" "gcc" "src/watermark/CMakeFiles/lexfor_watermark.dir/pn_code.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_watermark.dir/dsss.cpp.o"
+  "CMakeFiles/lexfor_watermark.dir/dsss.cpp.o.d"
+  "CMakeFiles/lexfor_watermark.dir/gold_code.cpp.o"
+  "CMakeFiles/lexfor_watermark.dir/gold_code.cpp.o.d"
+  "CMakeFiles/lexfor_watermark.dir/multibit.cpp.o"
+  "CMakeFiles/lexfor_watermark.dir/multibit.cpp.o.d"
+  "CMakeFiles/lexfor_watermark.dir/pn_code.cpp.o"
+  "CMakeFiles/lexfor_watermark.dir/pn_code.cpp.o.d"
+  "liblexfor_watermark.a"
+  "liblexfor_watermark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_watermark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

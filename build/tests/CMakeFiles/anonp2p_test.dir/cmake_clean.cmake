@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonp2p_test.dir/anonp2p/investigator_test.cpp.o"
+  "CMakeFiles/anonp2p_test.dir/anonp2p/investigator_test.cpp.o.d"
+  "CMakeFiles/anonp2p_test.dir/anonp2p/multiclass_test.cpp.o"
+  "CMakeFiles/anonp2p_test.dir/anonp2p/multiclass_test.cpp.o.d"
+  "CMakeFiles/anonp2p_test.dir/anonp2p/overlay_test.cpp.o"
+  "CMakeFiles/anonp2p_test.dir/anonp2p/overlay_test.cpp.o.d"
+  "CMakeFiles/anonp2p_test.dir/anonp2p/protocol_test.cpp.o"
+  "CMakeFiles/anonp2p_test.dir/anonp2p/protocol_test.cpp.o.d"
+  "anonp2p_test"
+  "anonp2p_test.pdb"
+  "anonp2p_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonp2p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/diskimage/disk_image_test.cpp" "tests/CMakeFiles/diskimage_test.dir/diskimage/disk_image_test.cpp.o" "gcc" "tests/CMakeFiles/diskimage_test.dir/diskimage/disk_image_test.cpp.o.d"
+  "/root/repo/tests/diskimage/hash_search_test.cpp" "tests/CMakeFiles/diskimage_test.dir/diskimage/hash_search_test.cpp.o" "gcc" "tests/CMakeFiles/diskimage_test.dir/diskimage/hash_search_test.cpp.o.d"
+  "/root/repo/tests/diskimage/keyword_search_test.cpp" "tests/CMakeFiles/diskimage_test.dir/diskimage/keyword_search_test.cpp.o" "gcc" "tests/CMakeFiles/diskimage_test.dir/diskimage/keyword_search_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diskimage/CMakeFiles/lexfor_diskimage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lexfor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/legal/CMakeFiles/lexfor_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diskimage_test.dir/diskimage/disk_image_test.cpp.o"
+  "CMakeFiles/diskimage_test.dir/diskimage/disk_image_test.cpp.o.d"
+  "CMakeFiles/diskimage_test.dir/diskimage/hash_search_test.cpp.o"
+  "CMakeFiles/diskimage_test.dir/diskimage/hash_search_test.cpp.o.d"
+  "CMakeFiles/diskimage_test.dir/diskimage/keyword_search_test.cpp.o"
+  "CMakeFiles/diskimage_test.dir/diskimage/keyword_search_test.cpp.o.d"
+  "diskimage_test"
+  "diskimage_test.pdb"
+  "diskimage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diskimage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/evidence/custody_test.cpp" "tests/CMakeFiles/evidence_test.dir/evidence/custody_test.cpp.o" "gcc" "tests/CMakeFiles/evidence_test.dir/evidence/custody_test.cpp.o.d"
+  "/root/repo/tests/evidence/locker_test.cpp" "tests/CMakeFiles/evidence_test.dir/evidence/locker_test.cpp.o" "gcc" "tests/CMakeFiles/evidence_test.dir/evidence/locker_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evidence/CMakeFiles/lexfor_evidence.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lexfor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

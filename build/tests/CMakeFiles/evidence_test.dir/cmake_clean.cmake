@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evidence_test.dir/evidence/custody_test.cpp.o"
+  "CMakeFiles/evidence_test.dir/evidence/custody_test.cpp.o.d"
+  "CMakeFiles/evidence_test.dir/evidence/locker_test.cpp.o"
+  "CMakeFiles/evidence_test.dir/evidence/locker_test.cpp.o.d"
+  "evidence_test"
+  "evidence_test.pdb"
+  "evidence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

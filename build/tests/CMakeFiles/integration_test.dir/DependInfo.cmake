@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/full_case_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/full_case_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/full_case_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capture/CMakeFiles/lexfor_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/evidence/CMakeFiles/lexfor_evidence.dir/DependInfo.cmake"
+  "/root/repo/build/src/investigation/CMakeFiles/lexfor_investigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/tornet/CMakeFiles/lexfor_tornet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/lexfor_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lexfor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/legal/CMakeFiles/lexfor_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/watermark/CMakeFiles/lexfor_watermark.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/investigation_test.dir/investigation/court_test.cpp.o"
+  "CMakeFiles/investigation_test.dir/investigation/court_test.cpp.o.d"
+  "CMakeFiles/investigation_test.dir/investigation/investigation_test.cpp.o"
+  "CMakeFiles/investigation_test.dir/investigation/investigation_test.cpp.o.d"
+  "CMakeFiles/investigation_test.dir/investigation/report_test.cpp.o"
+  "CMakeFiles/investigation_test.dir/investigation/report_test.cpp.o.d"
+  "investigation_test"
+  "investigation_test.pdb"
+  "investigation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/investigation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

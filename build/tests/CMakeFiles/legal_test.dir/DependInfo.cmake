@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/legal/analysis_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/analysis_test.cpp.o.d"
+  "/root/repo/tests/legal/caselaw_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/caselaw_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/caselaw_test.cpp.o.d"
+  "/root/repo/tests/legal/engine_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/engine_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/engine_test.cpp.o.d"
+  "/root/repo/tests/legal/exceptions_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/exceptions_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/exceptions_test.cpp.o.d"
+  "/root/repo/tests/legal/exigency_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/exigency_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/exigency_test.cpp.o.d"
+  "/root/repo/tests/legal/export_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/export_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/export_test.cpp.o.d"
+  "/root/repo/tests/legal/facts_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/facts_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/facts_test.cpp.o.d"
+  "/root/repo/tests/legal/jurisdiction_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/jurisdiction_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/jurisdiction_test.cpp.o.d"
+  "/root/repo/tests/legal/privacy_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/privacy_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/privacy_test.cpp.o.d"
+  "/root/repo/tests/legal/process_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/process_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/process_test.cpp.o.d"
+  "/root/repo/tests/legal/property_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/property_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/property_test.cpp.o.d"
+  "/root/repo/tests/legal/scenario_library_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/scenario_library_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/scenario_library_test.cpp.o.d"
+  "/root/repo/tests/legal/statutes_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/statutes_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/statutes_test.cpp.o.d"
+  "/root/repo/tests/legal/suppression_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/suppression_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/suppression_test.cpp.o.d"
+  "/root/repo/tests/legal/table1_test.cpp" "tests/CMakeFiles/legal_test.dir/legal/table1_test.cpp.o" "gcc" "tests/CMakeFiles/legal_test.dir/legal/table1_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/legal/CMakeFiles/lexfor_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netsim/event_queue_test.cpp" "tests/CMakeFiles/netsim_test.dir/netsim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/netsim_test.dir/netsim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/netsim/flow_test.cpp" "tests/CMakeFiles/netsim_test.dir/netsim/flow_test.cpp.o" "gcc" "tests/CMakeFiles/netsim_test.dir/netsim/flow_test.cpp.o.d"
+  "/root/repo/tests/netsim/network_test.cpp" "tests/CMakeFiles/netsim_test.dir/netsim/network_test.cpp.o" "gcc" "tests/CMakeFiles/netsim_test.dir/netsim/network_test.cpp.o.d"
+  "/root/repo/tests/netsim/topology_test.cpp" "tests/CMakeFiles/netsim_test.dir/netsim/topology_test.cpp.o" "gcc" "tests/CMakeFiles/netsim_test.dir/netsim/topology_test.cpp.o.d"
+  "/root/repo/tests/netsim/trace_test.cpp" "tests/CMakeFiles/netsim_test.dir/netsim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/netsim_test.dir/netsim/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/lexfor_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lexfor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

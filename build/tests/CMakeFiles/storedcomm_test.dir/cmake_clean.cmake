@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storedcomm_test.dir/storedcomm/property_test.cpp.o"
+  "CMakeFiles/storedcomm_test.dir/storedcomm/property_test.cpp.o.d"
+  "CMakeFiles/storedcomm_test.dir/storedcomm/provider_test.cpp.o"
+  "CMakeFiles/storedcomm_test.dir/storedcomm/provider_test.cpp.o.d"
+  "storedcomm_test"
+  "storedcomm_test.pdb"
+  "storedcomm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storedcomm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tornet_test.dir/tornet/anonymity_network_test.cpp.o"
+  "CMakeFiles/tornet_test.dir/tornet/anonymity_network_test.cpp.o.d"
+  "CMakeFiles/tornet_test.dir/tornet/baseline_test.cpp.o"
+  "CMakeFiles/tornet_test.dir/tornet/baseline_test.cpp.o.d"
+  "CMakeFiles/tornet_test.dir/tornet/multiflow_test.cpp.o"
+  "CMakeFiles/tornet_test.dir/tornet/multiflow_test.cpp.o.d"
+  "CMakeFiles/tornet_test.dir/tornet/traceback_test.cpp.o"
+  "CMakeFiles/tornet_test.dir/tornet/traceback_test.cpp.o.d"
+  "tornet_test"
+  "tornet_test.pdb"
+  "tornet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tornet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

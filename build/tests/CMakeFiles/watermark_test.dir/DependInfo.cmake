@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/watermark/dsss_test.cpp" "tests/CMakeFiles/watermark_test.dir/watermark/dsss_test.cpp.o" "gcc" "tests/CMakeFiles/watermark_test.dir/watermark/dsss_test.cpp.o.d"
+  "/root/repo/tests/watermark/gold_code_test.cpp" "tests/CMakeFiles/watermark_test.dir/watermark/gold_code_test.cpp.o" "gcc" "tests/CMakeFiles/watermark_test.dir/watermark/gold_code_test.cpp.o.d"
+  "/root/repo/tests/watermark/multibit_test.cpp" "tests/CMakeFiles/watermark_test.dir/watermark/multibit_test.cpp.o" "gcc" "tests/CMakeFiles/watermark_test.dir/watermark/multibit_test.cpp.o.d"
+  "/root/repo/tests/watermark/pn_code_test.cpp" "tests/CMakeFiles/watermark_test.dir/watermark/pn_code_test.cpp.o" "gcc" "tests/CMakeFiles/watermark_test.dir/watermark/pn_code_test.cpp.o.d"
+  "/root/repo/tests/watermark/scan_test.cpp" "tests/CMakeFiles/watermark_test.dir/watermark/scan_test.cpp.o" "gcc" "tests/CMakeFiles/watermark_test.dir/watermark/scan_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/watermark/CMakeFiles/lexfor_watermark.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

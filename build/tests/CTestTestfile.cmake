@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/legal_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/capture_test[1]_include.cmake")
+include("/root/repo/build/tests/storedcomm_test[1]_include.cmake")
+include("/root/repo/build/tests/evidence_test[1]_include.cmake")
+include("/root/repo/build/tests/diskimage_test[1]_include.cmake")
+include("/root/repo/build/tests/watermark_test[1]_include.cmake")
+include("/root/repo/build/tests/anonp2p_test[1]_include.cmake")
+include("/root/repo/build/tests/tornet_test[1]_include.cmake")
+include("/root/repo/build/tests/investigation_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
