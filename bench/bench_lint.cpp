@@ -1,0 +1,81 @@
+// Microbench: plan-linting throughput.
+//
+// Lints synthetic N-step plans (a derivation chain with periodic
+// defects, exercising every pass including the taint closure) and the
+// canonical fixtures.  The linter sits on the interactive path of a
+// plan-review UI, so steps/second matters.
+
+#include <benchmark/benchmark.h>
+
+#include "lint/example_plans.h"
+#include "lint/linter.h"
+#include "lint/render.h"
+
+namespace {
+
+using namespace lexfor;
+using namespace lexfor::lint;
+
+SimTime day(double d) { return SimTime::from_sec(d * 24 * 3600.0); }
+
+InvestigationPlan synthetic_plan(int steps) {
+  using namespace lexfor::legal;
+
+  InvestigationPlan plan("synthetic", CrimeCategory::kIntrusion);
+  plan.charging("suspect-0");
+  plan.with_fact({FactKind::kIpAddressLinked, 1.0, "ip"});
+  plan.with_fact({FactKind::kSubscriberIdentified, 1.0, "subscriber"});
+
+  const PlanStepId order = plan.plan_application(
+      "order", ProcessKind::kCourtOrder, day(0));
+
+  PlanStepId prev;
+  for (int i = 0; i < steps; ++i) {
+    Scenario s = Scenario{}
+                     .named("step")
+                     .by(ActorKind::kLawEnforcement)
+                     .acquiring(i % 7 == 0 ? DataKind::kContent
+                                           : DataKind::kAddressing)
+                     .located(i % 2 == 0 ? DataState::kInTransit
+                                         : DataState::kStoredAtProvider)
+                     .when(i % 2 == 0 ? Timing::kRealTime : Timing::kStored);
+    if (i % 2 != 0) s.at_provider(ProviderClass::kEcs);
+    auto builder =
+        plan.plan_acquisition("acq-" + std::to_string(i), s, day(1 + i));
+    if (i % 3 != 0) builder.using_authority(order);  // some steps go bare
+    if (prev.valid()) builder.derived({prev});
+    prev = builder.id();
+  }
+  return plan;
+}
+
+void BM_LintSyntheticPlan(benchmark::State& state) {
+  const InvestigationPlan plan = synthetic_plan(static_cast<int>(state.range(0)));
+  const PlanLinter linter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linter.lint(plan));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LintSyntheticPlan)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_LintDefectiveFixture(benchmark::State& state) {
+  const InvestigationPlan plan = defective_wiretap_plan();
+  const PlanLinter linter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linter.lint(plan));
+  }
+}
+BENCHMARK(BM_LintDefectiveFixture);
+
+void BM_RenderJson(benchmark::State& state) {
+  const LintReport report = PlanLinter{}.lint(defective_wiretap_plan());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render_json(report));
+  }
+}
+BENCHMARK(BM_RenderJson);
+
+}  // namespace
+
+BENCHMARK_MAIN();

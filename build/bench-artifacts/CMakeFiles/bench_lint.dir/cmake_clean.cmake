@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lint"
+  "../bench/bench_lint.pdb"
+  "CMakeFiles/bench_lint.dir/bench_lint.cpp.o"
+  "CMakeFiles/bench_lint.dir/bench_lint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/evidence/CMakeFiles/lexfor_evidence.dir/DependInfo.cmake"
   "/root/repo/build/src/investigation/CMakeFiles/lexfor_investigation.dir/DependInfo.cmake"
   "/root/repo/build/src/crypto/CMakeFiles/lexfor_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/lint/CMakeFiles/lexfor_lint.dir/DependInfo.cmake"
   "/root/repo/build/src/legal/CMakeFiles/lexfor_legal.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
   )

@@ -188,4 +188,5 @@ examples/CMakeFiles/disk_examination.dir/disk_examination.cpp.o: \
  /root/repo/src/legal/engine.h /root/repo/src/legal/exceptions.h \
  /root/repo/src/legal/privacy.h /root/repo/src/legal/scenario.h \
  /root/repo/src/legal/statutes.h /root/repo/src/legal/suppression.h \
+ /root/repo/src/lint/diagnostic.h /root/repo/src/lint/plan.h \
  /root/repo/src/legal/table1.h

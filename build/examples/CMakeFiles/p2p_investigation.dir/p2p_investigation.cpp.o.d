@@ -186,4 +186,5 @@ examples/CMakeFiles/p2p_investigation.dir/p2p_investigation.cpp.o: \
  /root/repo/src/investigation/investigation.h \
  /root/repo/src/investigation/court.h /root/repo/src/legal/facts.h \
  /root/repo/src/legal/process.h /root/repo/src/legal/authority.h \
- /root/repo/src/legal/suppression.h
+ /root/repo/src/legal/suppression.h /root/repo/src/lint/diagnostic.h \
+ /root/repo/src/lint/plan.h

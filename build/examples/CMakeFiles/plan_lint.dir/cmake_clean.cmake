@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_lint.dir/plan_lint.cpp.o"
+  "CMakeFiles/plan_lint.dir/plan_lint.cpp.o.d"
+  "plan_lint"
+  "plan_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/tornet/CMakeFiles/lexfor_tornet.dir/DependInfo.cmake"
   "/root/repo/build/src/investigation/CMakeFiles/lexfor_investigation.dir/DependInfo.cmake"
   "/root/repo/build/src/watermark/CMakeFiles/lexfor_watermark.dir/DependInfo.cmake"
+  "/root/repo/build/src/lint/CMakeFiles/lexfor_lint.dir/DependInfo.cmake"
   "/root/repo/build/src/legal/CMakeFiles/lexfor_legal.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
   )

@@ -184,6 +184,7 @@ examples/CMakeFiles/watermark_traceback.dir/watermark_traceback.cpp.o: \
  /root/repo/src/legal/authority.h /root/repo/src/legal/engine.h \
  /root/repo/src/legal/exceptions.h /root/repo/src/legal/privacy.h \
  /root/repo/src/legal/scenario.h /root/repo/src/legal/statutes.h \
- /root/repo/src/legal/suppression.h /root/repo/src/tornet/traceback.h \
+ /root/repo/src/legal/suppression.h /root/repo/src/lint/diagnostic.h \
+ /root/repo/src/lint/plan.h /root/repo/src/tornet/traceback.h \
  /root/repo/src/tornet/anonymity_network.h /root/repo/src/util/rng.h \
  /root/repo/src/watermark/dsss.h /root/repo/src/watermark/pn_code.h

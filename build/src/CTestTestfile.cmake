@@ -7,6 +7,7 @@
 subdirs("util")
 subdirs("crypto")
 subdirs("legal")
+subdirs("lint")
 subdirs("netsim")
 subdirs("capture")
 subdirs("storedcomm")

@@ -10,12 +10,14 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/investigation/court.cpp" "src/investigation/CMakeFiles/lexfor_investigation.dir/court.cpp.o" "gcc" "src/investigation/CMakeFiles/lexfor_investigation.dir/court.cpp.o.d"
   "/root/repo/src/investigation/investigation.cpp" "src/investigation/CMakeFiles/lexfor_investigation.dir/investigation.cpp.o" "gcc" "src/investigation/CMakeFiles/lexfor_investigation.dir/investigation.cpp.o.d"
+  "/root/repo/src/investigation/plan_runner.cpp" "src/investigation/CMakeFiles/lexfor_investigation.dir/plan_runner.cpp.o" "gcc" "src/investigation/CMakeFiles/lexfor_investigation.dir/plan_runner.cpp.o.d"
   "/root/repo/src/investigation/report.cpp" "src/investigation/CMakeFiles/lexfor_investigation.dir/report.cpp.o" "gcc" "src/investigation/CMakeFiles/lexfor_investigation.dir/report.cpp.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/legal/CMakeFiles/lexfor_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lint/CMakeFiles/lexfor_lint.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
   )
 

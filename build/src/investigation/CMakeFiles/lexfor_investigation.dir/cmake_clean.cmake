@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/lexfor_investigation.dir/court.cpp.o.d"
   "CMakeFiles/lexfor_investigation.dir/investigation.cpp.o"
   "CMakeFiles/lexfor_investigation.dir/investigation.cpp.o.d"
+  "CMakeFiles/lexfor_investigation.dir/plan_runner.cpp.o"
+  "CMakeFiles/lexfor_investigation.dir/plan_runner.cpp.o.d"
   "CMakeFiles/lexfor_investigation.dir/report.cpp.o"
   "CMakeFiles/lexfor_investigation.dir/report.cpp.o.d"
   "liblexfor_investigation.a"

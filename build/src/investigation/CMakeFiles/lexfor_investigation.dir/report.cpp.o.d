@@ -184,6 +184,7 @@ src/investigation/CMakeFiles/lexfor_investigation.dir/report.cpp.o: \
  /root/repo/src/legal/authority.h /root/repo/src/legal/engine.h \
  /root/repo/src/legal/exceptions.h /root/repo/src/legal/privacy.h \
  /root/repo/src/legal/scenario.h /root/repo/src/legal/statutes.h \
- /root/repo/src/legal/suppression.h /usr/include/c++/12/sstream \
+ /root/repo/src/legal/suppression.h /root/repo/src/lint/diagnostic.h \
+ /root/repo/src/lint/plan.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

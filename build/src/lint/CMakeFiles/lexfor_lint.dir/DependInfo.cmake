@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lint/example_plans.cpp" "src/lint/CMakeFiles/lexfor_lint.dir/example_plans.cpp.o" "gcc" "src/lint/CMakeFiles/lexfor_lint.dir/example_plans.cpp.o.d"
+  "/root/repo/src/lint/linter.cpp" "src/lint/CMakeFiles/lexfor_lint.dir/linter.cpp.o" "gcc" "src/lint/CMakeFiles/lexfor_lint.dir/linter.cpp.o.d"
+  "/root/repo/src/lint/passes.cpp" "src/lint/CMakeFiles/lexfor_lint.dir/passes.cpp.o" "gcc" "src/lint/CMakeFiles/lexfor_lint.dir/passes.cpp.o.d"
+  "/root/repo/src/lint/plan.cpp" "src/lint/CMakeFiles/lexfor_lint.dir/plan.cpp.o" "gcc" "src/lint/CMakeFiles/lexfor_lint.dir/plan.cpp.o.d"
+  "/root/repo/src/lint/render.cpp" "src/lint/CMakeFiles/lexfor_lint.dir/render.cpp.o" "gcc" "src/lint/CMakeFiles/lexfor_lint.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/legal/CMakeFiles/lexfor_legal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lexfor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

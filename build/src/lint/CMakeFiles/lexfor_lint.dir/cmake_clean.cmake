@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexfor_lint.dir/example_plans.cpp.o"
+  "CMakeFiles/lexfor_lint.dir/example_plans.cpp.o.d"
+  "CMakeFiles/lexfor_lint.dir/linter.cpp.o"
+  "CMakeFiles/lexfor_lint.dir/linter.cpp.o.d"
+  "CMakeFiles/lexfor_lint.dir/passes.cpp.o"
+  "CMakeFiles/lexfor_lint.dir/passes.cpp.o.d"
+  "CMakeFiles/lexfor_lint.dir/plan.cpp.o"
+  "CMakeFiles/lexfor_lint.dir/plan.cpp.o.d"
+  "CMakeFiles/lexfor_lint.dir/render.cpp.o"
+  "CMakeFiles/lexfor_lint.dir/render.cpp.o.d"
+  "liblexfor_lint.a"
+  "liblexfor_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexfor_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

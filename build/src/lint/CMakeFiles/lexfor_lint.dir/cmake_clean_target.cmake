@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblexfor_lint.a"
+)

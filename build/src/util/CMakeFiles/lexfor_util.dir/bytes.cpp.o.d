@@ -127,4 +127,5 @@ src/util/CMakeFiles/lexfor_util.dir/bytes.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/cassert \
- /usr/include/assert.h
+ /usr/include/assert.h /usr/include/c++/12/cstring /usr/include/string.h \
+ /usr/include/strings.h

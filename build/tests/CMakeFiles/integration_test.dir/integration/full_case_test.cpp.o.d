@@ -304,6 +304,7 @@ tests/CMakeFiles/integration_test.dir/integration/full_case_test.cpp.o: \
  /root/repo/src/legal/authority.h /root/repo/src/legal/engine.h \
  /root/repo/src/legal/exceptions.h /root/repo/src/legal/privacy.h \
  /root/repo/src/legal/scenario.h /root/repo/src/legal/statutes.h \
- /root/repo/src/legal/suppression.h /root/repo/src/tornet/traceback.h \
+ /root/repo/src/legal/suppression.h /root/repo/src/lint/diagnostic.h \
+ /root/repo/src/lint/plan.h /root/repo/src/tornet/traceback.h \
  /root/repo/src/tornet/anonymity_network.h /root/repo/src/util/rng.h \
  /root/repo/src/watermark/dsss.h /root/repo/src/watermark/pn_code.h

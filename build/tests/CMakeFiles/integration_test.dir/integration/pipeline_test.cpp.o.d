@@ -310,4 +310,5 @@ tests/CMakeFiles/integration_test.dir/integration/pipeline_test.cpp.o: \
  /root/repo/src/legal/engine.h /root/repo/src/legal/exceptions.h \
  /root/repo/src/legal/privacy.h /root/repo/src/legal/scenario.h \
  /root/repo/src/legal/statutes.h /root/repo/src/legal/suppression.h \
+ /root/repo/src/lint/diagnostic.h /root/repo/src/lint/plan.h \
  /root/repo/src/netsim/flow.h /root/repo/src/netsim/topology.h

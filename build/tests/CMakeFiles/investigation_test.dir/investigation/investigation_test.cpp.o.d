@@ -184,7 +184,8 @@ tests/CMakeFiles/investigation_test.dir/investigation/investigation_test.cpp.o: 
  /root/repo/src/legal/authority.h /root/repo/src/legal/engine.h \
  /root/repo/src/legal/exceptions.h /root/repo/src/legal/privacy.h \
  /root/repo/src/legal/scenario.h /root/repo/src/legal/statutes.h \
- /root/repo/src/legal/suppression.h /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/legal/suppression.h /root/repo/src/lint/diagnostic.h \
+ /root/repo/src/lint/plan.h /root/miniconda/include/gtest/gtest.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

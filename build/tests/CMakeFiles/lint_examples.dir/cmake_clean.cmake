@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_examples.dir/lint/lint_examples_test.cpp.o"
+  "CMakeFiles/lint_examples.dir/lint/lint_examples_test.cpp.o.d"
+  "lint_examples"
+  "lint_examples.pdb"
+  "lint_examples[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lint_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

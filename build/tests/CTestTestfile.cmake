@@ -15,5 +15,7 @@ include("/root/repo/build/tests/diskimage_test[1]_include.cmake")
 include("/root/repo/build/tests/watermark_test[1]_include.cmake")
 include("/root/repo/build/tests/anonp2p_test[1]_include.cmake")
 include("/root/repo/build/tests/tornet_test[1]_include.cmake")
+include("/root/repo/build/tests/lint_test[1]_include.cmake")
+include("/root/repo/build/tests/lint_examples[1]_include.cmake")
 include("/root/repo/build/tests/investigation_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")

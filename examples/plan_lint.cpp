@@ -1,0 +1,32 @@
+// Plan-time compliance linting: catch suppression before acquisition.
+//
+// Builds a deliberately defective plan — a warrantless wiretap, evidence
+// derived from it, a premature Title III application, an expired-order
+// log pull invading a third party's rights, and a derivation from a
+// step that hasn't happened yet — and prints the linter's diagnostic
+// report, citations included.  Contrast with the clean quickstart plan,
+// which lints empty.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/plan_lint
+
+#include <cstdio>
+
+#include "lint/example_plans.h"
+#include "lint/linter.h"
+#include "lint/render.h"
+
+int main() {
+  using namespace lexfor::lint;
+
+  const PlanLinter linter;
+
+  std::printf("=== defective plan ===\n%s\n",
+              render_text(linter.lint(defective_wiretap_plan())).c_str());
+
+  std::printf("=== clean plan ===\n%s",
+              render_text(linter.lint(clean_quickstart_plan())).c_str());
+
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/bytes.h"
+
 namespace lexfor::crypto {
 namespace {
 
@@ -45,10 +47,7 @@ void Md5::reset() noexcept {
 void Md5::process_block(const std::uint8_t* block) noexcept {
   std::uint32_t m[16];
   for (int i = 0; i < 16; ++i) {
-    m[i] = static_cast<std::uint32_t>(block[i * 4]) |
-           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 8) |
-           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 16) |
-           (static_cast<std::uint32_t>(block[i * 4 + 3]) << 24);
+    m[i] = load_le32(block + i * 4);
   }
 
   std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
@@ -117,10 +116,7 @@ Md5::Digest Md5::finish() noexcept {
 
   Digest out;
   for (int i = 0; i < 4; ++i) {
-    out[i * 4] = static_cast<std::uint8_t>(state_[i]);
-    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 8);
-    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 16);
-    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i] >> 24);
+    store_le32(out.data() + i * 4, state_[i]);
   }
   return out;
 }

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/bytes.h"
+
 namespace lexfor::crypto {
 namespace {
 
@@ -40,10 +42,7 @@ void Sha256::reset() noexcept {
 void Sha256::process_block(const std::uint8_t* block) noexcept {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
-           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<std::uint32_t>(block[i * 4 + 3]);
+    w[i] = load_be32(block + i * 4);
   }
   for (int i = 16; i < 64; ++i) {
     const std::uint32_t s0 =
@@ -122,10 +121,7 @@ Sha256::Digest Sha256::finish() noexcept {
 
   Digest out;
   for (int i = 0; i < 8; ++i) {
-    out[i * 4] = static_cast<std::uint8_t>(h_[i] >> 24);
-    out[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
-    out[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
-    out[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+    store_be32(out.data() + i * 4, h_[i]);
   }
   return out;
 }

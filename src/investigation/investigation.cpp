@@ -1,5 +1,7 @@
 #include "investigation/investigation.h"
 
+#include "lint/linter.h"
+
 namespace lexfor::investigation {
 
 Result<ProcessId> Investigation::apply_for(legal::ProcessKind kind,
@@ -42,6 +44,12 @@ legal::GrantedAuthority Investigation::best_authority() const {
   }
   if (best == nullptr) return legal::GrantedAuthority{};
   return legal::GrantedAuthority{*best};
+}
+
+lint::LintReport Investigation::lint_plan(lint::InvestigationPlan plan) const {
+  plan.set_initial_facts(facts_);
+  plan.set_category(category_);
+  return lint::PlanLinter{}.lint(plan);
 }
 
 AcquisitionOutcome Investigation::acquire(

@@ -18,6 +18,8 @@
 #include "legal/authority.h"
 #include "legal/engine.h"
 #include "legal/suppression.h"
+#include "lint/diagnostic.h"
+#include "lint/plan.h"
 #include "util/ids.h"
 #include "util/status.h"
 
@@ -69,6 +71,14 @@ class Investigation {
                              const legal::GrantedAuthority& held,
                              std::vector<EvidenceId> derived_from = {},
                              std::string aggrieved_party = {});
+
+  // --- plan linting ------------------------------------------------------
+  // Statically lints `plan` before anything executes, using THIS
+  // investigation's current fact set and crime category as the plan's
+  // starting point (the plan's own initial facts are replaced).  A clean
+  // report means every step is executable and its evidence admissible as
+  // planned; run it before execute_plan (plan_runner.h).
+  [[nodiscard]] lint::LintReport lint_plan(lint::InvestigationPlan plan) const;
 
   // --- audit ---------------------------------------------------------------
   [[nodiscard]] legal::SuppressionReport admissibility_audit() const {

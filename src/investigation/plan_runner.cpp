@@ -1,0 +1,72 @@
+#include "investigation/plan_runner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace lexfor::investigation {
+
+PlanExecution execute_plan(Investigation& investigation,
+                           const lint::InvestigationPlan& plan) {
+  for (const auto& fact : plan.initial_facts()) {
+    investigation.add_fact(fact);
+  }
+
+  // Execute in the order the plan schedules, ties by insertion.
+  std::vector<const lint::PlanStep*> order;
+  order.reserve(plan.steps().size());
+  for (const auto& step : plan.steps()) order.push_back(&step);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const lint::PlanStep* a, const lint::PlanStep* b) {
+                     return a->scheduled_at < b->scheduled_at;
+                   });
+
+  PlanExecution exec;
+  std::unordered_map<PlanStepId, ProcessId> instruments;
+  std::unordered_map<PlanStepId, EvidenceId> evidence;
+
+  for (const lint::PlanStep* step : order) {
+    StepExecution out;
+    out.step = step->id;
+    out.kind = step->kind;
+    out.name = step->name;
+
+    if (step->kind == lint::StepKind::kApplication) {
+      const Result<ProcessId> ruling = investigation.apply_for(
+          step->requested, legal::ProcessScope{}, step->scheduled_at);
+      out.granted = ruling.ok();
+      if (ruling.ok()) {
+        out.instrument = ruling.value();
+        instruments.emplace(step->id, ruling.value());
+      } else {
+        out.note = ruling.status().message();
+      }
+    } else {
+      legal::GrantedAuthority held;
+      if (step->uses_authority.valid()) {
+        const auto it = instruments.find(step->uses_authority);
+        if (it != instruments.end()) {
+          held = investigation.authority(it->second);
+        }
+      }
+      std::vector<EvidenceId> parents;
+      for (const auto parent_id : step->derived_from) {
+        const auto it = evidence.find(parent_id);
+        if (it != evidence.end()) parents.push_back(it->second);
+      }
+      const AcquisitionOutcome outcome =
+          investigation.acquire(step->scenario, step->name, held,
+                                std::move(parents), step->aggrieved_party);
+      out.evidence = outcome.evidence;
+      out.lawful = outcome.lawful;
+      out.note = outcome.determination.verdict();
+      evidence.emplace(step->id, outcome.evidence);
+      for (const auto& fact : step->yields_facts) {
+        investigation.add_fact(fact);
+      }
+    }
+    exec.steps.push_back(std::move(out));
+  }
+  return exec;
+}
+
+}  // namespace lexfor::investigation

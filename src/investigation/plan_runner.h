@@ -1,0 +1,59 @@
+// Executes an InvestigationPlan through the runtime.
+//
+// The lint IR and the runtime meet here: each planned application is
+// adjudicated by the Court, each planned acquisition executes through
+// Investigation::acquire under the instrument its application was
+// granted (or no authority at all), and derivation edges are threaded
+// into the provenance graph.  Running the suppression audit afterwards
+// shows the runtime agreeing with what the linter predicted statically.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "investigation/investigation.h"
+#include "lint/plan.h"
+
+namespace lexfor::investigation {
+
+struct StepExecution {
+  PlanStepId step;
+  lint::StepKind kind = lint::StepKind::kAcquisition;
+  std::string name;
+
+  // Application steps.
+  bool granted = false;
+  ProcessId instrument;
+
+  // Acquisition steps.
+  EvidenceId evidence;
+  bool lawful = false;
+
+  std::string note;  // court explanation / determination verdict
+};
+
+struct PlanExecution {
+  std::vector<StepExecution> steps;  // in execution (scheduled) order
+
+  [[nodiscard]] const StepExecution* find(PlanStepId id) const {
+    for (const auto& s : steps) {
+      if (s.step == id) return &s;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] EvidenceId evidence_for(PlanStepId id) const {
+    const StepExecution* s = find(id);
+    return s == nullptr ? EvidenceId{} : s->evidence;
+  }
+};
+
+// Runs `plan` against `investigation` in scheduled order.  The plan's
+// initial facts are added to the investigation first; every executed
+// acquisition contributes its expected yields (the runtime court sees
+// all facts — discovering which of them were fruit is exactly what the
+// suppression audit is for).
+[[nodiscard]] PlanExecution execute_plan(Investigation& investigation,
+                                         const lint::InvestigationPlan& plan);
+
+}  // namespace lexfor::investigation

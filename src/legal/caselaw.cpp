@@ -242,6 +242,37 @@ const std::vector<CaseLaw>& case_law_database() {
        "The Fourth Amendment does not dictate the forensic technique used "
        "to examine data responsive to a warrant.",
        {Doctrine::kSearchScope}},
+      {"silverthorne-1920", "Silverthorne Lumber Co. v. United States",
+       "251 U.S. 385", 1920,
+       "Knowledge gained by the government's own wrong cannot be used by "
+       "it; the origin of the fruit-of-the-poisonous-tree doctrine.",
+       {Doctrine::kExclusionaryRule}},
+      {"wong-sun-1963", "Wong Sun v. United States", "371 U.S. 471", 1963,
+       "Evidence derived from an unlawful search is suppressed as fruit "
+       "of the poisonous tree unless obtained by means sufficiently "
+       "distinguishable from the illegality.",
+       {Doctrine::kExclusionaryRule}},
+      {"nix-1984", "Nix v. Williams", "467 U.S. 431", 1984,
+       "Unlawfully derived evidence is admissible if it inevitably would "
+       "have been discovered by lawful means.",
+       {Doctrine::kExclusionaryRule}},
+      {"murray-1988", "Murray v. United States", "487 U.S. 533", 1988,
+       "Evidence also obtained through a source genuinely independent of "
+       "the illegality is admissible (independent-source doctrine).",
+       {Doctrine::kExclusionaryRule}},
+      {"rakas-1978", "Rakas v. Illinois", "439 U.S. 128", 1978,
+       "Only a person whose own Fourth Amendment rights were violated may "
+       "move to suppress; violations of third parties' rights confer no "
+       "standing.",
+       {Doctrine::kSuppressionStanding}},
+      {"sgro-1932", "Sgro v. United States", "287 U.S. 206", 1932,
+       "A search warrant must be executed within the time fixed; an "
+       "expired warrant is a nullity and cannot be revived.",
+       {Doctrine::kWarrantExpiry}},
+      {"franks-1978", "Franks v. Delaware", "438 U.S. 154", 1978,
+       "A warrant falls if its supporting affidavit cannot sustain the "
+       "required showing once defective material is set aside.",
+       {Doctrine::kAffidavitSufficiency}},
   };
   return kDb;
 }

@@ -43,6 +43,10 @@ enum class Doctrine {
   kWorkplaceSearch,
   kP2pNoPrivacy,
   kSharedFolder,
+  kExclusionaryRule,       // fruit of the poisonous tree & its limits
+  kSuppressionStanding,    // who may move to suppress
+  kWarrantExpiry,          // stale/expired instruments
+  kAffidavitSufficiency,   // proof backing a process application
 };
 
 struct CaseLaw {

@@ -1,0 +1,75 @@
+// Diagnostics emitted by plan-linting passes.
+//
+// Each diagnostic carries a stable rule id (the pass name — consumers
+// key suppressions and regression baselines on it), a severity, the
+// offending step, and a citation-backed rationale in the same style as
+// legal::Determination.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace lexfor::lint {
+
+enum class Severity : std::uint8_t {
+  kNote = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;       // stable pass id, e.g. "missing-process"
+  PlanStepId step;        // the offending step
+  std::string step_name;  // copied for self-contained rendering
+  std::string message;    // one-line statement of the defect
+  std::vector<std::string> rationale;  // supporting analysis lines
+  std::vector<std::string> citations;  // case-law ids (legal::find_case)
+};
+
+struct LintReport {
+  std::string plan_title;
+  // Sorted: plan order of the offending step, then severity (errors
+  // first), then rule id — deterministic for a given plan.
+  std::vector<Diagnostic> diagnostics;
+  std::size_t error_count = 0;
+  std::size_t warning_count = 0;
+  std::size_t note_count = 0;
+
+  // A plan is clean when nothing would get its evidence suppressed;
+  // warnings and notes do not fail a plan.
+  [[nodiscard]] bool clean() const noexcept { return error_count == 0; }
+
+  [[nodiscard]] bool has(std::string_view rule) const {
+    return count(rule) != 0;
+  }
+  [[nodiscard]] std::size_t count(std::string_view rule) const {
+    std::size_t n = 0;
+    for (const auto& d : diagnostics) {
+      if (d.rule == rule) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] const Diagnostic* first(std::string_view rule) const {
+    for (const auto& d : diagnostics) {
+      if (d.rule == rule) return &d;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace lexfor::lint

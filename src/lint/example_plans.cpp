@@ -1,0 +1,147 @@
+#include "lint/example_plans.h"
+
+namespace lexfor::lint {
+
+namespace {
+
+constexpr SimTime day(double d) { return SimTime::from_sec(d * 24 * 3600.0); }
+constexpr SimDuration days(double d) {
+  return SimDuration::from_sec(d * 24 * 3600.0);
+}
+
+}  // namespace
+
+InvestigationPlan clean_quickstart_plan() {
+  using namespace legal;
+
+  InvestigationPlan plan("quickstart surveillance plan",
+                         CrimeCategory::kIntrusion);
+  plan.charging("Mallory")
+      .with_fact({FactKind::kIpAddressLinked, 2.0,
+                  "attack traffic resolved to Mallory's IP"})
+      .with_fact({FactKind::kSubscriberIdentified, 2.0,
+                  "ISP matched the IP to Mallory's account"});
+
+  const PlanStepId pen_trap = plan.plan_application(
+      "apply for a pen/trap order", ProcessKind::kCourtOrder, day(0));
+
+  const PlanStepId capture =
+      plan.plan_acquisition("header-only capture at the ISP",
+                            Scenario{}
+                                .named("header-only capture")
+                                .by(ActorKind::kLawEnforcement)
+                                .acquiring(DataKind::kAddressing)
+                                .located(DataState::kInTransit)
+                                .when(Timing::kRealTime),
+                            day(1))
+          .using_authority(pen_trap)
+          .yields({FactKind::kAccountLinked, 0.0,
+                   "captured headers tie the account to the intrusion"});
+
+  plan.plan_acquisition("observe the public overlay",
+                        Scenario{}
+                            .named("public overlay observation")
+                            .by(ActorKind::kLawEnforcement)
+                            .acquiring(DataKind::kAddressing)
+                            .located(DataState::kPublicVenue)
+                            .when(Timing::kRealTime)
+                            .exposed_publicly(),
+                        day(1));
+
+  const PlanStepId subpoena = plan.plan_application(
+      "apply for a subpoena", ProcessKind::kSubpoena, day(2));
+
+  plan.plan_acquisition("subscriber records from the provider",
+                        Scenario{}
+                            .named("subscriber lookup")
+                            .by(ActorKind::kLawEnforcement)
+                            .acquiring(DataKind::kSubscriberRecords)
+                            .located(DataState::kStoredAtProvider)
+                            .when(Timing::kStored)
+                            .at_provider(ProviderClass::kEcs),
+                        day(3))
+      .using_authority(subpoena)
+      .derived({capture});
+
+  return plan;
+}
+
+InvestigationPlan defective_wiretap_plan() {
+  using namespace legal;
+
+  InvestigationPlan plan("Operation Glass Harbor",
+                         CrimeCategory::kIntrusion);
+  plan.charging("Mallory").with_fact(
+      {FactKind::kAnonymousTip, 1.0, "anonymous tip naming Mallory"});
+
+  // proof-gap: a Title III application needs probable cause plus
+  // necessity; an anonymous tip supports mere suspicion.
+  plan.plan_application("apply for a Title III order",
+                        ProcessKind::kWiretapOrder, day(0), days(30));
+
+  // missing-process: full-content interception with no process at all.
+  const PlanStepId tap =
+      plan.plan_acquisition("warrantless wiretap of Mallory's broadband",
+                            Scenario{}
+                                .named("full-content interception")
+                                .by(ActorKind::kLawEnforcement)
+                                .acquiring(DataKind::kContent)
+                                .located(DataState::kInTransit)
+                                .when(Timing::kRealTime),
+                            day(1))
+          .yields({FactKind::kIpAddressLinked, 0.0,
+                   "intercepted sessions pin the attack to Mallory's IP"});
+
+  // The examination scenario: mining data already in hand needs no new
+  // process, so any defect here comes from the derivation, not the step.
+  const Scenario examination = Scenario{}
+                                   .named("examination of held data")
+                                   .by(ActorKind::kLawEnforcement)
+                                   .acquiring(DataKind::kContent)
+                                   .located(DataState::kOnDevice)
+                                   .when(Timing::kStored)
+                                   .previously_acquired();
+
+  // poisonous-tree (error): derives only from the tainted tap.
+  plan.plan_acquisition("transcribe the intercepted sessions", examination,
+                        day(2))
+      .derived({tap});
+
+  // poisonous-tree (note): same derivation, but the team claims the
+  // provider can produce the sessions independently.
+  plan.plan_acquisition("recover the same sessions from the provider",
+                        examination, day(2))
+      .derived({tap})
+      .independent_source();
+
+  // The 2703(d) application also lacks proof: the tip alone is left once
+  // the tainted tap's yields are excluded.
+  const PlanStepId order = plan.plan_application(
+      "apply for a 2703(d) order", ProcessKind::kCourtOrder, day(3), days(14));
+
+  // expired-authority + standing-mismatch: the pull happens three days
+  // after the order lapses and invades Chen's rights, not Mallory's.
+  plan.plan_acquisition("pull Chen's transactional logs at the ISP",
+                        Scenario{}
+                            .named("transactional log pull")
+                            .by(ActorKind::kLawEnforcement)
+                            .acquiring(DataKind::kTransactionalRecords)
+                            .located(DataState::kStoredAtProvider)
+                            .when(Timing::kStored)
+                            .at_provider(ProviderClass::kEcs),
+                        day(20))
+      .using_authority(order)
+      .aggrieves("Chen");
+
+  // unreachable-step: the correlation derives from the final report,
+  // which is scheduled five days later.
+  const PlanStepId report = plan.plan_acquisition(
+      "assemble the full forensic report", examination, day(30));
+  plan.plan_acquisition("correlate logs with the final report", examination,
+                        day(25))
+      .derived({report});
+
+  return plan;
+}
+
+}  // namespace lexfor::lint

@@ -1,0 +1,28 @@
+// Canonical fixture plans.
+//
+// Two plans shared by the example binary, the test suite and the lint
+// bench: a clean plan modeled on examples/quickstart.cpp (lints with
+// zero diagnostics of any severity), and a deliberately defective plan
+// seeding every built-in rule exactly where the tests expect it.
+
+#pragma once
+
+#include "lint/plan.h"
+
+namespace lexfor::lint {
+
+// The quickstart investigation as a plan: a pen/trap order application
+// backed by sufficient facts, a header-only capture under it, a public
+// overlay observation needing no process, and a subpoenaed subscriber
+// lookup derived from the capture.  Zero errors, warnings and notes.
+[[nodiscard]] InvestigationPlan clean_quickstart_plan();
+
+// "Operation Glass Harbor": a plan that seeds all six defect classes —
+// proof-gap (premature Title III application), missing-process
+// (warrantless wiretap), poisonous-tree (transcripts derived from the
+// tap; plus an independent-source note), expired-authority and
+// standing-mismatch (log pull after the order lapses, invading a third
+// party's rights), and unreachable-step (derivation from a later step).
+[[nodiscard]] InvestigationPlan defective_wiretap_plan();
+
+}  // namespace lexfor::lint

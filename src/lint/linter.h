@@ -1,0 +1,103 @@
+// PlanLinter: static analysis over an InvestigationPlan.
+//
+// The linter evaluates every planned acquisition through the
+// ComplianceEngine (the oracle the runtime uses), resolves intended
+// authorities, computes reachability and a static fruit-of-the-
+// poisonous-tree taint closure, and then runs an extensible registry of
+// diagnostic passes over the precomputed context.  Nothing executes: no
+// court is petitioned, no byte is acquired.
+
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "legal/engine.h"
+#include "lint/diagnostic.h"
+#include "lint/plan.h"
+
+namespace lexfor::lint {
+
+// Per-step facts shared by all passes, computed once per lint run.
+struct StepAnalysis {
+  const PlanStep* step = nullptr;
+  std::size_t order = 0;  // position in scheduled order
+
+  // Acquisition steps: the engine's determination for the scenario.
+  legal::Determination determination;
+  // Resolved intended authority (the referenced application step), or
+  // nullptr when none is planned / the reference is dangling.
+  const PlanStep* authority = nullptr;
+  legal::ProcessKind intended = legal::ProcessKind::kNone;
+
+  // The planned acquisition would itself be unlawful: the intended
+  // instrument is weaker than required, or used outside its window.
+  bool defective = false;
+  bool authority_expired = false;
+  // Static taint (fruit of the poisonous tree) per suppression.h rules.
+  bool tainted = false;
+  // The step derives (transitively) from a step that cannot occur:
+  // unknown parent, self-derivation, or a parent scheduled later.
+  bool unreachable = false;
+};
+
+// Precomputed view of a plan.  Steps appear in scheduled order
+// (scheduled_at, then insertion order), which is the order execution
+// would visit them.
+class PlanContext {
+ public:
+  PlanContext(const InvestigationPlan& plan,
+              const legal::ComplianceEngine& engine);
+
+  [[nodiscard]] const InvestigationPlan& plan() const noexcept {
+    return plan_;
+  }
+  [[nodiscard]] const std::vector<StepAnalysis>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] const StepAnalysis* find(PlanStepId id) const;
+
+  // Facts available strictly before `t`: the plan's initial facts plus
+  // the yields of earlier acquisitions that are neither tainted nor
+  // unreachable (facts from suppressible evidence cannot support a
+  // process application).
+  [[nodiscard]] std::vector<legal::Fact> facts_before(SimTime t) const;
+
+ private:
+  const InvestigationPlan& plan_;
+  std::vector<StepAnalysis> steps_;
+};
+
+// One diagnostic pass.  Passes are stateless; `rule()` is the stable id
+// stamped on every diagnostic the pass emits.
+class LintPass {
+ public:
+  virtual ~LintPass() = default;
+  [[nodiscard]] virtual std::string_view rule() const noexcept = 0;
+  virtual void run(const PlanContext& ctx,
+                   std::vector<Diagnostic>& out) const = 0;
+};
+
+class PlanLinter {
+ public:
+  // Constructs a linter with the six built-in passes registered.
+  PlanLinter();
+
+  // Adds a custom pass; runs after the built-ins.
+  void register_pass(std::unique_ptr<LintPass> pass);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<LintPass>>& passes()
+      const noexcept {
+    return passes_;
+  }
+
+  // Runs every registered pass and returns the sorted report.
+  [[nodiscard]] LintReport lint(const InvestigationPlan& plan) const;
+
+ private:
+  legal::ComplianceEngine engine_;
+  std::vector<std::unique_ptr<LintPass>> passes_;
+};
+
+}  // namespace lexfor::lint

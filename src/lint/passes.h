@@ -1,0 +1,83 @@
+// The built-in diagnostic passes.
+//
+// Each pass mirrors a way real evidence dies in court:
+//
+//   missing-process    the step's intended authority is weaker than the
+//                      instrument the compliance engine requires
+//   expired-authority  the step is scheduled outside its instrument's
+//                      validity window (Sgro: a warrant is not a
+//                      standing license)
+//   poisonous-tree     static taint closure over derived_from edges,
+//                      honoring independent-source / inevitable-
+//                      discovery, mirroring legal/suppression.h
+//   standing-mismatch  the defect invades a third party's rights, so
+//                      suppression standing never attaches to the
+//                      charged suspect (Rakas)
+//   unreachable-step   derivation from a step that cannot occur
+//                      (unknown, self-referential, or scheduled later)
+//   proof-gap          a process application is scheduled before the
+//                      available fact set supports the required
+//                      standard of proof
+
+#pragma once
+
+#include "lint/linter.h"
+
+namespace lexfor::lint {
+
+inline constexpr std::string_view kRuleMissingProcess = "missing-process";
+inline constexpr std::string_view kRuleExpiredAuthority = "expired-authority";
+inline constexpr std::string_view kRulePoisonousTree = "poisonous-tree";
+inline constexpr std::string_view kRuleStandingMismatch = "standing-mismatch";
+inline constexpr std::string_view kRuleUnreachableStep = "unreachable-step";
+inline constexpr std::string_view kRuleProofGap = "proof-gap";
+
+class MissingProcessPass final : public LintPass {
+ public:
+  [[nodiscard]] std::string_view rule() const noexcept override {
+    return kRuleMissingProcess;
+  }
+  void run(const PlanContext& ctx, std::vector<Diagnostic>& out) const override;
+};
+
+class ExpiredAuthorityPass final : public LintPass {
+ public:
+  [[nodiscard]] std::string_view rule() const noexcept override {
+    return kRuleExpiredAuthority;
+  }
+  void run(const PlanContext& ctx, std::vector<Diagnostic>& out) const override;
+};
+
+class PoisonousTreePass final : public LintPass {
+ public:
+  [[nodiscard]] std::string_view rule() const noexcept override {
+    return kRulePoisonousTree;
+  }
+  void run(const PlanContext& ctx, std::vector<Diagnostic>& out) const override;
+};
+
+class StandingMismatchPass final : public LintPass {
+ public:
+  [[nodiscard]] std::string_view rule() const noexcept override {
+    return kRuleStandingMismatch;
+  }
+  void run(const PlanContext& ctx, std::vector<Diagnostic>& out) const override;
+};
+
+class UnreachableStepPass final : public LintPass {
+ public:
+  [[nodiscard]] std::string_view rule() const noexcept override {
+    return kRuleUnreachableStep;
+  }
+  void run(const PlanContext& ctx, std::vector<Diagnostic>& out) const override;
+};
+
+class ProofGapPass final : public LintPass {
+ public:
+  [[nodiscard]] std::string_view rule() const noexcept override {
+    return kRuleProofGap;
+  }
+  void run(const PlanContext& ctx, std::vector<Diagnostic>& out) const override;
+};
+
+}  // namespace lexfor::lint

@@ -1,0 +1,39 @@
+#include "lint/plan.h"
+
+namespace lexfor::lint {
+
+PlanStepId InvestigationPlan::plan_application(std::string name,
+                                               legal::ProcessKind kind,
+                                               SimTime at,
+                                               SimDuration validity) {
+  PlanStep step;
+  step.id = step_ids_.next();
+  step.kind = StepKind::kApplication;
+  step.name = std::move(name);
+  step.scheduled_at = at;
+  step.requested = kind;
+  step.validity = validity;
+  steps_.push_back(std::move(step));
+  return steps_.back().id;
+}
+
+InvestigationPlan::StepBuilder InvestigationPlan::plan_acquisition(
+    std::string name, legal::Scenario scenario, SimTime at) {
+  PlanStep step;
+  step.id = step_ids_.next();
+  step.kind = StepKind::kAcquisition;
+  step.name = std::move(name);
+  step.scheduled_at = at;
+  step.scenario = std::move(scenario);
+  steps_.push_back(std::move(step));
+  return StepBuilder{*this, steps_.size() - 1};
+}
+
+const PlanStep* InvestigationPlan::find(PlanStepId id) const {
+  for (const auto& step : steps_) {
+    if (step.id == id) return &step;
+  }
+  return nullptr;
+}
+
+}  // namespace lexfor::lint

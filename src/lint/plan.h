@@ -1,0 +1,177 @@
+// InvestigationPlan: a declarative IR for a contemplated investigation.
+//
+// The runtime modules discover legal defects only *after* an acquisition
+// happens, via the suppression audit.  A plan states, before anything
+// executes, what the team intends to do: the instruments they will apply
+// for, the acquisitions they will perform (each a legal::Scenario), which
+// authority each acquisition relies on, and which earlier evidence it
+// derives from.  The PlanLinter analyzes this IR statically — the
+// compliance engine is the oracle, but nothing is acquired and no court
+// is petitioned.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "legal/facts.h"
+#include "legal/scenario.h"
+#include "legal/types.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace lexfor::lint {
+
+enum class StepKind : std::uint8_t {
+  kApplication,  // petition the court for an instrument
+  kAcquisition,  // perform an acquisition described by a Scenario
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StepKind k) noexcept {
+  switch (k) {
+    case StepKind::kApplication: return "application";
+    case StepKind::kAcquisition: return "acquisition";
+  }
+  return "?";
+}
+
+// One planned step.  Applications model the §III.A.1 ladder: they are
+// scheduled, name the requested instrument and its validity window, and
+// succeed only if the facts accumulated by then support the standard of
+// proof.  Acquisitions name a Scenario, the application whose instrument
+// they intend to rely on (invalid id = the team intends to proceed with
+// no process), and derivation edges into earlier steps.
+struct PlanStep {
+  PlanStepId id;
+  StepKind kind = StepKind::kAcquisition;
+  std::string name;
+  SimTime scheduled_at;
+
+  // --- application steps ---------------------------------------------
+  legal::ProcessKind requested = legal::ProcessKind::kNone;
+  // Rule 41 default: a warrant must be executed within 14 days.
+  SimDuration validity = SimDuration::from_sec(14 * 24 * 3600.0);
+
+  // --- acquisition steps ---------------------------------------------
+  legal::Scenario scenario;
+  // The application step whose granted instrument this acquisition will
+  // be executed under.  An invalid id means the team plans no process.
+  PlanStepId uses_authority;
+  std::vector<PlanStepId> derived_from;
+  // Annotations mirroring legal/suppression.h: an out-of-plan lawful
+  // source for the same item, or a showing that it would inevitably have
+  // been discovered lawfully.
+  bool independent_source = false;
+  bool inevitable_discovery = false;
+  // Whose reasonable expectation of privacy the step invades.  Empty
+  // means the charged suspect (the common single-target case).
+  std::string aggrieved_party;
+  // Facts the team expects this step to yield, feeding later
+  // applications' standard-of-proof showings.
+  std::vector<legal::Fact> yields_facts;
+};
+
+class InvestigationPlan {
+ public:
+  InvestigationPlan(std::string title, legal::CrimeCategory category)
+      : title_(std::move(title)), category_(category) {}
+
+  // --- plan-level facts ----------------------------------------------
+  InvestigationPlan& charging(std::string suspect) {
+    charged_suspect_ = std::move(suspect);
+    return *this;
+  }
+  InvestigationPlan& with_fact(legal::Fact fact) {
+    initial_facts_.push_back(std::move(fact));
+    return *this;
+  }
+  void set_initial_facts(std::vector<legal::Fact> facts) {
+    initial_facts_ = std::move(facts);
+  }
+  void set_category(legal::CrimeCategory category) { category_ = category; }
+
+  // --- step construction ---------------------------------------------
+  // Schedules a court application for `kind` at `at`.  Returns the step
+  // id acquisitions use to reference the instrument.
+  PlanStepId plan_application(std::string name, legal::ProcessKind kind,
+                              SimTime at,
+                              SimDuration validity = SimDuration::from_sec(
+                                  14 * 24 * 3600.0));
+
+  // Fluent configurator for a just-added acquisition step.  Holds the
+  // plan and the step index (not a pointer), so it stays valid across
+  // further insertions; still intended to be consumed immediately:
+  //   auto tap = plan.plan_acquisition(...).using_authority(w).id();
+  class StepBuilder {
+   public:
+    StepBuilder(InvestigationPlan& plan, std::size_t index)
+        : plan_(plan), index_(index) {}
+
+    StepBuilder& using_authority(PlanStepId application) {
+      step().uses_authority = application;
+      return *this;
+    }
+    StepBuilder& derived(std::vector<PlanStepId> parents) {
+      step().derived_from = std::move(parents);
+      return *this;
+    }
+    StepBuilder& independent_source(bool v = true) {
+      step().independent_source = v;
+      return *this;
+    }
+    StepBuilder& inevitable_discovery(bool v = true) {
+      step().inevitable_discovery = v;
+      return *this;
+    }
+    StepBuilder& aggrieves(std::string who) {
+      step().aggrieved_party = std::move(who);
+      return *this;
+    }
+    StepBuilder& yields(legal::Fact fact) {
+      step().yields_facts.push_back(std::move(fact));
+      return *this;
+    }
+
+    [[nodiscard]] PlanStepId id() const {
+      return plan_.steps_[index_].id;
+    }
+    operator PlanStepId() const { return id(); }  // NOLINT
+
+   private:
+    PlanStep& step() { return plan_.steps_[index_]; }
+    InvestigationPlan& plan_;
+    std::size_t index_;
+  };
+
+  // Schedules an acquisition of `scenario` at `at`.
+  StepBuilder plan_acquisition(std::string name, legal::Scenario scenario,
+                               SimTime at);
+
+  // --- accessors ------------------------------------------------------
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::string& charged_suspect() const noexcept {
+    return charged_suspect_;
+  }
+  [[nodiscard]] legal::CrimeCategory category() const noexcept {
+    return category_;
+  }
+  [[nodiscard]] const std::vector<legal::Fact>& initial_facts() const noexcept {
+    return initial_facts_;
+  }
+  [[nodiscard]] const std::vector<PlanStep>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return steps_.size(); }
+  [[nodiscard]] const PlanStep* find(PlanStepId id) const;
+
+ private:
+  std::string title_;
+  std::string charged_suspect_;
+  legal::CrimeCategory category_;
+  std::vector<legal::Fact> initial_facts_;
+  std::vector<PlanStep> steps_;  // insertion order
+  IdGenerator<PlanStepId> step_ids_{1};
+};
+
+}  // namespace lexfor::lint

@@ -1,0 +1,27 @@
+// Renderers for lint reports.
+//
+// Text for humans (compiler-style "severity: rule: message" lines with
+// expanded case citations), JSON for tooling (stable field order and
+// rule ids, same escaping rules as legal/export).
+
+#pragma once
+
+#include <string>
+
+#include "lint/diagnostic.h"
+
+namespace lexfor::lint {
+
+// Compiler-style report:
+//   plan 'X': 2 errors, 1 warning, 0 notes
+//   error: missing-process: step #3 'wiretap': ...
+//       rationale line
+//     * Katz v. United States, 389 U.S. 347 (1967)
+[[nodiscard]] std::string render_text(const LintReport& report);
+
+// {"plan":...,"errors":N,"warnings":N,"notes":N,"clean":bool,
+//  "diagnostics":[{"severity":...,"rule":...,"step":N,"step_name":...,
+//  "message":...,"rationale":[...],"citations":[...]},...]}
+[[nodiscard]] std::string render_json(const LintReport& report);
+
+}  // namespace lexfor::lint

@@ -1,6 +1,7 @@
 #include "util/bytes.h"
 
 #include <cassert>
+#include <cstring>
 
 namespace lexfor {
 namespace {
@@ -79,6 +80,54 @@ std::uint64_t read_u64(const Bytes& in, std::size_t offset) {
   std::uint64_t v = 0;
   for (int i = 7; i >= 0; --i) v = (v << 8) | in[offset + static_cast<std::size_t>(i)];
   return v;
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  std::uint8_t b[4];
+  std::memcpy(b, p, sizeof b);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  std::uint8_t b[4];
+  std::memcpy(b, p, sizeof b);
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  std::uint8_t b[8];
+  std::memcpy(b, p, sizeof b);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  std::uint8_t b[8];
+  std::memcpy(b, p, sizeof b);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | b[i];
+  return v;
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  const std::uint8_t b[4] = {
+      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  std::memcpy(p, b, sizeof b);
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  const std::uint8_t b[4] = {
+      static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+      static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+  std::memcpy(p, b, sizeof b);
 }
 
 }  // namespace lexfor

@@ -35,4 +35,16 @@ void append_u64(Bytes& out, std::uint64_t v);
 [[nodiscard]] std::uint32_t read_u32(const Bytes& in, std::size_t offset);
 [[nodiscard]] std::uint64_t read_u64(const Bytes& in, std::size_t offset);
 
+// Fixed-endian word loads from raw (possibly unaligned) byte buffers.
+// memcpy into a local array is the sanctioned idiom: it is defined for
+// any alignment (unlike casting to uint32_t*) and compiles to a single
+// move on every mainstream target.  Block-cipher/digest kernels use
+// these instead of open-coding the shifts.
+[[nodiscard]] std::uint32_t load_le32(const std::uint8_t* p) noexcept;
+[[nodiscard]] std::uint32_t load_be32(const std::uint8_t* p) noexcept;
+[[nodiscard]] std::uint64_t load_le64(const std::uint8_t* p) noexcept;
+[[nodiscard]] std::uint64_t load_be64(const std::uint8_t* p) noexcept;
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept;
+void store_be32(std::uint8_t* p, std::uint32_t v) noexcept;
+
 }  // namespace lexfor

@@ -85,6 +85,7 @@ struct MessageIdTag {};     // stored-communication message
 struct AccountIdTag {};     // service-provider account
 struct FileIdTag {};        // disk-image file
 struct DeviceIdTag {};      // capture device
+struct PlanStepIdTag {};    // investigation-plan step (lint IR)
 
 using NodeId = Id<NodeIdTag>;
 using LinkId = Id<LinkIdTag>;
@@ -99,6 +100,7 @@ using MessageId = Id<MessageIdTag>;
 using AccountId = Id<AccountIdTag>;
 using FileId = Id<FileIdTag>;
 using DeviceId = Id<DeviceIdTag>;
+using PlanStepId = Id<PlanStepIdTag>;
 
 }  // namespace lexfor
 

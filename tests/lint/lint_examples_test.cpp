@@ -1,0 +1,41 @@
+// Lint regression over the shipped example plans: the quickstart plan
+// must stay clean, and the deliberately defective example must keep
+// demonstrating every rule.  tools/run_static_analysis.sh fails the
+// build if this suite regresses.
+
+#include <gtest/gtest.h>
+
+#include "lint/example_plans.h"
+#include "lint/linter.h"
+#include "lint/passes.h"
+#include "lint/render.h"
+
+namespace lexfor::lint {
+namespace {
+
+TEST(LintExamplesTest, QuickstartPlanLintsWithZeroErrors) {
+  const LintReport report = PlanLinter{}.lint(clean_quickstart_plan());
+  EXPECT_EQ(report.error_count, 0u) << render_text(report);
+  EXPECT_TRUE(report.clean()) << render_text(report);
+}
+
+TEST(LintExamplesTest, DefectiveExampleStillDemonstratesEveryRule) {
+  const LintReport report = PlanLinter{}.lint(defective_wiretap_plan());
+  for (const auto rule :
+       {kRuleMissingProcess, kRulePoisonousTree, kRuleExpiredAuthority,
+        kRuleStandingMismatch, kRuleUnreachableStep, kRuleProofGap}) {
+    EXPECT_TRUE(report.has(rule)) << "rule no longer demonstrated: " << rule;
+  }
+}
+
+TEST(LintExamplesTest, EveryDiagnosticCarriesANonEmptyMessage) {
+  const LintReport report = PlanLinter{}.lint(defective_wiretap_plan());
+  for (const auto& d : report.diagnostics) {
+    EXPECT_FALSE(d.rule.empty());
+    EXPECT_FALSE(d.message.empty());
+    EXPECT_TRUE(d.step.valid());
+  }
+}
+
+}  // namespace
+}  // namespace lexfor::lint

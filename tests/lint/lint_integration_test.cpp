@@ -1,0 +1,119 @@
+// Static/runtime cross-check: what the linter predicts at plan time is
+// what the suppression audit does at run time.
+
+#include <gtest/gtest.h>
+
+#include "investigation/court.h"
+#include "investigation/investigation.h"
+#include "investigation/plan_runner.h"
+#include "lint/example_plans.h"
+#include "lint/linter.h"
+#include "lint/passes.h"
+
+namespace lexfor {
+namespace {
+
+using investigation::Court;
+using investigation::Investigation;
+using investigation::PlanExecution;
+using investigation::execute_plan;
+
+TEST(LintIntegrationTest, PoisonousTreePlanIsSuppressedAtRuntime) {
+  const lint::InvestigationPlan plan = lint::defective_wiretap_plan();
+
+  // Static prediction: the tap is missing-process and the transcripts
+  // derived from it are fruit of the poisonous tree.
+  const lint::LintReport report = lint::PlanLinter{}.lint(plan);
+  const lint::Diagnostic* tap = report.first(lint::kRuleMissingProcess);
+  const lint::Diagnostic* fruit = report.first(lint::kRulePoisonousTree);
+  ASSERT_NE(tap, nullptr);
+  ASSERT_NE(fruit, nullptr);
+  ASSERT_EQ(fruit->severity, lint::Severity::kError);
+
+  // Execute the same plan through the runtime.
+  Court court;
+  Investigation inv(CaseId{1}, "Operation Glass Harbor",
+                    legal::CrimeCategory::kIntrusion, court);
+  const PlanExecution exec = execute_plan(inv, plan);
+
+  const EvidenceId tap_ev = exec.evidence_for(tap->step);
+  const EvidenceId fruit_ev = exec.evidence_for(fruit->step);
+  ASSERT_TRUE(tap_ev.valid());
+  ASSERT_TRUE(fruit_ev.valid());
+
+  // The runtime audit suppresses exactly what the linter flagged.
+  const legal::SuppressionReport audit = inv.admissibility_audit();
+  EXPECT_TRUE(audit.is_suppressed(tap_ev));
+  EXPECT_TRUE(audit.is_suppressed(fruit_ev));
+}
+
+TEST(LintIntegrationTest, CleanPlanExecutesLawfullyEndToEnd) {
+  const lint::InvestigationPlan plan = lint::clean_quickstart_plan();
+  ASSERT_TRUE(lint::PlanLinter{}.lint(plan).clean());
+
+  Court court;
+  Investigation inv(CaseId{2}, "quickstart", legal::CrimeCategory::kIntrusion,
+                    court);
+  const PlanExecution exec = execute_plan(inv, plan);
+
+  for (const auto& step : exec.steps) {
+    if (step.kind == lint::StepKind::kApplication) {
+      EXPECT_TRUE(step.granted) << step.name << ": " << step.note;
+    } else {
+      EXPECT_TRUE(step.lawful) << step.name;
+    }
+  }
+
+  const legal::SuppressionReport audit = inv.admissibility_audit();
+  EXPECT_EQ(audit.suppressed_count, 0u);
+  EXPECT_EQ(audit.admissible_count, plan.steps().size() - 2);  // 2 applications
+}
+
+TEST(LintIntegrationTest, InvestigationLintPlanUsesItsOwnFacts) {
+  Court court;
+  Investigation inv(CaseId{3}, "lint via investigation",
+                    legal::CrimeCategory::kIntrusion, court);
+
+  // A plan whose only defect is a proof gap: the warrant application has
+  // no facts behind it (the plan itself carries none).
+  lint::InvestigationPlan plan("warrant plan",
+                               legal::CrimeCategory::kIntrusion);
+  plan.plan_application("warrant", legal::ProcessKind::kSearchWarrant,
+                        SimTime::zero());
+
+  EXPECT_EQ(inv.lint_plan(plan).count(lint::kRuleProofGap), 1u);
+
+  // Once the investigation accumulates probable cause, the same plan
+  // lints clean: lint_plan substitutes the investigation's fact set.
+  inv.add_fact({legal::FactKind::kIpAddressLinked, 1.0, "IP linked"});
+  inv.add_fact({legal::FactKind::kSubscriberIdentified, 1.0, "subscriber"});
+  EXPECT_EQ(inv.lint_plan(plan).count(lint::kRuleProofGap), 0u);
+}
+
+TEST(LintIntegrationTest, StandingMismatchMatchesMotionToSuppress) {
+  // The linter warns that Chen's rights, not Mallory's, are invaded by
+  // the expired log pull; at runtime Mallory's motion to suppress that
+  // item fails for lack of standing.
+  const lint::InvestigationPlan plan = lint::defective_wiretap_plan();
+  const lint::LintReport report = lint::PlanLinter{}.lint(plan);
+  const lint::Diagnostic* standing =
+      report.first(lint::kRuleStandingMismatch);
+  ASSERT_NE(standing, nullptr);
+
+  Court court;
+  Investigation inv(CaseId{4}, "standing", legal::CrimeCategory::kIntrusion,
+                    court);
+  const PlanExecution exec = execute_plan(inv, plan);
+  const EvidenceId pull_ev = exec.evidence_for(standing->step);
+  ASSERT_TRUE(pull_ev.valid());
+
+  // The pull was executed with a weaker-than-required (expired-at-plan-
+  // time maps to "granted but still an SCA acquisition") instrument; the
+  // general audit may or may not suppress it, but Mallory's motion
+  // cannot reach a violation of Chen's rights.
+  const legal::SuppressionReport mallory = inv.motion_to_suppress("Mallory");
+  EXPECT_FALSE(mallory.is_suppressed(pull_ev));
+}
+
+}  // namespace
+}  // namespace lexfor

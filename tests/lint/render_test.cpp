@@ -1,0 +1,107 @@
+#include "lint/render.h"
+
+#include <gtest/gtest.h>
+
+#include "lint/example_plans.h"
+#include "lint/linter.h"
+#include "lint/passes.h"
+
+namespace lexfor::lint {
+namespace {
+
+// Minimal JSON helpers for assertions: count occurrences of a key or a
+// key:value pair in the (minified, deterministic) output.
+std::size_t occurrences(const std::string& haystack,
+                        const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(RenderTest, JsonCarriesStableRuleIds) {
+  const LintReport report = PlanLinter{}.lint(defective_wiretap_plan());
+  const std::string json = render_json(report);
+
+  // Every built-in rule id that fired appears verbatim; these ids are
+  // the stable contract consumers key on.
+  EXPECT_EQ(occurrences(json, "\"rule\":\"missing-process\""), 1u);
+  EXPECT_EQ(occurrences(json, "\"rule\":\"poisonous-tree\""), 2u);
+  EXPECT_EQ(occurrences(json, "\"rule\":\"expired-authority\""), 1u);
+  EXPECT_EQ(occurrences(json, "\"rule\":\"standing-mismatch\""), 1u);
+  EXPECT_EQ(occurrences(json, "\"rule\":\"unreachable-step\""), 1u);
+  EXPECT_EQ(occurrences(json, "\"rule\":\"proof-gap\""), 2u);
+}
+
+TEST(RenderTest, JsonRoundTripsCountsAndSeverities) {
+  const LintReport report = PlanLinter{}.lint(defective_wiretap_plan());
+  const std::string json = render_json(report);
+
+  EXPECT_NE(json.find("\"errors\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"notes\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+  EXPECT_EQ(occurrences(json, "\"severity\":\"error\""), 6u);
+  EXPECT_EQ(occurrences(json, "\"severity\":\"warning\""), 1u);
+  EXPECT_EQ(occurrences(json, "\"severity\":\"note\""), 1u);
+  // One diagnostic object per report entry.
+  EXPECT_EQ(occurrences(json, "\"rule\":"), report.diagnostics.size());
+}
+
+TEST(RenderTest, JsonIsDeterministicAcrossRuns) {
+  const std::string a =
+      render_json(PlanLinter{}.lint(defective_wiretap_plan()));
+  const std::string b =
+      render_json(PlanLinter{}.lint(defective_wiretap_plan()));
+  EXPECT_EQ(a, b);
+}
+
+TEST(RenderTest, JsonEscapesStepNames) {
+  LintReport report;
+  report.plan_title = "quote \" and \\ backslash";
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.rule = "missing-process";
+  d.step = PlanStepId{1};
+  d.step_name = "line\nbreak";
+  d.message = "tab\there";
+  report.diagnostics.push_back(d);
+  report.error_count = 1;
+
+  const std::string json = render_json(report);
+  EXPECT_NE(json.find("quote \\\" and \\\\ backslash"), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+}
+
+TEST(RenderTest, CleanReportRendersEmptyDiagnosticsArray) {
+  const LintReport report = PlanLinter{}.lint(clean_quickstart_plan());
+  const std::string json = render_json(report);
+  EXPECT_NE(json.find("\"clean\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostics\":[]"), std::string::npos);
+}
+
+TEST(RenderTest, TextReportExpandsCitationsAndCounts) {
+  const LintReport report = PlanLinter{}.lint(defective_wiretap_plan());
+  const std::string text = render_text(report);
+
+  EXPECT_NE(text.find("6 errors, 1 warning, 1 note"), std::string::npos);
+  EXPECT_NE(text.find("error: missing-process"), std::string::npos);
+  // Citation ids are expanded through the case-law KB.
+  EXPECT_NE(text.find("Wong Sun v. United States, 371 U.S. 471 (1963)"),
+            std::string::npos);
+  EXPECT_NE(text.find("Rakas v. Illinois, 439 U.S. 128 (1978)"),
+            std::string::npos);
+}
+
+TEST(RenderTest, TextReportSaysCleanWhenClean) {
+  const std::string text =
+      render_text(PlanLinter{}.lint(clean_quickstart_plan()));
+  EXPECT_NE(text.find("0 errors, 0 warnings, 0 notes"), std::string::npos);
+  EXPECT_NE(text.find("no defects found"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lexfor::lint

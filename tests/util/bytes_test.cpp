@@ -61,5 +61,30 @@ TEST(BytesTest, IntegersAreLittleEndian) {
   EXPECT_EQ(buf[3], 0x01);
 }
 
+TEST(BytesTest, FixedEndianLoadsReadBothByteOrders) {
+  const std::uint8_t raw[8] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  EXPECT_EQ(load_le32(raw), 0x04030201u);
+  EXPECT_EQ(load_be32(raw), 0x01020304u);
+  EXPECT_EQ(load_le64(raw), 0x0807060504030201ULL);
+  EXPECT_EQ(load_be64(raw), 0x0102030405060708ULL);
+}
+
+TEST(BytesTest, FixedEndianLoadsWorkAtUnalignedOffsets) {
+  std::uint8_t raw[9] = {0xFF, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  // +1 is misaligned for a uint32_t*; the memcpy idiom must not care.
+  EXPECT_EQ(load_le32(raw + 1), 0x04030201u);
+  EXPECT_EQ(load_be64(raw + 1), 0x0102030405060708ULL);
+}
+
+TEST(BytesTest, FixedEndianStoresRoundTripThroughLoads) {
+  std::uint8_t out[4];
+  store_le32(out, 0xDEADBEEFu);
+  EXPECT_EQ(load_le32(out), 0xDEADBEEFu);
+  EXPECT_EQ(out[0], 0xEF);
+  store_be32(out, 0xDEADBEEFu);
+  EXPECT_EQ(load_be32(out), 0xDEADBEEFu);
+  EXPECT_EQ(out[0], 0xDE);
+}
+
 }  // namespace
 }  // namespace lexfor

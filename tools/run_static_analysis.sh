@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Self-analysis harness for LexForensica.
+#
+# Stages (each gates the exit code):
+#   1. warnings-as-errors build        (-DLEXFOR_WERROR=ON)
+#   2. ASan+UBSan build + full ctest   (-DLEXFOR_SANITIZE=address;undefined)
+#   3. lint regression                 (the lint_examples suite: the shipped
+#                                       example plans must lint as documented)
+#   4. clang-tidy over src/            (skipped with a notice when clang-tidy
+#                                       is not installed; everything else
+#                                       still gates)
+#
+# Usage: tools/run_static_analysis.sh [--skip-tidy] [--jobs N]
+# Exits non-zero if any stage fails.
+
+set -u -o pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SKIP_TIDY=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --skip-tidy) SKIP_TIDY=1 ;;
+    --jobs) JOBS="${2:?--jobs requires a value}"; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+cd "${REPO_ROOT}"
+
+FAILURES=0
+declare -a SUMMARY=()
+
+note()  { printf '\n==> %s\n' "$*"; }
+stage() {
+  # stage <label> <command...>; records pass/fail, keeps going.
+  local label="$1"; shift
+  note "${label}"
+  if "$@"; then
+    SUMMARY+=("PASS  ${label}")
+  else
+    SUMMARY+=("FAIL  ${label}")
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+# ---------------------------------------------------------------- 1. -Werror
+werror_build() {
+  cmake -B build-werror -S . -DLEXFOR_WERROR=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
+  cmake --build build-werror -j "${JOBS}"
+}
+stage "warnings-as-errors build (LEXFOR_WERROR=ON)" werror_build
+
+# ------------------------------------------------------- 2. sanitizer ctest
+sanitizer_build() {
+  cmake -B build-asan -S . "-DLEXFOR_SANITIZE=address;undefined" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
+  cmake --build build-asan -j "${JOBS}"
+}
+sanitizer_ctest() {
+  ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+}
+stage "ASan+UBSan build" sanitizer_build
+stage "full ctest under ASan+UBSan" sanitizer_ctest
+
+# ------------------------------------------------------ 3. lint regression
+lint_regression() {
+  ctest --test-dir build-asan --output-on-failure -R '^LintExamplesTest'
+}
+stage "lint regression (lint_examples over shipped plans)" lint_regression
+
+# ----------------------------------------------------------- 4. clang-tidy
+if [[ "${SKIP_TIDY}" -eq 1 ]]; then
+  SUMMARY+=("SKIP  clang-tidy (--skip-tidy)")
+elif ! command -v clang-tidy >/dev/null 2>&1; then
+  # Missing toolchain is a skip, not a failure: sanitizer + -Werror +
+  # lint regression above still gate.
+  SUMMARY+=("SKIP  clang-tidy (not installed)")
+  note "clang-tidy not found on PATH; skipping tidy stage"
+else
+  tidy_src() {
+    cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || return 1
+    local files
+    files="$(find src -name '*.cpp' | sort)"
+    local rc=0
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -quiet -p build-tidy -j "${JOBS}" ${files} || rc=1
+    else
+      # shellcheck disable=SC2086
+      clang-tidy -quiet -p build-tidy ${files} || rc=1
+    fi
+    return "${rc}"
+  }
+  stage "clang-tidy over src/" tidy_src
+fi
+
+# ------------------------------------------------------------------ report
+note "static analysis summary"
+printf '  %s\n' "${SUMMARY[@]}"
+
+if [[ "${FAILURES}" -gt 0 ]]; then
+  echo
+  echo "static analysis FAILED (${FAILURES} stage(s))" >&2
+  exit 1
+fi
+echo
+echo "static analysis clean"
