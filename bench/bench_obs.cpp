@@ -1,0 +1,141 @@
+// A-OBS: observability overhead.
+//
+// The obs layer is compiled into every module, so its cost model must
+// hold: a disabled-level event is one relaxed atomic load and a branch
+// (within noise of the uninstrumented baseline, <5%), an enabled event
+// into the ring stays under ~50ns after the argument string is built,
+// and metrics updates are single atomic ops.  The baseline workload
+// does representative engine-adjacent arithmetic (~100ns) so that the
+// disabled-path delta is measured against real work, not an empty loop.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace {
+
+using namespace lexfor;
+
+// Representative unit of work: a short integer hash chain, opaque to the
+// optimizer.  Everything below measures deltas against this.
+std::uint64_t workload(std::uint64_t seed) {
+  std::uint64_t h = seed * 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 16; ++i) {
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDull;
+  }
+  return h;
+}
+
+void BM_Workload_Baseline(benchmark::State& state) {
+  obs::tracer().set_level(obs::Level::kOff);
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    x = workload(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Workload_Baseline);
+
+// Same workload with a disabled-level instrumentation point: the string
+// argument must NOT be constructed (the macro guards evaluation), so
+// the delta vs baseline is just the level check.
+void BM_Workload_EventDisabled(benchmark::State& state) {
+  obs::tracer().set_level(obs::Level::kOff);
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    x = workload(x);
+    LEXFOR_OBS_EVENT(obs::Level::kDebug, "bench", "tick",
+                     "x=" + std::to_string(x), obs::no_sim_time());
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Workload_EventDisabled);
+
+void BM_Workload_SpanDisabled(benchmark::State& state) {
+  obs::tracer().set_level(obs::Level::kOff);
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    LEXFOR_OBS_SPAN(obs::Level::kInfo, "bench", "work",
+                    "x=" + std::to_string(x), obs::no_sim_time());
+    x = workload(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Workload_SpanDisabled);
+
+// Enabled paths: event emission into the ring (no sinks attached), so
+// this isolates stamp + spinlock + ring copy.
+void BM_EventEnabled_NoArgs(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.set_level(obs::Level::kDebug);
+  for (auto _ : state) {
+    tracer.instant(obs::Level::kDebug, "bench", "tick");
+  }
+  state.counters["events"] =
+      benchmark::Counter(static_cast<double>(tracer.events_emitted()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventEnabled_NoArgs);
+
+void BM_EventEnabled_WithArgs(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.set_level(obs::Level::kDebug);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    tracer.instant(obs::Level::kDebug, "bench", "tick",
+                   "i=" + std::to_string(++i));
+  }
+}
+BENCHMARK(BM_EventEnabled_WithArgs);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.set_level(obs::Level::kInfo);
+  for (auto _ : state) {
+    const obs::Span s = tracer.span(obs::Level::kInfo, "bench", "work");
+    benchmark::DoNotOptimize(s.id());
+  }
+}
+BENCHMARK(BM_SpanEnabled);
+
+// Metrics: always-on atomics — these run even at Level::kOff.
+void BM_CounterAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    LEXFOR_OBS_COUNTER_ADD("bench.obs.counter", 1);
+  }
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_GaugeSet(benchmark::State& state) {
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    LEXFOR_OBS_GAUGE_SET("bench.obs.gauge", ++v);
+  }
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    v = (v + 97) % 5'000'000;
+    LEXFOR_OBS_HISTOGRAM_RECORD("bench.obs.hist", v);
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  obs::Histogram h("bench.p", {});
+  for (std::int64_t v = 1; v < 100'000; v += 7) h.record(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.percentile(95));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,5 +1,7 @@
 #include "capture/capture.h"
 
+#include "obs/obs.h"
+
 namespace lexfor::capture {
 
 Result<CaptureDevice> CaptureDevice::create(
@@ -21,7 +23,12 @@ Result<CaptureDevice> CaptureDevice::create(
                                    ? legal::DataKind::kContent
                                    : legal::DataKind::kAddressing;
   const Status permitted = authority.permits(floor, kind, location, now);
-  if (!permitted.ok()) return permitted;
+  if (!permitted.ok()) {
+    LEXFOR_OBS_COUNTER_ADD("capture.devices_refused", 1);
+    LEXFOR_OBS_EVENT(obs::Level::kAudit, "capture", "device_refused",
+                     "mode=" + std::string(to_string(mode)), now);
+    return permitted;
+  }
 
   // Bind the device's lifetime to the instrument's: a capture running on
   // legal process must stop when the process lapses.
@@ -30,6 +37,11 @@ Result<CaptureDevice> CaptureDevice::create(
     const auto& proc = *authority.process();
     expiry = proc.issued_at + proc.validity;
   }
+  LEXFOR_OBS_COUNTER_ADD("capture.devices_created", 1);
+  LEXFOR_OBS_EVENT(obs::Level::kAudit, "capture", "device_created",
+                   "mode=" + std::string(to_string(mode)) +
+                       ",authority=" + std::string(to_string(floor)),
+                   now);
   return CaptureDevice{mode, target, std::move(location), expiry};
 }
 
@@ -55,13 +67,23 @@ bool CaptureDevice::direction_matches(const netsim::TapEvent& ev) const noexcept
 
 void CaptureDevice::on_traversal(const netsim::TapEvent& ev) {
   ++stats_.packets_observed;
+  LEXFOR_OBS_COUNTER_ADD("capture.packets_observed", 1);
   if (!direction_matches(ev)) return;
+  // The statutory filter, made observable: every packet the device saw
+  // but refused to retain leaves a trace explaining which legal limit
+  // (expired instrument, warrant scope) stopped it.
   if (expiry_.has_value() && ev.at > *expiry_) {
     ++stats_.packets_after_expiry;
+    LEXFOR_OBS_COUNTER_ADD("capture.packets_after_expiry", 1);
+    LEXFOR_OBS_EVENT(obs::Level::kDebug, "capture", "refused_after_expiry",
+                     "packet=" + std::to_string(ev.packet.id.value()), ev.at);
     return;
   }
   if (!scope_filter_.matches(ev.packet.header)) {
     ++stats_.packets_out_of_scope;
+    LEXFOR_OBS_COUNTER_ADD("capture.packets_out_of_scope", 1);
+    LEXFOR_OBS_EVENT(obs::Level::kDebug, "capture", "refused_out_of_scope",
+                     "packet=" + std::to_string(ev.packet.id.value()), ev.at);
     return;
   }
 
@@ -74,12 +96,19 @@ void CaptureDevice::on_traversal(const netsim::TapEvent& ev) {
   if (mode_ == CaptureMode::kFullContent) {
     rec.payload = ev.packet.payload;
     stats_.payload_bytes_retained += ev.packet.payload.size();
+    LEXFOR_OBS_COUNTER_ADD("capture.payload_bytes_retained",
+                           ev.packet.payload.size());
   } else {
     // Minimization: a pen/trap device must not record content.  The
     // payload never reaches the retained record.
     stats_.payload_bytes_discarded += ev.packet.payload.size();
+    LEXFOR_OBS_COUNTER_ADD("capture.payload_bytes_discarded",
+                           ev.packet.payload.size());
   }
   ++stats_.packets_retained;
+  LEXFOR_OBS_COUNTER_ADD("capture.packets_retained", 1);
+  LEXFOR_OBS_EVENT(obs::Level::kDebug, "capture", "retained",
+                   "packet=" + std::to_string(ev.packet.id.value()), ev.at);
   records_.push_back(std::move(rec));
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace lexfor::evidence {
 namespace {
 
@@ -54,6 +56,15 @@ void EvidenceItem::record(CustodyAction action, std::string custodian,
   const crypto::Sha256::Digest prev =
       chain_.empty() ? crypto::Sha256::Digest{} : chain_.back().mac;
   rec.mac = compute_mac(rec, prev, case_key);
+  // Every custody-chain entry is also an audit-level trace event, so one
+  // trace interleaves custody, authority and acquisition (§I: evidence
+  // must be "sufficiently reliable to stand up in court").
+  LEXFOR_OBS_COUNTER_ADD("evidence.custody_records", 1);
+  LEXFOR_OBS_EVENT(obs::Level::kAudit, "evidence", "custody",
+                   "item=" + std::to_string(id_.value()) +
+                       ",action=" + std::string(to_string(action)) +
+                       ",custodian=" + rec.custodian,
+                   at);
   chain_.push_back(std::move(rec));
 }
 

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace lexfor::evidence {
 
 EvidenceId EvidenceLocker::deposit(std::string description, Bytes content,
                                    std::string custodian, SimTime at) {
   const EvidenceId id = ids_.next();
+  LEXFOR_OBS_COUNTER_ADD("evidence.deposits", 1);
   items_.emplace_back(id, std::move(description), std::move(content),
                       std::move(custodian), at, case_key_);
   return id;
@@ -61,10 +64,19 @@ Result<EvidenceId> EvidenceLocker::image(EvidenceId id, std::string custodian,
 }
 
 std::vector<EvidenceLocker::AuditEntry> EvidenceLocker::audit() const {
+  LEXFOR_OBS_SPAN(obs::Level::kInfo, "evidence", "audit",
+                  "items=" + std::to_string(items_.size()),
+                  obs::no_sim_time());
   std::vector<AuditEntry> out;
   out.reserve(items_.size());
   for (const auto& e : items_) {
     out.push_back(AuditEntry{e.id(), e.verify(case_key_)});
+    if (!out.back().status.ok()) {
+      LEXFOR_OBS_COUNTER_ADD("evidence.audit_failures", 1);
+      LEXFOR_OBS_EVENT(obs::Level::kAudit, "evidence", "audit_failure",
+                       "item=" + std::to_string(e.id().value()),
+                       obs::no_sim_time());
+    }
   }
   return out;
 }

@@ -2,10 +2,13 @@
 
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace lexfor::investigation {
 
 Ruling Court::adjudicate(const Application& application, SimTime now) {
   ++heard_;
+  LEXFOR_OBS_COUNTER_ADD("court.applications_heard", 1);
   Ruling ruling;
   ruling.assessment =
       legal::assess_proof(application.facts, application.category);
@@ -18,11 +21,23 @@ Ruling Court::adjudicate(const Application& application, SimTime now) {
     std::ostringstream os;
     os << "application denied: " << valid;
     ruling.explanation = os.str();
+    LEXFOR_OBS_COUNTER_ADD("court.applications_denied", 1);
+    LEXFOR_OBS_EVENT(
+        obs::Level::kAudit, "court", "application_denied",
+        "requested=" + std::string(legal::to_string(application.requested)),
+        now);
     return ruling;
   }
 
   ruling.granted = true;
   ++issued_;
+  LEXFOR_OBS_COUNTER_ADD("court.processes_issued", 1);
+  LEXFOR_OBS_EVENT(
+      obs::Level::kAudit, "court", "process_issued",
+      "kind=" + std::string(legal::to_string(application.requested)) +
+          ",standard=" +
+          std::string(legal::to_string(ruling.assessment.standard)),
+      now);
   ruling.process.id = process_ids_.next();
   ruling.process.kind = application.requested;
   ruling.process.scope = application.scope;

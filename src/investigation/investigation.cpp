@@ -1,6 +1,7 @@
 #include "investigation/investigation.h"
 
 #include "lint/linter.h"
+#include "obs/obs.h"
 
 namespace lexfor::investigation {
 
@@ -13,12 +14,23 @@ Result<ProcessId> Investigation::apply_for(legal::ProcessKind kind,
   app.category = category_;
   app.scope = std::move(scope);
 
+  LEXFOR_OBS_SPAN(obs::Level::kInfo, "investigation", "apply_for",
+                  "case=" + std::to_string(id_.value()) +
+                      ",kind=" + std::string(legal::to_string(kind)),
+                  now);
   Ruling ruling = court_.adjudicate(app, now);
   rulings_.push_back(ruling);
   if (!ruling.granted) {
+    LEXFOR_OBS_COUNTER_ADD("investigation.applications_denied", 1);
     return PermissionDenied(ruling.explanation);
   }
   const ProcessId id = ruling.process.id;
+  LEXFOR_OBS_COUNTER_ADD("investigation.authorities_held", 1);
+  LEXFOR_OBS_EVENT(obs::Level::kAudit, "investigation", "authority_granted",
+                   "case=" + std::to_string(id_.value()) +
+                       ",process=" + std::to_string(id.value()) +
+                       ",kind=" + std::string(legal::to_string(kind)),
+                   now);
   held_.emplace(id, std::move(ruling.process));
   return id;
 }
@@ -56,11 +68,31 @@ AcquisitionOutcome Investigation::acquire(
     const legal::Scenario& scenario, std::string description,
     const legal::GrantedAuthority& held,
     std::vector<EvidenceId> derived_from, std::string aggrieved_party) {
+  LEXFOR_OBS_SPAN(obs::Level::kInfo, "investigation", "acquire",
+                  "case=" + std::to_string(id_.value()) +
+                      ",scenario=" + scenario.name,
+                  obs::no_sim_time());
   AcquisitionOutcome outcome;
   outcome.determination = engine_.evaluate(scenario);
   outcome.evidence = evidence_ids_.next();
   outcome.lawful =
       legal::satisfies(held.kind(), outcome.determination.required_process);
+  LEXFOR_OBS_COUNTER_ADD("investigation.acquisitions", 1);
+  if (!outcome.lawful) {
+    LEXFOR_OBS_COUNTER_ADD("investigation.unlawful_acquisitions", 1);
+  }
+  // The trace line a motion to suppress would turn on: what the law
+  // required vs what the investigators actually held.
+  LEXFOR_OBS_EVENT(
+      obs::Level::kAudit, "investigation", "acquisition",
+      "case=" + std::to_string(id_.value()) +
+          ",evidence=" + std::to_string(outcome.evidence.value()) +
+          ",required=" +
+          std::string(
+              legal::to_string(outcome.determination.required_process)) +
+          ",held=" + std::string(legal::to_string(held.kind())) +
+          ",lawful=" + (outcome.lawful ? "yes" : "no"),
+      obs::no_sim_time());
 
   legal::AcquisitionRecord rec;
   rec.id = outcome.evidence;

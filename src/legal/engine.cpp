@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "legal/caselaw.h"
+#include "obs/obs.h"
 
 namespace lexfor::legal {
 namespace {
@@ -18,6 +19,9 @@ void add_citations(std::vector<std::string>& into,
 }  // namespace
 
 Determination ComplianceEngine::evaluate(const Scenario& s) const {
+  LEXFOR_OBS_COUNTER_ADD("legal.evaluations", 1);
+  LEXFOR_OBS_SPAN(obs::Level::kInfo, "legal", "evaluate",
+                  "scenario=" + s.name, obs::no_sim_time());
   Determination d;
   d.scenario_name = s.name;
   d.rep = analyze_rep(s);
@@ -27,6 +31,11 @@ Determination ComplianceEngine::evaluate(const Scenario& s) const {
       applicable_exceptions(s, d.rep, statutes);
 
   d.governing_statutes = statutes.applicable();
+  for (const auto st : d.governing_statutes) {
+    LEXFOR_OBS_EVENT(obs::Level::kInfo, "legal", "statute_applies",
+                     "statute=" + std::string(to_string(st)),
+                     obs::no_sim_time());
+  }
   for (const auto& n : statutes.notes) d.rationale.push_back(n);
   add_citations(d.citations, statutes.citations);
   add_citations(d.citations, d.rep.citations);
@@ -37,6 +46,9 @@ Determination ComplianceEngine::evaluate(const Scenario& s) const {
        sca_excused = false;
   for (const auto& e : exceptions) {
     d.exceptions_applied.push_back(e.kind);
+    LEXFOR_OBS_EVENT(obs::Level::kInfo, "legal", "exception_applied",
+                     "exception=" + std::string(to_string(e.kind)),
+                     obs::no_sim_time());
     d.rationale.push_back(e.rationale);
     add_citations(d.citations, e.citations);
     fourth_excused = fourth_excused || e.excuses_fourth;
@@ -84,6 +96,11 @@ Determination ComplianceEngine::evaluate(const Scenario& s) const {
         "no regime imposes an unexcused process requirement; the "
         "acquisition may proceed without warrant/court order/subpoena");
   }
+  // The audit-level record of the derivation: scenario -> verdict.
+  LEXFOR_OBS_EVENT(obs::Level::kAudit, "legal", "verdict",
+                   "scenario=" + s.name + ",verdict=" + d.verdict() +
+                       ",process=" + std::string(to_string(d.required_process)),
+                   obs::no_sim_time());
   return d;
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace lexfor::legal {
 
 Status ProvenanceGraph::add(AcquisitionRecord record) {
@@ -39,6 +41,13 @@ namespace {
 // own rights are poisonous (standing doctrine).
 SuppressionReport analyze_impl(const ProvenanceGraph& graph,
                                const std::string* movant) {
+  // Taint propagation is the legally-decisive closure; one span per run.
+  LEXFOR_OBS_COUNTER_ADD("legal.suppression_analyses", 1);
+  LEXFOR_OBS_SPAN(obs::Level::kInfo, "suppression", "analyze",
+                  "records=" + std::to_string(graph.size()) +
+                      (movant == nullptr ? std::string()
+                                         : ",movant=" + *movant),
+                  obs::no_sim_time());
   SuppressionReport report;
   // Records are already topologically ordered (parents precede children).
   std::unordered_map<EvidenceId, bool> tainted;
@@ -108,8 +117,13 @@ SuppressionReport analyze_impl(const ProvenanceGraph& graph,
     tainted[rec.id] = f.suppressed;
     if (f.suppressed) {
       ++report.suppressed_count;
+      LEXFOR_OBS_COUNTER_ADD("legal.evidence_suppressed", 1);
+      LEXFOR_OBS_EVENT(obs::Level::kAudit, "suppression", "suppressed",
+                       "evidence=" + std::to_string(rec.id.value()),
+                       obs::no_sim_time());
     } else {
       ++report.admissible_count;
+      LEXFOR_OBS_COUNTER_ADD("legal.evidence_admissible", 1);
     }
     report.findings.push_back(std::move(f));
   }

@@ -13,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/sim_time.h"
 
 namespace lexfor::netsim {
@@ -45,6 +46,9 @@ class EventQueue {
     heap_.pop();
     now_ = e.at;
     ++processed_;
+    LEXFOR_OBS_COUNTER_ADD("netsim.events_processed", 1);
+    LEXFOR_OBS_GAUGE_SET("netsim.queue_depth",
+                         static_cast<std::int64_t>(heap_.size()));
     e.cb();
     return true;
   }

@@ -4,6 +4,8 @@
 #include <deque>
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace lexfor::netsim {
 
 NodeId Network::add_node(std::string name) {
@@ -88,6 +90,7 @@ Result<PacketId> Network::send(FlowId flow, PacketHeader header, Bytes payload) 
   packet.payload = std::move(payload);
   packet.created_at = events_.now();
   ++sent_;
+  LEXFOR_OBS_COUNTER_ADD("netsim.packets_sent", 1);
 
   const PacketId id = packet.id;
   // First hop is scheduled immediately; subsequent hops chain.
@@ -105,6 +108,12 @@ void Network::deliver_hop(Packet packet, std::size_t path_pos,
   if (path_pos + 1 >= path.size()) {
     // Arrived.
     ++delivered_;
+    LEXFOR_OBS_COUNTER_ADD("netsim.packets_delivered", 1);
+    LEXFOR_OBS_HISTOGRAM_RECORD("netsim.e2e_latency_us",
+                                (events_.now() - packet.created_at).us);
+    LEXFOR_OBS_EVENT(obs::Level::kDebug, "netsim", "delivered",
+                     "packet=" + std::to_string(packet.id.value()),
+                     events_.now());
     const auto it = handlers_.find(here);
     if (it != handlers_.end() && it->second) {
       it->second(packet, events_.now());
@@ -127,6 +136,10 @@ void Network::deliver_hop(Packet packet, std::size_t path_pos,
   if (link->config.drop_probability > 0.0 &&
       rng_.bernoulli(link->config.drop_probability)) {
     ++dropped_;
+    LEXFOR_OBS_COUNTER_ADD("netsim.packets_dropped", 1);
+    LEXFOR_OBS_EVENT(obs::Level::kDebug, "netsim", "dropped",
+                     "packet=" + std::to_string(packet.id.value()),
+                     events_.now());
     return;
   }
 
@@ -150,6 +163,7 @@ void Network::deliver_hop(Packet packet, std::size_t path_pos,
     delay = delay + (start - events_.now()) + tx;
   }
 
+  LEXFOR_OBS_HISTOGRAM_RECORD("netsim.hop_delay_us", delay.us);
   const LinkId link_id = link->id;
   events_.schedule_in(
       delay, [this, packet = std::move(packet), path = std::move(path),

@@ -1,0 +1,228 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/sink.h"  // append_json_escaped
+
+namespace lexfor::obs {
+namespace {
+
+// Lock-free running min/max via CAS loops.
+void atomic_min(std::atomic<std::int64_t>& slot, std::int64_t v) noexcept {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::int64_t>& slot, std::int64_t v) noexcept {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::string name, std::vector<std::int64_t> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_latency_bounds_us();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_.resize(bounds_.size() + 1);  // + overflow
+}
+
+std::vector<std::int64_t> Histogram::default_latency_bounds_us() {
+  std::vector<std::int64_t> bounds;
+  for (std::int64_t decade = 1; decade <= 1'000'000; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  return bounds;
+}
+
+void Histogram::record(std::int64_t sample) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  atomic_min(min_, sample);
+  atomic_max(max_, sample);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(n);
+  const auto observed_min = static_cast<double>(min());
+  const auto observed_max = static_cast<double>(max());
+
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const auto in_bucket = static_cast<double>(
+        buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate within [lower, upper) of the containing bucket,
+    // tightened by the observed extremes.
+    double lower = i == 0 ? observed_min
+                          : static_cast<double>(bounds_[i - 1]);
+    double upper = i < bounds_.size() ? static_cast<double>(bounds_[i])
+                                      : observed_max;
+    lower = std::max(lower, observed_min);
+    upper = std::min(upper, observed_max);
+    if (upper < lower) upper = lower;
+    const double frac =
+        in_bucket == 0.0 ? 0.0 : (target - cumulative) / in_bucket;
+    return lower + (upper - lower) * frac;
+  }
+  return observed_max;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  for (auto& c : counters_) {
+    if (c.name() == name) return c;
+  }
+  return counters_.emplace_back(std::string(name));
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  for (auto& g : gauges_) {
+    if (g.name() == name) return g;
+  }
+  return gauges_.emplace_back(std::string(name));
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<std::int64_t> bounds) {
+  const std::scoped_lock lock(mu_);
+  for (auto& h : histograms_) {
+    if (h.name() == name) return h;
+  }
+  return histograms_.emplace_back(std::string(name), std::move(bounds));
+}
+
+namespace {
+
+template <typename T>
+std::vector<const T*> sorted_by_name(const std::deque<T>& items) {
+  std::vector<const T*> out;
+  out.reserve(items.size());
+  for (const auto& item : items) out.push_back(&item);
+  std::sort(out.begin(), out.end(), [](const T* a, const T* b) {
+    return a->name() < b->name();
+  });
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::to_text(std::ostream& os) const {
+  const std::scoped_lock lock(mu_);
+  for (const Counter* c : sorted_by_name(counters_)) {
+    os << "counter   " << c->name() << " = " << c->value() << '\n';
+  }
+  for (const Gauge* g : sorted_by_name(gauges_)) {
+    os << "gauge     " << g->name() << " = " << g->value() << '\n';
+  }
+  for (const Histogram* h : sorted_by_name(histograms_)) {
+    os << "histogram " << h->name() << " count=" << h->count();
+    if (h->count() > 0) {
+      os << " min=" << h->min() << " mean=" << h->mean()
+         << " p50=" << h->percentile(50) << " p95=" << h->percentile(95)
+         << " p99=" << h->percentile(99) << " max=" << h->max();
+    }
+    os << '\n';
+  }
+}
+
+void MetricsRegistry::to_json(std::ostream& os) const {
+  const std::scoped_lock lock(mu_);
+  std::string out;
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const Counter* c : sorted_by_name(counters_)) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, c->name());
+    out += "\":";
+    out += std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const Gauge* g : sorted_by_name(gauges_)) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, g->name());
+    out += "\":";
+    out += std::to_string(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const Histogram* h : sorted_by_name(histograms_)) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, h->name());
+    out += "\":{\"count\":";
+    out += std::to_string(h->count());
+    if (h->count() > 0) {
+      char buf[64];
+      out += ",\"min\":";
+      out += std::to_string(h->min());
+      out += ",\"max\":";
+      out += std::to_string(h->max());
+      std::snprintf(buf, sizeof buf, ",\"mean\":%.3f", h->mean());
+      out += buf;
+      std::snprintf(buf, sizeof buf, ",\"p50\":%.3f", h->percentile(50));
+      out += buf;
+      std::snprintf(buf, sizeof buf, ",\"p95\":%.3f", h->percentile(95));
+      out += buf;
+      std::snprintf(buf, sizeof buf, ",\"p99\":%.3f", h->percentile(99));
+      out += buf;
+    }
+    out += '}';
+  }
+  out += "}}";
+  os << out << '\n';
+}
+
+void MetricsRegistry::reset() {
+  const std::scoped_lock lock(mu_);
+  for (auto& c : counters_) c.reset();
+  for (auto& g : gauges_) g.reset();
+  for (auto& h : histograms_) h.reset();
+}
+
+MetricsRegistry& metrics() {
+  // Leaked on purpose; see obs::tracer().
+  static MetricsRegistry* const instance = new MetricsRegistry();
+  return *instance;
+}
+
+}  // namespace lexfor::obs

@@ -1,0 +1,147 @@
+// Metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// Metrics answer "how much / how fast" where traces answer "what
+// happened, in what order".  All update paths are wait-free atomics so
+// the registry can be shared across threads (the ThreadSanitizer stage
+// in tools/run_static_analysis.sh gates this); registration takes a
+// mutex but returns stable references, so call sites cache them (the
+// LEXFOR_OBS_COUNTER_* macros do this with a function-local static) and
+// pay only the atomic op afterwards.  Histograms use fixed bucket
+// bounds and report p50/p95/p99 by linear interpolation inside the
+// containing bucket — bounded error, zero per-sample allocation.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lexfor::obs {
+
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  // `bounds` are strictly increasing bucket upper bounds; samples above
+  // the last bound land in an implicit overflow bucket.
+  Histogram(std::string name, std::vector<std::int64_t> bounds);
+
+  void record(std::int64_t sample) noexcept;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t min() const noexcept {
+    return min_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return buckets_.size();
+  }
+
+  // Estimated value at percentile p in [0,100]; clamps to observed
+  // min/max so estimates never leave the sampled range.
+  [[nodiscard]] double percentile(double p) const;
+
+  // Reasonable default for microsecond-scale latencies: 1..5e6 us in a
+  // 1-2-5 ladder.
+  [[nodiscard]] static std::vector<std::int64_t> default_latency_bounds_us();
+
+  void reset() noexcept;
+
+ private:
+  std::string name_;
+  std::vector<std::int64_t> bounds_;
+  std::deque<std::atomic<std::uint64_t>> buckets_;  // bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{INT64_MAX};
+  std::atomic<std::int64_t> max_{INT64_MIN};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Lookup-or-create; returned references stay valid for the registry's
+  // lifetime (instruments live in deques).
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<std::int64_t> bounds = {});
+
+  // Renders every instrument, sorted by name within each kind.
+  void to_text(std::ostream& os) const;
+  void to_json(std::ostream& os) const;
+
+  // Zeroes counters/gauges and drops histograms' samples; instruments
+  // themselves (and cached references) stay registered.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+// The process-wide registry used by the LEXFOR_OBS_* macros; leaked on
+// purpose like obs::tracer().
+[[nodiscard]] MetricsRegistry& metrics();
+
+}  // namespace lexfor::obs

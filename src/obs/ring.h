@@ -1,0 +1,80 @@
+// Fixed-capacity event ring: the always-on sink of last resort.
+//
+// The tracer writes every accepted event here before fanning out to the
+// pluggable sinks, so the most recent N events are available after the
+// fact — e.g. to dump the tail of a trace when an audit fails — without
+// any sink having been attached up front.  A claim-then-fill spinlock
+// design keeps the common path to a handful of instructions
+// ("lock-free-ish": producers never block on I/O or allocation, only on
+// each other for the slot copy).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace lexfor::obs {
+
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity = 4096)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  // Total events ever pushed (>= size()).
+  [[nodiscard]] std::uint64_t pushed() const noexcept {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+
+  // Events currently retained (min(pushed, capacity)).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t n = pushed();
+    return n < slots_.size() ? static_cast<std::size_t>(n) : slots_.size();
+  }
+
+  void push(TraceEvent ev) {
+    lock();
+    const std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
+    slots_[static_cast<std::size_t>(seq % slots_.size())] = std::move(ev);
+    pushed_.store(seq + 1, std::memory_order_relaxed);
+    unlock();
+  }
+
+  // Oldest-to-newest copy of the retained events.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    lock();
+    std::vector<TraceEvent> out;
+    const std::uint64_t n = pushed_.load(std::memory_order_relaxed);
+    const std::uint64_t kept =
+        n < slots_.size() ? n : static_cast<std::uint64_t>(slots_.size());
+    out.reserve(static_cast<std::size_t>(kept));
+    for (std::uint64_t i = n - kept; i < n; ++i) {
+      out.push_back(slots_[static_cast<std::size_t>(i % slots_.size())]);
+    }
+    unlock();
+    return out;
+  }
+
+  void clear() {
+    lock();
+    pushed_.store(0, std::memory_order_relaxed);
+    unlock();
+  }
+
+ private:
+  void lock() const noexcept {
+    while (busy_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() const noexcept { busy_.clear(std::memory_order_release); }
+
+  mutable std::atomic_flag busy_ = ATOMIC_FLAG_INIT;
+  std::atomic<std::uint64_t> pushed_{0};
+  std::vector<TraceEvent> slots_;
+};
+
+}  // namespace lexfor::obs

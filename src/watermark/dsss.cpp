@@ -3,10 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace lexfor::watermark {
 
 Result<DetectionResult> Detector::detect(
     const std::vector<double>& chip_rates) const {
+  LEXFOR_OBS_SPAN(obs::Level::kInfo, "watermark", "detect",
+                  "chips=" + std::to_string(code_.length()),
+                  obs::no_sim_time());
+#if LEXFOR_OBS
+  const std::uint64_t correlate_start = obs::tracer().wall_now_ns();
+#endif
   const std::size_t n = code_.length();
   if (chip_rates.size() < n) {
     return InvalidArgument(
@@ -39,6 +47,16 @@ Result<DetectionResult> Detector::detect(
   // depth-dependent positive values.
   r.correlation = num / std::sqrt(denom * static_cast<double>(n));
   r.detected = r.correlation > r.threshold;
+#if LEXFOR_OBS
+  // Correlation cost scales with code length; the histogram is the
+  // before/after evidence for any detector optimisation.
+  LEXFOR_OBS_HISTOGRAM_RECORD(
+      "watermark.correlate_ns",
+      static_cast<std::int64_t>(obs::tracer().wall_now_ns() -
+                                correlate_start));
+  LEXFOR_OBS_COUNTER_ADD("watermark.detections_run", 1);
+  if (r.detected) LEXFOR_OBS_COUNTER_ADD("watermark.detections_positive", 1);
+#endif
   return r;
 }
 

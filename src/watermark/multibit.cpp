@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace lexfor::watermark {
 
 Result<MultiBitEmbedder> MultiBitEmbedder::create(
@@ -57,6 +59,10 @@ Result<MultiBitDecodeResult> MultiBitDecoder::decode(
                            std::to_string(need) + " chips)");
   }
 
+  LEXFOR_OBS_SPAN(obs::Level::kInfo, "watermark", "multibit_decode",
+                  "bits=" + std::to_string(num_bits) +
+                      ",chips_per_bit=" + std::to_string(chips_per_bit_),
+                  obs::no_sim_time());
   // Segment-local mean removal: the traffic baseline may drift across a
   // long mark, so each bit despreads against its own segment mean.
   MultiBitDecodeResult out;

@@ -1,0 +1,150 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace lexfor::obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.hits");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("test.hits"), &c);
+  EXPECT_NE(&reg.counter("test.other"), &c);
+}
+
+TEST(ObsMetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("test.depth");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(ObsMetricsTest, HistogramTracksCountSumMinMax) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.lat", {10, 100, 1000});
+  for (const std::int64_t v : {3, 42, 42, 950, 5000}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 3 + 42 + 42 + 950 + 5000);
+  EXPECT_EQ(h.min(), 3);
+  EXPECT_EQ(h.max(), 5000);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(h.sum()) / 5.0);
+  // Bucket layout: (-inf,10], (10,100], (100,1000], overflow.
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+TEST(ObsMetricsTest, EmptyHistogramReportsZeroes) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.empty", {1, 2});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+// Percentile estimates interpolate within a bucket, so the error is
+// bounded by the width of the bucket containing the percentile.  Check
+// p50/p95/p99 against an exact sorted-sample reference.
+TEST(ObsMetricsTest, PercentilesTrackSortedReferenceWithinBucketWidth) {
+  MetricsRegistry reg;
+  // 1-2-5 ladder over [1, 5e6]; samples drawn log-uniformly in [1, 1e6).
+  Histogram& h = reg.histogram("test.p");
+  Rng rng(1234);
+  std::vector<double> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    const double log_span = 6.0 * rng.uniform01();
+    const auto v = static_cast<std::int64_t>(std::pow(10.0, log_span));
+    samples.push_back(static_cast<double>(v));
+    h.record(v);
+  }
+  for (const double p : {50.0, 95.0, 99.0}) {
+    const double exact = percentile(samples, p);
+    const double estimate = h.percentile(p);
+    // Containing bucket in a 1-2-5 ladder is at most 2.5x wide; the
+    // estimate must land within that bucket's span of the exact value.
+    EXPECT_GE(estimate, exact / 2.5) << "p" << p;
+    EXPECT_LE(estimate, exact * 2.5) << "p" << p;
+  }
+  // Extremes clamp to observed samples.
+  EXPECT_DOUBLE_EQ(h.percentile(0), static_cast<double>(h.min()));
+  EXPECT_DOUBLE_EQ(h.percentile(100), static_cast<double>(h.max()));
+}
+
+TEST(ObsMetricsTest, PercentileExactForSingleValue) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.single", {10, 100});
+  for (int i = 0; i < 50; ++i) h.record(42);
+  // All mass in one bucket clamped by observed min=max=42.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 42.0);
+}
+
+TEST(ObsMetricsTest, TextRenderingListsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.counter("b.count").add(2);
+  reg.counter("a.count").add(1);
+  reg.gauge("depth").set(3);
+  reg.histogram("lat", {10}).record(5);
+  std::ostringstream os;
+  reg.to_text(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("counter   a.count = 1"), std::string::npos);
+  EXPECT_NE(text.find("counter   b.count = 2"), std::string::npos);
+  EXPECT_NE(text.find("gauge     depth = 3"), std::string::npos);
+  EXPECT_NE(text.find("histogram lat count=1"), std::string::npos);
+  // Sorted by name: a.count before b.count.
+  EXPECT_LT(text.find("a.count"), text.find("b.count"));
+}
+
+TEST(ObsMetricsTest, JsonRenderingIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("hits").add(7);
+  reg.gauge("depth").set(-2);
+  reg.histogram("lat", {10, 100}).record(42);
+  std::ostringstream os;
+  reg.to_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"counters\":{\"hits\":7}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"depth\":-2}"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\":{\"count\":1"), std::string::npos);
+  // Balanced braces (no nested strings contain braces here).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ObsMetricsTest, ResetZeroesValuesButKeepsInstruments) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  Gauge& g = reg.gauge("depth");
+  Histogram& h = reg.histogram("lat", {10});
+  c.add(5);
+  g.set(5);
+  h.record(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  // Cached references stay valid and usable after reset.
+  c.add(1);
+  EXPECT_EQ(reg.counter("hits").value(), 1u);
+}
+
+}  // namespace
+}  // namespace lexfor::obs

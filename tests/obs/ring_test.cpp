@@ -1,0 +1,69 @@
+#include "obs/ring.h"
+
+#include <gtest/gtest.h>
+
+namespace lexfor::obs {
+namespace {
+
+TraceEvent make_event(std::uint64_t n) {
+  TraceEvent ev;
+  ev.wall_ns = n;
+  ev.name = "e" + std::to_string(n);
+  ev.category = "test";
+  return ev;
+}
+
+TEST(ObsRingTest, StartsEmpty) {
+  EventRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.pushed(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(ObsRingTest, RetainsInsertionOrderBelowCapacity) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.push(make_event(i));
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].wall_ns, i);
+    EXPECT_EQ(events[i].name, "e" + std::to_string(i));
+  }
+}
+
+TEST(ObsRingTest, WraparoundKeepsNewestCapacityEvents) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 11; ++i) ring.push(make_event(i));
+  EXPECT_EQ(ring.pushed(), 11u);
+  EXPECT_EQ(ring.size(), 4u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-to-newest: 7, 8, 9, 10.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].wall_ns, 7u + i);
+  }
+}
+
+TEST(ObsRingTest, ClearResets) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 6; ++i) ring.push(make_event(i));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+  ring.push(make_event(42));
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.snapshot()[0].wall_ns, 42u);
+}
+
+TEST(ObsRingTest, ZeroCapacityIsClampedToOne) {
+  EventRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.push(make_event(1));
+  ring.push(make_event(2));
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.snapshot()[0].wall_ns, 2u);
+}
+
+}  // namespace
+}  // namespace lexfor::obs

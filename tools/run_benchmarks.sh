@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Benchmark harness for LexForensica.
+#
+# Builds the bench binaries, runs every executable under build/bench/,
+# and aggregates the results into one BENCH_<date>.json at the repo
+# root.  google-benchmark binaries are run with
+# --benchmark_format=json and their parsed output embedded verbatim;
+# the experiment benches (plain executables printing the paper's
+# tables/series) are captured as text.
+#
+# Usage: tools/run_benchmarks.sh [options]
+#   --build-dir DIR   build tree to use              (default: build)
+#   --out FILE        output path                    (default: BENCH_<date>.json)
+#   --min-time SEC    google-benchmark min time/case (default: 0.1)
+#   --skip-plain      run only the google-benchmark microbenches
+#   --jobs N          parallel build jobs            (default: nproc)
+#
+# Exits non-zero if any bench binary fails or the aggregate cannot be
+# written.
+
+set -u -o pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="build"
+OUT=""
+MIN_TIME="0.1"
+SKIP_PLAIN=0
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="${2:?--build-dir requires a value}"; shift ;;
+    --out) OUT="${2:?--out requires a value}"; shift ;;
+    --min-time) MIN_TIME="${2:?--min-time requires a value}"; shift ;;
+    --skip-plain) SKIP_PLAIN=1 ;;
+    --jobs) JOBS="${2:?--jobs requires a value}"; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+cd "${REPO_ROOT}"
+DATE="$(date +%Y-%m-%d)"
+[[ -n "${OUT}" ]] || OUT="BENCH_${DATE}.json"
+
+echo "==> building benches into ${BUILD_DIR}"
+cmake -B "${BUILD_DIR}" -S . >/dev/null || exit 1
+cmake --build "${BUILD_DIR}" -j "${JOBS}" >/dev/null || exit 1
+
+BENCH_DIR="${BUILD_DIR}/bench"
+if [[ ! -d "${BENCH_DIR}" ]]; then
+  echo "no bench directory at ${BENCH_DIR}" >&2
+  exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+FAILURES=0
+GBENCH_NAMES=()
+PLAIN_NAMES=()
+
+# A google-benchmark binary honours --benchmark_format=json and prints
+# a JSON document; the experiment benches ignore argv and print their
+# tables as text.  Run each binary once and classify by whether stdout
+# parses as JSON (flag-sniffing can't distinguish them: the experiment
+# benches accept and ignore any flag).
+for bin in "${BENCH_DIR}"/*; do
+  [[ -x "${bin}" && -f "${bin}" ]] || continue
+  name="$(basename "${bin}")"
+  if [[ "${SKIP_PLAIN}" -eq 1 ]] && \
+     ! timeout 5 "${bin}" --benchmark_list_tests=true 2>/dev/null \
+       | grep -q '^BM_'; then
+    echo "==> ${name} (experiment bench, skipped)"
+    continue
+  fi
+  echo "==> ${name}"
+  if ! "${bin}" --benchmark_format=json \
+                --benchmark_min_time="${MIN_TIME}" \
+                >"${TMP}/${name}.out" 2>"${TMP}/${name}.err"; then
+    echo "FAIL ${name}" >&2
+    cat "${TMP}/${name}.err" >&2
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  if python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+       "${TMP}/${name}.out" 2>/dev/null; then
+    mv "${TMP}/${name}.out" "${TMP}/${name}.json"
+    GBENCH_NAMES+=("${name}")
+  else
+    mv "${TMP}/${name}.out" "${TMP}/${name}.txt"
+    PLAIN_NAMES+=("${name}")
+  fi
+done
+
+echo "==> aggregating into ${OUT}"
+python3 - "${TMP}" "${OUT}" "${DATE}" \
+    "${GBENCH_NAMES[@]+"${GBENCH_NAMES[@]}"}" <<'PY' || exit 1
+import json, pathlib, sys
+
+tmp, out, date, *gbench = sys.argv[1:]
+tmp = pathlib.Path(tmp)
+doc = {"date": date, "microbenchmarks": {}, "experiments": {}}
+for name in gbench:
+    with open(tmp / f"{name}.json") as f:
+        doc["microbenchmarks"][name] = json.load(f)
+for path in sorted(tmp.glob("*.txt")):
+    doc["experiments"][path.stem] = path.read_text()
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+micro = sum(len(v.get("benchmarks", [])) for v in doc["microbenchmarks"].values())
+print(f"    {len(doc['microbenchmarks'])} microbench binaries "
+      f"({micro} cases), {len(doc['experiments'])} experiment benches")
+PY
+
+if [[ "${FAILURES}" -gt 0 ]]; then
+  echo "benchmark harness FAILED (${FAILURES} binary(ies))" >&2
+  exit 1
+fi
+echo "benchmark results written to ${OUT}"

@@ -4,9 +4,12 @@
 # Stages (each gates the exit code):
 #   1. warnings-as-errors build        (-DLEXFOR_WERROR=ON)
 #   2. ASan+UBSan build + full ctest   (-DLEXFOR_SANITIZE=address;undefined)
-#   3. lint regression                 (the lint_examples suite: the shipped
+#   3. TSan obs stress                 (-DLEXFOR_SANITIZE=thread; the obs
+#                                       layer's multi-threaded counter and
+#                                       histogram stress tests)
+#   4. lint regression                 (the lint_examples suite: the shipped
 #                                       example plans must lint as documented)
-#   4. clang-tidy over src/            (skipped with a notice when clang-tidy
+#   5. clang-tidy over src/            (skipped with a notice when clang-tidy
 #                                       is not installed; everything else
 #                                       still gates)
 #
@@ -68,13 +71,31 @@ sanitizer_ctest() {
 stage "ASan+UBSan build" sanitizer_build
 stage "full ctest under ASan+UBSan" sanitizer_ctest
 
-# ------------------------------------------------------ 3. lint regression
+# ------------------------------------------------------- 3. TSan obs stress
+# The obs metrics registry promises wait-free, exact concurrent updates
+# (src/obs/metrics.h); ThreadSanitizer checks that promise against the
+# multi-threaded stress tests.  Only obs_test is built in this tree —
+# the rest of the code is single-threaded DES and already covered above.
+tsan_build() {
+  cmake -B build-tsan -S . "-DLEXFOR_SANITIZE=thread" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
+  cmake --build build-tsan -j "${JOBS}" --target obs_test
+}
+tsan_stress() {
+  TSAN_OPTIONS=halt_on_error=1 \
+  ./build-tsan/tests/obs_test \
+      --gtest_filter='ObsMetricsThreadTest.*:ObsTracerTest.*:ObsRingTest.*'
+}
+stage "TSan build (obs_test)" tsan_build
+stage "obs thread-stress under TSan" tsan_stress
+
+# ------------------------------------------------------ 4. lint regression
 lint_regression() {
   ctest --test-dir build-asan --output-on-failure -R '^LintExamplesTest'
 }
 stage "lint regression (lint_examples over shipped plans)" lint_regression
 
-# ----------------------------------------------------------- 4. clang-tidy
+# ----------------------------------------------------------- 5. clang-tidy
 if [[ "${SKIP_TIDY}" -eq 1 ]]; then
   SUMMARY+=("SKIP  clang-tidy (--skip-tidy)")
 elif ! command -v clang-tidy >/dev/null 2>&1; then
