@@ -1,0 +1,149 @@
+// A-BATCH: batch compliance evaluation — serial engine vs. the
+// cached/parallel BatchEvaluator.
+//
+// Replays the full Table-1 scene library as a 100k-query workload (the
+// shape of a plan-lint or bulk-audit run: a small set of distinct legal
+// scenarios queried over and over), then checks:
+//
+//   1. the parallel batch result is bit-identical to the serial loop,
+//   2. the verdict cache absorbs >= 90% of the queries (obs counters),
+//   3. throughput vs. the uncached serial engine (>= 4x expected on an
+//      8-core host; on few-core hosts the pool cannot scale and the
+//      cached hit path roughly matches the raw engine, which is already
+//      a sub-microsecond rule-table walk).
+//
+// Exit status is 0 only when (1) and (2) hold; (3) is printed but not
+// gated, since absolute speedup depends on the host's core count.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "legal/batch.h"
+#include "legal/engine.h"
+#include "legal/table1.h"
+#include "obs/obs.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace lexfor;
+using namespace lexfor::legal;
+
+bool identical(const Determination& a, const Determination& b) {
+  return a.scenario_name == b.scenario_name &&
+         a.needs_process == b.needs_process &&
+         a.required_process == b.required_process &&
+         a.required_proof == b.required_proof &&
+         a.governing_statutes == b.governing_statutes &&
+         a.exceptions_applied == b.exceptions_applied &&
+         a.rationale == b.rationale && a.citations == b.citations &&
+         a.report() == b.report();
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// One cold-cache batch run with the given worker count.
+struct BatchRun {
+  std::vector<Determination> results;
+  double seconds = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+BatchRun run_batch(const std::vector<Scenario>& workload, unsigned threads) {
+  auto& hits = obs::metrics().counter("legal.batch.cache_hits");
+  auto& misses = obs::metrics().counter("legal.batch.cache_misses");
+  const std::uint64_t hits_before = hits.value();
+  const std::uint64_t misses_before = misses.value();
+
+  const BatchEvaluator evaluator{
+      BatchOptions{.threads = threads, .use_shared_cache = false}};
+  BatchRun run;
+  const auto start = std::chrono::steady_clock::now();
+  run.results = evaluator.evaluate_batch(workload);
+  run.seconds = seconds_since(start);
+  run.hits = hits.value() - hits_before;
+  run.misses = misses.value() - misses_before;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional argv[1]: query count.  Non-numeric flags (the benchmark
+  // harness passes --benchmark_* to every binary) are ignored.
+  std::size_t queries = 100'000;
+  if (argc > 1 && std::atoll(argv[1]) > 0) {
+    queries = static_cast<std::size_t>(std::atoll(argv[1]));
+  }
+
+  // Table-1 replay, shuffled under a fixed seed so every run sees the
+  // identical query stream.
+  std::vector<Scenario> workload;
+  workload.reserve(queries);
+  const auto& scenes = table1::all_scenes();
+  for (std::size_t i = 0; i < queries; ++i) {
+    workload.push_back(scenes[i % scenes.size()].scenario);
+  }
+  Rng rng{2012};
+  rng.shuffle(workload);
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("A-BATCH: batch compliance evaluation, %zu queries over %zu "
+              "distinct Table-1 scenes, %u core(s)\n\n",
+              workload.size(), scenes.size(), cores);
+
+  // Serial baseline: the raw engine, no cache, one thread — what every
+  // evaluation path paid per query before the batch layer existed.
+  const ComplianceEngine engine;
+  std::vector<Determination> serial;
+  serial.reserve(workload.size());
+  const auto serial_start = std::chrono::steady_clock::now();
+  for (const auto& s : workload) serial.push_back(engine.evaluate(s));
+  const double serial_s = seconds_since(serial_start);
+
+  const BatchRun one = run_batch(workload, 1);
+  const BatchRun wide = run_batch(workload, cores);
+
+  const double hit_rate =
+      static_cast<double>(wide.hits) / static_cast<double>(workload.size());
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    mismatches += !identical(serial[i], one.results[i]);
+    mismatches += !identical(serial[i], wide.results[i]);
+  }
+
+  const auto qps = [&](double s) {
+    return static_cast<double>(workload.size()) / s;
+  };
+  std::printf("serial engine       : %8.3f s  (%12.0f eval/s)\n", serial_s,
+              qps(serial_s));
+  std::printf("batch, 1 thread     : %8.3f s  (%12.0f eval/s)  speedup %.1fx\n",
+              one.seconds, qps(one.seconds), serial_s / one.seconds);
+  std::printf("batch, %2u thread(s) : %8.3f s  (%12.0f eval/s)  speedup %.1fx\n",
+              cores, wide.seconds, qps(wide.seconds), serial_s / wide.seconds);
+  std::printf("pool scaling        : %.1fx over 1-thread batch\n",
+              one.seconds / wide.seconds);
+  std::printf("cache               : %llu hits / %llu misses  "
+              "(hit rate %.2f%%)\n",
+              static_cast<unsigned long long>(wide.hits),
+              static_cast<unsigned long long>(wide.misses), 100.0 * hit_rate);
+  std::printf("bit-identical       : %s (%zu mismatches)\n",
+              mismatches == 0 ? "yes" : "NO", mismatches);
+  std::printf("speedup >= 4x       : %s (informational; expected on >= 8 "
+              "cores)\n",
+              serial_s / wide.seconds >= 4.0 ? "yes" : "no");
+
+  const bool ok = mismatches == 0 && hit_rate >= 0.90;
+  std::printf("\nA-BATCH %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

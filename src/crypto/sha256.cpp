@@ -106,18 +106,19 @@ void Sha256::update(const std::uint8_t* data, std::size_t len) noexcept {
 
 Sha256::Digest Sha256::finish() noexcept {
   const std::uint64_t bit_len = total_len_ * 8;
-  // Padding: 0x80 then zeros then 64-bit big-endian length.
-  const std::uint8_t pad = 0x80;
-  update(&pad, 1);
-  const std::uint8_t zero = 0x00;
-  while (buffered_ != 56) update(&zero, 1);
-  std::uint8_t len_be[8];
+  // Padding: 0x80, zeros to 56 mod 64, then the 64-bit big-endian bit
+  // length.  Assembled in one stack buffer and absorbed with a single
+  // update() call; padding byte-by-byte costs more than the final
+  // compression for short messages.
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t pad_len =
+      (buffered_ < 56 ? 56 - buffered_ : 120 - buffered_) + 8;
   for (int i = 0; i < 8; ++i) {
-    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    pad[pad_len - 8 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
   }
-  // Bypass total_len_ bookkeeping irrelevance: update() is fine since we
-  // already captured bit_len.
-  update(len_be, 8);
+  // total_len_ bookkeeping past this point is irrelevant: bit_len is
+  // already captured.
+  update(pad, pad_len);
 
   Digest out;
   for (int i = 0; i < 8; ++i) {

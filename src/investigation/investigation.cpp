@@ -73,7 +73,7 @@ AcquisitionOutcome Investigation::acquire(
                       ",scenario=" + scenario.name,
                   obs::no_sim_time());
   AcquisitionOutcome outcome;
-  outcome.determination = engine_.evaluate(scenario);
+  outcome.determination = evaluator_.evaluate(scenario);
   outcome.evidence = evidence_ids_.next();
   outcome.lawful =
       legal::satisfies(held.kind(), outcome.determination.required_process);

@@ -16,6 +16,7 @@
 
 #include "investigation/court.h"
 #include "legal/authority.h"
+#include "legal/batch.h"
 #include "legal/engine.h"
 #include "legal/suppression.h"
 #include "lint/diagnostic.h"
@@ -106,7 +107,10 @@ class Investigation {
   std::vector<Ruling> rulings_;  // every application, granted or not
   std::unordered_map<ProcessId, legal::LegalProcess> held_;
   legal::ProvenanceGraph provenance_;
-  legal::ComplianceEngine engine_;
+  // Determinations route through the process-wide verdict cache:
+  // re-acquiring a previously linted (or previously acquired) scenario
+  // costs a cache hit, not a fresh derivation.
+  legal::BatchEvaluator evaluator_;
   IdGenerator<EvidenceId> evidence_ids_{1};
 };
 

@@ -1,0 +1,189 @@
+#include "legal/batch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <initializer_list>
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/bytes.h"
+
+namespace lexfor::legal {
+namespace {
+
+// Fixed-width append primitives so the serialization is identical
+// across platforms and runs (no struct padding, no endianness
+// surprises, no unordered iteration).  The fixed-size portion of a
+// scenario is assembled on the stack and streamed straight into the
+// hasher: fingerprinting runs on every engine query once the verdict
+// cache is in front, so it must not allocate.
+class CanonicalHasher {
+ public:
+  void put_u8(std::uint8_t v) { buf_[len_++] = v; }
+
+  void put_u32(std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      buf_[len_++] = static_cast<std::uint8_t>((v >> shift) & 0xff);
+    }
+  }
+
+  // u32 length prefix, then the bytes: "ab"+"c" and "a"+"bc" must not
+  // concatenate to the same stream.
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    flush();
+    hasher_.update(s);
+  }
+
+  crypto::Sha256::Digest finish() {
+    flush();
+    return hasher_.finish();
+  }
+
+ private:
+  void flush() {
+    hasher_.update(buf_, len_);
+    len_ = 0;
+  }
+
+  crypto::Sha256 hasher_;
+  // Large enough for the magic plus every fixed-width field between
+  // two string flushes.
+  std::uint8_t buf_[64];
+  std::size_t len_ = 0;
+};
+
+// One field per line, in Scenario declaration order; the booleans are
+// packed into one little-endian u32 bitmask, one fixed bit each.
+// Every field of the struct MUST appear here: a missed field makes two
+// legally distinct scenarios collide in the verdict cache.  Covered by
+// the FingerprintDistinguishesEveryField test, which flips each field
+// and asserts the digest moves.
+ScenarioFingerprint hash_canonical(const Scenario& s) {
+  CanonicalHasher out;
+  for (const char c : {'l', 'e', 'x', 'f', 'o', 'r', '.', 's', 'c', 'e', 'n',
+                       'a', 'r', 'i', 'o', '.', 'v'}) {
+    out.put_u8(static_cast<std::uint8_t>(c));
+  }
+  out.put_u8(kFingerprintVersion);
+  out.put_string(s.name);
+  out.put_u8(static_cast<std::uint8_t>(s.actor));
+  out.put_u8(static_cast<std::uint8_t>(s.data));
+  out.put_u8(static_cast<std::uint8_t>(s.state));
+  out.put_u8(static_cast<std::uint8_t>(s.timing));
+  out.put_u8(static_cast<std::uint8_t>(s.provider));
+  out.put_u8(static_cast<std::uint8_t>(s.consent));
+  std::uint32_t bits = 0;
+  int bit = 0;
+  const auto pack = [&bits, &bit](bool v) {
+    bits |= (v ? 1u : 0u) << bit++;
+  };
+  pack(s.acting_under_color_of_law);
+  pack(s.knowingly_exposed_to_public);
+  pack(s.shared_with_third_party);
+  pack(s.delivered_to_recipient);
+  pack(s.inside_home);
+  pack(s.via_sense_enhancing_tech);
+  pack(s.tech_in_general_public_use);
+  pack(s.readily_accessible_to_public);
+  pack(s.encrypted);
+  pack(s.message_opened_by_recipient);
+  pack(s.consent_revoked);
+  pack(s.target_area_password_protected);
+  pack(s.is_victim_system);
+  pack(s.targets_attacker_system);
+  pack(s.exigent_circumstances);
+  pack(s.in_plain_view);
+  pack(s.target_on_probation);
+  pack(s.emergency_pen_trap);
+  pack(s.provider_self_protection);
+  pack(s.device_lawfully_in_custody);
+  pack(s.contents_previously_lawfully_acquired);
+  pack(s.credentials_lawfully_obtained);
+  pack(s.target_arrested);
+  out.put_u32(bits);
+  out.put_string(s.jurisdiction);
+  return out.finish();
+}
+
+}  // namespace
+
+ScenarioFingerprint fingerprint(const Scenario& s) {
+  return hash_canonical(s);
+}
+
+std::string fingerprint_hex(const Scenario& s) {
+  const ScenarioFingerprint digest = hash_canonical(s);
+  return to_hex(digest.data(), digest.size());
+}
+
+VerdictCache& shared_verdict_cache() {
+  // Leaked on purpose; see obs::metrics().
+  static VerdictCache* const instance =
+      new VerdictCache(BatchOptions{}.cache_capacity,
+                       BatchOptions{}.cache_shards);
+  return *instance;
+}
+
+BatchEvaluator::BatchEvaluator(BatchOptions options)
+    : options_(options) {
+  if (options_.use_shared_cache) {
+    cache_ = &shared_verdict_cache();
+  } else {
+    owned_cache_ = std::make_unique<VerdictCache>(options_.cache_capacity,
+                                                  options_.cache_shards);
+    cache_ = owned_cache_.get();
+  }
+}
+
+util::ThreadPool& BatchEvaluator::pool() const {
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    pool_->set_queue_observer([](std::size_t depth) {
+      LEXFOR_OBS_GAUGE_SET("legal.batch.pool_queue_depth",
+                           static_cast<std::int64_t>(depth));
+    });
+  });
+  return *pool_;
+}
+
+Determination BatchEvaluator::evaluate(const Scenario& s) const {
+  const ScenarioFingerprint fp = fingerprint(s);
+  if (auto hit = cache_->get(fp)) {
+    LEXFOR_OBS_COUNTER_ADD("legal.batch.cache_hits", 1);
+    return std::move(*hit);
+  }
+  LEXFOR_OBS_COUNTER_ADD("legal.batch.cache_misses", 1);
+  const auto start = std::chrono::steady_clock::now();
+  Determination d = engine_.evaluate(s);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  LEXFOR_OBS_HISTOGRAM_RECORD("legal.batch.eval_latency_us", elapsed.count());
+  cache_->put(fp, d);
+  return d;
+}
+
+std::vector<Determination> BatchEvaluator::evaluate_batch(
+    const std::vector<Scenario>& batch) const {
+  LEXFOR_OBS_COUNTER_ADD("legal.batch.batches", 1);
+  LEXFOR_OBS_SPAN(obs::Level::kInfo, "legal", "evaluate_batch",
+                  "queries=" + std::to_string(batch.size()),
+                  obs::no_sim_time());
+  std::vector<Determination> out(batch.size());
+  if (batch.empty()) return out;
+
+  util::ThreadPool& workers = pool();
+  // Aim for a few chunks per worker so stragglers rebalance, without
+  // paying queue overhead per element.
+  const std::size_t grain = std::max<std::size_t>(
+      1, batch.size() / (static_cast<std::size_t>(workers.size()) * 8));
+  workers.parallel_for(batch.size(), grain,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           out[i] = evaluate(batch[i]);
+                         }
+                       });
+  return out;
+}
+
+}  // namespace lexfor::legal

@@ -1,0 +1,119 @@
+// BatchEvaluator: cached, parallel compliance evaluation at scale.
+//
+// ComplianceEngine::evaluate is a pure, deterministic function of the
+// Scenario, which makes verdicts ideal cache and fan-out material: a
+// service answering Table-1-style questions for millions of users keeps
+// re-deriving the same few thousand distinct determinations.  This
+// module adds the three pieces the serial engine lacks:
+//
+//   1. fingerprint(): a canonical, versioned serialization of every
+//      Scenario fact hashed with crypto::Sha256 — two scenarios share a
+//      fingerprint iff the engine is guaranteed to produce the same
+//      Determination for both.
+//   2. VerdictCache: a sharded, mutex-striped LRU keyed on the
+//      fingerprint (util::ShardedLruCache).  A process-wide instance
+//      (shared_verdict_cache()) is reused by Investigation and the plan
+//      linter so repeated lint/eval cycles stop re-deriving verdicts.
+//   3. BatchEvaluator: fans a batch of scenario queries across a
+//      util::ThreadPool and merges Determinations in input order,
+//      bit-identical to evaluating serially.
+//
+// Obs wiring: legal.batch.cache_hits / legal.batch.cache_misses
+// counters, legal.batch.eval_latency_us histogram (miss path), and the
+// legal.batch.pool_queue_depth gauge.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "legal/engine.h"
+#include "legal/scenario.h"
+#include "util/lru_cache.h"
+#include "util/thread_pool.h"
+
+namespace lexfor::legal {
+
+// A scenario's identity under the doctrine: SHA-256 over the canonical
+// field serialization (see canonical_serialization in batch.cpp; bump
+// kFingerprintVersion whenever a field is added or re-encoded).
+using ScenarioFingerprint = crypto::Sha256::Digest;
+
+inline constexpr std::uint8_t kFingerprintVersion = 1;
+
+[[nodiscard]] ScenarioFingerprint fingerprint(const Scenario& s);
+[[nodiscard]] std::string fingerprint_hex(const Scenario& s);
+
+struct FingerprintHash {
+  [[nodiscard]] std::size_t operator()(
+      const ScenarioFingerprint& fp) const noexcept {
+    // The digest is already uniform; its first 8 bytes are the hash.
+    std::size_t h = 0;
+    for (std::size_t i = 0; i < sizeof(h); ++i) {
+      h |= static_cast<std::size_t>(fp[i]) << (8 * i);
+    }
+    return h;
+  }
+};
+
+using VerdictCache =
+    util::ShardedLruCache<ScenarioFingerprint, Determination, FingerprintHash>;
+
+// The process-wide verdict cache (leaked on purpose, like
+// obs::metrics()): every BatchEvaluator constructed with
+// BatchOptions::use_shared_cache sees the same entries, so a verdict
+// derived during plan linting is a hit when the runtime acquires.
+[[nodiscard]] VerdictCache& shared_verdict_cache();
+
+struct BatchOptions {
+  // 0 = std::thread::hardware_concurrency().  The pool is created
+  // lazily on the first evaluate_batch call, so single-query users
+  // never pay for worker threads.
+  unsigned threads = 0;
+  // Entry budget / stripe count for a private cache (ignored when
+  // use_shared_cache is set).
+  std::size_t cache_capacity = 1 << 16;
+  std::size_t cache_shards = 16;
+  // Use the process-wide cache instead of a private one.
+  bool use_shared_cache = true;
+};
+
+class BatchEvaluator {
+ public:
+  BatchEvaluator() : BatchEvaluator(BatchOptions{}) {}
+  explicit BatchEvaluator(BatchOptions options);
+
+  // Single evaluation through the verdict cache.  Thread-safe.
+  [[nodiscard]] Determination evaluate(const Scenario& s) const;
+
+  // Evaluates the whole batch, fanning chunks across the pool.
+  // Results are returned in input order and are bit-identical to
+  // calling ComplianceEngine::evaluate on each element serially (the
+  // engine is pure, so per-element results are order- and
+  // thread-independent; the cache stores and returns full value
+  // copies).
+  [[nodiscard]] std::vector<Determination> evaluate_batch(
+      const std::vector<Scenario>& batch) const;
+
+  [[nodiscard]] const ComplianceEngine& engine() const noexcept {
+    return engine_;
+  }
+  [[nodiscard]] VerdictCache& cache() const noexcept { return *cache_; }
+
+ private:
+  [[nodiscard]] util::ThreadPool& pool() const;
+
+  ComplianceEngine engine_;
+  BatchOptions options_;
+  std::unique_ptr<VerdictCache> owned_cache_;  // null when shared
+  VerdictCache* cache_ = nullptr;
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace lexfor::legal

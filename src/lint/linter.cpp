@@ -8,7 +8,7 @@
 namespace lexfor::lint {
 
 PlanContext::PlanContext(const InvestigationPlan& plan,
-                         const legal::ComplianceEngine& engine)
+                         const legal::BatchEvaluator& engine)
     : plan_(plan) {
   // Visit steps in the order execution would: by scheduled time, ties
   // broken by insertion order.

@@ -1,7 +1,8 @@
 // PlanLinter: static analysis over an InvestigationPlan.
 //
 // The linter evaluates every planned acquisition through the
-// ComplianceEngine (the oracle the runtime uses), resolves intended
+// ComplianceEngine (the oracle the runtime uses, reached via the
+// shared verdict cache of legal::BatchEvaluator), resolves intended
 // authorities, computes reachability and a static fruit-of-the-
 // poisonous-tree taint closure, and then runs an extensible registry of
 // diagnostic passes over the precomputed context.  Nothing executes: no
@@ -13,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "legal/batch.h"
 #include "legal/engine.h"
 #include "lint/diagnostic.h"
 #include "lint/plan.h"
@@ -48,7 +50,7 @@ struct StepAnalysis {
 class PlanContext {
  public:
   PlanContext(const InvestigationPlan& plan,
-              const legal::ComplianceEngine& engine);
+              const legal::BatchEvaluator& engine);
 
   [[nodiscard]] const InvestigationPlan& plan() const noexcept {
     return plan_;
@@ -96,7 +98,11 @@ class PlanLinter {
   [[nodiscard]] LintReport lint(const InvestigationPlan& plan) const;
 
  private:
-  legal::ComplianceEngine engine_;
+  // Evaluations go through the process-wide verdict cache, so linting
+  // the same plan (or re-linting after an edit that leaves most steps
+  // untouched) stops re-deriving identical determinations — and the
+  // runtime's later Investigation::acquire calls hit the same entries.
+  legal::BatchEvaluator engine_;
   std::vector<std::unique_ptr<LintPass>> passes_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 #include <sstream>
 
 #include "obs/obs.h"
@@ -32,6 +33,30 @@ Result<LinkId> Network::connect(NodeId a, NodeId b, LinkConfig config) {
   adjacency_[a.value()].push_back({b, links_.size() - 1});
   adjacency_[b.value()].push_back({a, links_.size() - 1});
   return id;
+}
+
+Status Network::disconnect(LinkId link) {
+  if (!link.valid() || link.value() >= links_.size()) {
+    return NotFound("disconnect: unknown link");
+  }
+  const LinkInfo& info = links_[link.value()];
+  bool removed = false;
+  for (const NodeId end : {info.a, info.b}) {
+    auto& adj = adjacency_[end.value()];
+    for (auto it = adj.begin(); it != adj.end(); ++it) {
+      if (it->link_index == link.value()) {
+        adj.erase(it);
+        removed = true;
+        break;
+      }
+    }
+  }
+  if (!removed) {
+    return FailedPrecondition("disconnect: link already removed");
+  }
+  LEXFOR_OBS_EVENT(obs::Level::kInfo, "netsim", "link_removed",
+                   "link=" + std::to_string(link.value()), events_.now());
+  return Status::Ok();
 }
 
 std::optional<std::string> Network::node_name(NodeId id) const {
@@ -82,6 +107,13 @@ Result<PacketId> Network::send(FlowId flow, PacketHeader header, Bytes payload) 
     return NotFound(os.str());
   }
 
+  if (payload.size() >
+      static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+    return InvalidArgument(
+        "send: payload exceeds the 32-bit framing limit of "
+        "PacketHeader::payload_size");
+  }
+
   Packet packet;
   packet.id = packet_ids_.next();
   packet.flow = flow;
@@ -130,7 +162,17 @@ void Network::deliver_hop(Packet packet, std::size_t path_pos,
       break;
     }
   }
-  if (link == nullptr) return;  // topology changed mid-flight; drop
+  if (link == nullptr) {
+    // The link vanished mid-flight (disconnect() raced the packet).
+    // Count the loss like any other drop so the accounting invariant
+    // sent == delivered + dropped survives topology changes.
+    ++dropped_;
+    LEXFOR_OBS_COUNTER_ADD("netsim.packets_dropped", 1);
+    LEXFOR_OBS_EVENT(obs::Level::kDebug, "netsim", "dropped_link_vanished",
+                     "packet=" + std::to_string(packet.id.value()),
+                     events_.now());
+    return;
+  }
 
   // Loss.
   if (link->config.drop_probability > 0.0 &&

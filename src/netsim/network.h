@@ -60,6 +60,10 @@ class Network {
   // --- topology -----------------------------------------------------
   NodeId add_node(std::string name);
   Result<LinkId> connect(NodeId a, NodeId b, LinkConfig config = {});
+  // Removes a link from the topology (link failure / tap teardown).
+  // Packets already in flight that reach the vanished link are dropped
+  // and counted, preserving sent == delivered + dropped.
+  Status disconnect(LinkId link);
 
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
   [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }

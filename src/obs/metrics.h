@@ -78,11 +78,14 @@ class Histogram {
   [[nodiscard]] std::int64_t sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
   }
+  // min()/max() report 0 for an empty histogram: the INT64_MAX /
+  // INT64_MIN seed sentinels are an implementation detail and must
+  // never surface in reports or JSON.
   [[nodiscard]] std::int64_t min() const noexcept {
-    return min_.load(std::memory_order_relaxed);
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::int64_t max() const noexcept {
-    return max_.load(std::memory_order_relaxed);
+    return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] double mean() const noexcept;
   [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {

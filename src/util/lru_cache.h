@@ -1,0 +1,116 @@
+// ShardedLruCache: a mutex-striped LRU map for hot read-mostly caches.
+//
+// The cache is split into independent shards, each guarded by its own
+// mutex, so concurrent lookups from a thread pool contend only when
+// they hash to the same stripe.  Each shard keeps its entries in an
+// intrusive recency list (std::list spliced to the front on every hit)
+// and evicts from the tail once the shard's capacity is exceeded.
+// Values are returned by copy: the caller gets a stable snapshot and
+// the shard lock is never held across user code.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lexfor::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  // `capacity` is the total entry budget across all shards (each shard
+  // receives an equal slice, at least one entry).  `shards` is rounded
+  // up to at least 1.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 16) {
+    shards = std::max<std::size_t>(shards, 1);
+    const std::size_t per_shard =
+        std::max<std::size_t>((capacity + shards - 1) / shards, 1);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  // Returns a copy of the cached value and promotes the entry to
+  // most-recently-used, or nullopt on a miss.
+  [[nodiscard]] std::optional<Value> get(const Key& key) {
+    Shard& shard = shard_for(key);
+    const std::scoped_lock lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) return std::nullopt;
+    shard.recency.splice(shard.recency.begin(), shard.recency, it->second);
+    return it->second->second;
+  }
+
+  // Inserts or refreshes an entry, evicting the shard's least-recently-
+  // used entry when the shard is full.
+  void put(const Key& key, Value value) {
+    Shard& shard = shard_for(key);
+    const std::scoped_lock lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.recency.splice(shard.recency.begin(), shard.recency, it->second);
+      return;
+    }
+    shard.recency.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.recency.begin());
+    if (shard.index.size() > shard.capacity) {
+      shard.index.erase(shard.recency.back().first);
+      shard.recency.pop_back();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      const std::scoped_lock lock(shard->mu);
+      total += shard->index.size();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  void clear() {
+    for (auto& shard : shards_) {
+      const std::scoped_lock lock(shard->mu);
+      shard->index.clear();
+      shard->recency.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t cap) : capacity(cap) {}
+    const std::size_t capacity;
+    mutable std::mutex mu;
+    std::list<std::pair<Key, Value>> recency;  // front = most recent
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        index;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Key& key) {
+    // Fibonacci-mix the hash so shard choice uses different bits than
+    // the unordered_map's bucket choice inside the shard.
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(Hash{}(key)) * 0x9e3779b97f4a7c15ULL;
+    return *shards_[(h >> 32) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace lexfor::util

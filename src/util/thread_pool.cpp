@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace lexfor::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mu_);
+    queue_.push_back(std::move(task));
+    if (observer_) observer_(queue_.size());
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  const std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::set_queue_observer(QueueObserver observer) {
+  const std::scoped_lock lock(mu_);
+  observer_ = std::move(observer);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain remaining work even when stopping so ~ThreadPool never
+      // abandons a submitted task.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      if (observer_) observer_(queue_.size());
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks <= 1 || workers_.empty()) {
+    body(0, n);
+    return;
+  }
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = chunks;
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(begin + grain, n);
+    submit([&, begin, end] {
+      body(begin, end);
+      // Notify under the lock: the waiter owns done_cv/done_mu on its
+      // stack, and this ordering guarantees it cannot return (and
+      // destroy them) until notify_one has completed.
+      const std::scoped_lock lock(done_mu);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace lexfor::util

@@ -1,0 +1,69 @@
+// ThreadPool: a small fixed-size worker pool for fan-out workloads.
+//
+// LexForensica's hot paths (batch compliance evaluation, future capture
+// pipelines) fan independent work items across cores.  This pool keeps
+// the primitive deliberately simple: N workers, one FIFO queue, blocking
+// submit, and a parallel_for helper that partitions an index range into
+// chunks and waits for all of them.  util sits below obs in the
+// dependency order, so instead of emitting metrics itself the pool
+// exposes queue_depth() and an optional observer callback that higher
+// layers (legal::BatchEvaluator) wire to an obs gauge.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lexfor::util {
+
+class ThreadPool {
+ public:
+  // Called with the queue depth after every enqueue/dequeue.  Must be
+  // cheap and must not call back into the pool (invoked under the queue
+  // lock).
+  using QueueObserver = std::function<void(std::size_t)>;
+
+  // threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  // Drains the queue: already-submitted tasks run to completion before
+  // the workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  // Splits [0, n) into chunks of at most `grain` indices, runs
+  // body(begin, end) for each chunk on the pool, and blocks until every
+  // chunk has finished.  Runs inline when the range fits one chunk.
+  // Must not be called from inside a pool task (the caller blocks, and
+  // a blocked worker could deadlock the pool).
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  void set_queue_observer(QueueObserver observer);
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  QueueObserver observer_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;  // last: joins before members die
+};
+
+}  // namespace lexfor::util

@@ -291,5 +291,67 @@ TEST(QueueingTest, UnlimitedLinksDoNotQueue) {
   for (const double ms : arrivals) EXPECT_NEAR(ms, 10.0, 1e-6);
 }
 
+TEST(NetworkTest, DisconnectRejectsUnknownAndDoubleRemoval) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const LinkId link = net.connect(a, b).value();
+  EXPECT_EQ(net.disconnect(LinkId{99}).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(net.disconnect(link).ok());
+  EXPECT_EQ(net.disconnect(link).code(), StatusCode::kFailedPrecondition);
+  // Routing no longer sees the removed link.
+  EXPECT_TRUE(net.shortest_path(a, b).empty());
+}
+
+TEST(NetworkTest, MidFlightLinkRemovalCountsAsDrop) {
+  LineFixture f;  // client -- isp -- server, 10ms per hop
+  const LinkId last_hop = LinkId{1};  // isp--server, second link created
+  PacketHeader h;
+  h.src = f.client;
+  h.dst = f.server;
+  ASSERT_TRUE(f.net.send(FlowId{1}, h, to_bytes("doomed")).ok());
+  // Sever the second link while the packet is still crossing the first
+  // hop: the relay's next-hop lookup at t=10ms must find it gone.
+  f.net.run_until(SimTime::from_ms(5));
+  ASSERT_TRUE(f.net.disconnect(last_hop).ok());
+  f.net.run();
+  EXPECT_EQ(f.net.packets_sent(), 1u);
+  EXPECT_EQ(f.net.packets_delivered(), 0u);
+  EXPECT_EQ(f.net.packets_dropped(), 1u);
+}
+
+TEST(NetworkTest, AccountingInvariantHoldsOnLossyTopologyWithLinkRemoval) {
+  // sent == delivered + dropped must survive the combination of random
+  // loss and a link removed while traffic is in flight.
+  Network net{11};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId c = net.add_node("c");
+  LinkConfig lossy;
+  lossy.latency = SimDuration::from_ms(10);
+  lossy.drop_probability = 0.3;
+  (void)net.connect(a, b, lossy).value();
+  const LinkId bc = net.connect(b, c, lossy).value();
+  PacketHeader h;
+  h.src = a;
+  h.dst = c;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(net.send(FlowId{1}, h, to_bytes("x")).ok());
+  }
+  // Remove the b--c link while the burst is still on the first hop:
+  // every survivor of a--b then reaches a vanished link at t=10ms and
+  // must be counted.
+  net.run_until(SimTime::from_ms(5));
+  ASSERT_TRUE(net.disconnect(bc).ok());
+  net.run();
+  EXPECT_EQ(net.packets_sent(), 200u);
+  EXPECT_GT(net.packets_dropped(), 0u);
+  EXPECT_EQ(net.packets_delivered() + net.packets_dropped(),
+            net.packets_sent());
+  // Nothing can have been delivered: the only path to c was severed
+  // before any packet could complete the second 10ms hop.
+  EXPECT_EQ(net.packets_delivered(), 0u);
+}
+
 }  // namespace
 }  // namespace lexfor::netsim

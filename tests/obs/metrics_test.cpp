@@ -59,6 +59,37 @@ TEST(ObsMetricsTest, EmptyHistogramReportsZeroes) {
   EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
 }
 
+// Regression: an unrecorded histogram used to surface its INT64_MAX /
+// INT64_MIN seed sentinels through min()/max().  While empty the
+// accessors must report 0 and the renderers must omit the stats.
+TEST(ObsMetricsTest, EmptyHistogramDoesNotLeakSentinels) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.empty", {10, 100});
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+
+  std::ostringstream text;
+  reg.to_text(text);
+  // 9223372036854775807 == INT64_MAX, the old leaked sentinel.
+  EXPECT_EQ(text.str().find("9223372036854775807"), std::string::npos);
+  EXPECT_NE(text.str().find("histogram test.empty count=0"),
+            std::string::npos);
+
+  std::ostringstream json;
+  reg.to_json(json);
+  EXPECT_NE(json.str().find("\"test.empty\":{\"count\":0}"),
+            std::string::npos);
+
+  // reset() re-seeds the sentinels; the empty-state reporting must
+  // survive a record/reset cycle.
+  h.record(42);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  h.reset();
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
 // Percentile estimates interpolate within a bucket, so the error is
 // bounded by the width of the bucket containing the percentile.  Check
 // p50/p95/p99 against an exact sorted-sample reference.

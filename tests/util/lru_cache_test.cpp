@@ -1,0 +1,88 @@
+#include "util/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lexfor::util {
+namespace {
+
+TEST(LruCacheTest, GetReturnsPutValue) {
+  ShardedLruCache<int, std::string> cache{8, 2};
+  EXPECT_FALSE(cache.get(1).has_value());
+  cache.put(1, "one");
+  const auto hit = cache.get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "one");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  ShardedLruCache<int, std::string> cache{8, 1};
+  cache.put(1, "one");
+  cache.put(1, "uno");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get(1), "uno");
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard so eviction order is fully deterministic.
+  ShardedLruCache<int, int> cache{3, 1};
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(3, 30);
+  // Touch 1 so 2 becomes the LRU entry.
+  EXPECT_TRUE(cache.get(1).has_value());
+  cache.put(4, 40);
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_TRUE(cache.get(4).has_value());
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LruCacheTest, CapacitySplitsAcrossShards) {
+  ShardedLruCache<int, int> cache{64, 16};
+  EXPECT_EQ(cache.shard_count(), 16u);
+  for (int i = 0; i < 1000; ++i) cache.put(i, i);
+  // Each of the 16 shards holds at most 4 entries.
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ClearEmptiesEveryShard) {
+  ShardedLruCache<int, int> cache{32, 4};
+  for (int i = 0; i < 20; ++i) cache.put(i, i);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(3).has_value());
+}
+
+TEST(LruCacheTest, ConcurrentMixedAccessIsSafe) {
+  ShardedLruCache<int, int> cache{256, 8};
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const int key = (t * 37 + i) % 128;
+        cache.put(key, key * 2);
+        const auto hit = cache.get(key);
+        if (hit.has_value()) {
+          // Values are a pure function of the key, so any hit must be
+          // coherent even under concurrent eviction.
+          EXPECT_EQ(*hit, key * 2);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.size(), 256u);
+}
+
+}  // namespace
+}  // namespace lexfor::util

@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+namespace lexfor::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool{2};
+  EXPECT_EQ(pool.size(), 2u);
+  // Counter and notify both under the lock: the waiter can only see
+  // ran == 32 after the final worker is done touching cv, so returning
+  // (and destroying cv) is safe.
+  int ran = 0;
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&] {
+      const std::scoped_lock lock(mu);
+      if (++ran == 32) cv.notify_one();
+    });
+  }
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return ran == 32; });
+  EXPECT_EQ(ran, 32);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool{1};
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { ran.fetch_add(1); });
+    }
+  }  // join: every submitted task must have run
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> touched(1000);
+  pool.parallel_for(touched.size(), 7, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSingleChunk) {
+  ThreadPool pool{2};
+  int calls = 0;
+  pool.parallel_for(0, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n <= grain runs inline as one chunk.
+  std::vector<int> hit(5, 0);
+  pool.parallel_for(hit.size(), 100, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hit[i] = 1;
+  });
+  EXPECT_EQ(std::accumulate(hit.begin(), hit.end(), 0), 5);
+}
+
+TEST(ThreadPoolTest, QueueObserverSeesDepthChanges) {
+  ThreadPool pool{1};
+  std::atomic<std::size_t> max_depth{0};
+  std::atomic<bool> saw_zero{false};
+  pool.set_queue_observer([&](std::size_t depth) {
+    std::size_t cur = max_depth.load();
+    while (depth > cur && !max_depth.compare_exchange_weak(cur, depth)) {
+    }
+    if (depth == 0) saw_zero.store(true);
+  });
+  std::vector<std::atomic<int>> touched(64);
+  pool.parallel_for(touched.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  EXPECT_GT(max_depth.load(), 0u);
+  EXPECT_TRUE(saw_zero.load());
+}
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool{0};
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lexfor::util

@@ -8,6 +8,11 @@
 # the experiment benches (plain executables printing the paper's
 # tables/series) are captured as text.
 #
+# Experiment benches that self-verify gate the harness through their
+# exit status: bench_table1 (all 20 rows must reproduce) and
+# bench_batch_engine (A-BATCH: parallel batch evaluation must be
+# bit-identical to serial with a >= 90% verdict-cache hit rate).
+#
 # Usage: tools/run_benchmarks.sh [options]
 #   --build-dir DIR   build tree to use              (default: build)
 #   --out FILE        output path                    (default: BENCH_<date>.json)

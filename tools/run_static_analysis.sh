@@ -4,9 +4,11 @@
 # Stages (each gates the exit code):
 #   1. warnings-as-errors build        (-DLEXFOR_WERROR=ON)
 #   2. ASan+UBSan build + full ctest   (-DLEXFOR_SANITIZE=address;undefined)
-#   3. TSan obs stress                 (-DLEXFOR_SANITIZE=thread; the obs
+#   3. TSan concurrency stress         (-DLEXFOR_SANITIZE=thread; the obs
 #                                       layer's multi-threaded counter and
-#                                       histogram stress tests)
+#                                       histogram stress tests, the util
+#                                       thread pool and sharded LRU cache,
+#                                       and the legal batch evaluator)
 #   4. lint regression                 (the lint_examples suite: the shipped
 #                                       example plans must lint as documented)
 #   5. clang-tidy over src/            (skipped with a notice when clang-tidy
@@ -71,23 +73,36 @@ sanitizer_ctest() {
 stage "ASan+UBSan build" sanitizer_build
 stage "full ctest under ASan+UBSan" sanitizer_ctest
 
-# ------------------------------------------------------- 3. TSan obs stress
-# The obs metrics registry promises wait-free, exact concurrent updates
-# (src/obs/metrics.h); ThreadSanitizer checks that promise against the
-# multi-threaded stress tests.  Only obs_test is built in this tree —
-# the rest of the code is single-threaded DES and already covered above.
+# ----------------------------------------------- 3. TSan concurrency stress
+# ThreadSanitizer checks the concurrent parts of the tree: the obs
+# metrics registry's wait-free update promise (src/obs/metrics.h), the
+# util thread pool and sharded LRU verdict cache, and the legal batch
+# evaluator that fans compliance queries across workers.  The rest of
+# the code is single-threaded DES and already covered above.
 tsan_build() {
   cmake -B build-tsan -S . "-DLEXFOR_SANITIZE=thread" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
-  cmake --build build-tsan -j "${JOBS}" --target obs_test
+  cmake --build build-tsan -j "${JOBS}" --target obs_test util_test legal_test
 }
 tsan_stress() {
   TSAN_OPTIONS=halt_on_error=1 \
   ./build-tsan/tests/obs_test \
       --gtest_filter='ObsMetricsThreadTest.*:ObsTracerTest.*:ObsRingTest.*'
 }
-stage "TSan build (obs_test)" tsan_build
+tsan_pool_cache() {
+  TSAN_OPTIONS=halt_on_error=1 \
+  ./build-tsan/tests/util_test \
+      --gtest_filter='ThreadPoolTest.*:LruCacheTest.*'
+}
+tsan_batch() {
+  TSAN_OPTIONS=halt_on_error=1 \
+  ./build-tsan/tests/legal_test \
+      --gtest_filter='BatchEvaluatorTest.*'
+}
+stage "TSan build (obs_test util_test legal_test)" tsan_build
 stage "obs thread-stress under TSan" tsan_stress
+stage "thread pool + sharded LRU cache under TSan" tsan_pool_cache
+stage "batch evaluator under TSan" tsan_batch
 
 # ------------------------------------------------------ 4. lint regression
 lint_regression() {
