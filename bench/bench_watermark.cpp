@@ -11,7 +11,11 @@
 // gracefully with jitter, and decoy flows stay below threshold; the
 // legal cost stays at a court order, below a Title III wiretap.
 
+#include <bit>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 
 #include "tornet/traceback.h"
 #include "util/rng.h"
@@ -140,6 +144,88 @@ int main() {
                   static_cast<double>(aligned_ok) / kTrials,
                   static_cast<double>(scan_ok) / kTrials);
     }
+  }
+
+  // Series 5 / experiment A-SCAN: correlation-kernel scan vs the
+  // retained naive reference.  Self-verifying: the two scans must agree
+  // bit for bit on every trial AND the kernel must beat the reference's
+  // per-offset cost, or the bench exits non-zero and fails the harness.
+  std::printf("\nSeries 5 (A-SCAN): kernel vs naive reference offset scan "
+              "(single core)\n");
+  std::printf("%8s %8s %12s %14s %14s %10s\n", "degree", "offsets", "reps",
+              "ref ns/off", "kernel ns/off", "speedup");
+  {
+    using clock = std::chrono::steady_clock;
+    bool all_identical = true;
+    bool all_faster = true;
+    lexfor::Rng rng{4242};
+    for (const int degree : {8, 10, 12}) {
+      const auto code = lexfor::watermark::PnCode::m_sequence(degree).value();
+      const lexfor::watermark::Detector det(code, 5.0);
+      const std::size_t max_offset = 256;
+      std::vector<double> rates;
+      for (std::size_t i = 0; i < max_offset / 2; ++i) {
+        rates.push_back(100.0 + rng.normal(0.0, 10.0));
+      }
+      for (const auto c : code.chips()) {
+        rates.push_back(100.0 * (1.0 + 0.3 * c) + rng.normal(0.0, 10.0));
+      }
+      for (std::size_t i = 0; i < max_offset; ++i) {
+        rates.push_back(100.0 + rng.normal(0.0, 10.0));
+      }
+      const std::size_t offsets =
+          std::min(max_offset, rates.size() - code.length()) + 1;
+      const int reps = degree >= 12 ? 20 : 60;
+
+      // Correctness gate first: bit-identical ScanResult.
+      const auto ref = det.detect_with_scan_reference(rates, max_offset)
+                           .value();
+      const auto ker = det.detect_with_scan(rates, max_offset).value();
+      const bool identical =
+          ref.offset == ker.offset &&
+          ref.best.detected == ker.best.detected &&
+          std::bit_cast<std::uint64_t>(ref.best.correlation) ==
+              std::bit_cast<std::uint64_t>(ker.best.correlation) &&
+          std::bit_cast<std::uint64_t>(ref.best.threshold) ==
+              std::bit_cast<std::uint64_t>(ker.best.threshold);
+      all_identical = all_identical && identical;
+
+      double sink = 0.0;  // defeat dead-code elimination
+      const auto t0 = clock::now();
+      for (int r = 0; r < reps; ++r) {
+        sink += det.detect_with_scan_reference(rates, max_offset)
+                    .value()
+                    .best.correlation;
+      }
+      const auto t1 = clock::now();
+      for (int r = 0; r < reps; ++r) {
+        sink += det.detect_with_scan(rates, max_offset).value()
+                    .best.correlation;
+      }
+      const auto t2 = clock::now();
+      const double ref_ns =
+          std::chrono::duration<double, std::nano>(t1 - t0).count() /
+          (static_cast<double>(reps) * static_cast<double>(offsets));
+      const double ker_ns =
+          std::chrono::duration<double, std::nano>(t2 - t1).count() /
+          (static_cast<double>(reps) * static_cast<double>(offsets));
+      all_faster = all_faster && ker_ns < ref_ns;
+      std::printf("%8d %8zu %12d %14.1f %14.1f %9.2fx%s\n", degree, offsets,
+                  reps, ref_ns, ker_ns, ref_ns / ker_ns,
+                  identical ? "" : "  MISMATCH");
+      if (sink == -1.0) std::printf("%f\n", sink);
+    }
+    if (!all_identical) {
+      std::printf("A-SCAN FAILED: kernel and reference scans disagree\n");
+      return 1;
+    }
+    if (!all_faster) {
+      std::printf("A-SCAN FAILED: kernel not faster than the naive "
+                  "reference\n");
+      return 1;
+    }
+    std::printf("A-SCAN OK: bit-identical scores, kernel faster at every "
+                "degree\n");
   }
   return 0;
 }

@@ -1,8 +1,11 @@
 #include "tornet/traceback.h"
 
 #include <algorithm>
+#include <functional>
 
+#include "watermark/correlate.h"
 #include "watermark/gold_code.h"
+#include "watermark/scan_batch.h"
 
 namespace lexfor::tornet {
 
@@ -42,9 +45,25 @@ Result<TracebackResult> run_traceback(const TracebackConfig& config) {
   result.collection_legality =
       legal::ComplianceEngine{}.evaluate(collection_scenario());
 
-  const watermark::Detector detector(code, config.threshold_sigmas);
+  // Phase 1 — simulation, serial by design: every flow draws from one
+  // Rng stream, so circuits/packets are generated in a fixed order.
+  // The ISP's observations land in one flat rate buffer, one n_chips
+  // slice per flow (suspect first, then decoys) — no per-flow
+  // allocation in the detection phase.
+  const std::size_t num_flows = 1 + config.num_decoys;
+  std::vector<double> rates(num_flows * n_chips);
+  const double hops = static_cast<double>(config.network.circuit_length);
+  // The mean circuit delay shifts every packet; align the observation
+  // window at the expected shift (the investigator calibrates this by
+  // measuring circuit RTT, which is observable without content).
+  const double expected_shift_sec =
+      hops *
+      (config.network.hop_latency_ms + config.network.relay_jitter_ms +
+       config.network.relay_batch_ms / 2.0) *
+      1e-3;
 
-  const auto run_flow = [&](bool marked) -> Result<FlowVerdict> {
+  for (std::size_t flow = 0; flow < num_flows; ++flow) {
+    const bool marked = flow == 0;  // the suspect's flow carries the mark
     auto circuit_r = net.build_circuit(rng);
     if (!circuit_r.ok()) return circuit_r.status();
 
@@ -57,42 +76,44 @@ Result<TracebackResult> run_traceback(const TracebackConfig& config) {
     const auto sends = generate_modulated_poisson(
         config.base_rate_pps, t_end, 1.0 + config.depth, mult, rng);
     const auto arrivals = net.transit(circuit_r.value(), sends, rng);
-    // The mean circuit delay shifts every packet; align the observation
-    // window at the expected shift (the investigator calibrates this by
-    // measuring circuit RTT, which is observable without content).
-    const double hops = static_cast<double>(config.network.circuit_length);
-    const double expected_shift_sec =
-        hops *
-        (config.network.hop_latency_ms + config.network.relay_jitter_ms +
-         config.network.relay_batch_ms / 2.0) *
-        1e-3;
     const auto bins =
         bin_arrivals(arrivals, expected_shift_sec, chip_sec, n_chips);
+    double* out = rates.data() + flow * n_chips;
+    for (std::size_t i = 0; i < n_chips; ++i) {
+      out[i] = static_cast<double>(bins[i]);
+    }
+  }
 
-    auto det_r = detector.detect_counts(bins);
+  // Phase 2 — detection, fanned out: one kernel (one code), one scan
+  // job per flow, merged back in input order.  max_offset 0 keeps the
+  // aligned-detection semantics (the investigator controls the embed
+  // start) and a Bonferroni factor of k=1, i.e. the plain threshold.
+  const watermark::CorrelationKernel kernel(code, config.threshold_sigmas);
+  std::vector<watermark::ScanJob> jobs(num_flows);
+  for (std::size_t flow = 0; flow < num_flows; ++flow) {
+    jobs[flow].kernel = &kernel;
+    jobs[flow].rates =
+        std::span<const double>(rates.data() + flow * n_chips, n_chips);
+  }
+  const watermark::ScanBatch batch(
+      watermark::ScanBatchOptions{config.detect_threads});
+  const auto detections = batch.run(jobs);
+
+  for (std::size_t flow = 0; flow < num_flows; ++flow) {
+    const auto& det_r = detections[flow];
     if (!det_r.ok()) return det_r.status();
-
     FlowVerdict v;
-    v.is_suspect = marked;
-    v.detection = det_r.value();
-    return v;
-  };
-
-  // The suspect's (marked) flow.
-  auto suspect_r = run_flow(true);
-  if (!suspect_r.ok()) return suspect_r.status();
-  result.flows.push_back(suspect_r.value());
-  result.suspect_detected = suspect_r.value().detection.detected;
-  result.suspect_correlation = suspect_r.value().detection.correlation;
-
-  // Decoy flows.
-  for (std::size_t i = 0; i < config.num_decoys; ++i) {
-    auto decoy_r = run_flow(false);
-    if (!decoy_r.ok()) return decoy_r.status();
-    result.flows.push_back(decoy_r.value());
-    if (decoy_r.value().detection.detected) ++result.decoys_flagged;
-    result.max_decoy_correlation = std::max(
-        result.max_decoy_correlation, decoy_r.value().detection.correlation);
+    v.is_suspect = flow == 0;
+    v.detection = det_r.value().best;
+    result.flows.push_back(v);
+    if (v.is_suspect) {
+      result.suspect_detected = v.detection.detected;
+      result.suspect_correlation = v.detection.correlation;
+    } else {
+      if (v.detection.detected) ++result.decoys_flagged;
+      result.max_decoy_correlation =
+          std::max(result.max_decoy_correlation, v.detection.correlation);
+    }
   }
   return result;
 }
@@ -152,23 +173,39 @@ Result<MultiflowResult> run_multiflow_traceback(const MultiflowConfig& config) {
       1e-3;
   const auto bins =
       bin_arrivals(arrivals, expected_shift_sec, chip_sec, n_chips);
+  std::vector<double> rates(bins.begin(), bins.end());
+
+  // One tap, every account's code: a kernel per Gold code, all scanning
+  // the SAME rate series in one batch.  Account order is preserved by
+  // the batch's in-order merge, so the argmax below is deterministic.
+  std::vector<watermark::CorrelationKernel> kernels;
+  kernels.reserve(config.num_accounts);
+  for (std::size_t a = 0; a < config.num_accounts; ++a) {
+    kernels.emplace_back(family.code(a), config.threshold_sigmas);
+  }
+  std::vector<watermark::ScanJob> jobs(config.num_accounts);
+  for (std::size_t a = 0; a < config.num_accounts; ++a) {
+    jobs[a].kernel = &kernels[a];
+    jobs[a].rates = std::span<const double>(rates);
+  }
+  const watermark::ScanBatch batch(
+      watermark::ScanBatchOptions{config.detect_threads});
+  const auto detections = batch.run(jobs);
 
   MultiflowResult result;
   result.correlations.reserve(config.num_accounts);
   double best = -2.0, runner_up = -2.0;
   bool winner_fired = false;
   for (std::size_t a = 0; a < config.num_accounts; ++a) {
-    const watermark::Detector detector(family.code(a),
-                                       config.threshold_sigmas);
-    auto det_r = detector.detect_counts(bins);
+    const auto& det_r = detections[a];
     if (!det_r.ok()) return det_r.status();
-    const double corr = det_r.value().correlation;
+    const double corr = det_r.value().best.correlation;
     result.correlations.push_back(corr);
     if (corr > best) {
       runner_up = best;
       best = corr;
       result.identified_account = a;
-      winner_fired = det_r.value().detected;
+      winner_fired = det_r.value().best.detected;
     } else if (corr > runner_up) {
       runner_up = corr;
     }

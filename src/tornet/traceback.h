@@ -28,6 +28,11 @@ struct TracebackConfig {
   std::size_t num_decoys = 8;      // concurrent unmarked client flows
   double threshold_sigmas = 5.0;
   std::uint64_t seed = 7;
+  // Worker threads for the despread fan-out (suspect + decoys go
+  // through one watermark::ScanBatch); 0 = hardware concurrency.  The
+  // result is bit-identical for every thread count — only the
+  // simulation phase is inherently serial (one Rng stream).
+  unsigned detect_threads = 0;
 };
 
 struct FlowVerdict {
@@ -72,6 +77,10 @@ struct MultiflowConfig {
   double base_rate_pps = 120.0;
   double threshold_sigmas = 5.0;
   std::uint64_t seed = 7;
+  // Worker threads for the per-account despread fan-out (the whole
+  // CodeFamily scans in one watermark::ScanBatch); 0 = hardware
+  // concurrency.  Bit-identical for every thread count.
+  unsigned detect_threads = 0;
 };
 
 struct MultiflowResult {

@@ -1,0 +1,131 @@
+#include "watermark/correlate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lexfor::watermark {
+namespace {
+
+// Sequential sum, unrolled 4-wide over a SINGLE accumulator chain: the
+// adds happen in exactly the order `for (i) s += x[i]` performs them,
+// so the result is bit-identical to the naive loop (the compiler may
+// not reassociate FP additions without -ffast-math).  The unrolling
+// buys address-computation and loop-control savings, not reordering.
+inline double seq_sum(const double* x, std::size_t n) noexcept {
+  double s = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s += x[i];
+    s += x[i + 1];
+    s += x[i + 2];
+    s += x[i + 3];
+  }
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+// Fused mean-removed correlate pass: num and denom are independent
+// accumulator chains, each in naive sequential order.
+inline void seq_correlate(const double* x, const double* c, std::size_t n,
+                          double mean, double& num_out,
+                          double& denom_out) noexcept {
+  double num = 0.0, denom = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = x[i] - mean;
+    num += d0 * c[i];
+    denom += d0 * d0;
+    const double d1 = x[i + 1] - mean;
+    num += d1 * c[i + 1];
+    denom += d1 * d1;
+    const double d2 = x[i + 2] - mean;
+    num += d2 * c[i + 2];
+    denom += d2 * d2;
+    const double d3 = x[i + 3] - mean;
+    num += d3 * c[i + 3];
+    denom += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    const double d = x[i] - mean;
+    num += d * c[i];
+    denom += d * d;
+  }
+  num_out = num;
+  denom_out = denom;
+}
+
+}  // namespace
+
+CorrelationKernel::CorrelationKernel(PnCode code, double threshold_sigmas)
+    : code_(std::move(code)), threshold_sigmas_(threshold_sigmas) {
+  chips_f64_.reserve(code_.length());
+  for (const auto chip : code_.chips()) {
+    chips_f64_.push_back(static_cast<double>(chip));
+  }
+}
+
+double CorrelationKernel::despread(const double* x, std::size_t code_begin,
+                                   std::size_t len) const noexcept {
+  const double mean = seq_sum(x, len) / static_cast<double>(len);
+  double num = 0.0, denom = 0.0;
+  seq_correlate(x, chips_f64_.data() + code_begin, len, mean, num, denom);
+  if (denom <= 0.0) return 0.0;  // a flat window carries no mark
+  return num / std::sqrt(denom * static_cast<double>(len));
+}
+
+Result<DetectionResult> CorrelationKernel::detect(
+    std::span<const double> rates) const {
+  const std::size_t n = chips_f64_.size();
+  if (rates.size() < n) {
+    return InvalidArgument(
+        "detect: observed series shorter than the PN code (" +
+        std::to_string(rates.size()) + " < " + std::to_string(n) + ")");
+  }
+  DetectionResult r;
+  r.threshold = threshold_sigmas_ / std::sqrt(static_cast<double>(n));
+  r.correlation = despread(rates.data(), 0, n);
+  r.detected = r.correlation > r.threshold;
+  return r;
+}
+
+Result<ScanResult> CorrelationKernel::scan(std::span<const double> rates,
+                                           std::size_t max_offset,
+                                           std::size_t code_begin,
+                                           std::size_t code_length) const {
+  const std::size_t n = code_length == 0 ? chips_f64_.size() : code_length;
+  if (code_begin + n > chips_f64_.size()) {
+    return InvalidArgument("scan: code segment [" +
+                           std::to_string(code_begin) + ", " +
+                           std::to_string(code_begin + n) +
+                           ") exceeds the code length " +
+                           std::to_string(chips_f64_.size()));
+  }
+  if (rates.size() < n) {
+    return InvalidArgument("detect_with_scan: series shorter than the code");
+  }
+  const std::size_t last_offset = std::min(max_offset, rates.size() - n);
+
+  // Bonferroni correction, identical to the naive reference: scanning k
+  // offsets multiplies the null false-positive probability by ~k, so
+  // inflate the threshold by sqrt(2 ln k) sigma.
+  const double k = static_cast<double>(last_offset + 1);
+  const double sigma_inflation = std::sqrt(2.0 * std::log(std::max(k, 1.0)));
+  const double threshold = (threshold_sigmas_ + sigma_inflation) /
+                           std::sqrt(static_cast<double>(n));
+
+  ScanResult best;
+  best.best.correlation = -2.0;  // below any achievable value
+  best.best.threshold = threshold;
+  const double* x = rates.data();
+  for (std::size_t off = 0; off <= last_offset; ++off) {
+    const double corr = despread(x + off, code_begin, n);
+    if (corr > best.best.correlation) {
+      best.best.correlation = corr;
+      best.offset = off;
+    }
+  }
+  best.best.detected = best.best.correlation > threshold;
+  return best;
+}
+
+}  // namespace lexfor::watermark

@@ -1,0 +1,102 @@
+// Sliding-window correlation kernel for DSSS watermark detection.
+//
+// The §IV.B traceback runs the matched filter against EVERY candidate
+// flow an ISP vantage point observes, and alignment-free detection runs
+// it at every candidate offset of every flow.  The original scan path
+// copied the tail of the rate series into a fresh vector per offset and
+// recomputed the statistics from scratch through the allocating
+// Detector::detect — O(k·n) flops buried under O(k·tail) copies and k
+// heap allocations.  CorrelationKernel is the allocation-free core both
+// Detector and the batch fan-out (scan_batch.h) sit on:
+//
+//   * the PN code is pre-converted once into a contiguous ±1.0 double
+//     buffer, so the despread loop is a straight-line dot product with
+//     no int8→double conversion per element;
+//   * the per-offset mean/correlate passes are manually unrolled 4-wide
+//     over that buffer, read the observed series in place through
+//     std::span, and never allocate;
+//   * per-offset work is exactly the two passes the aligned detector
+//     does — nothing else.  No window copy, no obs emission, no
+//     detector re-construction inside the loop.
+//
+// Bit-identity contract: score(), scan() and despread() perform the
+// SAME floating-point operations in the SAME order as the naive
+// per-offset reference (Detector::detect_with_scan_reference) and the
+// historic multibit decoder loop.  The unrolling below keeps a single
+// accumulator chain per statistic, so it reorders nothing.  We
+// deliberately rejected a prefix-sum O(1)-per-offset formulation for
+// the mean/denominator: differencing running sums reassociates the
+// additions and breaks the bit-for-bit oracle test (and loses digits to
+// cancellation on long series).  The measured win is in killing the
+// per-offset copy/allocation, not the flops — see A-SCAN in
+// EXPERIMENTS.md.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+#include "watermark/pn_code.h"
+
+namespace lexfor::watermark {
+
+struct DetectionResult {
+  double correlation = 0.0;  // normalized despread score in [-1, 1]
+  double threshold = 0.0;    // decision threshold actually used
+  bool detected = false;
+};
+
+struct ScanResult {
+  DetectionResult best;
+  std::size_t offset = 0;  // bin offset where the best despread occurred
+};
+
+class CorrelationKernel {
+ public:
+  // `threshold_sigmas`: decision threshold in units of the null-model
+  // standard deviation 1/sqrt(N); see Detector.
+  explicit CorrelationKernel(PnCode code, double threshold_sigmas = 5.0);
+
+  // Aligned detection over the full code: mean-removed matched filter
+  // on rates[0..length).  Short series are an error; extra bins are
+  // ignored.  Allocation-free.
+  [[nodiscard]] Result<DetectionResult> detect(
+      std::span<const double> rates) const;
+
+  // Alignment-free detection: slides the code over offsets
+  // [0, min(max_offset, rates.size() - n)] and returns the best
+  // despread under a Bonferroni-inflated threshold (+sqrt(2 ln k)
+  // sigma for k offsets).  Ties keep the earliest offset.
+  //
+  // `code_begin`/`code_length` select a sub-range of the code to
+  // despread against (the multibit decoder scores chips
+  // [i·L, (i+1)·L) per bit); code_length 0 means the full code.
+  [[nodiscard]] Result<ScanResult> scan(std::span<const double> rates,
+                                        std::size_t max_offset,
+                                        std::size_t code_begin = 0,
+                                        std::size_t code_length = 0) const;
+
+  // Segment despread primitive: the normalized, segment-mean-removed
+  // correlation of x[0..len) against code chips
+  // [code_begin, code_begin + len).  Returns 0.0 for a flat segment.
+  // The caller guarantees code_begin + len <= length().
+  [[nodiscard]] double despread(const double* x, std::size_t code_begin,
+                                std::size_t len) const noexcept;
+
+  [[nodiscard]] const PnCode& code() const noexcept { return code_; }
+  [[nodiscard]] std::size_t length() const noexcept {
+    return chips_f64_.size();
+  }
+  [[nodiscard]] double threshold_sigmas() const noexcept {
+    return threshold_sigmas_;
+  }
+
+ private:
+  PnCode code_;
+  std::vector<double> chips_f64_;  // code chips pre-converted to ±1.0
+  double threshold_sigmas_;
+};
+
+}  // namespace lexfor::watermark

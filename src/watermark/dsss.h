@@ -10,13 +10,18 @@
 // during a +1 chip, 1 - d during a -1 chip).  The detector bins the far
 // side's packet arrivals into chip-width windows, removes the mean, and
 // correlates against the code; the normalized score is compared against
-// a threshold calibrated to the code length.
+// a threshold calibrated to the code length.  The correlation math
+// itself lives in CorrelationKernel (correlate.h); Detector is the
+// instrumented, Result-returning front end.
 
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/sim_time.h"
+#include "watermark/correlate.h"
 #include "watermark/pn_code.h"
 
 namespace lexfor::watermark {
@@ -55,12 +60,6 @@ class Embedder {
   EmbedParams params_;
 };
 
-struct DetectionResult {
-  double correlation = 0.0;  // normalized despread score in [-1, 1]
-  double threshold = 0.0;    // decision threshold actually used
-  bool detected = false;
-};
-
 // Matched-filter detector.
 class Detector {
  public:
@@ -68,35 +67,51 @@ class Detector {
   // standard deviation 1/sqrt(N) (N = code length).  5 sigma keeps the
   // false-positive rate negligible for the code lengths used here.
   explicit Detector(PnCode code, double threshold_sigmas = 5.0)
-      : code_(std::move(code)), threshold_sigmas_(threshold_sigmas) {}
+      : kernel_(std::move(code), threshold_sigmas) {}
 
   // `chip_rates` holds the observed traffic rate per chip window, aligned
   // with chip 0 (the investigator controls the embed start, §IV.B).
-  // Extra trailing bins are ignored; short series are an error.
+  // Extra trailing bins are ignored; short series are an error.  The
+  // series is read in place — no copy, no allocation.
   [[nodiscard]] Result<DetectionResult> detect(
-      const std::vector<double>& chip_rates) const;
+      std::span<const double> chip_rates) const;
 
   // Convenience: converts binned packet counts to rates and detects.
+  // The first form allocates a fresh conversion buffer per call; the
+  // second reuses `scratch` (cleared and refilled), which is what hot
+  // per-flow loops (tornet::Traceback) use.
   [[nodiscard]] Result<DetectionResult> detect_counts(
       const std::vector<std::uint32_t>& chip_counts) const;
+  [[nodiscard]] Result<DetectionResult> detect_counts(
+      const std::vector<std::uint32_t>& chip_counts,
+      std::vector<double>& scratch) const;
 
   // Alignment-free detection: when the observer does not know the embed
   // start (no cooperation from the marking side), slide the code over
   // offsets [0, max_offset] and return the best despread.  The threshold
   // is Bonferroni-adjusted for the number of offsets tried so scanning
-  // does not inflate the false-positive rate.
-  struct ScanResult {
-    DetectionResult best;
-    std::size_t offset = 0;  // bin offset where the best despread occurred
-  };
+  // does not inflate the false-positive rate.  Thin wrapper over
+  // CorrelationKernel::scan — bit-identical scores to the naive
+  // reference below, without its per-offset copies.
+  using ScanResult = watermark::ScanResult;
   [[nodiscard]] Result<ScanResult> detect_with_scan(
-      const std::vector<double>& rates, std::size_t max_offset) const;
+      std::span<const double> rates, std::size_t max_offset) const;
 
-  [[nodiscard]] const PnCode& code() const noexcept { return code_; }
+  // The retained naive per-offset scan: copies each window and
+  // recomputes every statistic from scratch through independent plain
+  // loops.  Test-only oracle for the kernel's bit-identity contract
+  // (and the baseline the A-SCAN bench measures against) — new callers
+  // want detect_with_scan.
+  [[nodiscard]] Result<ScanResult> detect_with_scan_reference(
+      std::span<const double> rates, std::size_t max_offset) const;
+
+  [[nodiscard]] const PnCode& code() const noexcept { return kernel_.code(); }
+  [[nodiscard]] const CorrelationKernel& kernel() const noexcept {
+    return kernel_;
+  }
 
  private:
-  PnCode code_;
-  double threshold_sigmas_;
+  CorrelationKernel kernel_;
 };
 
 }  // namespace lexfor::watermark

@@ -1,8 +1,10 @@
 #include "watermark/multibit.h"
 
 #include <cmath>
+#include <string>
 
 #include "obs/obs.h"
+#include "watermark/scan_batch.h"
 
 namespace lexfor::watermark {
 
@@ -44,48 +46,69 @@ SimTime MultiBitEmbedder::end() const noexcept {
              static_cast<std::int64_t>(bits_.size() * params_.chips_per_bit);
 }
 
-Result<MultiBitDecodeResult> MultiBitDecoder::decode(
-    const std::vector<double>& chip_rates, std::size_t num_bits) const {
+Status MultiBitDecoder::validate(std::size_t series_len,
+                                 std::size_t num_bits) const {
   if (chips_per_bit_ == 0) {
     return InvalidArgument("multibit decode: chips_per_bit is zero");
   }
   const std::size_t need = num_bits * chips_per_bit_;
-  if (need > code_.length()) {
+  if (need > kernel_.length()) {
     return InvalidArgument("multibit decode: payload exceeds code length");
   }
-  if (chip_rates.size() < need) {
+  if (series_len < need) {
     return InvalidArgument("multibit decode: series shorter than payload (" +
-                           std::to_string(chip_rates.size()) + " < " +
+                           std::to_string(series_len) + " < " +
                            std::to_string(need) + " chips)");
   }
+  return Status::Ok();
+}
+
+Result<MultiBitDecodeResult> MultiBitDecoder::decode(
+    std::span<const double> chip_rates, std::size_t num_bits) const {
+  if (auto s = validate(chip_rates.size(), num_bits); !s.ok()) return s;
 
   LEXFOR_OBS_SPAN(obs::Level::kInfo, "watermark", "multibit_decode",
                   "bits=" + std::to_string(num_bits) +
                       ",chips_per_bit=" + std::to_string(chips_per_bit_),
                   obs::no_sim_time());
   // Segment-local mean removal: the traffic baseline may drift across a
-  // long mark, so each bit despreads against its own segment mean.
+  // long mark, so each bit despreads against its own segment mean — the
+  // kernel's despread primitive does exactly that.
   MultiBitDecodeResult out;
   out.bits.reserve(num_bits);
   out.correlations.reserve(num_bits);
   for (std::size_t b = 0; b < num_bits; ++b) {
     const std::size_t begin = b * chips_per_bit_;
-    double mean = 0.0;
-    for (std::size_t j = 0; j < chips_per_bit_; ++j) {
-      mean += chip_rates[begin + j];
-    }
-    mean /= static_cast<double>(chips_per_bit_);
-
-    double num = 0.0, denom = 0.0;
-    for (std::size_t j = 0; j < chips_per_bit_; ++j) {
-      const double x = chip_rates[begin + j] - mean;
-      num += x * static_cast<double>(code_.chips()[begin + j]);
-      denom += x * x;
-    }
     const double corr =
-        denom > 0.0
-            ? num / std::sqrt(denom * static_cast<double>(chips_per_bit_))
-            : 0.0;
+        kernel_.despread(chip_rates.data() + begin, begin, chips_per_bit_);
+    out.correlations.push_back(corr);
+    out.bits.push_back(corr >= 0.0 ? std::int8_t{1} : std::int8_t{-1});
+  }
+  return out;
+}
+
+Result<MultiBitDecodeResult> MultiBitDecoder::decode_with(
+    const ScanBatch& batch, std::span<const double> chip_rates,
+    std::size_t num_bits) const {
+  if (auto s = validate(chip_rates.size(), num_bits); !s.ok()) return s;
+
+  std::vector<ScanJob> jobs(num_bits);
+  for (std::size_t b = 0; b < num_bits; ++b) {
+    const std::size_t begin = b * chips_per_bit_;
+    jobs[b].kernel = &kernel_;
+    jobs[b].rates = chip_rates.subspan(begin, chips_per_bit_);
+    jobs[b].max_offset = 0;  // segments are aligned by construction
+    jobs[b].code_begin = begin;
+    jobs[b].code_length = chips_per_bit_;
+  }
+  const auto results = batch.run(jobs);
+
+  MultiBitDecodeResult out;
+  out.bits.reserve(num_bits);
+  out.correlations.reserve(num_bits);
+  for (const auto& r : results) {
+    if (!r.ok()) return r.status();
+    const double corr = r.value().best.correlation;
     out.correlations.push_back(corr);
     out.bits.push_back(corr >= 0.0 ? std::int8_t{1} : std::int8_t{-1});
   }
@@ -93,7 +116,7 @@ Result<MultiBitDecodeResult> MultiBitDecoder::decode(
 }
 
 Result<MultiBitDecodeResult> MultiBitDecoder::decode_and_compare(
-    const std::vector<double>& chip_rates,
+    std::span<const double> chip_rates,
     const std::vector<std::int8_t>& truth) const {
   auto result = decode(chip_rates, truth.size());
   if (!result.ok()) return result;

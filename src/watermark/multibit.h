@@ -10,12 +10,16 @@
 
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "util/sim_time.h"
+#include "watermark/correlate.h"
 #include "watermark/pn_code.h"
 
 namespace lexfor::watermark {
+
+class ScanBatch;
 
 struct MultiBitParams {
   SimTime start;
@@ -60,20 +64,32 @@ struct MultiBitDecodeResult {
 class MultiBitDecoder {
  public:
   MultiBitDecoder(PnCode code, std::size_t chips_per_bit)
-      : code_(std::move(code)), chips_per_bit_(chips_per_bit) {}
+      : kernel_(std::move(code)), chips_per_bit_(chips_per_bit) {}
 
   // `chip_rates`: observed rate per chip window, aligned with chip 0.
-  // Decodes floor(min(len, code_len) / L) bits.
+  // Decodes floor(min(len, code_len) / L) bits.  Each bit despreads
+  // through the shared CorrelationKernel segment primitive
+  // (segment-local mean removal, zero per-bit allocation).
   [[nodiscard]] Result<MultiBitDecodeResult> decode(
-      const std::vector<double>& chip_rates, std::size_t num_bits) const;
+      std::span<const double> chip_rates, std::size_t num_bits) const;
+
+  // Same decode, with the per-bit despreads fanned across `batch` as
+  // (segment × code-segment) scan jobs — bit-identical to decode(),
+  // worth it for long payloads and wide spreading factors.
+  [[nodiscard]] Result<MultiBitDecodeResult> decode_with(
+      const ScanBatch& batch, std::span<const double> chip_rates,
+      std::size_t num_bits) const;
 
   // Decodes and scores against the ground-truth bits.
   [[nodiscard]] Result<MultiBitDecodeResult> decode_and_compare(
-      const std::vector<double>& chip_rates,
+      std::span<const double> chip_rates,
       const std::vector<std::int8_t>& truth) const;
 
  private:
-  PnCode code_;
+  [[nodiscard]] Status validate(std::size_t series_len,
+                                std::size_t num_bits) const;
+
+  CorrelationKernel kernel_;
   std::size_t chips_per_bit_;
 };
 

@@ -77,6 +77,21 @@ TEST(MultiflowTest, DeterministicForSeed) {
   EXPECT_EQ(a.correlations, b.correlations);
 }
 
+TEST(MultiflowTest, DetectThreadCountDoesNotChangeResults) {
+  // The per-account despread fan-out merges in account order: the
+  // correlation vector — and therefore the argmax — is bit-identical
+  // for any pool size.
+  auto serial = easy();
+  serial.detect_threads = 1;
+  auto fanned = easy();
+  fanned.detect_threads = 4;
+  const auto a = run_multiflow_traceback(serial).value();
+  const auto b = run_multiflow_traceback(fanned).value();
+  EXPECT_EQ(a.correlations, b.correlations);
+  EXPECT_EQ(a.identified_account, b.identified_account);
+  EXPECT_DOUBLE_EQ(a.margin, b.margin);
+}
+
 TEST(MultiflowTest, HeavyJitterErodesMarginButNotCorrectness) {
   auto calm = easy();
   auto stormy = easy();

@@ -60,6 +60,24 @@ TEST(TracebackTest, DeterministicForFixedSeed) {
   EXPECT_EQ(a.decoys_flagged, b.decoys_flagged);
 }
 
+TEST(TracebackTest, DetectThreadCountDoesNotChangeResults) {
+  // The despread fan-out merges in input order; any pool size must
+  // yield bit-identical verdicts.
+  auto serial = easy_config();
+  serial.detect_threads = 1;
+  auto fanned = easy_config();
+  fanned.detect_threads = 4;
+  const auto a = run_traceback(serial).value();
+  const auto b = run_traceback(fanned).value();
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].detection.correlation,
+                     b.flows[i].detection.correlation);
+    EXPECT_EQ(a.flows[i].detection.detected, b.flows[i].detection.detected);
+  }
+  EXPECT_EQ(a.decoys_flagged, b.decoys_flagged);
+}
+
 TEST(TracebackTest, HigherDepthRaisesCorrelation) {
   auto weak = easy_config();
   weak.depth = 0.1;

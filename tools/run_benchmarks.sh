@@ -9,9 +9,12 @@
 # tables/series) are captured as text.
 #
 # Experiment benches that self-verify gate the harness through their
-# exit status: bench_table1 (all 20 rows must reproduce) and
+# exit status: bench_table1 (all 20 rows must reproduce),
 # bench_batch_engine (A-BATCH: parallel batch evaluation must be
-# bit-identical to serial with a >= 90% verdict-cache hit rate).
+# bit-identical to serial with a >= 90% verdict-cache hit rate), and
+# bench_watermark + bench_multiflow (A-SCAN: the correlation kernel and
+# the ScanBatch fan-out must score bit-identically to the naive
+# reference scan, and the kernel must beat its per-offset cost).
 #
 # Usage: tools/run_benchmarks.sh [options]
 #   --build-dir DIR   build tree to use              (default: build)

@@ -8,7 +8,9 @@
 #                                       layer's multi-threaded counter and
 #                                       histogram stress tests, the util
 #                                       thread pool and sharded LRU cache,
-#                                       and the legal batch evaluator)
+#                                       the legal batch evaluator, the
+#                                       watermark scan batch, and the
+#                                       tornet detection fan-out)
 #   4. lint regression                 (the lint_examples suite: the shipped
 #                                       example plans must lint as documented)
 #   5. clang-tidy over src/            (skipped with a notice when clang-tidy
@@ -76,13 +78,16 @@ stage "full ctest under ASan+UBSan" sanitizer_ctest
 # ----------------------------------------------- 3. TSan concurrency stress
 # ThreadSanitizer checks the concurrent parts of the tree: the obs
 # metrics registry's wait-free update promise (src/obs/metrics.h), the
-# util thread pool and sharded LRU verdict cache, and the legal batch
-# evaluator that fans compliance queries across workers.  The rest of
-# the code is single-threaded DES and already covered above.
+# util thread pool and sharded LRU verdict cache, the legal batch
+# evaluator that fans compliance queries across workers, the watermark
+# scan batch (parallel multi-flow despread), and the tornet traceback
+# detection fan-out built on it.  The rest of the code is
+# single-threaded DES and already covered above.
 tsan_build() {
   cmake -B build-tsan -S . "-DLEXFOR_SANITIZE=thread" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
-  cmake --build build-tsan -j "${JOBS}" --target obs_test util_test legal_test
+  cmake --build build-tsan -j "${JOBS}" \
+        --target obs_test util_test legal_test watermark_test tornet_test
 }
 tsan_stress() {
   TSAN_OPTIONS=halt_on_error=1 \
@@ -99,10 +104,22 @@ tsan_batch() {
   ./build-tsan/tests/legal_test \
       --gtest_filter='BatchEvaluatorTest.*'
 }
-stage "TSan build (obs_test util_test legal_test)" tsan_build
+tsan_scan_batch() {
+  TSAN_OPTIONS=halt_on_error=1 \
+  ./build-tsan/tests/watermark_test \
+      --gtest_filter='ScanBatchTest.*'
+}
+tsan_traceback_fanout() {
+  TSAN_OPTIONS=halt_on_error=1 \
+  ./build-tsan/tests/tornet_test \
+      --gtest_filter='TracebackTest.DetectThreadCountDoesNotChangeResults:MultiflowTest.DetectThreadCountDoesNotChangeResults'
+}
+stage "TSan build (obs_test util_test legal_test watermark_test tornet_test)" tsan_build
 stage "obs thread-stress under TSan" tsan_stress
 stage "thread pool + sharded LRU cache under TSan" tsan_pool_cache
 stage "batch evaluator under TSan" tsan_batch
+stage "watermark scan batch under TSan" tsan_scan_batch
+stage "tornet detection fan-out under TSan" tsan_traceback_fanout
 
 # ------------------------------------------------------ 4. lint regression
 lint_regression() {
