@@ -5,9 +5,15 @@
 // watermark to hold its success rate as relay mixing grows while the
 // passive baseline collapses, and to scale better with decoy count.
 
+#include <bit>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "tornet/baseline.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "watermark/correlate.h"
 
 int main() {
   using namespace lexfor::tornet;
@@ -67,6 +73,34 @@ int main() {
     const auto r = run_baseline_comparison(cfg, kTrials).value();
     std::printf("%8d %14.1f %18.2f %18.2f\n", degree, r.observation_sec,
                 r.watermark_success_rate, r.passive_success_rate);
+  }
+
+  // Gate: the passive baseline now scores flows through the shared
+  // CorrelationKernel::cross_score; it must still be bit-identical to
+  // the naive pearson it replaced, or the comparison above is invalid.
+  {
+    lexfor::Rng rng{4242};
+    bool identical = true;
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::size_t n = 2 + rng.uniform(300);
+      std::vector<double> a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng.normal(120.0, 30.0);
+        b[i] = 0.5 * a[i] + rng.normal(0.0, 12.0);
+      }
+      const double kernel =
+          lexfor::watermark::CorrelationKernel::cross_score(a, b);
+      const double naive = lexfor::pearson(a, b);
+      identical = identical && std::bit_cast<std::uint64_t>(kernel) ==
+                                   std::bit_cast<std::uint64_t>(naive);
+    }
+    if (!identical) {
+      std::printf("\nE-IVB FAILED: cross_score diverged from the naive "
+                  "pearson oracle\n");
+      return 1;
+    }
+    std::printf("\nE-IVB gate OK: kernel cross_score bit-identical to the "
+                "pearson oracle\n");
   }
   return 0;
 }

@@ -1,0 +1,186 @@
+// Experiment A-STREAM: bounded-memory streaming despread vs the batch
+// oracle.
+//
+// Self-verifying, like bench_watermark's A-SCAN: the bench exits
+// non-zero unless
+//   (1) the OnlineDespreader's verdict is bit-identical to the batch
+//       CorrelationKernel::scan on randomized flows/codes/offsets,
+//   (2) peak state is exactly O(ring capacity + code length) doubles
+//       and never grows over a stream 50x the code length,
+//   (3) a TapSession under a court order admits the §IV.B collection
+//       posture while a content-grab with the same order is refused.
+// It also reports the per-bin ingest cost (the number an ISP-side
+// deployment would size hardware against).
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "legal/process.h"
+#include "stream/online_despread.h"
+#include "stream/tap_session.h"
+#include "util/rng.h"
+#include "watermark/correlate.h"
+#include "watermark/pn_code.h"
+
+namespace {
+
+using lexfor::Rng;
+using lexfor::stream::OnlineDespreader;
+using lexfor::watermark::CorrelationKernel;
+using lexfor::watermark::PnCode;
+
+std::vector<double> random_series(const PnCode& code, std::size_t offset,
+                                  std::size_t tail, bool marked,
+                                  double sigma, Rng& rng) {
+  std::vector<double> rates;
+  rates.reserve(offset + code.length() + tail);
+  for (std::size_t i = 0; i < offset; ++i) {
+    rates.push_back(100.0 + rng.normal(0.0, sigma));
+  }
+  for (const auto c : code.chips()) {
+    const double mark = marked ? 30.0 * static_cast<double>(c) : 0.0;
+    rates.push_back(100.0 + mark + rng.normal(0.0, sigma));
+  }
+  for (std::size_t i = 0; i < tail; ++i) {
+    rates.push_back(100.0 + rng.normal(0.0, sigma));
+  }
+  return rates;
+}
+
+bool bit_identical(const lexfor::watermark::ScanResult& a,
+                   const lexfor::watermark::ScanResult& b) {
+  return a.offset == b.offset && a.best.detected == b.best.detected &&
+         std::bit_cast<std::uint64_t>(a.best.correlation) ==
+             std::bit_cast<std::uint64_t>(b.best.correlation) &&
+         std::bit_cast<std::uint64_t>(a.best.threshold) ==
+             std::bit_cast<std::uint64_t>(b.best.threshold);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A-STREAM: online despreader vs batch scan oracle\n\n");
+
+  // Gate 1: randomized bit-identity.
+  {
+    Rng rng{20260805};
+    constexpr int kTrials = 300;
+    int mismatches = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const int degree = 5 + static_cast<int>(rng.uniform(6));  // 5..10
+      const auto code = PnCode::m_sequence(degree).value();
+      const std::size_t max_offset = rng.uniform(96);
+      const std::size_t embed = rng.uniform(max_offset + 1);
+      const std::size_t tail = max_offset - embed + rng.uniform(20);
+      const double sigma = 1.0 + 40.0 * rng.uniform01();
+      const auto rates = random_series(code, embed, tail,
+                                       rng.bernoulli(0.5), sigma, rng);
+
+      const CorrelationKernel kernel(code);
+      OnlineDespreader online(kernel, max_offset);
+      for (const double r : rates) (void)online.push(r);
+      const auto batch = kernel.scan(rates, max_offset).value();
+      if (!online.verdict().complete ||
+          !bit_identical(online.verdict().scan, batch)) {
+        ++mismatches;
+      }
+    }
+    std::printf("bit-identity: %d/%d randomized trials identical\n",
+                kTrials - mismatches, kTrials);
+    if (mismatches != 0) {
+      std::printf("A-STREAM FAILED: streaming verdict diverged from the "
+                  "batch oracle\n");
+      return 1;
+    }
+  }
+
+  // Gate 2 + ingest cost: memory must stay flat while we time push().
+  std::printf("\n%8s %10s %12s %14s %12s\n", "degree", "max_off",
+              "bins", "state doubles", "ns/bin");
+  {
+    using clock = std::chrono::steady_clock;
+    Rng rng{99};
+    bool memory_ok = true;
+    for (const int degree : {8, 10, 12}) {
+      for (const std::size_t max_offset : {std::size_t{0}, std::size_t{256}}) {
+        const auto code = PnCode::m_sequence(degree).value();
+        const CorrelationKernel kernel(code);
+        const std::size_t n = code.length();
+        const std::size_t bins = 50 * n;
+        std::vector<double> stream(bins);
+        for (auto& r : stream) r = rng.normal(100.0, 15.0);
+
+        OnlineDespreader online(kernel, max_offset);
+        const std::size_t expected = 2 * n + max_offset + 1;
+        double sink = 0.0;  // defeat dead-code elimination
+        const auto t0 = clock::now();
+        for (const double r : stream) {
+          const auto score = online.push(r);
+          if (score) sink += score->correlation;
+          if (online.memory_doubles() != expected) memory_ok = false;
+        }
+        const auto t1 = clock::now();
+        const double ns =
+            std::chrono::duration<double, std::nano>(t1 - t0).count() /
+            static_cast<double>(bins);
+        std::printf("%8d %10zu %12zu %14zu %12.1f\n", degree, max_offset,
+                    bins, online.memory_doubles(), ns);
+        if (sink == -1.0) std::printf("%f\n", sink);
+      }
+    }
+    if (!memory_ok) {
+      std::printf("A-STREAM FAILED: despreader state grew during the "
+                  "stream\n");
+      return 1;
+    }
+  }
+
+  // Gate 3: the legal gate holds.  A court order admits non-content
+  // rate collection; the same order does NOT admit a content grab.
+  {
+    const auto code = PnCode::m_sequence(6).value();
+    const CorrelationKernel kernel(code);
+
+    lexfor::legal::LegalProcess order;
+    order.kind = lexfor::legal::ProcessKind::kCourtOrder;
+    order.scope.data_kinds = {lexfor::legal::DataKind::kAddressing};
+    order.issued_at = lexfor::SimTime::zero();
+    order.validity = lexfor::SimDuration::from_sec(30 * 24 * 3600.0);
+
+    lexfor::stream::TapSessionConfig cfg;
+    cfg.scenario = lexfor::legal::Scenario{}
+                       .named("streaming rate collection")
+                       .by(lexfor::legal::ActorKind::kLawEnforcement)
+                       .acquiring(lexfor::legal::DataKind::kAddressing)
+                       .located(lexfor::legal::DataState::kInTransit)
+                       .when(lexfor::legal::Timing::kRealTime);
+    cfg.authority = lexfor::legal::GrantedAuthority{order};
+    cfg.target = lexfor::NodeId{1};
+    cfg.ring.start = lexfor::SimTime::zero();
+    cfg.ring.bin_width = lexfor::SimDuration::from_ms(400.0);
+    cfg.ring.capacity = 128;
+
+    const auto admitted =
+        lexfor::stream::TapSession::create(kernel, cfg);
+    auto content_cfg = cfg;
+    content_cfg.scenario =
+        content_cfg.scenario.acquiring(lexfor::legal::DataKind::kContent);
+    const auto refused =
+        lexfor::stream::TapSession::create(kernel, content_cfg);
+
+    std::printf("\nlegal gate: court-order rate tap %s, content grab %s\n",
+                admitted.ok() ? "admitted" : "REFUSED",
+                refused.ok() ? "ADMITTED" : "refused");
+    if (!admitted.ok() || refused.ok()) {
+      std::printf("A-STREAM FAILED: admission gate gave the wrong answer\n");
+      return 1;
+    }
+  }
+
+  std::printf("\nA-STREAM OK: bit-identical verdicts, flat memory, "
+              "admission gate enforced\n");
+  return 0;
+}

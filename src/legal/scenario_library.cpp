@@ -104,4 +104,38 @@ Scenario hotel_abandoned_device() {
       .with_consent(ConsentKind::kOwnerConsent);  // manager's authority
 }
 
+Scenario cloud_storage_subscriber_subpoena() {
+  return Scenario{}
+      .named("subscriber records from a cloud-storage provider")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kSubscriberRecords)
+      .located(DataState::kStoredAtProvider)
+      .when(Timing::kStored)
+      .at_provider(ProviderClass::kRcs)
+      .in_jurisdiction("US");
+}
+
+Scenario cloud_storage_content_demand() {
+  return cloud_storage_subscriber_subpoena()
+      .named("stored files from a cloud-storage provider")
+      .acquiring(DataKind::kContent);
+}
+
+Scenario isp_tap_with_consent_federal() {
+  return Scenario{}
+      .named("consensual non-content tap at the suspect's ISP (federal)")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kAddressing)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .with_consent(ConsentKind::kOnePartyToComm)
+      .in_jurisdiction("US");
+}
+
+Scenario isp_tap_cross_border_all_party() {
+  return isp_tap_with_consent_federal()
+      .named("the same ISP tap across an all-party-consent border")
+      .in_jurisdiction("CA");
+}
+
 }  // namespace lexfor::legal::library

@@ -55,4 +55,24 @@ namespace lexfor::legal::library {
 // after checkout (abandonment / third-party authority).  => No need.
 [[nodiscard]] Scenario hotel_abandoned_device();
 
+// Basic subscriber records (name, billing address) for a cloud-storage
+// account, demanded from the remote computing service holding them —
+// § 2703(c)(2) territory.  => Need (subpoena suffices).
+[[nodiscard]] Scenario cloud_storage_subscriber_subpoena();
+
+// The same provider, but the files themselves: stored CONTENT at an RCS
+// climbs the SCA ladder to its top rung.  => Need (search warrant).
+[[nodiscard]] Scenario cloud_storage_content_demand();
+
+// A §IV.B-style tap at the suspect's ISP: real-time, non-content rate
+// collection, with the cooperating endpoint's one-party consent, under
+// the federal baseline.  => No need (consent excuses the pen/trap
+// order).
+[[nodiscard]] Scenario isp_tap_with_consent_federal();
+
+// The identical tap where the wire sits in an all-party-consent state:
+// one party's consent no longer counts, so the Pen/Trap ladder governs
+// again.  => Need (court order).
+[[nodiscard]] Scenario isp_tap_cross_border_all_party();
+
 }  // namespace lexfor::legal::library

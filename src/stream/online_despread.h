@@ -1,0 +1,94 @@
+// Online DSSS despreader: incremental detection over streaming rate bins.
+//
+// The batch pipeline buffers the whole rate series, then runs
+// CorrelationKernel::scan over candidate offsets [0, max_offset].  A live
+// ISP tap cannot buffer the whole series — and does not need to: for a
+// code of n chips, offset `off` only depends on bins [off, off + n), so
+// once bin off + n - 1 arrives that offset can be scored and never
+// revisited.  OnlineDespreader exploits this:
+//
+//   * a mirrored ring of the last n bins (2n doubles, each bin written
+//     twice) keeps every n-bin window CONTIGUOUS in memory, so the
+//     kernel's unmodified correlate pass runs straight over it;
+//   * one running sum per candidate offset, accumulated as bins arrive.
+//     Adds land on each per-offset accumulator in bin-index order —
+//     exactly the order the kernel's sequential sum performs them — so
+//     the resulting mean is bit-identical to the batch pass (this is
+//     the "partial score": the expensive second pass is skipped via
+//     despread_presummed);
+//   * offsets finalize in increasing order, reproducing scan()'s
+//     earliest-offset tie-breaking, under the same Bonferroni threshold
+//     (scan_threshold with k = max_offset + 1).
+//
+// Contract (enforced by tests and the A-STREAM bench gate): after
+// max_offset + n bins, verdict() is BIT-IDENTICAL — correlation,
+// threshold, offset, and decision — to
+// CorrelationKernel::scan(series, max_offset) on any batch series whose
+// first max_offset + n bins equal the streamed ones; for max_offset = 0
+// that is Detector::detect on the same window.  The batch path stays
+// the oracle: this class holds no scoring math of its own, only the
+// bookkeeping to feed the kernel incrementally.  Peak memory is
+// 2n + max_offset + 1 doubles — O(code length + offset window),
+// independent of stream length.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/status.h"
+#include "watermark/correlate.h"
+
+namespace lexfor::stream {
+
+// A per-offset score, emitted the moment that offset's window closes.
+struct StreamScore {
+  std::size_t offset = 0;
+  double correlation = 0.0;
+};
+
+struct OnlineVerdict {
+  watermark::ScanResult scan;      // best offset so far + decision
+  std::size_t offsets_scored = 0;  // windows finalized so far
+  bool complete = false;           // all offsets [0, max_offset] scored
+};
+
+class OnlineDespreader {
+ public:
+  // The kernel must outlive this despreader (same lifetime rule as
+  // ScanJob).  `max_offset` fixes the candidate window — and therefore
+  // the Bonferroni threshold — at construction.
+  OnlineDespreader(const watermark::CorrelationKernel& kernel,
+                   std::size_t max_offset);
+
+  // Ingests the next rate bin.  Returns the offset score this bin
+  // completed, if any (bin t finalizes offset t - n + 1).  Bins past
+  // the candidate window are counted and ignored — the verdict is
+  // frozen once complete, matching what batch scan() would return.
+  std::optional<StreamScore> push(double rate);
+
+  [[nodiscard]] const OnlineVerdict& verdict() const noexcept {
+    return verdict_;
+  }
+  [[nodiscard]] std::size_t bins_consumed() const noexcept { return bins_; }
+  [[nodiscard]] std::uint64_t bins_ignored() const noexcept {
+    return ignored_;
+  }
+  [[nodiscard]] std::size_t max_offset() const noexcept { return max_offset_; }
+  // Doubles held, the O(1)-in-stream-length bound the bench gates on.
+  [[nodiscard]] std::size_t memory_doubles() const noexcept {
+    return window_.size() + sums_.size();
+  }
+
+ private:
+  const watermark::CorrelationKernel& kernel_;
+  std::size_t max_offset_;
+  std::vector<double> window_;  // mirrored ring: bin t at [t%n] and [t%n + n]
+  std::vector<double> sums_;    // running window sum per candidate offset
+  std::size_t bins_ = 0;        // bins ingested (== next bin index)
+  std::uint64_t ignored_ = 0;   // bins past the candidate window
+  OnlineVerdict verdict_;
+};
+
+}  // namespace lexfor::stream

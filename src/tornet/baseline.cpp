@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/stats.h"
+#include "watermark/correlate.h"
 
 namespace lexfor::tornet {
 namespace {
@@ -41,7 +41,10 @@ Result<PassiveResult> run_passive_correlation(const PassiveConfig& config) {
   const auto server_series =
       rate_series(suspect_sends, config.window_sec, windows);
 
-  result.correlations.push_back(pearson(
+  // Scoring goes through the one repo-wide implementation (bit-identical
+  // to the retained util::pearson reference; asserted in tests and
+  // gated in bench_baseline).
+  result.correlations.push_back(watermark::CorrelationKernel::cross_score(
       server_series, rate_series(suspect_arrivals, config.window_sec, windows)));
 
   // Decoys: independent flows through their own circuits.
@@ -51,7 +54,7 @@ Result<PassiveResult> run_passive_correlation(const PassiveConfig& config) {
     const auto sends = generate_modulated_poisson(
         config.base_rate_pps, config.observe_sec, 1.0, nullptr, rng);
     const auto arrivals = net.transit(circuit.value(), sends, rng);
-    result.correlations.push_back(pearson(
+    result.correlations.push_back(watermark::CorrelationKernel::cross_score(
         server_series, rate_series(arrivals, config.window_sec, windows)));
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "stream/online_despread.h"
 #include "watermark/correlate.h"
 #include "watermark/gold_code.h"
 #include "watermark/scan_batch.h"
@@ -22,10 +23,19 @@ legal::Scenario collection_scenario() {
       .when(legal::Timing::kRealTime);
 }
 
-Result<TracebackResult> run_traceback(const TracebackConfig& config) {
-  auto code_r = watermark::PnCode::m_sequence(config.pn_degree);
-  if (!code_r.ok()) return code_r.status();
-  const watermark::PnCode code = std::move(code_r).value();
+namespace {
+
+// Phase 1 of the experiment: simulate suspect + decoy flows through the
+// anonymity network and bin the ISP-side arrivals into one flat rate
+// buffer (one n_chips slice per flow, suspect first).  Shared between
+// the batch and streaming tracebacks so both detect over IDENTICAL
+// bins.  Flow i draws exclusively from Rng::sub_stream(config.seed, i):
+// a counter-derived stream, so each flow's randomness is independent of
+// every other flow's existence and the loop can later fan out across
+// threads without changing a single bin.
+Status simulate_flow_rates(const TracebackConfig& config,
+                           const watermark::PnCode& code,
+                           std::vector<double>& rates) {
   const std::size_t n_chips = code.length();
   const double chip_sec = config.chip_ms * 1e-3;
   // Generate past the code window so late (jittered) packets still land
@@ -39,19 +49,9 @@ Result<TracebackResult> run_traceback(const TracebackConfig& config) {
   const watermark::Embedder embedder(code, embed_params);
 
   AnonymityNetwork net(config.network);
-  Rng rng(config.seed);
 
-  TracebackResult result;
-  result.collection_legality =
-      legal::ComplianceEngine{}.evaluate(collection_scenario());
-
-  // Phase 1 — simulation, serial by design: every flow draws from one
-  // Rng stream, so circuits/packets are generated in a fixed order.
-  // The ISP's observations land in one flat rate buffer, one n_chips
-  // slice per flow (suspect first, then decoys) — no per-flow
-  // allocation in the detection phase.
   const std::size_t num_flows = 1 + config.num_decoys;
-  std::vector<double> rates(num_flows * n_chips);
+  rates.resize(num_flows * n_chips);
   const double hops = static_cast<double>(config.network.circuit_length);
   // The mean circuit delay shifts every packet; align the observation
   // window at the expected shift (the investigator calibrates this by
@@ -64,7 +64,8 @@ Result<TracebackResult> run_traceback(const TracebackConfig& config) {
 
   for (std::size_t flow = 0; flow < num_flows; ++flow) {
     const bool marked = flow == 0;  // the suspect's flow carries the mark
-    auto circuit_r = net.build_circuit(rng);
+    Rng flow_rng = Rng::sub_stream(config.seed, flow);
+    auto circuit_r = net.build_circuit(flow_rng);
     if (!circuit_r.ok()) return circuit_r.status();
 
     std::function<double(double)> mult;
@@ -74,8 +75,8 @@ Result<TracebackResult> run_traceback(const TracebackConfig& config) {
       };
     }
     const auto sends = generate_modulated_poisson(
-        config.base_rate_pps, t_end, 1.0 + config.depth, mult, rng);
-    const auto arrivals = net.transit(circuit_r.value(), sends, rng);
+        config.base_rate_pps, t_end, 1.0 + config.depth, mult, flow_rng);
+    const auto arrivals = net.transit(circuit_r.value(), sends, flow_rng);
     const auto bins =
         bin_arrivals(arrivals, expected_shift_sec, chip_sec, n_chips);
     double* out = rates.data() + flow * n_chips;
@@ -83,6 +84,25 @@ Result<TracebackResult> run_traceback(const TracebackConfig& config) {
       out[i] = static_cast<double>(bins[i]);
     }
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<TracebackResult> run_traceback(const TracebackConfig& config) {
+  auto code_r = watermark::PnCode::m_sequence(config.pn_degree);
+  if (!code_r.ok()) return code_r.status();
+  const watermark::PnCode code = std::move(code_r).value();
+  const std::size_t n_chips = code.length();
+
+  TracebackResult result;
+  result.collection_legality =
+      legal::ComplianceEngine{}.evaluate(collection_scenario());
+
+  const std::size_t num_flows = 1 + config.num_decoys;
+  std::vector<double> rates;
+  const Status sim = simulate_flow_rates(config, code, rates);
+  if (!sim.ok()) return sim;
 
   // Phase 2 — detection, fanned out: one kernel (one code), one scan
   // job per flow, merged back in input order.  max_offset 0 keeps the
@@ -105,6 +125,47 @@ Result<TracebackResult> run_traceback(const TracebackConfig& config) {
     FlowVerdict v;
     v.is_suspect = flow == 0;
     v.detection = det_r.value().best;
+    result.flows.push_back(v);
+    if (v.is_suspect) {
+      result.suspect_detected = v.detection.detected;
+      result.suspect_correlation = v.detection.correlation;
+    } else {
+      if (v.detection.detected) ++result.decoys_flagged;
+      result.max_decoy_correlation =
+          std::max(result.max_decoy_correlation, v.detection.correlation);
+    }
+  }
+  return result;
+}
+
+Result<TracebackResult> run_streaming_traceback(const TracebackConfig& config) {
+  auto code_r = watermark::PnCode::m_sequence(config.pn_degree);
+  if (!code_r.ok()) return code_r.status();
+  const watermark::PnCode code = std::move(code_r).value();
+  const std::size_t n_chips = code.length();
+
+  TracebackResult result;
+  result.collection_legality =
+      legal::ComplianceEngine{}.evaluate(collection_scenario());
+
+  const std::size_t num_flows = 1 + config.num_decoys;
+  std::vector<double> rates;
+  const Status sim = simulate_flow_rates(config, code, rates);
+  if (!sim.ok()) return sim;
+
+  // Phase 2 — streaming detection: one online despreader per flow, fed
+  // bin by bin exactly as a live tap would see them.  max_offset 0
+  // mirrors run_traceback's aligned scan, so every verdict is
+  // bit-identical to the batch path (tested + gated by A-STREAM).
+  const watermark::CorrelationKernel kernel(code, config.threshold_sigmas);
+  for (std::size_t flow = 0; flow < num_flows; ++flow) {
+    stream::OnlineDespreader despreader(kernel, /*max_offset=*/0);
+    const double* bins = rates.data() + flow * n_chips;
+    for (std::size_t i = 0; i < n_chips; ++i) (void)despreader.push(bins[i]);
+
+    FlowVerdict v;
+    v.is_suspect = flow == 0;
+    v.detection = despreader.verdict().scan.best;
     result.flows.push_back(v);
     if (v.is_suspect) {
       result.suspect_detected = v.detection.detected;

@@ -30,8 +30,12 @@ struct TracebackConfig {
   std::uint64_t seed = 7;
   // Worker threads for the despread fan-out (suspect + decoys go
   // through one watermark::ScanBatch); 0 = hardware concurrency.  The
-  // result is bit-identical for every thread count — only the
-  // simulation phase is inherently serial (one Rng stream).
+  // result is bit-identical for every thread count.  The simulation
+  // phase gives flow i the counter-derived stream
+  // Rng::sub_stream(seed, i), so a flow's packets do not depend on how
+  // many other flows exist — Phase 1 is parallelizable without output
+  // changes (see EXPERIMENTS.md for the one-time output shift this
+  // re-seeding caused).
   unsigned detect_threads = 0;
 };
 
@@ -59,6 +63,16 @@ struct TracebackResult {
 // and decoys, carries them through the network, bins arrivals at the
 // "ISP", and despreads each candidate.
 [[nodiscard]] Result<TracebackResult> run_traceback(const TracebackConfig& config);
+
+// The streaming variant: the same simulation (identical flows, bins and
+// legal posture), but detection runs through stream::OnlineDespreader —
+// each flow's bins are fed one at a time, exactly as a live ISP tap
+// would see them, and the verdict is taken the moment the code period
+// completes.  Bit-identical to run_traceback on every field (the online
+// despreader is bit-identical to the batch kernel; the batch path stays
+// the oracle).
+[[nodiscard]] Result<TracebackResult> run_streaming_traceback(
+    const TracebackConfig& config);
 
 // --- multi-flow variant (Gold codes) ------------------------------------
 //

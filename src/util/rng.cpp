@@ -113,6 +113,13 @@ std::uint64_t Rng::poisson(double mean) noexcept {
   return n;
 }
 
+Rng Rng::sub_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // One SplitMix64 step decorrelates consecutive stream indices before
+  // the constructor's own SplitMix64 expansion mixes the combined seed.
+  std::uint64_t sm = stream;
+  return Rng{seed ^ splitmix64(sm)};
+}
+
 Rng Rng::split() noexcept {
   // Derive a child seed from two parent draws; the parent advances so
   // repeated splits yield distinct children.

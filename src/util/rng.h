@@ -65,6 +65,15 @@ class Rng {
   // the parent's continued use for any practical draw count.
   [[nodiscard]] Rng split() noexcept;
 
+  // A counter-derived child stream: a generator identified by
+  // (seed, stream) alone, with no parent state consumed.  Unlike
+  // split(), stream k is the same generator no matter how many other
+  // streams are derived, in what order, or on which thread — the
+  // property that lets per-item simulation loops (one stream per flow)
+  // be parallelized without changing any output.
+  [[nodiscard]] static Rng sub_stream(std::uint64_t seed,
+                                      std::uint64_t stream) noexcept;
+
   // Fisher-Yates shuffle of a random-access container.
   template <typename Container>
   void shuffle(Container& c) noexcept {

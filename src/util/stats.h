@@ -54,6 +54,9 @@ class RunningStats {
 }
 
 // Pearson correlation of two equal-length series; 0 if degenerate.
+// Naive reference implementation, retained as the bit-identity oracle
+// for watermark::CorrelationKernel::cross_score — production scoring
+// (the passive-correlation baseline) goes through the kernel.
 [[nodiscard]] inline double pearson(const std::vector<double>& a,
                                     const std::vector<double>& b) {
   if (a.size() != b.size() || a.size() < 2) return 0.0;

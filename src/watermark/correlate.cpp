@@ -54,6 +54,48 @@ inline void seq_correlate(const double* x, const double* c, std::size_t n,
   denom_out = denom;
 }
 
+// Fused Pearson pass: cov/va/vb are three independent accumulator
+// chains, each advancing in naive sequential order — bit-identical to
+// the util::pearson reference loop.
+inline void seq_cross(const double* a, const double* b, std::size_t n,
+                      double ma, double mb, double& cov_out, double& va_out,
+                      double& vb_out) noexcept {
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double da0 = a[i] - ma;
+    const double db0 = b[i] - mb;
+    cov += da0 * db0;
+    va += da0 * da0;
+    vb += db0 * db0;
+    const double da1 = a[i + 1] - ma;
+    const double db1 = b[i + 1] - mb;
+    cov += da1 * db1;
+    va += da1 * da1;
+    vb += db1 * db1;
+    const double da2 = a[i + 2] - ma;
+    const double db2 = b[i + 2] - mb;
+    cov += da2 * db2;
+    va += da2 * da2;
+    vb += db2 * db2;
+    const double da3 = a[i + 3] - ma;
+    const double db3 = b[i + 3] - mb;
+    cov += da3 * db3;
+    va += da3 * da3;
+    vb += db3 * db3;
+  }
+  for (; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  cov_out = cov;
+  va_out = va;
+  vb_out = vb;
+}
+
 }  // namespace
 
 CorrelationKernel::CorrelationKernel(PnCode code, double threshold_sigmas)
@@ -66,11 +108,41 @@ CorrelationKernel::CorrelationKernel(PnCode code, double threshold_sigmas)
 
 double CorrelationKernel::despread(const double* x, std::size_t code_begin,
                                    std::size_t len) const noexcept {
-  const double mean = seq_sum(x, len) / static_cast<double>(len);
+  return despread_presummed(x, code_begin, len, seq_sum(x, len));
+}
+
+double CorrelationKernel::despread_presummed(const double* x,
+                                             std::size_t code_begin,
+                                             std::size_t len,
+                                             double sum) const noexcept {
+  const double mean = sum / static_cast<double>(len);
   double num = 0.0, denom = 0.0;
   seq_correlate(x, chips_f64_.data() + code_begin, len, mean, num, denom);
   if (denom <= 0.0) return 0.0;  // a flat window carries no mark
   return num / std::sqrt(denom * static_cast<double>(len));
+}
+
+double CorrelationKernel::scan_threshold(std::size_t k,
+                                         std::size_t code_length) const
+    noexcept {
+  const std::size_t n = code_length == 0 ? chips_f64_.size() : code_length;
+  const double kf = static_cast<double>(k);
+  const double sigma_inflation = std::sqrt(2.0 * std::log(std::max(kf, 1.0)));
+  return (threshold_sigmas_ + sigma_inflation) /
+         std::sqrt(static_cast<double>(n));
+}
+
+double CorrelationKernel::cross_score(std::span<const double> a,
+                                      std::span<const double> b) noexcept {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const std::size_t len = a.size();
+  const double n = static_cast<double>(len);
+  const double ma = seq_sum(a.data(), len) / n;
+  const double mb = seq_sum(b.data(), len) / n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  seq_cross(a.data(), b.data(), len, ma, mb, cov, va, vb);
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
 }
 
 Result<DetectionResult> CorrelationKernel::detect(
@@ -108,10 +180,7 @@ Result<ScanResult> CorrelationKernel::scan(std::span<const double> rates,
   // Bonferroni correction, identical to the naive reference: scanning k
   // offsets multiplies the null false-positive probability by ~k, so
   // inflate the threshold by sqrt(2 ln k) sigma.
-  const double k = static_cast<double>(last_offset + 1);
-  const double sigma_inflation = std::sqrt(2.0 * std::log(std::max(k, 1.0)));
-  const double threshold = (threshold_sigmas_ + sigma_inflation) /
-                           std::sqrt(static_cast<double>(n));
+  const double threshold = scan_threshold(last_offset + 1, n);
 
   ScanResult best;
   best.best.correlation = -2.0;  // below any achievable value

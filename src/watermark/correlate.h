@@ -85,6 +85,35 @@ class CorrelationKernel {
   [[nodiscard]] double despread(const double* x, std::size_t code_begin,
                                 std::size_t len) const noexcept;
 
+  // Same despread with a caller-supplied window sum.  The streaming path
+  // (stream::OnlineDespreader) accumulates the sum incrementally as bins
+  // arrive; adding elements in index order performs the same FP
+  // additions in the same order as the internal sequential sum, so the
+  // result is bit-identical to despread() on the same window.
+  [[nodiscard]] double despread_presummed(const double* x,
+                                          std::size_t code_begin,
+                                          std::size_t len,
+                                          double sum) const noexcept;
+
+  // The Bonferroni-inflated decision threshold scan() applies when `k`
+  // candidate offsets are tried over a despread window of
+  // `code_length` chips (0 = the full code).  k = 1 reduces to the
+  // aligned detect() threshold, bit for bit.  Exposed so the streaming
+  // despreader applies the same formula through the same code path.
+  [[nodiscard]] double scan_threshold(std::size_t k,
+                                      std::size_t code_length = 0) const
+      noexcept;
+
+  // Normalized mean-removed cross-correlation of two equal-length series
+  // (the Pearson coefficient): the passive flow-correlation baseline's
+  // score, computed with the same sequential-order accumulation loops as
+  // the despread above so the repo has exactly one scoring
+  // implementation.  Bit-identical to the naive util::pearson loops
+  // (retained as the test oracle).  Degenerate input — mismatched
+  // lengths, fewer than two samples, zero variance — scores 0.0.
+  [[nodiscard]] static double cross_score(std::span<const double> a,
+                                          std::span<const double> b) noexcept;
+
   [[nodiscard]] const PnCode& code() const noexcept { return code_; }
   [[nodiscard]] std::size_t length() const noexcept {
     return chips_f64_.size();

@@ -72,6 +72,35 @@ TEST(LibraryTest, AbandonedHotelDeviceIsProcessFree) {
   EXPECT_FALSE(d.needs_process) << d.report();
 }
 
+TEST(LibraryTest, CloudSubscriberRecordsNeedOnlySubpoena) {
+  // SCA §2703(c)(2): basic subscriber records held by an RCS provider
+  // sit at the bottom of the process ladder.
+  const auto d = engine.evaluate(library::cloud_storage_subscriber_subpoena());
+  EXPECT_TRUE(d.needs_process) << d.report();
+  EXPECT_EQ(d.required_process, ProcessKind::kSubpoena);
+}
+
+TEST(LibraryTest, CloudStoredContentNeedsSearchWarrant) {
+  const auto d = engine.evaluate(library::cloud_storage_content_demand());
+  EXPECT_TRUE(d.needs_process) << d.report();
+  EXPECT_EQ(d.required_process, ProcessKind::kSearchWarrant);
+}
+
+TEST(LibraryTest, FederalConsentIspTapIsProcessFree) {
+  // One party to the communication consents: 18 U.S.C. §2511(2)(c)
+  // excuses the pen/trap order the tap would otherwise need.
+  const auto d = engine.evaluate(library::isp_tap_with_consent_federal());
+  EXPECT_FALSE(d.needs_process) << d.report();
+}
+
+TEST(LibraryTest, CrossBorderAllPartyTapNeedsCourtOrder) {
+  // Same tap under an all-party-consent regime: the consent exception
+  // fails and the pen/trap court order requirement comes back.
+  const auto d = engine.evaluate(library::isp_tap_cross_border_all_party());
+  EXPECT_TRUE(d.needs_process) << d.report();
+  EXPECT_EQ(d.required_process, ProcessKind::kCourtOrder);
+}
+
 TEST(LibraryTest, EveryLibraryScenarioHasAName) {
   for (const auto& s :
        {library::thermal_imaging_of_home(), library::curbside_garbage_pull(),
@@ -79,7 +108,11 @@ TEST(LibraryTest, EveryLibraryScenarioHasAName) {
         library::planted_tracker_on_vehicle(),
         library::repair_shop_discovery(),
         library::plain_view_during_lawful_search(),
-        library::parolee_laptop_search(), library::hotel_abandoned_device()}) {
+        library::parolee_laptop_search(), library::hotel_abandoned_device(),
+        library::cloud_storage_subscriber_subpoena(),
+        library::cloud_storage_content_demand(),
+        library::isp_tap_with_consent_federal(),
+        library::isp_tap_cross_border_all_party()}) {
     EXPECT_FALSE(s.name.empty());
   }
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "legal/scenario_library.h"
 #include "lint/example_plans.h"
 #include "lint/passes.h"
 
@@ -304,6 +305,56 @@ TEST(PlanLinterTest, CustomPassRegistrationExtendsTheRegistry) {
   InvestigationPlan plan("p", legal::CrimeCategory::kGeneral);
   plan.plan_acquisition("", examination_scenario(), day(0));
   EXPECT_EQ(linter.lint(plan).count("unnamed-step"), 1u);
+}
+
+TEST(PlanLinterTest, CloudSubpoenaSceneFlagsMissingSubpoena) {
+  // The new library scene flows through the linter like any hand-built
+  // scenario: subscriber records without ANY instrument is an error.
+  InvestigationPlan plan("p", legal::CrimeCategory::kGeneral);
+  plan.plan_acquisition("subscriber records",
+                        legal::library::cloud_storage_subscriber_subpoena(),
+                        day(0));
+
+  const LintReport report = PlanLinter{}.lint(plan);
+  ASSERT_EQ(report.count(kRuleMissingProcess), 1u);
+  const Diagnostic& d = *report.first(kRuleMissingProcess);
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_NE(d.message.find("subpoena"), std::string::npos);
+}
+
+TEST(PlanLinterTest, CloudSubpoenaSceneCleanWithSubpoenaApplication) {
+  InvestigationPlan plan("p", legal::CrimeCategory::kGeneral);
+  add_probable_cause(plan);
+  const PlanStepId app =
+      plan.plan_application("subpoena", legal::ProcessKind::kSubpoena, day(0));
+  plan.plan_acquisition("subscriber records",
+                        legal::library::cloud_storage_subscriber_subpoena(),
+                        day(1))
+      .using_authority(app);
+
+  EXPECT_EQ(PlanLinter{}.lint(plan).count(kRuleMissingProcess), 0u);
+}
+
+TEST(PlanLinterTest, FederalConsentTapSceneNeedsNoProcess) {
+  // One-party consent excuses the pen/trap order, so an instrument-free
+  // acquisition of this scene lints clean on the process rule...
+  InvestigationPlan plan("p", legal::CrimeCategory::kGeneral);
+  plan.plan_acquisition("consented tap",
+                        legal::library::isp_tap_with_consent_federal(), day(0));
+  EXPECT_EQ(PlanLinter{}.lint(plan).count(kRuleMissingProcess), 0u);
+}
+
+TEST(PlanLinterTest, CrossBorderTapSceneFlagsMissingCourtOrder) {
+  // ...but the identical tap under an all-party regime does not.
+  InvestigationPlan plan("p", legal::CrimeCategory::kGeneral);
+  plan.plan_acquisition("cross-border tap",
+                        legal::library::isp_tap_cross_border_all_party(),
+                        day(0));
+
+  const LintReport report = PlanLinter{}.lint(plan);
+  ASSERT_EQ(report.count(kRuleMissingProcess), 1u);
+  EXPECT_NE(report.first(kRuleMissingProcess)->message.find("court order"),
+            std::string::npos);
 }
 
 }  // namespace

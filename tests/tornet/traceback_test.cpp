@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 namespace lexfor::tornet {
 namespace {
 
@@ -110,6 +113,59 @@ TEST(TracebackTest, HeavyJitterDegradesButLongCodeRecovers) {
   const auto r_long = run_traceback(longer).value();
   EXPECT_GE(r_long.suspect_correlation / r_long.flows[0].detection.threshold,
             r_short.suspect_correlation / r_short.flows[0].detection.threshold);
+}
+
+TEST(TracebackTest, StreamingTracebackIsBitIdenticalToBatch) {
+  // The streaming variant consumes the SAME simulated bins one at a
+  // time through stream::OnlineDespreader; every per-flow correlation
+  // and threshold must match the batch oracle bit for bit.
+  auto cfg = easy_config();
+  cfg.pn_degree = 7;
+  cfg.num_decoys = 4;
+  const auto batch = run_traceback(cfg).value();
+  const auto streaming = run_streaming_traceback(cfg).value();
+
+  ASSERT_EQ(streaming.flows.size(), batch.flows.size());
+  for (std::size_t i = 0; i < batch.flows.size(); ++i) {
+    EXPECT_EQ(streaming.flows[i].is_suspect, batch.flows[i].is_suspect);
+    EXPECT_EQ(streaming.flows[i].detection.detected,
+              batch.flows[i].detection.detected);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                  streaming.flows[i].detection.correlation),
+              std::bit_cast<std::uint64_t>(batch.flows[i].detection.correlation))
+        << "flow " << i;
+    EXPECT_EQ(
+        std::bit_cast<std::uint64_t>(streaming.flows[i].detection.threshold),
+        std::bit_cast<std::uint64_t>(batch.flows[i].detection.threshold));
+  }
+  EXPECT_EQ(streaming.suspect_detected, batch.suspect_detected);
+  EXPECT_EQ(streaming.decoys_flagged, batch.decoys_flagged);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(streaming.suspect_correlation),
+            std::bit_cast<std::uint64_t>(batch.suspect_correlation));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(streaming.max_decoy_correlation),
+            std::bit_cast<std::uint64_t>(batch.max_decoy_correlation));
+}
+
+TEST(TracebackTest, PerFlowSubStreamsAreIndependentOfFlowCount) {
+  // Each flow draws from Rng::sub_stream(seed, flow), so adding decoys
+  // must not perturb the flows that already existed.  (This is what
+  // makes the sub-stream reseeding an improvement, not just a change —
+  // see EXPERIMENTS.md.)
+  auto small = easy_config();
+  small.pn_degree = 7;
+  small.num_decoys = 2;
+  auto large = small;
+  large.num_decoys = 6;
+
+  const auto a = run_traceback(small).value();
+  const auto b = run_traceback(large).value();
+  ASSERT_EQ(a.flows.size(), 3u);
+  ASSERT_EQ(b.flows.size(), 7u);
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.flows[i].detection.correlation),
+              std::bit_cast<std::uint64_t>(b.flows[i].detection.correlation))
+        << "flow " << i;
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/stats.h"
 #include "watermark/dsss.h"
 
 namespace lexfor::watermark {
@@ -202,6 +203,37 @@ TEST(CorrelationKernelTest, SegmentDespreadMatchesNaiveSegmentLoop) {
               std::bit_cast<std::uint64_t>(expected))
         << "segment " << b;
   }
+}
+
+TEST(CorrelationKernelTest, CrossScoreMatchesPearsonBitForBit) {
+  // cross_score is the kernel-side replacement for the hand-rolled
+  // passive correlation in bench_baseline; util::pearson stays as the
+  // naive oracle it must match exactly.
+  Rng rng{20260805};
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.uniform(200);
+    std::vector<double> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.normal(100.0, 25.0);
+      b[i] = 0.4 * a[i] + rng.normal(0.0, 10.0);
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                  CorrelationKernel::cross_score(a, b)),
+              std::bit_cast<std::uint64_t>(lexfor::pearson(a, b)))
+        << "trial " << trial << " n " << n;
+  }
+}
+
+TEST(CorrelationKernelTest, CrossScoreDegenerateInputsAreZero) {
+  const std::vector<double> flat(8, 3.0);
+  const std::vector<double> ramp{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  const std::vector<double> one{1.0};
+  const std::vector<double> shorter{1.0, 2.0};
+  EXPECT_EQ(CorrelationKernel::cross_score(flat, ramp), 0.0);   // zero variance
+  EXPECT_EQ(CorrelationKernel::cross_score(ramp, flat), 0.0);
+  EXPECT_EQ(CorrelationKernel::cross_score(one, one), 0.0);     // n < 2
+  EXPECT_EQ(CorrelationKernel::cross_score(ramp, shorter), 0.0);  // mismatch
+  EXPECT_EQ(CorrelationKernel::cross_score({}, {}), 0.0);
 }
 
 }  // namespace

@@ -11,10 +11,14 @@
 # Experiment benches that self-verify gate the harness through their
 # exit status: bench_table1 (all 20 rows must reproduce),
 # bench_batch_engine (A-BATCH: parallel batch evaluation must be
-# bit-identical to serial with a >= 90% verdict-cache hit rate), and
+# bit-identical to serial with a >= 90% verdict-cache hit rate),
 # bench_watermark + bench_multiflow (A-SCAN: the correlation kernel and
 # the ScanBatch fan-out must score bit-identically to the naive
-# reference scan, and the kernel must beat its per-offset cost).
+# reference scan, and the kernel must beat its per-offset cost),
+# bench_stream (A-STREAM: the online despreader must match the batch
+# scan bit for bit in O(ring) memory and the tap admission gate must
+# hold), and bench_baseline (E-IVB gate: kernel cross_score must match
+# the naive pearson oracle bit for bit).
 #
 # Usage: tools/run_benchmarks.sh [options]
 #   --build-dir DIR   build tree to use              (default: build)

@@ -87,7 +87,8 @@ tsan_build() {
   cmake -B build-tsan -S . "-DLEXFOR_SANITIZE=thread" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
   cmake --build build-tsan -j "${JOBS}" \
-        --target obs_test util_test legal_test watermark_test tornet_test
+        --target obs_test util_test legal_test watermark_test tornet_test \
+                 stream_test
 }
 tsan_stress() {
   TSAN_OPTIONS=halt_on_error=1 \
@@ -109,16 +110,23 @@ tsan_scan_batch() {
   ./build-tsan/tests/watermark_test \
       --gtest_filter='ScanBatchTest.*'
 }
+tsan_stream() {
+  # The streaming tap drives netsim + legal admission (shared verdict
+  # cache) + online despread in one binary; run the whole suite.
+  TSAN_OPTIONS=halt_on_error=1 \
+  ./build-tsan/tests/stream_test
+}
 tsan_traceback_fanout() {
   TSAN_OPTIONS=halt_on_error=1 \
   ./build-tsan/tests/tornet_test \
       --gtest_filter='TracebackTest.DetectThreadCountDoesNotChangeResults:MultiflowTest.DetectThreadCountDoesNotChangeResults'
 }
-stage "TSan build (obs_test util_test legal_test watermark_test tornet_test)" tsan_build
+stage "TSan build (obs_test util_test legal_test watermark_test tornet_test stream_test)" tsan_build
 stage "obs thread-stress under TSan" tsan_stress
 stage "thread pool + sharded LRU cache under TSan" tsan_pool_cache
 stage "batch evaluator under TSan" tsan_batch
 stage "watermark scan batch under TSan" tsan_scan_batch
+stage "streaming tap suite under TSan" tsan_stream
 stage "tornet detection fan-out under TSan" tsan_traceback_fanout
 
 # ------------------------------------------------------ 4. lint regression
