@@ -1,0 +1,26 @@
+// Prints the generated doctrine table (every scene in LEXFOR_SCENE_LIST
+// with its expected verdict) and then runs a small differential sweep to
+// demonstrate the N-version consistency harness.
+//
+//   $ ./build/examples/scene_table [trials]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "check/rules.h"
+#include "legal/scenario_library.h"
+
+int main(int argc, char** argv) {
+  using namespace lexfor;
+
+  std::cout << "# Scenario library (" << legal::library::kSceneCount
+            << " scenes)\n\n"
+            << legal::library::scene_table_markdown() << "\n";
+
+  check::CheckOptions options;
+  options.trials = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000;
+  std::cout << "# Differential + metamorphic sweep\n\n";
+  const check::CheckReport report = check::run_all(options);
+  std::cout << report.summary() << "\n";
+  return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,302 @@
+#include "check/rules.h"
+
+#include <sstream>
+
+#include "check/scenario_gen.h"
+#include "legal/scenario_library.h"
+#include "legal/suppression.h"
+#include "lint/linter.h"
+#include "lint/passes.h"
+#include "obs/obs.h"
+
+namespace lexfor::check {
+namespace {
+
+using legal::ProcessKind;
+using legal::Scenario;
+
+constexpr int rank(ProcessKind k) noexcept { return static_cast<int>(k); }
+
+constexpr ProcessKind kAllProcesses[] = {
+    ProcessKind::kNone, ProcessKind::kSubpoena, ProcessKind::kCourtOrder,
+    ProcessKind::kSearchWarrant, ProcessKind::kWiretapOrder};
+
+void add_violation(CheckReport& report, std::string_view rule,
+                   std::string detail, const Scenario& s) {
+  LEXFOR_OBS_COUNTER_ADD("check.violations", 1);
+  // seed/trial are stamped by run_rules once it knows them.
+  report.violations.push_back(
+      Violation{std::string(rule), std::move(detail), describe_scenario(s)});
+}
+
+// The minimum process the engine derives for `s`.
+ProcessKind required_for(const Scenario& s, const legal::BatchEvaluator& eval) {
+  return eval.evaluate(s).required_process;
+}
+
+}  // namespace
+
+void ProcessMonotonicityRule::check(const Scenario& base,
+                                    const legal::BatchEvaluator& eval,
+                                    Rng& /*rng*/, CheckReport& report) const {
+  const legal::Determination d = eval.evaluate(base);
+
+  // Suppression layer: admissibility is monotone in the instrument held.
+  bool prev_suppressed = true;
+  for (const ProcessKind held : kAllProcesses) {
+    legal::ProvenanceGraph graph;
+    legal::AcquisitionRecord rec;
+    rec.id = EvidenceId{1};
+    rec.description = base.name;
+    rec.required = d.required_process;
+    rec.held = held;
+    (void)graph.add(rec);
+    const bool suppressed =
+        legal::analyze_suppression(graph).is_suppressed(EvidenceId{1});
+    ++report.comparisons;
+    if (suppressed && !prev_suppressed) {
+      std::ostringstream os;
+      os << "upgrading the instrument to " << to_string(held)
+         << " got evidence suppressed that a weaker instrument kept "
+            "admissible (required "
+         << to_string(d.required_process) << ")";
+      add_violation(report, name(), os.str(), base);
+    }
+    prev_suppressed = suppressed;
+  }
+
+  // Lint layer: the missing-process diagnostic is antitone in the
+  // intended instrument — once an authority satisfies the engine, every
+  // stronger authority does too.
+  bool prev_missing = true;
+  for (const ProcessKind authority : kAllProcesses) {
+    const lint::LintReport lint_report =
+        lint::PlanLinter{}.lint(single_step_plan(base, authority));
+    const bool missing = lint_report.has(lint::kRuleMissingProcess);
+    ++report.comparisons;
+    if (missing && !prev_missing) {
+      std::ostringstream os;
+      os << "the linter flagged missing-process under a "
+         << to_string(authority)
+         << " but accepted a weaker instrument (required "
+         << to_string(d.required_process) << ")";
+      add_violation(report, name(), os.str(), base);
+    }
+    prev_missing = missing;
+  }
+}
+
+void ConsentMonotonicityRule::check(const Scenario& base,
+                                    const legal::BatchEvaluator& eval,
+                                    Rng& /*rng*/, CheckReport& report) const {
+  Scenario no_consent = base;
+  no_consent.consent = legal::ConsentKind::kNone;
+  no_consent.consent_revoked = false;
+  const ProcessKind baseline = required_for(no_consent, eval);
+
+  for (std::uint8_t c = 0; c < 10; ++c) {
+    Scenario consented = no_consent;
+    consented.consent = static_cast<legal::ConsentKind>(c);
+    const ProcessKind with_consent = required_for(consented, eval);
+    ++report.comparisons;
+    if (rank(with_consent) > rank(baseline)) {
+      std::ostringstream os;
+      os << "adding " << to_string(consented.consent)
+         << " RAISED the required process from " << to_string(baseline)
+         << " to " << to_string(with_consent);
+      add_violation(report, name(), os.str(), consented);
+    }
+  }
+}
+
+void ExigencyMonotonicityRule::check(const Scenario& base,
+                                     const legal::BatchEvaluator& eval,
+                                     Rng& /*rng*/, CheckReport& report) const {
+  Scenario calm = base;
+  calm.exigent_circumstances = false;
+  Scenario exigent = base;
+  exigent.exigent_circumstances = true;
+  const ProcessKind without = required_for(calm, eval);
+  const ProcessKind with = required_for(exigent, eval);
+  ++report.comparisons;
+  if (rank(with) > rank(without)) {
+    std::ostringstream os;
+    os << "exigent circumstances RAISED the required process from "
+       << to_string(without) << " to " << to_string(with);
+    add_violation(report, name(), os.str(), exigent);
+  }
+}
+
+void ExposureMonotonicityRule::check(const Scenario& base,
+                                     const legal::BatchEvaluator& eval,
+                                     Rng& /*rng*/, CheckReport& report) const {
+  Scenario kept_private = base;
+  kept_private.knowingly_exposed_to_public = false;
+  Scenario exposed = base;
+  exposed.knowingly_exposed_to_public = true;
+  const ProcessKind without = required_for(kept_private, eval);
+  const ProcessKind with = required_for(exposed, eval);
+  ++report.comparisons;
+  if (rank(with) > rank(without)) {
+    std::ostringstream os;
+    os << "public exposure RAISED the required process from "
+       << to_string(without) << " to " << to_string(with);
+    add_violation(report, name(), os.str(), exposed);
+  }
+}
+
+void TaintMonotonicityRule::check(const Scenario& base,
+                                  const legal::BatchEvaluator& eval, Rng& rng,
+                                  CheckReport& report) const {
+  const auto day = [](double d) { return SimTime::from_sec(d * 86400.0); };
+
+  // A step that is always tainted: a warrantless real-time content
+  // interception (Title III demands a wiretap order; no authority is
+  // planned).
+  const Scenario poison = Scenario{}
+                              .named("poison: warrantless wiretap")
+                              .by(legal::ActorKind::kLawEnforcement)
+                              .acquiring(legal::DataKind::kContent)
+                              .located(legal::DataState::kInTransit)
+                              .when(legal::Timing::kRealTime);
+  // A step that is never tainted on its own: `base` sanitized so it
+  // needs no process (publicly exposed, accessible, no statute bites).
+  Scenario lawful = base;
+  lawful.state = legal::DataState::kPublicVenue;
+  lawful.timing = legal::Timing::kStored;
+  lawful.provider = legal::ProviderClass::kNotAProvider;
+  lawful.knowingly_exposed_to_public = true;
+  lawful.readily_accessible_to_public = true;
+
+  lint::InvestigationPlan plan("taint-monotonicity walk",
+                               legal::CrimeCategory::kGeneral);
+  std::vector<PlanStepId> ids;
+  ids.push_back(plan.plan_acquisition("poison", poison, day(0)).id());
+  for (std::size_t k = 1; k < 4; ++k) {
+    Scenario step = lawful;
+    step.name = "lawful-" + std::to_string(k);
+    auto builder =
+        plan.plan_acquisition(step.name, step, day(static_cast<double>(k)));
+    // Random derivation edges into a subset of the earlier steps.
+    std::vector<PlanStepId> parents;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (rng.bernoulli(0.5)) parents.push_back(ids[j]);
+    }
+    builder.derived(std::move(parents));
+    ids.push_back(builder.id());
+  }
+
+  const auto taint_bits = [&](const lint::PlanContext& ctx) {
+    std::vector<bool> bits;
+    bits.reserve(ids.size());
+    for (const PlanStepId id : ids) {
+      const lint::StepAnalysis* step = ctx.find(id);
+      bits.push_back(step != nullptr && step->tainted);
+    }
+    return bits;
+  };
+
+  const std::vector<bool> before = taint_bits(lint::PlanContext(plan, eval));
+
+  // Add one derivation edge from the tainted root into a random later
+  // step; the static closure must be pointwise monotone in the edge set.
+  const std::size_t target = 1 + rng.uniform(ids.size() - 1);
+  std::vector<PlanStepId> parents =
+      plan.steps()[target].derived_from;
+  parents.push_back(ids[0]);
+  lint::InvestigationPlan::StepBuilder(plan, target)
+      .derived(std::move(parents));
+
+  const std::vector<bool> after = taint_bits(lint::PlanContext(plan, eval));
+
+  ++report.comparisons;
+  if (!before[0]) {
+    add_violation(report, name(),
+                  "the warrantless-wiretap root step was not tainted", poison);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (before[i] && !after[i]) {
+      std::ostringstream os;
+      os << "adding a tainted derivation edge into step " << target
+         << " UN-tainted step " << i;
+      add_violation(report, name(), os.str(), base);
+    }
+  }
+}
+
+std::vector<std::unique_ptr<Rule>> default_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<ProcessMonotonicityRule>());
+  rules.push_back(std::make_unique<ConsentMonotonicityRule>());
+  rules.push_back(std::make_unique<ExigencyMonotonicityRule>());
+  rules.push_back(std::make_unique<ExposureMonotonicityRule>());
+  rules.push_back(std::make_unique<TaintMonotonicityRule>());
+  return rules;
+}
+
+CheckReport run_rules(const std::vector<std::unique_ptr<Rule>>& rules,
+                      const CheckOptions& options) {
+  LEXFOR_OBS_SPAN(obs::Level::kInfo, "check", "rules",
+                  "trials=" + std::to_string(options.trials),
+                  obs::no_sim_time());
+  const legal::BatchEvaluator eval(legal::BatchOptions{
+      .threads = 1,
+      .cache_capacity = 1 << 15,
+      .cache_shards = 8,
+      .use_shared_cache = false});
+  CheckReport report;
+
+  const auto full = [&] {
+    return options.max_violations != 0 &&
+           report.violations.size() >= options.max_violations;
+  };
+  const auto sweep = [&](const Scenario& base, Rng& rng, std::size_t trial) {
+    ++report.scenarios_checked;
+    LEXFOR_OBS_COUNTER_ADD("check.scenarios", 1);
+    for (const auto& rule : rules) {
+      const std::size_t had = report.violations.size();
+      LEXFOR_OBS_COUNTER_ADD("check.rule_checks", 1);
+      rule->check(base, eval, rng, report);
+      for (std::size_t i = had; i < report.violations.size(); ++i) {
+        report.violations[i].seed = options.seed;
+        report.violations[i].trial = trial;
+      }
+    }
+  };
+
+  // Library corpus: each curated scene, with a rule-private stream
+  // offset far past the trial streams.
+  std::size_t scene_index = 0;
+  for (const auto& scene : legal::library::scenes()) {
+    Rng rng = Rng::sub_stream(options.seed, (1ULL << 32) + scene_index++);
+    sweep(scene.build(), rng, 0);
+    if (full()) return report;
+  }
+
+  // Seeded random scenarios — the same (seed, trial) streams the
+  // differential checker walks, so a failing trial replays in either.
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    ++report.trials;
+    LEXFOR_OBS_COUNTER_ADD("check.trials", 1);
+    Rng rng = Rng::sub_stream(options.seed, trial);
+    ScenarioGen gen(rng);
+    const Scenario base = gen.generate(
+        "rules-" + std::to_string(options.seed) + "-" + std::to_string(trial));
+    sweep(base, rng, trial);
+    if (full()) return report;
+  }
+  return report;
+}
+
+CheckReport run_rules(const CheckOptions& options) {
+  return run_rules(default_rules(), options);
+}
+
+CheckReport run_all(const CheckOptions& options) {
+  CheckReport report = run_differential(options);
+  CheckReport rules_report = run_rules(options);
+  report.merge(rules_report);
+  return report;
+}
+
+}  // namespace lexfor::check

@@ -1,0 +1,117 @@
+// Metamorphic invariant rules over the doctrine space.
+//
+// The differential checker (differential.h) asks whether the three
+// doctrine encodings agree on one scenario; the rules here ask whether
+// each encoding respects the LATTICE STRUCTURE of the doctrine across
+// related scenarios.  The paper's regimes compose monotonically — an
+// exception can only excuse process, a stronger instrument can only
+// satisfy more requirements, a tainted parent can only taint — so for
+// any scenario s and its mutant s':
+//
+//   process-monotonicity  admissibility is monotone in the instrument
+//                         held: once evidence survives with instrument
+//                         h, it survives with any stronger one, in both
+//                         the suppression auditor and the linter's
+//                         missing-process pass.
+//   consent-monotonicity  adding consent (any flavor, unrevoked) never
+//                         RAISES the required process relative to the
+//                         same scenario with no consent.
+//   exigency-monotonicity exigent circumstances never raise the
+//                         required process.
+//   exposure-monotonicity knowingly exposing the data to the public
+//                         never raises the required process (Katz: what
+//                         one exposes to the public is unprotected).
+//   taint-monotonicity    adding a derivation edge from a tainted step
+//                         never UN-taints any step: the linter's static
+//                         closure is pointwise monotone in the edge set.
+//
+// Each rule is a check::Rule; default_rules() returns the registry and
+// run_rules() sweeps it over seeded random scenarios plus every library
+// scene.  A violation here means an encoding disagrees with the
+// doctrine's own algebra — a bug no single-scenario test can name.
+
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "check/differential.h"
+#include "legal/batch.h"
+#include "legal/scenario.h"
+#include "util/rng.h"
+
+namespace lexfor::check {
+
+// One metamorphic invariant.  Rules are stateless; check() derives the
+// mutant(s) of `base` itself and appends any violations to `report`.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  virtual void check(const legal::Scenario& base,
+                     const legal::BatchEvaluator& eval, Rng& rng,
+                     CheckReport& report) const = 0;
+};
+
+class ProcessMonotonicityRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "process-monotonicity";
+  }
+  void check(const legal::Scenario& base, const legal::BatchEvaluator& eval,
+             Rng& rng, CheckReport& report) const override;
+};
+
+class ConsentMonotonicityRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "consent-monotonicity";
+  }
+  void check(const legal::Scenario& base, const legal::BatchEvaluator& eval,
+             Rng& rng, CheckReport& report) const override;
+};
+
+class ExigencyMonotonicityRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "exigency-monotonicity";
+  }
+  void check(const legal::Scenario& base, const legal::BatchEvaluator& eval,
+             Rng& rng, CheckReport& report) const override;
+};
+
+class ExposureMonotonicityRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "exposure-monotonicity";
+  }
+  void check(const legal::Scenario& base, const legal::BatchEvaluator& eval,
+             Rng& rng, CheckReport& report) const override;
+};
+
+class TaintMonotonicityRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "taint-monotonicity";
+  }
+  void check(const legal::Scenario& base, const legal::BatchEvaluator& eval,
+             Rng& rng, CheckReport& report) const override;
+};
+
+// The built-in registry, in documentation order.
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> default_rules();
+
+// Sweeps `rules` over every library scene plus options.trials seeded
+// random scenarios (same (seed, trial) streams as the differential
+// checker, so a reported trial replays identically in either harness).
+[[nodiscard]] CheckReport run_rules(
+    const std::vector<std::unique_ptr<Rule>>& rules,
+    const CheckOptions& options);
+[[nodiscard]] CheckReport run_rules(const CheckOptions& options);
+
+// The whole harness: differential cross-check + metamorphic rules,
+// merged into one report.
+[[nodiscard]] CheckReport run_all(const CheckOptions& options);
+
+}  // namespace lexfor::check

@@ -1,6 +1,12 @@
 #include "legal/scenario_library.h"
 
+#include <sstream>
+
 namespace lexfor::legal::library {
+
+// ---------------------------------------------------------------------------
+// Fourth Amendment heartland (§II.C)
+// ---------------------------------------------------------------------------
 
 Scenario thermal_imaging_of_home() {
   return Scenario{}
@@ -34,23 +40,6 @@ Scenario curbside_garbage_pull() {
       .located(DataState::kPublicVenue)
       .when(Timing::kStored)
       .exposed_publicly();
-}
-
-Scenario undercover_chat_recording() {
-  return Scenario{}
-      .named("undercover agent records the chat (federal)")
-      .by(ActorKind::kLawEnforcement)
-      .acquiring(DataKind::kContent)
-      .located(DataState::kInTransit)
-      .when(Timing::kRealTime)
-      .with_consent(ConsentKind::kOnePartyToComm)
-      .in_jurisdiction("US");
-}
-
-Scenario undercover_chat_recording_all_party_state() {
-  return undercover_chat_recording()
-      .named("undercover agent records the chat (all-party state)")
-      .in_jurisdiction("CA");
 }
 
 Scenario planted_tracker_on_vehicle() {
@@ -104,21 +93,157 @@ Scenario hotel_abandoned_device() {
       .with_consent(ConsentKind::kOwnerConsent);  // manager's authority
 }
 
-Scenario cloud_storage_subscriber_subpoena() {
+Scenario p2p_shared_folder_download() {
   return Scenario{}
-      .named("subscriber records from a cloud-storage provider")
+      .named("download from the suspect's P2P shared folder")
       .by(ActorKind::kLawEnforcement)
-      .acquiring(DataKind::kSubscriberRecords)
-      .located(DataState::kStoredAtProvider)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
       .when(Timing::kStored)
-      .at_provider(ProviderClass::kRcs)
+      .shared();  // placed in a folder served to any peer (King/Stults)
+}
+
+Scenario seized_sender_email_after_delivery() {
+  return Scenario{}
+      .named("sender's email examined after delivery to the recipient")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
+      .when(Timing::kStored)
+      .delivered();  // the sender's REP terminated on delivery
+}
+
+Scenario exigent_phone_seizure_destruction_risk() {
+  return Scenario{}
+      .named("phone seized amid imminent remote-wipe risk")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
+      .when(Timing::kStored)
+      .exigent();
+}
+
+Scenario remining_lawfully_imaged_disk() {
+  return Scenario{}
+      .named("re-mining a disk image already lawfully acquired")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
+      .when(Timing::kStored)
+      .previously_acquired();
+}
+
+// ---------------------------------------------------------------------------
+// Wiretap Act & consent regimes (§III.B.c)
+// ---------------------------------------------------------------------------
+
+Scenario wiretap_no_consent_federal() {
+  return Scenario{}
+      .named("full-content interception with no party's consent")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
       .in_jurisdiction("US");
 }
 
-Scenario cloud_storage_content_demand() {
-  return cloud_storage_subscriber_subpoena()
-      .named("stored files from a cloud-storage provider")
-      .acquiring(DataKind::kContent);
+Scenario undercover_chat_recording() {
+  return Scenario{}
+      .named("undercover agent records the chat (federal)")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .with_consent(ConsentKind::kOnePartyToComm)
+      .in_jurisdiction("US");
+}
+
+Scenario undercover_chat_recording_all_party_state() {
+  return undercover_chat_recording()
+      .named("undercover agent records the chat (all-party state)")
+      .in_jurisdiction("CA");
+}
+
+Scenario recorded_call_two_party_state_md() {
+  return Scenario{}
+      .named("one-party-consent call recording on a Maryland wire")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .with_consent(ConsentKind::kOnePartyToComm)
+      .in_jurisdiction("MD");  // all-party: one consent does not suffice
+}
+
+Scenario recorded_call_all_party_consent_wa() {
+  return Scenario{}
+      .named("call recording with every party's consent (Washington)")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .with_consent(ConsentKind::kAllPartiesToComm)
+      .in_jurisdiction("WA");
+}
+
+Scenario consent_revoked_mid_call() {
+  return Scenario{}
+      .named("interception continuing after consent was revoked")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .with_consent(ConsentKind::kOnePartyToComm)
+      .revoked()
+      .in_jurisdiction("US");
+}
+
+Scenario public_chatroom_observation() {
+  return Scenario{}
+      .named("monitoring an open public chatroom")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .publicly_accessible()  // 2511(2)(g)(i)
+      .exposed_publicly();
+}
+
+// ---------------------------------------------------------------------------
+// Pen/Trap & FISA-adjacent postures (§II.B)
+// ---------------------------------------------------------------------------
+
+Scenario pen_register_dialed_digits() {
+  return Scenario{}
+      .named("pen register on dialed digits / packet headers")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kAddressing)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .in_jurisdiction("US");
+}
+
+Scenario fisa_style_foreign_intel_tap() {
+  // FISA itself is outside the paper's four statutes; the conservative
+  // domestic-wire answer is the Title III super-warrant, which is how we
+  // encode the posture here (documented substitution).
+  return Scenario{}
+      .named("foreign-intelligence tap on a domestic wire (FISA-adjacent)")
+      .by(ActorKind::kGovernmentAgent)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .in_jurisdiction("US");
+}
+
+Scenario national_security_emergency_pen_trap() {
+  return Scenario{}
+      .named("emergency pen/trap under 18 U.S.C. 3125(a)")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kAddressing)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .pen_trap_emergency();
 }
 
 Scenario isp_tap_with_consent_federal() {
@@ -136,6 +261,264 @@ Scenario isp_tap_cross_border_all_party() {
   return isp_tap_with_consent_federal()
       .named("the same ISP tap across an all-party-consent border")
       .in_jurisdiction("CA");
+}
+
+// ---------------------------------------------------------------------------
+// SCA ladder & MLAT chains (§III.A)
+// ---------------------------------------------------------------------------
+
+Scenario cloud_storage_subscriber_subpoena() {
+  return Scenario{}
+      .named("subscriber records from a cloud-storage provider")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kSubscriberRecords)
+      .located(DataState::kStoredAtProvider)
+      .when(Timing::kStored)
+      .at_provider(ProviderClass::kRcs)
+      .in_jurisdiction("US");
+}
+
+Scenario cloud_storage_content_demand() {
+  return cloud_storage_subscriber_subpoena()
+      .named("stored files from a cloud-storage provider")
+      .acquiring(DataKind::kContent);
+}
+
+Scenario mlat_stored_content_foreign_rcs() {
+  // The treaty routes the request; the substantive rung of the 2703
+  // ladder is unchanged: stored content at an RCS takes a warrant-grade
+  // showing at the receiving end.
+  return Scenario{}
+      .named("MLAT request for content held by a foreign RCS")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kStoredAtProvider)
+      .when(Timing::kStored)
+      .at_provider(ProviderClass::kRcs)
+      .in_jurisdiction("US");
+}
+
+Scenario mlat_subscriber_identity_request() {
+  return Scenario{}
+      .named("MLAT request for a foreign subscriber's identity")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kSubscriberRecords)
+      .located(DataState::kStoredAtProvider)
+      .when(Timing::kStored)
+      .at_provider(ProviderClass::kEcs)
+      .in_jurisdiction("US");
+}
+
+Scenario mlat_transactional_log_chain() {
+  return Scenario{}
+      .named("MLAT chain for cross-border session logs")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kTransactionalRecords)
+      .located(DataState::kStoredAtProvider)
+      .when(Timing::kStored)
+      .at_provider(ProviderClass::kRcs)
+      .in_jurisdiction("US");
+}
+
+Scenario historical_cell_site_dump() {
+  // Paper-era posture: historical cell-site location information as
+  // ordinary 2703(d) transactional material (pre-Carpenter).
+  return Scenario{}
+      .named("historical cell-site records from the carrier")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kTransactionalRecords)
+      .located(DataState::kStoredAtProvider)
+      .when(Timing::kStored)
+      .at_provider(ProviderClass::kEcs)
+      .in_jurisdiction("US");
+}
+
+Scenario unopened_mail_on_university_server() {
+  return Scenario{}
+      .named("unretrieved mail on a non-public university server")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kStoredAtProvider)
+      .when(Timing::kStored)
+      .at_provider(ProviderClass::kNonPublic);
+}
+
+Scenario opened_mail_on_university_server() {
+  return unopened_mail_on_university_server()
+      .named("opened mail retained on a non-public university server")
+      .opened();
+}
+
+// ---------------------------------------------------------------------------
+// Cloud multi-tenant & provider-consent splits
+// ---------------------------------------------------------------------------
+
+Scenario cloud_provider_abuse_scan_disclosure() {
+  return Scenario{}
+      .named("provider's own abuse scan, fruits voluntarily disclosed")
+      .by(ActorKind::kProviderAdmin)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kStoredAtProvider)
+      .when(Timing::kStored)
+      .at_provider(ProviderClass::kRcs)
+      .provider_protecting();
+}
+
+Scenario govt_directed_admin_search() {
+  return Scenario{}
+      .named("provider admin searching at the government's direction")
+      .by(ActorKind::kProviderAdmin)
+      .under_color_of_law()  // direction converts the admin to a state actor
+      .acquiring(DataKind::kContent)
+      .located(DataState::kStoredAtProvider)
+      .when(Timing::kStored)
+      .at_provider(ProviderClass::kRcs);
+}
+
+Scenario cloud_tenant_shared_workspace_consent() {
+  return Scenario{}
+      .named("co-tenant consents to the shared workspace")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
+      .when(Timing::kStored)
+      .with_consent(ConsentKind::kCoUserSharedSpace);
+}
+
+Scenario cloud_tenant_passworded_sibling_space() {
+  return cloud_tenant_shared_workspace_consent()
+      .named("co-tenant consent aimed at a password-protected sibling space")
+      .password_protected();  // Trulock: the consent stops here
+}
+
+Scenario cloud_policy_banner_monitoring() {
+  return Scenario{}
+      .named("tenant monitoring authorized by the service's policy banner")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kStoredAtProvider)
+      .when(Timing::kStored)
+      .at_provider(ProviderClass::kRcs)
+      .with_consent(ConsentKind::kPolicyBanner);
+}
+
+Scenario employer_search_of_workplace_pc() {
+  return Scenario{}
+      .named("private employer consents to a workplace PC search")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
+      .when(Timing::kStored)
+      .with_consent(ConsentKind::kEmployerPrivate);
+}
+
+// ---------------------------------------------------------------------------
+// IoT & vehicle telemetry
+// ---------------------------------------------------------------------------
+
+Scenario vehicle_telematics_live_pings() {
+  return Scenario{}
+      .named("live telematics location pings from a connected car")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kAddressing)  // non-content location/routing data
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .in_jurisdiction("US");
+}
+
+Scenario vehicle_edr_postcrash_download() {
+  return Scenario{}
+      .named("post-crash download of the event data recorder")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
+      .when(Timing::kStored);
+}
+
+Scenario infotainment_owner_consent_extraction() {
+  return vehicle_edr_postcrash_download()
+      .named("infotainment extraction with the owner's consent")
+      .with_consent(ConsentKind::kOwnerConsent);
+}
+
+Scenario smart_speaker_stored_audio_demand() {
+  return Scenario{}
+      .named("stored smart-speaker audio demanded from the provider")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kStoredAtProvider)
+      .when(Timing::kStored)
+      .at_provider(ProviderClass::kEcs);
+}
+
+Scenario smart_meter_interval_records() {
+  return Scenario{}
+      .named("smart-meter interval usage records from the utility cloud")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kTransactionalRecords)
+      .located(DataState::kStoredAtProvider)
+      .when(Timing::kStored)
+      .at_provider(ProviderClass::kRcs);
+}
+
+Scenario iot_open_broadcast_telemetry() {
+  return Scenario{}
+      .named("IoT telemetry broadcast in the clear")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kAddressing)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .publicly_accessible();  // unencrypted open broadcast, 2511(2)(g)(i)
+}
+
+// ---------------------------------------------------------------------------
+// Victim-side monitoring (§III.B.c / 2511(2)(i))
+// ---------------------------------------------------------------------------
+
+Scenario honeypot_on_victim_server() {
+  return Scenario{}
+      .named("honeypot monitoring of the intruder on the victim's server")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kInTransit)
+      .when(Timing::kRealTime)
+      .with_consent(ConsentKind::kVictimOfAttack)
+      .on_victim_system();
+}
+
+Scenario counterhack_into_attacker_box() {
+  return Scenario{}
+      .named("reaching into the attacker's own machine")
+      .by(ActorKind::kLawEnforcement)
+      .acquiring(DataKind::kContent)
+      .located(DataState::kOnDevice)
+      .when(Timing::kStored)
+      .with_consent(ConsentKind::kVictimOfAttack)
+      .reaching_attacker();
+}
+
+// ---------------------------------------------------------------------------
+// Registry helpers
+// ---------------------------------------------------------------------------
+
+const SceneDescriptor* find_scene(std::string_view id) noexcept {
+  for (const auto& d : kSceneTable) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+std::string scene_table_markdown() {
+  std::ostringstream os;
+  os << "| # | Scene | Verdict | Minimum process | Doctrine |\n";
+  os << "|--:|-------|---------|-----------------|----------|\n";
+  std::size_t n = 0;
+  for (const auto& d : kSceneTable) {
+    os << "| " << ++n << " | `" << d.id << "` | " << d.expected_verdict()
+       << " | " << (d.expects_process() ? to_string(d.expected_process) : "—")
+       << " | " << d.summary << " |\n";
+  }
+  return os.str();
 }
 
 }  // namespace lexfor::legal::library

@@ -1,78 +1,18 @@
 // A library of canonical investigative postures beyond Table 1.
 //
-// Each returns a ready-made Scenario for a situation the paper (or the
+// Each scene is a ready-made Scenario for a situation the paper (or the
 // doctrine it surveys) discusses, so tools and tests can reference
 // "thermal imaging of a home" rather than re-deriving fifteen flags.
-// Where the doctrine fixes the answer, the expected verdict is noted in
-// the comment and asserted by the scenario-library tests.
+//
+// The library is table-driven: legal/scene_table.h holds the single
+// LEXFOR_SCENE_LIST descriptor table (accessor, expected verdict,
+// doctrinal summary) from which the accessor declarations, the
+// SceneDescriptor registry, the generated engine/lint expectation
+// tests, the differential-checker corpus, and the README doctrine
+// table all derive.  This header remains the stable include for
+// callers; add scenes by adding a row there plus a builder in
+// scenario_library.cpp.
 
 #pragma once
 
-#include "legal/scenario.h"
-
-namespace lexfor::legal::library {
-
-// Kyllo v. United States: thermal imager aimed at a home, technology not
-// in general public use.  => Need (search warrant).
-[[nodiscard]] Scenario thermal_imaging_of_home();
-
-// Same device once it is in general public use: the Kyllo carve-out
-// lapses and ordinary exposure analysis governs.  => No need.
-[[nodiscard]] Scenario thermal_imaging_public_tech();
-
-// Garbage left at the curb: knowingly exposed / abandoned to any member
-// of the public.  => No need.
-[[nodiscard]] Scenario curbside_garbage_pull();
-
-// An undercover officer chats with the suspect online and records the
-// conversation (one-party consent, federal baseline).  => No need.
-[[nodiscard]] Scenario undercover_chat_recording();
-
-// The same recording in an all-party-consent state.  => Need.
-[[nodiscard]] Scenario undercover_chat_recording_all_party_state();
-
-// Real-time GPS-style location tracking of a suspect's vehicle via a
-// planted device: treated as non-content but the installation invades a
-// possessory interest; we model the conservative (post-Jones) answer.
-// => Need.
-[[nodiscard]] Scenario planted_tracker_on_vehicle();
-
-// A private repair technician finds contraband while servicing a
-// computer and reports it.  => No need (private search).
-[[nodiscard]] Scenario repair_shop_discovery();
-
-// Officers execute a valid warrant for drug records and stumble on
-// child-pornography images in plain view during the lawful examination.
-// => No need for the observed item (plain view); a new warrant is
-// prudent for the follow-on search.
-[[nodiscard]] Scenario plain_view_during_lawful_search();
-
-// Parole officer searches a parolee's laptop on reasonable suspicion.
-// => No need.
-[[nodiscard]] Scenario parolee_laptop_search();
-
-// A hotel manager consents to a search of a guest's room safe contents
-// after checkout (abandonment / third-party authority).  => No need.
-[[nodiscard]] Scenario hotel_abandoned_device();
-
-// Basic subscriber records (name, billing address) for a cloud-storage
-// account, demanded from the remote computing service holding them —
-// § 2703(c)(2) territory.  => Need (subpoena suffices).
-[[nodiscard]] Scenario cloud_storage_subscriber_subpoena();
-
-// The same provider, but the files themselves: stored CONTENT at an RCS
-// climbs the SCA ladder to its top rung.  => Need (search warrant).
-[[nodiscard]] Scenario cloud_storage_content_demand();
-
-// A §IV.B-style tap at the suspect's ISP: real-time, non-content rate
-// collection, with the cooperating endpoint's one-party consent, under
-// the federal baseline.  => No need (consent excuses the pen/trap
-// order).
-[[nodiscard]] Scenario isp_tap_with_consent_federal();
-
-// The identical tap where the wire sits in an all-party-consent state:
-// one party's consent no longer counts, so the Pen/Trap ladder governs
-// again.  => Need (court order).
-[[nodiscard]] Scenario isp_tap_cross_border_all_party();
-
-}  // namespace lexfor::legal::library
+#include "legal/scene_table.h"  // IWYU pragma: export

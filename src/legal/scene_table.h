@@ -1,0 +1,238 @@
+// The scenario library as one declarative descriptor table.
+//
+// Every canonical scene the library ships is one row of the
+// LEXFOR_SCENE_LIST X-macro: accessor symbol, the minimum process the
+// doctrine fixes for it (kNone == the paper's "No need" column), and a
+// one-line doctrinal summary.  Everything else is GENERATED from the
+// table:
+//
+//   - the accessor declarations in this header,
+//   - the SceneDescriptor registry (kSceneTable / scenes() / find_scene),
+//   - the per-scene engine and lint expectation tests
+//     (tests/check/scene_table_test.cpp iterates the descriptors),
+//   - the differential-checker corpus (src/check walks every row), and
+//   - the README doctrine table (scene_table_markdown(), printed by
+//     examples/scene_table).
+//
+// Compile-time consistency is enforced below with static_asserts: the
+// descriptor count matches the X-macro row count, accessor names are
+// unique, and every expected process is a valid ProcessKind member.
+// Adding a scene is ONE new row plus one builder definition in
+// scenario_library.cpp; forgetting either is a compile error, and a
+// wrong expected verdict fails the generated tests and the
+// check_fuzz differential sweep.
+
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "legal/scenario.h"
+#include "legal/types.h"
+
+// LEXFOR_SCENE_LIST(X): X(symbol, expected_process, "doctrinal summary")
+//
+// expected_process is the unqualified ProcessKind enumerator; kNone
+// means the paper's "No need" verdict.  Rows are grouped by doctrine
+// area; order is the order of the generated README table.
+#define LEXFOR_SCENE_LIST(X)                                                   \
+  /* --- Fourth Amendment heartland (§II.C) ---------------------------- */    \
+  X(thermal_imaging_of_home, kSearchWarrant,                                   \
+    "Kyllo: thermal imager aimed at a home, tech not in general public use")   \
+  X(thermal_imaging_public_tech, kNone,                                        \
+    "same imager once in general public use; ordinary exposure governs")       \
+  X(curbside_garbage_pull, kNone,                                              \
+    "garbage at the curb is knowingly exposed / abandoned to the public")      \
+  X(planted_tracker_on_vehicle, kSearchWarrant,                                \
+    "planted GPS tracker invades a possessory interest (post-Jones)")          \
+  X(repair_shop_discovery, kNone,                                              \
+    "private repair technician finds contraband: private search")              \
+  X(plain_view_during_lawful_search, kNone,                                    \
+    "incriminating file observed in plain view during a lawful search")        \
+  X(parolee_laptop_search, kNone,                                              \
+    "parole search on reasonable suspicion (Knights)")                         \
+  X(hotel_abandoned_device, kNone,                                             \
+    "device abandoned after checkout; manager's authority to consent")         \
+  X(p2p_shared_folder_download, kNone,                                         \
+    "files in a P2P shared folder lost their expectation of privacy")          \
+  X(seized_sender_email_after_delivery, kNone,                                 \
+    "sender's REP terminates on delivery to the recipient")                    \
+  X(exigent_phone_seizure_destruction_risk, kNone,                             \
+    "imminent destruction of evidence excuses the warrant (Mincey)")           \
+  X(remining_lawfully_imaged_disk, kNone,                                      \
+    "re-analysis of a lawfully acquired image is not a new search")            \
+  /* --- Wiretap Act & consent regimes (§III.B.c) ---------------------- */    \
+  X(wiretap_no_consent_federal, kWiretapOrder,                                 \
+    "real-time content interception with no consent: Title III super-warrant") \
+  X(undercover_chat_recording, kNone,                                          \
+    "one-party consent under the federal baseline (2511(2)(c))")               \
+  X(undercover_chat_recording_all_party_state, kWiretapOrder,                  \
+    "the same recording where state law requires all-party consent")           \
+  X(recorded_call_two_party_state_md, kWiretapOrder,                           \
+    "one-party-consent recording on a Maryland wire: consent fails")           \
+  X(recorded_call_all_party_consent_wa, kNone,                                 \
+    "every party consents, so even Washington's all-party rule is met")        \
+  X(consent_revoked_mid_call, kWiretapOrder,                                   \
+    "consent revoked before the interception: the excuse lapses")              \
+  X(public_chatroom_observation, kNone,                                        \
+    "chatroom configured readily accessible to the public (2511(2)(g)(i))")    \
+  /* --- Pen/Trap & FISA-adjacent postures (§II.B) --------------------- */    \
+  X(pen_register_dialed_digits, kCourtOrder,                                   \
+    "real-time dialed digits / addressing: the Pen/Trap ladder")               \
+  X(fisa_style_foreign_intel_tap, kWiretapOrder,                               \
+    "FISA-adjacent domestic wire tap modeled conservatively under Title III")  \
+  X(national_security_emergency_pen_trap, kNone,                               \
+    "3125(a) emergency pen/trap: install first, order within 48 hours")        \
+  X(isp_tap_with_consent_federal, kNone,                                       \
+    "consensual non-content tap at the suspect's ISP (federal baseline)")      \
+  X(isp_tap_cross_border_all_party, kCourtOrder,                               \
+    "the identical tap across an all-party-consent border")                    \
+  /* --- SCA ladder & MLAT chains (§III.A) ----------------------------- */    \
+  X(cloud_storage_subscriber_subpoena, kSubpoena,                              \
+    "basic subscriber records at an RCS: 2703(c)(2) subpoena floor")           \
+  X(cloud_storage_content_demand, kSearchWarrant,                              \
+    "the stored files themselves: top rung of the 2703 ladder")                \
+  X(mlat_stored_content_foreign_rcs, kSearchWarrant,                           \
+    "MLAT chain for content held abroad still lands on the warrant rung")      \
+  X(mlat_subscriber_identity_request, kSubpoena,                               \
+    "treaty request for subscriber identity: subpoena-grade showing")          \
+  X(mlat_transactional_log_chain, kCourtOrder,                                 \
+    "cross-border session logs: 2703(d) articulable-facts order")              \
+  X(historical_cell_site_dump, kCourtOrder,                                    \
+    "historical cell-site records as 2703(d) material (paper-era posture)")    \
+  X(unopened_mail_on_university_server, kSearchWarrant,                        \
+    "unretrieved mail is in ECS electronic storage even on a non-public host") \
+  X(opened_mail_on_university_server, kSearchWarrant,                          \
+    "opened mail drops out of the SCA; the Fourth Amendment still governs")    \
+  /* --- Cloud multi-tenant & provider-consent splits ------------------ */    \
+  X(cloud_provider_abuse_scan_disclosure, kNone,                               \
+    "provider scans its own service and voluntarily discloses the fruits")     \
+  X(govt_directed_admin_search, kSearchWarrant,                                \
+    "the same admin acting at the government's behest is a state actor")       \
+  X(cloud_tenant_shared_workspace_consent, kNone,                              \
+    "co-tenant consents to the shared workspace (Matlock)")                    \
+  X(cloud_tenant_passworded_sibling_space, kSearchWarrant,                     \
+    "co-tenant consent stops at another user's password-protected space")      \
+  X(cloud_policy_banner_monitoring, kNone,                                     \
+    "terms-of-service banner eliminates REP and authorizes monitoring")        \
+  X(employer_search_of_workplace_pc, kNone,                                    \
+    "private employer consents to a workplace-system search (Ziegler)")        \
+  /* --- IoT & vehicle telemetry --------------------------------------- */    \
+  X(vehicle_telematics_live_pings, kCourtOrder,                                \
+    "live non-content location pings from a car: Pen/Trap territory")          \
+  X(vehicle_edr_postcrash_download, kSearchWarrant,                            \
+    "event-data-recorder download is a closed-container device search")        \
+  X(infotainment_owner_consent_extraction, kNone,                              \
+    "vehicle owner consents to extraction of the infotainment unit")           \
+  X(smart_speaker_stored_audio_demand, kSearchWarrant,                         \
+    "stored smart-speaker audio at the provider: content at the top rung")     \
+  X(smart_meter_interval_records, kCourtOrder,                                 \
+    "interval usage records are transactional, not content")                   \
+  X(iot_open_broadcast_telemetry, kNone,                                       \
+    "telemetry broadcast in the clear is readily accessible to the public")    \
+  /* --- Victim-side monitoring (§III.B.c / 2511(2)(i)) ---------------- */    \
+  X(honeypot_on_victim_server, kNone,                                          \
+    "victim authorizes monitoring of the trespasser on the victim's system")   \
+  X(counterhack_into_attacker_box, kSearchWarrant,                             \
+    "victim consent never reaches into the attacker's own machine")
+
+namespace lexfor::legal::library {
+
+// ------------------------------------------------------------------ accessors
+// Each scene is still an ordinary function returning a ready-made
+// Scenario, so call sites keep reading
+// `library::thermal_imaging_of_home()`.  Builder bodies live in
+// scenario_library.cpp.
+#define LEXFOR_SCENE_DECLARE(sym, process, doc) [[nodiscard]] Scenario sym();
+LEXFOR_SCENE_LIST(LEXFOR_SCENE_DECLARE)
+#undef LEXFOR_SCENE_DECLARE
+
+// ------------------------------------------------------------------ registry
+struct SceneDescriptor {
+  std::string_view id;           // accessor symbol, e.g. "curbside_garbage_pull"
+  Scenario (*build)();           // the builder itself
+  ProcessKind expected_process;  // kNone == the paper's "No need" verdict
+  std::string_view summary;      // one-line doctrinal rationale
+
+  [[nodiscard]] constexpr bool expects_process() const noexcept {
+    return expected_process != ProcessKind::kNone;
+  }
+  [[nodiscard]] constexpr std::string_view expected_verdict() const noexcept {
+    return expects_process() ? "Need" : "No need";
+  }
+};
+
+inline constexpr SceneDescriptor kSceneTable[] = {
+#define LEXFOR_SCENE_DESCRIPTOR(sym, process, doc) \
+  SceneDescriptor{#sym, &sym, ProcessKind::process, doc},
+    LEXFOR_SCENE_LIST(LEXFOR_SCENE_DESCRIPTOR)
+#undef LEXFOR_SCENE_DESCRIPTOR
+};
+
+inline constexpr std::size_t kSceneCount = std::size(kSceneTable);
+
+// ------------------------------------------- compile-time consistency checks
+namespace detail {
+
+// Row count of the X-macro list, counted independently of the array, so
+// a descriptor expansion bug cannot silently drop a scene.
+inline constexpr std::size_t kSceneListLength = 0
+#define LEXFOR_SCENE_PLUS_ONE(sym, process, doc) +1
+    LEXFOR_SCENE_LIST(LEXFOR_SCENE_PLUS_ONE)
+#undef LEXFOR_SCENE_PLUS_ONE
+    ;
+
+constexpr bool scene_ids_unique() noexcept {
+  for (std::size_t i = 0; i < kSceneCount; ++i) {
+    for (std::size_t j = i + 1; j < kSceneCount; ++j) {
+      if (kSceneTable[i].id == kSceneTable[j].id) return false;
+    }
+  }
+  return true;
+}
+
+constexpr bool scene_processes_valid() noexcept {
+  for (const auto& d : kSceneTable) {
+    // A descriptor must carry a real ProcessKind member: to_string
+    // returns "?" only for out-of-range values.
+    if (to_string(d.expected_process) == std::string_view("?")) return false;
+    // The builder pointer is not compared here: the X-macro expansion
+    // always takes &sym (so it cannot be null), and GCC rejects
+    // function-pointer comparisons in constant expressions when
+    // instrumented with -fsanitize.  Builders are exercised at runtime
+    // by SceneTableTest.BuildersProduceTheirOwnDescriptorNames.
+    if (d.id.empty() || d.summary.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+static_assert(kSceneCount == detail::kSceneListLength,
+              "scene descriptor table out of sync with LEXFOR_SCENE_LIST");
+static_assert(kSceneCount >= 40,
+              "the scenario library must keep covering the doctrine space "
+              "(>= 40 scenes; see ROADMAP 'Scenario library at scale')");
+static_assert(detail::scene_ids_unique(),
+              "scene accessor names must be unique");
+static_assert(detail::scene_processes_valid(),
+              "every scene needs a valid expected ProcessKind and a "
+              "non-empty id/summary");
+
+// All registered scenes, in table (== README) order.
+[[nodiscard]] constexpr std::span<const SceneDescriptor> scenes() noexcept {
+  return {kSceneTable, kSceneCount};
+}
+
+// Looks a scene up by accessor symbol; nullptr when unknown.
+[[nodiscard]] const SceneDescriptor* find_scene(std::string_view id) noexcept;
+
+// The README doctrine table, generated from the descriptors: one
+// markdown row per scene with its expected verdict / minimum process and
+// summary.  examples/scene_table prints this.
+[[nodiscard]] std::string scene_table_markdown();
+
+}  // namespace lexfor::legal::library

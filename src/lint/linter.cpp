@@ -118,8 +118,19 @@ PlanLinter::PlanLinter() {
   passes_.push_back(std::make_unique<ProofGapPass>());
 }
 
-void PlanLinter::register_pass(std::unique_ptr<LintPass> pass) {
+Status PlanLinter::register_pass(std::unique_ptr<LintPass> pass) {
+  if (pass == nullptr) {
+    return InvalidArgument("register_pass: pass must not be null");
+  }
+  for (const auto& existing : passes_) {
+    if (existing->rule() == pass->rule()) {
+      return AlreadyExists("register_pass: a pass with rule id '" +
+                           std::string(pass->rule()) +
+                           "' is already registered");
+    }
+  }
   passes_.push_back(std::move(pass));
+  return Status::Ok();
 }
 
 LintReport PlanLinter::lint(const InvestigationPlan& plan) const {

@@ -18,6 +18,7 @@
 #include "legal/engine.h"
 #include "lint/diagnostic.h"
 #include "lint/plan.h"
+#include "util/status.h"
 
 namespace lexfor::lint {
 
@@ -86,8 +87,12 @@ class PlanLinter {
   // Constructs a linter with the six built-in passes registered.
   PlanLinter();
 
-  // Adds a custom pass; runs after the built-ins.
-  void register_pass(std::unique_ptr<LintPass> pass);
+  // Adds a custom pass; runs after the built-ins.  Rule ids key
+  // suppressions and regression baselines, so they must be unique:
+  // registering a pass whose rule() collides with a built-in or an
+  // earlier custom pass fails with kAlreadyExists (a null pass is
+  // kInvalidArgument) and leaves the registry unchanged.
+  Status register_pass(std::unique_ptr<LintPass> pass);
 
   [[nodiscard]] const std::vector<std::unique_ptr<LintPass>>& passes()
       const noexcept {

@@ -1,0 +1,74 @@
+// The tier-1 consistency gate: the differential checker and the
+// metamorphic rules must find ZERO disagreements across the library
+// corpus plus at least 10k seeded random scenarios.  The trial count is
+// tunable via LEXFOR_CHECK_TRIALS (tools/run_static_analysis.sh raises
+// it for the sanitizer sweep); any failure prints the offending
+// scenario as a scene-table row that replays the exact trial.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "check/rules.h"
+#include "legal/scene_table.h"
+
+namespace lexfor::check {
+namespace {
+
+std::size_t trials_from_env(std::size_t fallback) {
+  const char* env = std::getenv("LEXFOR_CHECK_TRIALS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+  return parsed == 0 ? fallback : static_cast<std::size_t>(parsed);
+}
+
+TEST(CheckFuzzTest, DifferentialSweepFindsNoDisagreements) {
+  CheckOptions options;
+  options.trials = trials_from_env(10'000);
+  const CheckReport report = run_differential(options);
+
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.trials, options.trials);
+  // Every trial walks 1 + walk_steps scenarios, on top of the library
+  // corpus.
+  EXPECT_EQ(report.scenarios_checked,
+            options.trials * (1 + options.walk_steps) +
+                legal::library::kSceneCount);
+  EXPECT_GT(report.comparisons, report.scenarios_checked);
+}
+
+TEST(CheckFuzzTest, MetamorphicRulesHoldAcrossTheDoctrineSpace) {
+  CheckOptions options;
+  // The rules re-derive several verdict/lint/suppression comparisons
+  // per scenario, so the sweep is bounded tighter than the differential
+  // walk; the static-analysis harness raises both.
+  options.trials = trials_from_env(10'000) / 10;
+  const CheckReport report = run_rules(options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(CheckFuzzTest, SweepIsDeterministicForAFixedSeed) {
+  CheckOptions options;
+  options.trials = 50;
+  const CheckReport a = run_all(options);
+  const CheckReport b = run_all(options);
+  EXPECT_EQ(a.ok(), b.ok());
+  EXPECT_EQ(a.scenarios_checked, b.scenarios_checked);
+  EXPECT_EQ(a.comparisons, b.comparisons);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+TEST(CheckFuzzTest, DifferentSeedsStillAgree) {
+  // The invariants are doctrine facts, not seed accidents.
+  for (const std::uint64_t seed : {1ULL, 0xdecafULL, 0xffff0000ULL}) {
+    CheckOptions options;
+    options.seed = seed;
+    options.trials = 200;
+    const CheckReport report = run_all(options);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.summary();
+  }
+}
+
+}  // namespace
+}  // namespace lexfor::check

@@ -1,0 +1,116 @@
+#include "check/rules.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "check/scenario_gen.h"
+#include "legal/scenario_library.h"
+
+namespace lexfor::check {
+namespace {
+
+TEST(RulesTest, DefaultRegistryCarriesTheFiveInvariantsUniquelyNamed) {
+  const auto rules = default_rules();
+  ASSERT_EQ(rules.size(), 5u);
+  std::set<std::string_view> names;
+  for (const auto& rule : rules) {
+    EXPECT_FALSE(rule->name().empty());
+    EXPECT_TRUE(names.insert(rule->name()).second)
+        << "duplicate rule name: " << rule->name();
+  }
+  EXPECT_TRUE(names.count("process-monotonicity"));
+  EXPECT_TRUE(names.count("taint-monotonicity"));
+}
+
+TEST(RulesTest, SweepOverLibraryAndRandomScenariosIsCleanAndDeterministic) {
+  CheckOptions options;
+  options.trials = 25;
+  const CheckReport a = run_rules(options);
+  EXPECT_TRUE(a.ok()) << a.summary();
+  EXPECT_EQ(a.trials, options.trials);
+  EXPECT_EQ(a.scenarios_checked,
+            options.trials + legal::library::kSceneCount);
+  EXPECT_GT(a.comparisons, 0u);
+
+  const CheckReport b = run_rules(options);
+  EXPECT_EQ(a.comparisons, b.comparisons);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+TEST(RulesTest, InjectedViolationsPropagateWithSeedAndTrialStamped) {
+  class AlwaysFires final : public Rule {
+   public:
+    [[nodiscard]] std::string_view name() const noexcept override {
+      return "always-fires";
+    }
+    void check(const legal::Scenario& base, const legal::BatchEvaluator&,
+               Rng&, CheckReport& report) const override {
+      ++report.comparisons;
+      report.violations.push_back(
+          Violation{"always-fires", "synthetic", describe_scenario(base)});
+    }
+  };
+
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<AlwaysFires>());
+  CheckOptions options;
+  options.seed = 77;
+  options.trials = 4;
+  options.max_violations = 0;  // collect everything
+  const CheckReport report = run_rules(rules, options);
+
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.size(),
+            options.trials + legal::library::kSceneCount);
+  for (const auto& v : report.violations) {
+    EXPECT_EQ(v.rule, "always-fires");
+    EXPECT_EQ(v.seed, 77u);
+    EXPECT_FALSE(v.scenario_row.empty());
+  }
+  // The summary names the rule and carries the repro row.
+  EXPECT_NE(report.summary().find("always-fires"), std::string::npos);
+  EXPECT_NE(report.summary().find("Scenario{}"), std::string::npos);
+}
+
+TEST(RulesTest, MaxViolationsBoundsTheSweep) {
+  class AlwaysFires final : public Rule {
+   public:
+    [[nodiscard]] std::string_view name() const noexcept override {
+      return "always-fires";
+    }
+    void check(const legal::Scenario& base, const legal::BatchEvaluator&,
+               Rng&, CheckReport& report) const override {
+      report.violations.push_back(
+          Violation{"always-fires", "synthetic", describe_scenario(base)});
+    }
+  };
+
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<AlwaysFires>());
+  CheckOptions options;
+  options.trials = 1000;
+  options.max_violations = 3;
+  const CheckReport report = run_rules(rules, options);
+  EXPECT_EQ(report.violations.size(), options.max_violations);
+}
+
+TEST(RulesTest, ReportMergeAccumulates) {
+  CheckReport a;
+  a.trials = 2;
+  a.scenarios_checked = 3;
+  a.comparisons = 5;
+  a.violations.push_back(Violation{"r", "d", "row"});
+  CheckReport b;
+  b.trials = 1;
+  b.comparisons = 7;
+  b.merge(a);
+  EXPECT_EQ(b.trials, 3u);
+  EXPECT_EQ(b.scenarios_checked, 3u);
+  EXPECT_EQ(b.comparisons, 12u);
+  ASSERT_EQ(b.violations.size(), 1u);
+  EXPECT_FALSE(b.ok());
+}
+
+}  // namespace
+}  // namespace lexfor::check

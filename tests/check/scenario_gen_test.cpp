@@ -1,0 +1,79 @@
+#include "check/scenario_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "legal/batch.h"
+
+namespace lexfor::check {
+namespace {
+
+TEST(ScenarioGenTest, SameStreamReproducesTheSameScenario) {
+  Rng a = Rng::sub_stream(42, 7);
+  Rng b = Rng::sub_stream(42, 7);
+  const legal::Scenario sa = ScenarioGen(a).generate("s");
+  const legal::Scenario sb = ScenarioGen(b).generate("s");
+  EXPECT_EQ(describe_scenario(sa), describe_scenario(sb));
+  EXPECT_EQ(legal::fingerprint(sa), legal::fingerprint(sb));
+}
+
+TEST(ScenarioGenTest, DistinctStreamsDiverge) {
+  // Not guaranteed for any single pair, but across 32 streams at least
+  // two must differ unless the generator is broken.
+  Rng base = Rng::sub_stream(42, 0);
+  const std::string first = describe_scenario(ScenarioGen(base).generate("s"));
+  bool diverged = false;
+  for (std::uint64_t stream = 1; stream < 32 && !diverged; ++stream) {
+    Rng rng = Rng::sub_stream(42, stream);
+    diverged = describe_scenario(ScenarioGen(rng).generate("s")) != first;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ScenarioGenTest, MutateReportsWhetherTheScenarioChanged) {
+  Rng rng = Rng::sub_stream(1, 1);
+  ScenarioGen gen(rng);
+  legal::Scenario s = gen.generate("walk");
+  for (int step = 0; step < 200; ++step) {
+    const std::string before = describe_scenario(s);
+    const legal::ScenarioFingerprint fp = legal::fingerprint(s);
+    const bool changed = gen.mutate(s);
+    if (changed) {
+      EXPECT_NE(legal::fingerprint(s), fp) << "step " << step;
+    } else {
+      EXPECT_EQ(describe_scenario(s), before) << "step " << step;
+    }
+  }
+}
+
+TEST(ScenarioGenTest, DescribeRendersOnlyNonDefaultFields) {
+  const legal::Scenario def = legal::Scenario{}.named("blank");
+  EXPECT_EQ(describe_scenario(def), "Scenario{}.named(\"blank\")");
+
+  legal::Scenario s = legal::Scenario{}
+                          .named("tap")
+                          .acquiring(legal::DataKind::kAddressing)
+                          .exigent()
+                          .in_jurisdiction("CA");
+  const std::string row = describe_scenario(s);
+  EXPECT_NE(row.find(".exigent()"), std::string::npos);
+  EXPECT_NE(row.find("\"CA\""), std::string::npos);
+  EXPECT_EQ(row.find(".shared()"), std::string::npos);
+}
+
+TEST(ScenarioGenTest, GeneratorCoversUnknownJurisdictions) {
+  // The pool includes codes outside the statute database; over enough
+  // draws both a known and an unknown code must appear.
+  bool saw_known = false;
+  bool saw_unknown = false;
+  for (std::uint64_t t = 0; t < 200 && !(saw_known && saw_unknown); ++t) {
+    Rng rng = Rng::sub_stream(9, t);
+    const legal::Scenario s = ScenarioGen(rng).generate("j");
+    if (s.jurisdiction == "XX" || s.jurisdiction == "ZZ") saw_unknown = true;
+    if (s.jurisdiction == "US" || s.jurisdiction == "CA") saw_known = true;
+  }
+  EXPECT_TRUE(saw_known);
+  EXPECT_TRUE(saw_unknown);
+}
+
+}  // namespace
+}  // namespace lexfor::check

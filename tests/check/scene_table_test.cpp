@@ -1,0 +1,87 @@
+// Generated per-scene expectations: every row of LEXFOR_SCENE_LIST is
+// checked against the engine and the linter.  A wrong expected verdict
+// in the table fails here by scene id — no hand-written test per scene.
+
+#include "legal/scene_table.h"
+
+#include <gtest/gtest.h>
+
+#include "check/differential.h"
+#include "legal/engine.h"
+#include "lint/linter.h"
+#include "lint/passes.h"
+
+namespace lexfor::legal::library {
+namespace {
+
+TEST(SceneTableTest, TableIsTheCompleteRoster) {
+  EXPECT_EQ(scenes().size(), kSceneCount);
+  EXPECT_GE(kSceneCount, 40u);
+}
+
+TEST(SceneTableTest, EngineDerivesEveryExpectedVerdict) {
+  const ComplianceEngine engine;
+  for (const auto& scene : scenes()) {
+    const Determination d = engine.evaluate(scene.build());
+    EXPECT_EQ(d.needs_process, scene.expects_process())
+        << scene.id << ": " << d.report();
+    EXPECT_EQ(d.required_process, scene.expected_process)
+        << scene.id << ": " << d.report();
+  }
+}
+
+TEST(SceneTableTest, ProcesslessPlanLintsDirtyExactlyWhenProcessIsExpected) {
+  const lint::PlanLinter linter;
+  for (const auto& scene : scenes()) {
+    const lint::LintReport report = linter.lint(
+        check::single_step_plan(scene.build(), ProcessKind::kNone));
+    EXPECT_EQ(report.count(lint::kRuleMissingProcess),
+              scene.expects_process() ? 1u : 0u)
+        << scene.id;
+  }
+}
+
+TEST(SceneTableTest, PlanHoldingTheExpectedInstrumentNeverLacksProcess) {
+  const lint::PlanLinter linter;
+  for (const auto& scene : scenes()) {
+    if (!scene.expects_process()) continue;
+    const lint::LintReport report = linter.lint(
+        check::single_step_plan(scene.build(), scene.expected_process));
+    EXPECT_EQ(report.count(lint::kRuleMissingProcess), 0u) << scene.id;
+    EXPECT_EQ(report.count(lint::kRuleExpiredAuthority), 0u) << scene.id;
+  }
+}
+
+TEST(SceneTableTest, FindSceneResolvesEveryIdAndRejectsUnknowns) {
+  for (const auto& scene : scenes()) {
+    const SceneDescriptor* found = find_scene(scene.id);
+    ASSERT_NE(found, nullptr) << scene.id;
+    EXPECT_EQ(found, &scene);
+  }
+  EXPECT_EQ(find_scene("no_such_scene"), nullptr);
+}
+
+TEST(SceneTableTest, MarkdownTableListsEveryScene) {
+  const std::string table = scene_table_markdown();
+  for (const auto& scene : scenes()) {
+    EXPECT_NE(table.find("`" + std::string(scene.id) + "`"), std::string::npos)
+        << scene.id;
+    EXPECT_NE(table.find(scene.summary), std::string::npos) << scene.id;
+  }
+  // One header, one separator, one row per scene.
+  std::size_t rows = 0;
+  for (const char c : table) rows += (c == '\n');
+  EXPECT_EQ(rows, kSceneCount + 2);
+}
+
+TEST(SceneTableTest, BuildersProduceTheirOwnDescriptorNames) {
+  // Display names are free-form, but every builder must produce a named,
+  // self-describing scenario distinct from its neighbors'.
+  for (const auto& scene : scenes()) {
+    const Scenario s = scene.build();
+    EXPECT_FALSE(s.name.empty()) << scene.id;
+  }
+}
+
+}  // namespace
+}  // namespace lexfor::legal::library

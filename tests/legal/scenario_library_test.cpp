@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "legal/engine.h"
 
 namespace lexfor::legal {
@@ -102,19 +105,16 @@ TEST(LibraryTest, CrossBorderAllPartyTapNeedsCourtOrder) {
 }
 
 TEST(LibraryTest, EveryLibraryScenarioHasAName) {
-  for (const auto& s :
-       {library::thermal_imaging_of_home(), library::curbside_garbage_pull(),
-        library::undercover_chat_recording(),
-        library::planted_tracker_on_vehicle(),
-        library::repair_shop_discovery(),
-        library::plain_view_during_lawful_search(),
-        library::parolee_laptop_search(), library::hotel_abandoned_device(),
-        library::cloud_storage_subscriber_subpoena(),
-        library::cloud_storage_content_demand(),
-        library::isp_tap_with_consent_federal(),
-        library::isp_tap_cross_border_all_party()}) {
-    EXPECT_FALSE(s.name.empty());
+  // The descriptor table is the complete roster: every scene builds to a
+  // uniquely named scenario.
+  std::set<std::string> names;
+  for (const auto& scene : library::scenes()) {
+    const Scenario s = scene.build();
+    EXPECT_FALSE(s.name.empty()) << scene.id;
+    EXPECT_TRUE(names.insert(s.name).second)
+        << "duplicate display name: " << s.name;
   }
+  EXPECT_EQ(names.size(), library::kSceneCount);
 }
 
 }  // namespace

@@ -299,12 +299,82 @@ TEST(PlanLinterTest, CustomPassRegistrationExtendsTheRegistry) {
   };
 
   PlanLinter linter;
-  linter.register_pass(std::make_unique<NamingPass>());
+  ASSERT_TRUE(linter.register_pass(std::make_unique<NamingPass>()).ok());
   EXPECT_EQ(linter.passes().size(), 7u);
 
   InvestigationPlan plan("p", legal::CrimeCategory::kGeneral);
   plan.plan_acquisition("", examination_scenario(), day(0));
   EXPECT_EQ(linter.lint(plan).count("unnamed-step"), 1u);
+
+  // A second pass with the same rule id is rejected and the registry is
+  // unchanged.
+  const Status dup = linter.register_pass(std::make_unique<NamingPass>());
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(dup.message().find("unnamed-step"), std::string::npos);
+  EXPECT_EQ(linter.passes().size(), 7u);
+}
+
+TEST(PlanLinterTest, RegisterPassRejectsBuiltInRuleIdsAndNullPasses) {
+  class ShadowingPass final : public LintPass {
+   public:
+    [[nodiscard]] std::string_view rule() const noexcept override {
+      return kRuleMissingProcess;  // collides with a built-in
+    }
+    void run(const PlanContext&, std::vector<Diagnostic>&) const override {}
+  };
+
+  PlanLinter linter;
+  const std::size_t builtins = linter.passes().size();
+  EXPECT_EQ(linter.register_pass(std::make_unique<ShadowingPass>()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(linter.register_pass(nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(linter.passes().size(), builtins);
+}
+
+TEST(PlanContextTest, FactsBeforeExcludesFactsAtExactlyT) {
+  InvestigationPlan plan("p", legal::CrimeCategory::kGeneral);
+  plan.with_fact({legal::FactKind::kAnonymousTip, 0.0, "tip"});
+  plan.plan_acquisition("public observation",
+                        legal::Scenario{}
+                            .by(legal::ActorKind::kLawEnforcement)
+                            .acquiring(legal::DataKind::kAddressing)
+                            .located(legal::DataState::kPublicVenue)
+                            .when(legal::Timing::kRealTime)
+                            .exposed_publicly(),
+                        day(2))
+      .yields({legal::FactKind::kIpAddressLinked, 0.0, "IP linked"});
+
+  const legal::BatchEvaluator engine;
+  const PlanContext ctx(plan, engine);
+
+  // Strictly-before semantics: a step scheduled AT t has not yielded
+  // yet; one microsecond later it has.
+  EXPECT_EQ(ctx.facts_before(day(2)).size(), 1u);
+  EXPECT_EQ(ctx.facts_before(SimTime{day(2).us + 1}).size(), 2u);
+  // Initial facts are available from the beginning of time.
+  const std::vector<legal::Fact> at_zero = ctx.facts_before(day(0));
+  ASSERT_EQ(at_zero.size(), 1u);
+  EXPECT_EQ(at_zero[0].kind, legal::FactKind::kAnonymousTip);
+}
+
+TEST(PlanContextTest, FactsBeforeIgnoresTaintedAndUnreachableYields) {
+  InvestigationPlan plan("p", legal::CrimeCategory::kGeneral);
+  plan.with_fact({legal::FactKind::kAnonymousTip, 0.0, "tip"});
+  // Tainted: a warrantless wiretap's yields cannot support anything.
+  plan.plan_acquisition("tainted tap", wiretap_scenario(), day(0))
+      .yields({legal::FactKind::kIpAddressLinked, 0.0, "IP linked"});
+  // Unreachable: derives from a step that does not exist.
+  plan.plan_acquisition("dangling", examination_scenario(), day(1))
+      .derived({PlanStepId{999}})
+      .yields({legal::FactKind::kSubscriberIdentified, 0.0, "subscriber"});
+
+  const legal::BatchEvaluator engine;
+  const PlanContext ctx(plan, engine);
+
+  const std::vector<legal::Fact> facts = ctx.facts_before(day(10));
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0].kind, legal::FactKind::kAnonymousTip);
 }
 
 TEST(PlanLinterTest, CloudSubpoenaSceneFlagsMissingSubpoena) {

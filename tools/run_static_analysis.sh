@@ -13,9 +13,14 @@
 #                                       tornet detection fan-out)
 #   4. lint regression                 (the lint_examples suite: the shipped
 #                                       example plans must lint as documented)
-#   5. clang-tidy over src/            (skipped with a notice when clang-tidy
-#                                       is not installed; everything else
+#   5. clang-tidy over src/ bench/     (skipped with a notice when clang-tidy
+#      examples/                        is not installed; everything else
 #                                       still gates)
+#   6. differential doctrine sweep     (src/check under ASan: engine vs
+#                                       linter vs suppression cross-check
+#                                       plus the metamorphic invariant
+#                                       rules; LEXFOR_CHECK_TRIALS scales
+#                                       the sweep, default 50000)
 #
 # Usage: tools/run_static_analysis.sh [--skip-tidy] [--jobs N]
 # Exits non-zero if any stage fails.
@@ -147,7 +152,7 @@ else
   tidy_src() {
     cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || return 1
     local files
-    files="$(find src -name '*.cpp' | sort)"
+    files="$(find src bench examples -name '*.cpp' | sort)"
     local rc=0
     if command -v run-clang-tidy >/dev/null 2>&1; then
       run-clang-tidy -quiet -p build-tidy -j "${JOBS}" ${files} || rc=1
@@ -157,8 +162,21 @@ else
     fi
     return "${rc}"
   }
-  stage "clang-tidy over src/" tidy_src
+  stage "clang-tidy over src/ bench/ examples/" tidy_src
 fi
+
+# --------------------------------------- 6. differential doctrine sweep
+# The N-version consistency harness (src/check) at a larger trial count
+# than the tier-1 default, reusing the ASan build so a disagreement also
+# surfaces any memory error on the failure path.  Each trial walks
+# several mutated scenarios, so 50000 trials cross-checks ~200k
+# scenarios across engine, linter, and suppression auditor.
+check_sweep() {
+  LEXFOR_CHECK_TRIALS="${LEXFOR_CHECK_TRIALS:-50000}" \
+  ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-asan --output-on-failure -R '^CheckFuzzTest'
+}
+stage "differential doctrine sweep (check_fuzz under ASan)" check_sweep
 
 # ------------------------------------------------------------------ report
 note "static analysis summary"
