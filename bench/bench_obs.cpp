@@ -1,17 +1,44 @@
-// A-OBS: observability overhead.
+// A-OBS2: observability v2 overhead + correctness gates.
 //
 // The obs layer is compiled into every module, so its cost model must
 // hold: a disabled-level event is one relaxed atomic load and a branch
-// (within noise of the uninstrumented baseline, <5%), an enabled event
-// into the ring stays under ~50ns after the argument string is built,
-// and metrics updates are single atomic ops.  The baseline workload
-// does representative engine-adjacent arithmetic (~100ns) so that the
-// disabled-path delta is measured against real work, not an empty loop.
+// (within noise of the uninstrumented baseline), an enabled event goes
+// into the emitting thread's ring shard without cross-thread
+// contention, metrics updates are single atomic ops, and a disabled
+// profiler scope is a load + branch.  The baseline workload does
+// representative engine-adjacent arithmetic (~100ns) so the
+// disabled-path delta is measured against real work, not an empty
+// loop.
+//
+// Unlike v1 this bench SELF-GATES (exit 1 on violation) before the
+// timing runs, on stderr so stdout stays pure google-benchmark JSON
+// for tools/run_benchmarks.sh:
+//
+//   gate 1  8-thread sharded-ring stress through a Tracer: every
+//           emitted event drains exactly once, merged strictly
+//           (wall_ns, seq)-ordered, per-thread streams intact;
+//   gate 2  overflow accounting: emitted == drained + dropped on a
+//           deliberately tiny ring;
+//   gate 3  disabled-path tracing stays within noise of the
+//           uninstrumented workload (generous 15% bound, best of 5
+//           trials — single-core CI makes tight timing gates flaky).
+//
+// After the timing runs, if LEXFOR_OBS_SNAPSHOT_OUT is set in the
+// environment, the process-wide obs::Snapshot is written there as JSON
+// for tools/run_benchmarks.sh to embed into BENCH_<date>.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/obs.h"
 
@@ -29,6 +56,172 @@ std::uint64_t workload(std::uint64_t seed) {
   }
   return h;
 }
+
+// ---------------------------------------------------------------------------
+// Self-gates (stderr only; stdout belongs to google-benchmark JSON).
+// ---------------------------------------------------------------------------
+
+bool gate_stress_merge() {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5'000;
+  obs::Tracer tracer(/*ring_capacity=*/kPerThread);  // per shard: no drops
+  tracer.set_level(obs::Level::kDebug);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        tracer.counter(obs::Level::kDebug, "stress",
+                       "t" + std::to_string(t),
+                       static_cast<std::int64_t>(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const std::vector<obs::TraceEvent> events = tracer.drain();
+  if (events.size() != kThreads * kPerThread) {
+    std::fprintf(stderr,
+                 "GATE FAIL stress-merge: drained %zu of %llu events\n",
+                 events.size(),
+                 static_cast<unsigned long long>(kThreads * kPerThread));
+    return false;
+  }
+  std::set<std::uint64_t> seqs;
+  std::vector<std::int64_t> last(kThreads, -1);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::TraceEvent& ev = events[i];
+    if (i > 0) {
+      const obs::TraceEvent& prev = events[i - 1];
+      const bool ordered = prev.wall_ns < ev.wall_ns ||
+                           (prev.wall_ns == ev.wall_ns && prev.seq < ev.seq);
+      if (!ordered) {
+        std::fprintf(stderr,
+                     "GATE FAIL stress-merge: event %zu out of "
+                     "(wall_ns, seq) order\n",
+                     i);
+        return false;
+      }
+    }
+    if (!seqs.insert(ev.seq).second) {
+      std::fprintf(stderr, "GATE FAIL stress-merge: duplicate seq %llu\n",
+                   static_cast<unsigned long long>(ev.seq));
+      return false;
+    }
+    const std::size_t t = ev.name[1] - '0';  // "tK" counter name
+    if (ev.value != last[t] + 1) {
+      std::fprintf(stderr,
+                   "GATE FAIL stress-merge: thread %zu stream reordered "
+                   "(saw %lld after %lld)\n",
+                   t, static_cast<long long>(ev.value),
+                   static_cast<long long>(last[t]));
+      return false;
+    }
+    last[t] = ev.value;
+  }
+  std::fprintf(stderr,
+               "gate stress-merge OK: %zu events, %zu shards, strict "
+               "order, no loss\n",
+               events.size(), tracer.ring().shard_count());
+  return true;
+}
+
+bool gate_overflow_accounting() {
+  obs::Tracer tracer(/*ring_capacity=*/32);
+  tracer.set_level(obs::Level::kDebug);
+  for (int i = 0; i < 1'000; ++i) {
+    tracer.instant(obs::Level::kInfo, "overflow", "e");
+  }
+  (void)tracer.drain();
+  const obs::ShardedEventRing& ring = tracer.ring();
+  if (ring.pushed() != ring.drained() + ring.dropped() ||
+      ring.pushed() != tracer.events_emitted()) {
+    std::fprintf(stderr,
+                 "GATE FAIL overflow-accounting: emitted=%llu pushed=%llu "
+                 "!= drained=%llu + dropped=%llu\n",
+                 static_cast<unsigned long long>(tracer.events_emitted()),
+                 static_cast<unsigned long long>(ring.pushed()),
+                 static_cast<unsigned long long>(ring.drained()),
+                 static_cast<unsigned long long>(ring.dropped()));
+    return false;
+  }
+  std::fprintf(stderr,
+               "gate overflow-accounting OK: emitted %llu == drained %llu "
+               "+ dropped %llu\n",
+               static_cast<unsigned long long>(tracer.events_emitted()),
+               static_cast<unsigned long long>(ring.drained()),
+               static_cast<unsigned long long>(ring.dropped()));
+  return true;
+}
+
+double time_loop_ns(bool instrumented) {
+  constexpr int kIters = 200'000;
+  obs::tracer().set_level(obs::Level::kOff);
+  std::uint64_t x = 1;
+  const auto begin = std::chrono::steady_clock::now();
+  if (instrumented) {
+    for (int i = 0; i < kIters; ++i) {
+      x = workload(x);
+      LEXFOR_OBS_EVENT(obs::Level::kDebug, "bench", "tick",
+                       "x=" + std::to_string(x), obs::no_sim_time());
+      LEXFOR_OBS_PROFILE("bench.gate.disabled");
+      benchmark::DoNotOptimize(x);
+    }
+  } else {
+    for (int i = 0; i < kIters; ++i) {
+      x = workload(x);
+      benchmark::DoNotOptimize(x);
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         kIters;
+}
+
+bool gate_disabled_within_noise() {
+  // Best of 5 trials: single-core containers schedule noisily, and the
+  // claim under test (one relaxed load + branch per macro) only needs
+  // ONE clean trial to demonstrate.
+  double best_ratio = 1e9;
+  double base_ns = 0.0;
+  double inst_ns = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const double base = time_loop_ns(false);
+    const double inst = time_loop_ns(true);
+    const double ratio = inst / base;
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      base_ns = base;
+      inst_ns = inst;
+    }
+  }
+  const bool ok = best_ratio <= 1.15;
+  std::fprintf(stderr,
+               "gate disabled-path %s: baseline %.1fns vs disabled-macros "
+               "%.1fns (best ratio %.3f, bound 1.15)\n",
+               ok ? "OK" : "FAIL", base_ns, inst_ns, best_ratio);
+  return ok;
+}
+
+void write_snapshot_if_requested() {
+  const char* path = std::getenv("LEXFOR_OBS_SNAPSHOT_OUT");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write obs snapshot to %s\n", path);
+    return;
+  }
+  // Ensure the global ring has at least the main thread's shard so the
+  // snapshot's "ring" section is never empty.
+  obs::tracer().ring().register_this_thread();
+  obs::Snapshot::capture().to_json(os);
+  std::fprintf(stderr, "obs snapshot written to %s\n", path);
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks.
+// ---------------------------------------------------------------------------
 
 void BM_Workload_Baseline(benchmark::State& state) {
   obs::tracer().set_level(obs::Level::kOff);
@@ -67,19 +260,49 @@ void BM_Workload_SpanDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_Workload_SpanDisabled);
 
-// Enabled paths: event emission into the ring (no sinks attached), so
-// this isolates stamp + spinlock + ring copy.
-void BM_EventEnabled_NoArgs(benchmark::State& state) {
-  obs::Tracer tracer;
-  tracer.set_level(obs::Level::kDebug);
+void BM_Workload_ProfileDisabled(benchmark::State& state) {
+  obs::profiler().set_enabled(false);
+  std::uint64_t x = 1;
   for (auto _ : state) {
-    tracer.instant(obs::Level::kDebug, "bench", "tick");
+    LEXFOR_OBS_PROFILE("bench.obs.profile_disabled");
+    x = workload(x);
+    benchmark::DoNotOptimize(x);
   }
-  state.counters["events"] =
-      benchmark::Counter(static_cast<double>(tracer.events_emitted()),
-                         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_EventEnabled_NoArgs);
+BENCHMARK(BM_Workload_ProfileDisabled);
+
+void BM_Workload_ProfileEnabled(benchmark::State& state) {
+  obs::profiler().set_enabled(true);
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    LEXFOR_OBS_PROFILE("bench.obs.profile_enabled");
+    x = workload(x);
+    benchmark::DoNotOptimize(x);
+  }
+  obs::profiler().set_enabled(false);
+}
+BENCHMARK(BM_Workload_ProfileEnabled);
+
+// Enabled paths: event emission into the emitting thread's ring shard
+// (no sinks attached), so this isolates stamp + seq + shard push.  The
+// threaded variants show what sharding buys: v1's global spinlock made
+// this serialize; now each thread writes its own shard.
+void BM_EventEnabled_NoArgs(benchmark::State& state) {
+  static obs::Tracer* tracer = [] {
+    auto* t = new obs::Tracer();
+    t->set_level(obs::Level::kDebug);
+    return t;
+  }();
+  for (auto _ : state) {
+    tracer->instant(obs::Level::kDebug, "bench", "tick");
+  }
+  if (state.thread_index() == 0) {
+    state.counters["events"] =
+        benchmark::Counter(static_cast<double>(tracer->events_emitted()),
+                           benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_EventEnabled_NoArgs)->ThreadRange(1, 8);
 
 void BM_EventEnabled_WithArgs(benchmark::State& state) {
   obs::Tracer tracer;
@@ -101,6 +324,31 @@ void BM_SpanEnabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpanEnabled);
+
+void BM_ShardedRingPush(benchmark::State& state) {
+  static obs::ShardedEventRing* ring = new obs::ShardedEventRing(4096);
+  obs::TraceEvent ev;
+  ev.category = "bench";
+  ev.name = "push";
+  for (auto _ : state) {
+    ring->push(ev);
+  }
+}
+BENCHMARK(BM_ShardedRingPush)->ThreadRange(1, 8);
+
+void BM_TracerDrain(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.set_level(obs::Level::kDebug);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 1'000; ++i) {
+      tracer.instant(obs::Level::kDebug, "bench", "fill");
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tracer.drain());
+  }
+}
+BENCHMARK(BM_TracerDrain);
 
 // Metrics: always-on atomics — these run even at Level::kOff.
 void BM_CounterAdd(benchmark::State& state) {
@@ -136,6 +384,48 @@ void BM_HistogramPercentile(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramPercentile);
 
+// Export paths: snapshot capture and the two renderers, over the
+// process-wide registry as populated by this binary's own runs.
+void BM_SnapshotCapture(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::Snapshot::capture());
+  }
+}
+BENCHMARK(BM_SnapshotCapture);
+
+void BM_SnapshotPrometheus(benchmark::State& state) {
+  const obs::Snapshot snap = obs::Snapshot::capture();
+  for (auto _ : state) {
+    std::ostringstream os;
+    snap.to_prometheus(os);
+    benchmark::DoNotOptimize(os.str());
+  }
+}
+BENCHMARK(BM_SnapshotPrometheus);
+
+void BM_SnapshotJson(benchmark::State& state) {
+  const obs::Snapshot snap = obs::Snapshot::capture();
+  for (auto _ : state) {
+    std::string out;
+    snap.append_json(out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SnapshotJson);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool gates_ok = gate_stress_merge() && gate_overflow_accounting() &&
+                        gate_disabled_within_noise();
+  if (!gates_ok) {
+    std::fprintf(stderr, "A-OBS2 self-gates FAILED\n");
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_snapshot_if_requested();
+  return 0;
+}

@@ -8,6 +8,11 @@
 // and acquisition events interleaved on the simulation timeline, plus a
 // metrics summary on stdout.
 //
+// Also demonstrates the v2 surfaces: the call-site profiler is enabled
+// for the run, the final obs::Snapshot is printed in Prometheus text
+// exposition and written as obs_metrics.json, and a flight record of
+// the run's last trace events is dumped to obs_flight.jsonl.
+//
 //   ./build/examples/obs_trace [output.json]
 
 #include <fstream>
@@ -36,6 +41,15 @@ int main(int argc, char** argv) {
   obs::ChromeTraceSink chrome(out, obs::ChromeTraceSink::TimeBase::kSim);
   obs::tracer().add_sink(&chrome);
   obs::tracer().set_level(obs::Level::kDebug);
+
+  // v2: profile the instrumented hot paths (engine evaluate, batch
+  // fingerprint+lookup, netsim event loop, ...) and arm the flight
+  // recorder so the run leaves a last-N-events record behind.
+  obs::profiler().set_enabled(true);
+  obs::FlightRecorderConfig flight_cfg;
+  flight_cfg.path = "obs_flight.jsonl";
+  flight_cfg.last_events = 128;
+  obs::flight_recorder().configure(flight_cfg);
 
   // --- the case -------------------------------------------------------
   investigation::Court court;
@@ -123,10 +137,25 @@ int main(int argc, char** argv) {
             << '\n';
   std::cout << "acquisition lawful: " << (acq.lawful ? "yes" : "no")
             << ", suppressed items: " << audit.suppressed_count << "\n\n";
-  std::cout << "--- metrics ---\n";
-  obs::metrics().to_text(std::cout);
+  // One point-in-time snapshot feeds every export: Prometheus text on
+  // stdout, JSON to obs_metrics.json.
+  const obs::Snapshot snap = obs::Snapshot::capture();
+  std::cout << "--- metrics (Prometheus exposition) ---\n";
+  snap.to_prometheus(std::cout);
+  std::ofstream metrics_out("obs_metrics.json");
+  if (metrics_out) snap.to_json(metrics_out);
+
+  // Explicit flight dump: the same JSONL record an error event or a
+  // differential-check violation would have produced.
+  const bool dumped = obs::dump_flight_record("obs_trace-demo");
+  obs::flight_recorder().disarm();
+
   std::cout << "\ntrace events emitted: " << obs::tracer().events_emitted()
             << "\nChrome trace written to " << out_path
-            << " (load in chrome://tracing or ui.perfetto.dev)\n";
+            << " (load in chrome://tracing or ui.perfetto.dev)"
+            << "\nmetrics snapshot written to obs_metrics.json\n";
+  if (dumped) {
+    std::cout << "flight record written to " << flight_cfg.path << '\n';
+  }
   return 0;
 }

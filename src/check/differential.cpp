@@ -62,6 +62,16 @@ std::string Violation::to_string() const {
   return os.str();
 }
 
+void report_to_flight(const Violation& v) {
+#if LEXFOR_OBS
+  obs::FlightRecorder& recorder = obs::flight_recorder();
+  if (!recorder.armed()) return;
+  (void)recorder.dump("check-violation:" + v.rule);
+#else
+  (void)v;
+#endif
+}
+
 std::string CheckReport::summary() const {
   std::ostringstream os;
   os << "differential check: " << scenarios_checked << " scenarios ("
@@ -110,6 +120,7 @@ void DifferentialChecker::check_scenario(const legal::Scenario& s,
     LEXFOR_OBS_COUNTER_ADD("check.violations", 1);
     report.violations.push_back(Violation{rule, std::move(detail),
                                           describe_scenario(s), seed, trial});
+    report_to_flight(report.violations.back());
   };
   const auto compared = [&](std::size_t n) {
     report.comparisons += n;
@@ -255,6 +266,7 @@ CheckReport DifferentialChecker::run(const CheckOptions& options) const {
               " but the engine derived " +
               std::string(to_string(d.required_process)),
           describe_scenario(s), options.seed, 0});
+      report_to_flight(report.violations.back());
     }
     check_scenario(s, options.seed, 0, report);
     if (full()) return report;
@@ -282,6 +294,7 @@ CheckReport DifferentialChecker::run(const CheckOptions& options) const {
             "a doctrine-field mutation left the canonical fingerprint "
             "unchanged (field not serialized?)",
             describe_scenario(s), options.seed, trial});
+        report_to_flight(report.violations.back());
       }
       ++report.comparisons;
       check_scenario(s, options.seed, trial, report);

@@ -108,4 +108,13 @@ class DifferentialChecker {
 // Convenience entry point used by tests and tools.
 [[nodiscard]] CheckReport run_differential(const CheckOptions& options);
 
+// Routes one violation to the obs flight recorder (obs/flight.h): when
+// the recorder is armed, writes a dump whose reason names the broken
+// rule, so a fuzz failure leaves the recent trace + metrics on disk
+// next to the printed counterexample.  No-op when the recorder is
+// disarmed or observability is compiled out.  Called automatically by
+// the checker/rules paths; exposed so tests and tools can route
+// synthetic violations.
+void report_to_flight(const Violation& v);
+
 }  // namespace lexfor::check

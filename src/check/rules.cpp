@@ -27,6 +27,7 @@ void add_violation(CheckReport& report, std::string_view rule,
   // seed/trial are stamped by run_rules once it knows them.
   report.violations.push_back(
       Violation{std::string(rule), std::move(detail), describe_scenario(s)});
+  report_to_flight(report.violations.back());
 }
 
 // The minimum process the engine derives for `s`.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <initializer_list>
+#include <optional>
 #include <utility>
 
 #include "obs/obs.h"
@@ -109,6 +110,7 @@ ScenarioFingerprint hash_canonical(const Scenario& s) {
 }  // namespace
 
 ScenarioFingerprint fingerprint(const Scenario& s) {
+  LEXFOR_OBS_PROFILE("legal.batch.fingerprint");
   return hash_canonical(s);
 }
 
@@ -138,7 +140,10 @@ BatchEvaluator::BatchEvaluator(BatchOptions options)
 
 util::ThreadPool& BatchEvaluator::pool() const {
   std::call_once(pool_once_, [this] {
-    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    // Workers pre-register their obs ring shard so the first traced
+    // event inside a batch does not pay the registration mutex.
+    pool_ = std::make_unique<util::ThreadPool>(
+        options_.threads, [] { LEXFOR_OBS_WARM_THREAD(); });
     pool_->set_queue_observer([](std::size_t depth) {
       LEXFOR_OBS_GAUGE_SET("legal.batch.pool_queue_depth",
                            static_cast<std::int64_t>(depth));
@@ -148,8 +153,14 @@ util::ThreadPool& BatchEvaluator::pool() const {
 }
 
 Determination BatchEvaluator::evaluate(const Scenario& s) const {
-  const ScenarioFingerprint fp = fingerprint(s);
-  if (auto hit = cache_->get(fp)) {
+  ScenarioFingerprint fp;
+  std::optional<Determination> hit;
+  {
+    LEXFOR_OBS_PROFILE("legal.batch.lookup");
+    fp = fingerprint(s);
+    hit = cache_->get(fp);
+  }
+  if (hit) {
     LEXFOR_OBS_COUNTER_ADD("legal.batch.cache_hits", 1);
     return std::move(*hit);
   }

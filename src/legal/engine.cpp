@@ -20,6 +20,7 @@ void add_citations(std::vector<std::string>& into,
 
 Determination ComplianceEngine::evaluate(const Scenario& s) const {
   LEXFOR_OBS_COUNTER_ADD("legal.evaluations", 1);
+  LEXFOR_OBS_PROFILE("legal.engine.evaluate");
   LEXFOR_OBS_SPAN(obs::Level::kInfo, "legal", "evaluate",
                   "scenario=" + s.name, obs::no_sim_time());
   Determination d;

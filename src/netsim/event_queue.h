@@ -42,6 +42,7 @@ class EventQueue {
   // Runs the next event; returns false if none is pending.
   bool step() {
     if (heap_.empty()) return false;
+    LEXFOR_OBS_PROFILE("netsim.event.step");
     Entry e = heap_.top();
     heap_.pop();
     now_ = e.at;

@@ -20,20 +20,24 @@
 
 namespace lexfor::obs {
 
-// Runtime severity/verbosity filter.  kOff disables all tracing; kAudit
-// keeps only the legally-meaningful record (rulings, acquisitions,
-// custody, verdicts); kInfo adds spans around unit-of-work operations;
-// kDebug adds per-packet / per-sim-event detail.
+// Runtime severity/verbosity filter.  kOff disables all tracing; kError
+// keeps only failures (and arms the flight recorder's error trigger,
+// obs/flight.h); kAudit adds the legally-meaningful record (rulings,
+// acquisitions, custody, verdicts); kInfo adds spans around
+// unit-of-work operations; kDebug adds per-packet / per-sim-event
+// detail.
 enum class Level : std::uint8_t {
   kOff = 0,
-  kAudit = 1,
-  kInfo = 2,
-  kDebug = 3,
+  kError = 1,
+  kAudit = 2,
+  kInfo = 3,
+  kDebug = 4,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(Level l) noexcept {
   switch (l) {
     case Level::kOff: return "off";
+    case Level::kError: return "error";
     case Level::kAudit: return "audit";
     case Level::kInfo: return "info";
     case Level::kDebug: return "debug";
@@ -55,6 +59,10 @@ inline constexpr std::int64_t kNoSimTime = INT64_MIN;
 struct TraceEvent {
   std::uint64_t wall_ns = 0;          // steady clock, ns since tracer start
   std::int64_t sim_us = kNoSimTime;   // SimTime::us, or kNoSimTime
+  // Global emission sequence (1-based), stamped by the sharded ring the
+  // event lands in.  Unique per ring, monotone in claim order, so
+  // (wall_ns, seq) is a total order over a merged multi-shard stream.
+  std::uint64_t seq = 0;
   std::uint64_t span_id = 0;          // nonzero for kBegin/kEnd pairs
   std::uint32_t tid = 0;              // small per-thread ordinal
   Level level = Level::kInfo;

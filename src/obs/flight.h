@@ -1,0 +1,78 @@
+// Flight recorder: post-mortem dump of the last N events + metrics.
+//
+// The ring already keeps the recent past per thread; the flight
+// recorder turns that into a file the moment something goes wrong.
+// Once armed (configure(), or the LEXFOR_FLIGHT_PATH environment
+// variable at first use), a dump is triggered by any kError-level
+// trace event (hooked in Tracer::emit, after the event lands in the
+// ring so the dump contains it), by check::DifferentialChecker
+// violations, or explicitly via obs::dump_flight_record().
+//
+// Dump format is JSONL, appended per dump so repeated incidents stack
+// in one file:
+//   {"type":"flight","reason":"...","wall_ns":...,"events":N}
+//   {"type":"event", <JsonlSink line body>}     x N, time-ordered
+//   {"type":"metrics","snapshot":{...}}          obs::Snapshot JSON
+// Every line greps/jq's like a live JSONL trace.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace lexfor::obs {
+
+struct FlightRecorderConfig {
+  std::string path = "lexfor_flight.jsonl";
+  // Newest events kept per dump (merged across all ring shards).
+  std::size_t last_events = 256;
+  // Dump automatically when a kError-level event is emitted.
+  bool dump_on_error = true;
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Arms the recorder; replaces any previous configuration.
+  void configure(FlightRecorderConfig cfg);
+  void disarm();
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::string path() const;
+
+  // Dumps written since process start (successful ones only).
+  [[nodiscard]] std::uint64_t dumps() const noexcept {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+
+  // Writes one dump; returns false when disarmed, re-entered, or the
+  // file cannot be opened.  Bumps the obs.flight.dumps counter on
+  // success.
+  bool dump(std::string_view reason);
+
+  // Hook called by Tracer::emit for kError events.
+  void on_error_event();
+
+ private:
+  mutable std::mutex mu_;
+  FlightRecorderConfig cfg_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> dumps_{0};
+};
+
+// Process-wide recorder; leaked on purpose like obs::tracer().  On
+// first use, arms itself from the LEXFOR_FLIGHT_PATH environment
+// variable if set.
+[[nodiscard]] FlightRecorder& flight_recorder();
+
+// Convenience: flight_recorder().dump(reason).
+bool dump_flight_record(std::string_view reason);
+
+}  // namespace lexfor::obs

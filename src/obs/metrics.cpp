@@ -25,6 +25,43 @@ void atomic_max(std::atomic<std::int64_t>& slot, std::int64_t v) noexcept {
 
 }  // namespace
 
+namespace detail {
+
+double percentile_from_buckets(const std::vector<std::int64_t>& bounds,
+                               const std::vector<std::uint64_t>& buckets,
+                               std::uint64_t count, std::int64_t observed_min,
+                               std::int64_t observed_max, double p) {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count);
+  const auto lo = static_cast<double>(observed_min);
+  const auto hi = static_cast<double>(observed_max);
+
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate within [lower, upper] of the containing bucket,
+    // tightened by the observed extremes.  The overflow bucket (i ==
+    // bounds.size()) has no declared upper bound: its upper edge IS the
+    // observed max — never a value past it.
+    double lower = i == 0 ? lo : static_cast<double>(bounds[i - 1]);
+    double upper = i < bounds.size() ? static_cast<double>(bounds[i]) : hi;
+    lower = std::max(lower, lo);
+    upper = std::min(upper, hi);
+    if (upper < lower) upper = lower;
+    const double frac = (target - cumulative) / in_bucket;
+    return lower + (upper - lower) * frac;
+  }
+  return hi;
+}
+
+}  // namespace detail
+
 Histogram::Histogram(std::string name, std::vector<std::int64_t> bounds)
     : name_(std::move(name)), bounds_(std::move(bounds)) {
   if (bounds_.empty()) bounds_ = default_latency_bounds_us();
@@ -60,36 +97,13 @@ double Histogram::mean() const noexcept {
 }
 
 double Histogram::percentile(double p) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  const double target = p / 100.0 * static_cast<double>(n);
-  const auto observed_min = static_cast<double>(min());
-  const auto observed_max = static_cast<double>(max());
-
-  double cumulative = 0.0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    const auto in_bucket = static_cast<double>(
-        buckets_[i].load(std::memory_order_relaxed));
-    if (in_bucket == 0.0) continue;
-    if (cumulative + in_bucket < target) {
-      cumulative += in_bucket;
-      continue;
-    }
-    // Interpolate within [lower, upper) of the containing bucket,
-    // tightened by the observed extremes.
-    double lower = i == 0 ? observed_min
-                          : static_cast<double>(bounds_[i - 1]);
-    double upper = i < bounds_.size() ? static_cast<double>(bounds_[i])
-                                      : observed_max;
-    lower = std::max(lower, observed_min);
-    upper = std::min(upper, observed_max);
-    if (upper < lower) upper = lower;
-    const double frac =
-        in_bucket == 0.0 ? 0.0 : (target - cumulative) / in_bucket;
-    return lower + (upper - lower) * frac;
+  std::vector<std::uint64_t> buckets;
+  buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    buckets.push_back(b.load(std::memory_order_relaxed));
   }
-  return observed_max;
+  return detail::percentile_from_buckets(bounds_, buckets, count(), min(),
+                                         max(), p);
 }
 
 void Histogram::reset() noexcept {
@@ -139,6 +153,47 @@ std::vector<const T*> sorted_by_name(const std::deque<T>& items) {
 }
 
 }  // namespace
+
+std::vector<CounterSample> MetricsRegistry::counter_samples() const {
+  std::vector<CounterSample> out;
+  const std::scoped_lock lock(mu_);
+  out.reserve(counters_.size());
+  for (const Counter* c : sorted_by_name(counters_)) {
+    out.push_back(CounterSample{c->name(), c->value()});
+  }
+  return out;
+}
+
+std::vector<GaugeSample> MetricsRegistry::gauge_samples() const {
+  std::vector<GaugeSample> out;
+  const std::scoped_lock lock(mu_);
+  out.reserve(gauges_.size());
+  for (const Gauge* g : sorted_by_name(gauges_)) {
+    out.push_back(GaugeSample{g->name(), g->value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSample> MetricsRegistry::histogram_samples() const {
+  std::vector<HistogramSample> out;
+  const std::scoped_lock lock(mu_);
+  out.reserve(histograms_.size());
+  for (const Histogram* h : sorted_by_name(histograms_)) {
+    HistogramSample s;
+    s.name = h->name();
+    s.bounds = h->bounds();
+    s.buckets.reserve(h->num_buckets());
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      s.buckets.push_back(h->bucket_count(i));
+    }
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
 
 void MetricsRegistry::to_text(std::ostream& os) const {
   const std::scoped_lock lock(mu_);

@@ -23,6 +23,20 @@
 
 namespace lexfor::obs {
 
+namespace detail {
+// Shared percentile estimator over fixed-bucket counts: linear
+// interpolation inside the containing bucket, with both interpolation
+// endpoints clamped to the observed [min, max] so the estimate can
+// never leave the sampled range — in particular the overflow (last)
+// bucket, which has no upper bound, interpolates toward the observed
+// max instead of extrapolating past it.  Used by the live Histogram
+// and by HistogramSample (obs/snapshot.h) so the two can never drift.
+[[nodiscard]] double percentile_from_buckets(
+    const std::vector<std::int64_t>& bounds,
+    const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+    std::int64_t observed_min, std::int64_t observed_max, double p);
+}  // namespace detail
+
 class Counter {
  public:
   explicit Counter(std::string name) : name_(std::move(name)) {}
@@ -115,6 +129,39 @@ class Histogram {
   std::atomic<std::int64_t> max_{INT64_MIN};
 };
 
+// Point-in-time copies of one instrument each, used by obs::Snapshot
+// and anything else that wants a consistent read without holding
+// references into the live registry.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<std::int64_t> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  // Same clamped estimator as the live Histogram::percentile.
+  [[nodiscard]] double percentile(double p) const {
+    return detail::percentile_from_buckets(bounds, buckets, count, min, max,
+                                           p);
+  }
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -127,6 +174,13 @@ class MetricsRegistry {
   [[nodiscard]] Gauge& gauge(std::string_view name);
   [[nodiscard]] Histogram& histogram(std::string_view name,
                                      std::vector<std::int64_t> bounds = {});
+
+  // Point-in-time copies of every instrument, sorted by name.  Each
+  // instrument is read atomically field-by-field (the registry stays
+  // live), which is the same consistency the renderers below provide.
+  [[nodiscard]] std::vector<CounterSample> counter_samples() const;
+  [[nodiscard]] std::vector<GaugeSample> gauge_samples() const;
+  [[nodiscard]] std::vector<HistogramSample> histogram_samples() const;
 
   // Renders every instrument, sorted by name within each kind.
   void to_text(std::ostream& os) const;

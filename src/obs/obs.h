@@ -19,9 +19,13 @@
 #pragma once
 
 #include "obs/event.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/ring.h"
+#include "obs/sharded_ring.h"
 #include "obs/sink.h"
+#include "obs/snapshot.h"
 #include "obs/tracer.h"
 #include "util/sim_time.h"
 
@@ -94,6 +98,25 @@ namespace lexfor::obs {
     lexfor_obs_histogram.record(sample);                                    \
   } while (false)
 
+// Call-site profiler scope: the site is resolved once per call site
+// like the metric macros; each pass costs one relaxed load (and, when
+// the profiler is enabled, two steady_clock reads folded into the
+// site's count/total/min/max).  `name` must be a string literal or
+// otherwise stable for the first hit.
+#define LEXFOR_OBS_PROFILE(name)                                            \
+  static ::lexfor::obs::ProfileSite& LEXFOR_OBS_CONCAT(                     \
+      lexfor_obs_profile_site_, __LINE__) =                                 \
+      ::lexfor::obs::profiler().site(name);                                 \
+  const ::lexfor::obs::ProfileScope LEXFOR_OBS_CONCAT(                      \
+      lexfor_obs_profile_scope_, __LINE__)(                                 \
+      LEXFOR_OBS_CONCAT(lexfor_obs_profile_site_, __LINE__))
+
+// Pre-registers the calling thread's ring shard so a worker's first
+// traced event doesn't pay the registration mutex inside a hot region.
+// Intended for thread-pool worker-init hooks.
+#define LEXFOR_OBS_WARM_THREAD()                                            \
+  ::lexfor::obs::tracer().ring().register_this_thread()
+
 #else  // LEXFOR_OBS == 0: erase instrumentation entirely.
 
 #define LEXFOR_OBS_SPAN(level, category, name, args, sim) ((void)0)
@@ -102,5 +125,7 @@ namespace lexfor::obs {
 #define LEXFOR_OBS_COUNTER_ADD(name, delta) ((void)0)
 #define LEXFOR_OBS_GAUGE_SET(name, value) ((void)0)
 #define LEXFOR_OBS_HISTOGRAM_RECORD(name, sample) ((void)0)
+#define LEXFOR_OBS_PROFILE(name) ((void)0)
+#define LEXFOR_OBS_WARM_THREAD() ((void)0)
 
 #endif  // LEXFOR_OBS

@@ -1,0 +1,43 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+
+namespace lexfor::obs {
+
+ProfileSite& ProfileRegistry::site(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  for (auto& s : sites_) {
+    if (s.name() == name) return s;
+  }
+  return sites_.emplace_back(std::string(name));
+}
+
+std::vector<ProfileSample> ProfileRegistry::samples() const {
+  std::vector<ProfileSample> out;
+  {
+    const std::scoped_lock lock(mu_);
+    out.reserve(sites_.size());
+    for (const auto& s : sites_) {
+      out.push_back(ProfileSample{s.name(), s.count(), s.total_ns(),
+                                  s.min_ns(), s.max_ns()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfileSample& a, const ProfileSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void ProfileRegistry::reset() {
+  const std::scoped_lock lock(mu_);
+  for (auto& s : sites_) s.reset();
+}
+
+ProfileRegistry& profiler() {
+  // Leaked on purpose; see obs::tracer().
+  static ProfileRegistry* const instance = new ProfileRegistry();
+  return *instance;
+}
+
+}  // namespace lexfor::obs

@@ -1,0 +1,160 @@
+// Call-site profiler: static per-site count/total/min/max aggregation.
+//
+// Where spans answer "what happened, in what order" one event at a
+// time, the profiler answers "where did the nanoseconds go" with zero
+// per-hit allocation and no event traffic: each LEXFOR_OBS_PROFILE
+// call site resolves its ProfileSite once (function-local static, the
+// same idiom as the metric macros), then every pass through the scope
+// is two steady_clock reads and four relaxed atomic ops folding the
+// elapsed nanoseconds into the site's running aggregate.
+//
+// The profiler is dormant by default, like the tracer's level filter: a
+// disabled scope costs one relaxed atomic load and a branch, so the
+// instrumentation can sit inside the netsim event loop and the
+// correlation kernel without moving their benchmarks.  Enable with
+// profiler().set_enabled(true); read results through obs::Snapshot,
+// which folds every site into the same export path (Prometheus text /
+// JSON) as the metrics registry.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lexfor::obs {
+
+class ProfileSite {
+ public:
+  explicit ProfileSite(std::string name) : name_(std::move(name)) {}
+
+  ProfileSite(const ProfileSite&) = delete;
+  ProfileSite& operator=(const ProfileSite&) = delete;
+
+  void record(std::uint64_t ns) noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t cur = min_ns_.load(std::memory_order_relaxed);
+    while (ns < cur && !min_ns_.compare_exchange_weak(
+                           cur, ns, std::memory_order_relaxed)) {
+    }
+    cur = max_ns_.load(std::memory_order_relaxed);
+    while (ns > cur && !max_ns_.compare_exchange_weak(
+                           cur, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  // min/max report 0 while the site has no hits (the UINT64_MAX seed
+  // sentinel never leaks, mirroring Histogram::min()).
+  [[nodiscard]] std::uint64_t min_ns() const noexcept {
+    return count() == 0 ? 0 : min_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_ns() const noexcept {
+    return count() == 0 ? 0 : max_ns_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+    min_ns_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+// Point-in-time copy of one site, used by obs::Snapshot.
+struct ProfileSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  [[nodiscard]] double mean_ns() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_ns) /
+                            static_cast<double>(count);
+  }
+};
+
+class ProfileRegistry {
+ public:
+  ProfileRegistry() = default;
+  ProfileRegistry(const ProfileRegistry&) = delete;
+  ProfileRegistry& operator=(const ProfileRegistry&) = delete;
+
+  // Lookup-or-create; returned references stay valid for the
+  // registry's lifetime (sites live in a deque).
+  [[nodiscard]] ProfileSite& site(std::string_view name);
+
+  // Runtime switch read by every ProfileScope; default off so the
+  // instrumented hot loops (netsim events, kernel scans) pay one
+  // relaxed load until a bench/operator opts in.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Point-in-time copy of every site, sorted by name.
+  [[nodiscard]] std::vector<ProfileSample> samples() const;
+
+  // Zeroes every site's aggregate; sites (and cached references) stay
+  // registered.
+  void reset();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::deque<ProfileSite> sites_;
+};
+
+// The process-wide registry used by LEXFOR_OBS_PROFILE; leaked on
+// purpose like obs::tracer().
+[[nodiscard]] ProfileRegistry& profiler();
+
+// RAII scope: folds its lifetime into `site` when the profiler is
+// enabled at construction time, costs a load+branch otherwise.
+class ProfileScope {
+ public:
+  explicit ProfileScope(ProfileSite& site) noexcept {
+    if (profiler().enabled()) {
+      site_ = &site;
+      begin_ = std::chrono::steady_clock::now();
+    }
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+  ~ProfileScope() {
+    if (site_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - begin_)
+                        .count();
+    site_->record(static_cast<std::uint64_t>(ns < 0 ? 0 : ns));
+  }
+
+ private:
+  ProfileSite* site_ = nullptr;
+  std::chrono::steady_clock::time_point begin_;
+};
+
+}  // namespace lexfor::obs

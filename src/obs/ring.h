@@ -1,17 +1,31 @@
-// Fixed-capacity event ring: the always-on sink of last resort.
+// Fixed-capacity event ring with exhaustive disposal accounting.
 //
-// The tracer writes every accepted event here before fanning out to the
-// pluggable sinks, so the most recent N events are available after the
-// fact — e.g. to dump the tail of a trace when an audit fails — without
-// any sink having been attached up front.  A claim-then-fill spinlock
-// design keeps the common path to a handful of instructions
-// ("lock-free-ish": producers never block on I/O or allocation, only on
-// each other for the slot copy).
+// Every event pushed into an EventRing ends its life in exactly one of
+// three ways: it is still retained, it was drained (handed to a
+// consumer), or it was dropped (overwritten by a newer event before any
+// drain saw it).  The ring tracks all three so the invariant
+//
+//   pushed() == drained() + dropped() + size()
+//
+// holds at every instant — the same closed-world discipline
+// stream::RateRing applies to bins and netsim applies to packets.  v1
+// silently overwrote on wraparound; the dropped() counter is the fix
+// (ISSUE 7 satellite) and is surfaced per shard as the
+// obs.ring.dropped{shard} metrics by Tracer::publish_ring_metrics().
+//
+// One EventRing is the per-thread shard of a ShardedEventRing
+// (obs/sharded_ring.h).  The spinlock is therefore uncontended on the
+// hot path — the owning thread is the only producer; a drain/snapshot
+// pass from another thread is the only other party — which keeps the
+// common push to a handful of instructions without the cross-thread
+// cache-line fights of the v1 single global ring.
 
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "obs/event.h"
@@ -25,43 +39,80 @@ class EventRing {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
-  // Total events ever pushed (>= size()).
+  // Total events ever pushed.
   [[nodiscard]] std::uint64_t pushed() const noexcept {
     return pushed_.load(std::memory_order_relaxed);
   }
 
-  // Events currently retained (min(pushed, capacity)).
+  // Events handed out through drain().
+  [[nodiscard]] std::uint64_t drained() const noexcept {
+    return drained_.load(std::memory_order_relaxed);
+  }
+
+  // Events overwritten on wraparound before any drain consumed them.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Events currently retained (pushed - drained - dropped).
   [[nodiscard]] std::size_t size() const noexcept {
-    const std::uint64_t n = pushed();
-    return n < slots_.size() ? static_cast<std::size_t>(n) : slots_.size();
+    return static_cast<std::size_t>(pushed() - drained() - dropped());
   }
 
   void push(TraceEvent ev) {
     lock();
     const std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
+    // consumed = events no longer retained; when the ring is full the
+    // oldest retained event (seq `consumed`) is overwritten unseen.
+    const std::uint64_t consumed = drained_.load(std::memory_order_relaxed) +
+                                   dropped_.load(std::memory_order_relaxed);
+    if (seq - consumed == slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
     slots_[static_cast<std::size_t>(seq % slots_.size())] = std::move(ev);
     pushed_.store(seq + 1, std::memory_order_relaxed);
     unlock();
   }
 
-  // Oldest-to-newest copy of the retained events.
+  // Oldest-to-newest copy of the retained events; does not consume.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const {
-    lock();
     std::vector<TraceEvent> out;
+    lock();
     const std::uint64_t n = pushed_.load(std::memory_order_relaxed);
-    const std::uint64_t kept =
-        n < slots_.size() ? n : static_cast<std::uint64_t>(slots_.size());
-    out.reserve(static_cast<std::size_t>(kept));
-    for (std::uint64_t i = n - kept; i < n; ++i) {
+    const std::uint64_t first = drained_.load(std::memory_order_relaxed) +
+                                dropped_.load(std::memory_order_relaxed);
+    out.reserve(static_cast<std::size_t>(n - first));
+    for (std::uint64_t i = first; i < n; ++i) {
       out.push_back(slots_[static_cast<std::size_t>(i % slots_.size())]);
     }
     unlock();
     return out;
   }
 
+  // Moves every retained event (oldest-to-newest) into `out` and marks
+  // them drained.  Returns the number of events appended.
+  std::size_t drain(std::vector<TraceEvent>& out) {
+    lock();
+    const std::uint64_t n = pushed_.load(std::memory_order_relaxed);
+    const std::uint64_t first = drained_.load(std::memory_order_relaxed) +
+                                dropped_.load(std::memory_order_relaxed);
+    const auto taken = static_cast<std::size_t>(n - first);
+    out.reserve(out.size() + taken);
+    for (std::uint64_t i = first; i < n; ++i) {
+      out.push_back(
+          std::move(slots_[static_cast<std::size_t>(i % slots_.size())]));
+    }
+    drained_.fetch_add(taken, std::memory_order_relaxed);
+    unlock();
+    return taken;
+  }
+
+  // Resets the ring to empty, forgetting all accounting.
   void clear() {
     lock();
     pushed_.store(0, std::memory_order_relaxed);
+    drained_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
     unlock();
   }
 
@@ -74,6 +125,8 @@ class EventRing {
 
   mutable std::atomic_flag busy_ = ATOMIC_FLAG_INIT;
   std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> drained_{0};
+  std::atomic<std::uint64_t> dropped_{0};
   std::vector<TraceEvent> slots_;
 };
 

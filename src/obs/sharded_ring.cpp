@@ -1,0 +1,120 @@
+#include "obs/sharded_ring.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lexfor::obs {
+namespace {
+
+std::uint64_t next_ring_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread shard cache: (ring id -> shard) pairs, looked up linearly
+// (a thread touches a handful of rings; the process-wide tracer's ring
+// is almost always entry 0).  Keyed by the ring's process-unique id,
+// never by address, so an entry for a destroyed ring can never alias a
+// newer one — stale entries are simply never matched again.
+struct ShardCacheEntry {
+  std::uint64_t ring_id;
+  EventRing* shard;
+};
+
+thread_local std::vector<ShardCacheEntry> t_shard_cache;
+
+}  // namespace
+
+ShardedEventRing::ShardedEventRing(std::size_t shard_capacity)
+    : id_(next_ring_id()),
+      shard_capacity_(shard_capacity == 0 ? 1 : shard_capacity) {}
+
+EventRing& ShardedEventRing::shard_for_this_thread() {
+  for (const ShardCacheEntry& entry : t_shard_cache) {
+    if (entry.ring_id == id_) return *entry.shard;
+  }
+  EventRing* shard = nullptr;
+  {
+    const std::scoped_lock lock(register_mu_);
+    shard = &shards_.emplace_back(shard_capacity_);
+  }
+  t_shard_cache.push_back(ShardCacheEntry{id_, shard});
+  return *shard;
+}
+
+void ShardedEventRing::register_this_thread() {
+  (void)shard_for_this_thread();
+}
+
+void ShardedEventRing::push(TraceEvent ev) {
+  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  shard_for_this_thread().push(std::move(ev));
+}
+
+void sort_time_ordered(std::vector<TraceEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.wall_ns != b.wall_ns) return a.wall_ns < b.wall_ns;
+              return a.seq < b.seq;
+            });
+}
+
+std::vector<TraceEvent> ShardedEventRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  for_each_shard([&out](const EventRing& s) {
+    for (TraceEvent& ev : s.snapshot()) out.push_back(std::move(ev));
+  });
+  sort_time_ordered(out);
+  return out;
+}
+
+std::vector<TraceEvent> ShardedEventRing::drain() {
+  std::vector<TraceEvent> out;
+  {
+    const std::scoped_lock lock(register_mu_);
+    for (EventRing& s : shards_) (void)s.drain(out);
+  }
+  sort_time_ordered(out);
+  return out;
+}
+
+std::size_t ShardedEventRing::size() const {
+  std::size_t total = 0;
+  for_each_shard([&total](const EventRing& s) { total += s.size(); });
+  return total;
+}
+
+std::uint64_t ShardedEventRing::pushed() const {
+  std::uint64_t total = 0;
+  for_each_shard([&total](const EventRing& s) { total += s.pushed(); });
+  return total;
+}
+
+std::uint64_t ShardedEventRing::drained() const {
+  std::uint64_t total = 0;
+  for_each_shard([&total](const EventRing& s) { total += s.drained(); });
+  return total;
+}
+
+std::uint64_t ShardedEventRing::dropped() const {
+  std::uint64_t total = 0;
+  for_each_shard([&total](const EventRing& s) { total += s.dropped(); });
+  return total;
+}
+
+std::size_t ShardedEventRing::shard_count() const {
+  const std::scoped_lock lock(register_mu_);
+  return shards_.size();
+}
+
+const EventRing& ShardedEventRing::shard(std::size_t i) const {
+  const std::scoped_lock lock(register_mu_);
+  return shards_[i];
+}
+
+void ShardedEventRing::clear() {
+  const std::scoped_lock lock(register_mu_);
+  for (EventRing& s : shards_) s.clear();
+}
+
+}  // namespace lexfor::obs

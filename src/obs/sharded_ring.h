@@ -1,0 +1,105 @@
+// Per-thread sharded event ring: the v2 always-on sink of last resort.
+//
+// v1 funneled every trace write through one spinlocked EventRing, so
+// util::ThreadPool workers (BatchEvaluator, ScanBatch, stream taps)
+// serialized on a single cache line per event.  v2 gives each emitting
+// thread its own fixed-capacity EventRing shard, registered on first
+// use and cached in a thread-local table, so the hot path is:
+//
+//   1. one relaxed fetch_add on the global sequence (stamps
+//      TraceEvent::seq, the merge tiebreaker),
+//   2. a thread-local cache hit resolving this thread's shard,
+//   3. an uncontended per-shard spinlock around the slot copy —
+//      producers never contend with each other, only (briefly) with a
+//      drain/snapshot pass walking the shards.
+//
+// drain()/snapshot() merge all shards into one globally time-ordered
+// stream, sorted by (wall_ns, seq): wall time is the timeline, the
+// claim sequence breaks ties deterministically.  Disposal accounting is
+// exhaustive per shard and in aggregate:
+//
+//   pushed() == drained() + dropped() + size()
+//
+// Shards belong to threads for the ring's lifetime; a thread that
+// exits leaves its shard (and any undrained events) in place, so
+// nothing an exited worker traced is lost before the next drain.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/ring.h"
+
+namespace lexfor::obs {
+
+class ShardedEventRing {
+ public:
+  // `shard_capacity` is the retained-event budget PER SHARD (per
+  // emitting thread), clamped to at least 1.
+  explicit ShardedEventRing(std::size_t shard_capacity = 4096);
+
+  ShardedEventRing(const ShardedEventRing&) = delete;
+  ShardedEventRing& operator=(const ShardedEventRing&) = delete;
+
+  // Stamps ev.seq and pushes into the calling thread's shard
+  // (registering the shard on this thread's first push).
+  void push(TraceEvent ev);
+
+  // Pre-registers the calling thread's shard so the first traced event
+  // on a hot path does not pay the registration mutex.  Thread pools
+  // call this from their worker-start hook (LEXFOR_OBS_WARM_THREAD).
+  void register_this_thread();
+
+  // Merged oldest-to-newest copy of every shard's retained events,
+  // globally ordered by (wall_ns, seq).  Does not consume.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  // Consumes every retained event from every shard and returns the
+  // merged, globally (wall_ns, seq)-ordered stream.
+  [[nodiscard]] std::vector<TraceEvent> drain();
+
+  // Aggregate disposal accounting across shards.
+  [[nodiscard]] std::size_t size() const;       // retained
+  [[nodiscard]] std::uint64_t pushed() const;
+  [[nodiscard]] std::uint64_t drained() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] std::size_t shard_capacity() const noexcept {
+    return shard_capacity_;
+  }
+  // Per-shard view (shard indices are stable registration ordinals).
+  [[nodiscard]] const EventRing& shard(std::size_t i) const;
+
+  // Empties every shard and resets its accounting.  Registered shards
+  // stay registered (threads hold cached pointers to them); the global
+  // sequence keeps counting so post-clear events still sort after
+  // pre-clear ones.
+  void clear();
+
+ private:
+  [[nodiscard]] EventRing& shard_for_this_thread();
+
+  template <typename PerShard>
+  void for_each_shard(PerShard&& fn) const {
+    const std::scoped_lock lock(register_mu_);
+    for (const EventRing& s : shards_) fn(s);
+  }
+
+  const std::uint64_t id_;  // process-unique; keys the thread cache
+  const std::size_t shard_capacity_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  mutable std::mutex register_mu_;  // guards shards_ growth only
+  std::deque<EventRing> shards_;    // stable references
+};
+
+// Sorts `events` into the global (wall_ns, seq) stream order in place.
+void sort_time_ordered(std::vector<TraceEvent>& events);
+
+}  // namespace lexfor::obs

@@ -118,22 +118,30 @@ void append_event_object(std::string& out, const TraceEvent& ev,
 
 }  // namespace
 
+void append_event_jsonl(std::string& out, const TraceEvent& ev) {
+  // JSONL keeps the raw dual clocks rather than a rendered ts.
+  out += "{\"wall_ns\":";
+  out += std::to_string(ev.wall_ns);
+  if (ev.has_sim_time()) {
+    out += ",\"sim_us\":";
+    out += std::to_string(ev.sim_us);
+  }
+  if (ev.seq != 0) {
+    out += ",\"seq\":";
+    out += std::to_string(ev.seq);
+  }
+  out += ",\"level\":\"";
+  out += to_string(ev.level);
+  out += "\",\"event\":";
+  append_event_object(out, ev, static_cast<double>(ev.wall_ns) / 1e3);
+  out += '}';
+}
+
 void JsonlSink::write(const TraceEvent& ev) {
   std::string line;
   line.reserve(160);
-  // JSONL keeps the raw dual clocks rather than a rendered ts.
-  line += "{\"wall_ns\":";
-  line += std::to_string(ev.wall_ns);
-  if (ev.has_sim_time()) {
-    line += ",\"sim_us\":";
-    line += std::to_string(ev.sim_us);
-  }
-  line += ",\"level\":\"";
-  line += to_string(ev.level);
-  line += "\",\"event\":";
-  append_event_object(line, ev,
-                      static_cast<double>(ev.wall_ns) / 1e3);
-  line += "}\n";
+  append_event_jsonl(line, ev);
+  line += '\n';
   os_ << line;
 }
 

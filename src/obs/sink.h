@@ -81,6 +81,12 @@ class ChromeTraceSink final : public TraceSink {
 // Appends `text` to `out` with JSON string escaping applied.
 void append_json_escaped(std::string& out, std::string_view text);
 
+// Appends one event as a complete JSON object (no trailing newline) in
+// the JsonlSink line format: raw dual clocks + level + nested Chrome
+// style event body.  Shared by JsonlSink and the flight recorder so a
+// flight record line greps/jq's exactly like a live JSONL trace.
+void append_event_jsonl(std::string& out, const TraceEvent& ev);
+
 // Expands an obs args payload ("k=v,k=v") into a JSON object body
 // (without the surrounding braces).  Malformed pairs become "note" keys.
 [[nodiscard]] std::string args_to_json(std::string_view args);

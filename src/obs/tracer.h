@@ -2,24 +2,29 @@
 //
 // One process-wide tracer (obs::tracer()) accepts events whose level
 // passes the runtime filter, stamps them with the dual clocks and the
-// emitting thread's ordinal, keeps the last N in an EventRing, and fans
-// them out to attached sinks.  The filter check is a single relaxed
-// atomic load, so instrumentation left in release builds costs one
-// predictable branch while tracing is off; the LEXFOR_OBS=0 compile
-// toggle (obs/obs.h) removes even that.
+// emitting thread's ordinal, keeps the last N per emitting thread in a
+// ShardedEventRing, and fans them out to attached sinks.  The filter
+// check is a single relaxed atomic load, so instrumentation left in
+// release builds costs one predictable branch while tracing is off;
+// the LEXFOR_OBS=0 compile toggle (obs/obs.h) removes even that.
+//
+// kError events additionally wake the flight recorder (obs/flight.h)
+// after they land in the ring, so a dump triggered by an error always
+// contains the error event itself.
 
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "obs/event.h"
-#include "obs/ring.h"
+#include "obs/sharded_ring.h"
 #include "obs/sink.h"
 #include "util/sim_time.h"
 
@@ -105,7 +110,18 @@ class Tracer {
   void clear_sinks();
   void flush();
 
-  [[nodiscard]] EventRing& ring() noexcept { return ring_; }
+  [[nodiscard]] ShardedEventRing& ring() noexcept { return ring_; }
+
+  // Consumes every retained event across all shards, merged into one
+  // globally time-ordered stream; also publishes the per-shard drop
+  // counters (see publish_ring_metrics).
+  [[nodiscard]] std::vector<TraceEvent> drain();
+
+  // Publishes each shard's cumulative drop count to the global metrics
+  // registry as obs.ring.dropped{shard="k"} counters.  Deltas only:
+  // safe to call repeatedly (drain() calls it for you).
+  void publish_ring_metrics();
+
   [[nodiscard]] std::uint64_t events_emitted() const noexcept {
     return emitted_.load(std::memory_order_relaxed);
   }
@@ -126,8 +142,13 @@ class Tracer {
   std::atomic<std::uint8_t> level_{static_cast<std::uint8_t>(Level::kOff)};
   std::atomic<std::uint64_t> emitted_{0};
   std::atomic<std::uint64_t> next_span_id_{1};
-  EventRing ring_;
+  ShardedEventRing ring_;
   std::chrono::steady_clock::time_point start_;
+
+  // Drop counts already pushed to the metrics registry, per shard index
+  // (publish_ring_metrics publishes only the delta since last call).
+  std::mutex publish_mu_;
+  std::vector<std::uint64_t> published_dropped_;
 
   // Sink list guarded by a spinlock: attach/detach are rare, emission
   // must not allocate or take a blocking mutex.

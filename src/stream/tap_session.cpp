@@ -78,6 +78,7 @@ void TapSession::on_traversal(const netsim::TapEvent& ev) {
 }
 
 void TapSession::pump(SimTime now) {
+  LEXFOR_OBS_PROFILE("stream.tap.pump");
   const std::uint64_t first_bin = ring_.base_bin();
   drain_.clear();
   const std::size_t popped = ring_.pop_closed(now, drain_);

@@ -4,13 +4,16 @@
 
 namespace lexfor::util {
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads, WorkerInit worker_init) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, worker_init] {
+      if (worker_init) worker_init();
+      worker_loop();
+    });
   }
 }
 

@@ -28,8 +28,13 @@ class ThreadPool {
   // lock).
   using QueueObserver = std::function<void(std::size_t)>;
 
+  // Runs once on each worker thread before it takes any task.  Used by
+  // higher layers to prime per-thread state (e.g. registering the
+  // thread's obs ring shard) outside the hot path.
+  using WorkerInit = std::function<void()>;
+
   // threads == 0 picks std::thread::hardware_concurrency() (at least 1).
-  explicit ThreadPool(unsigned threads = 0);
+  explicit ThreadPool(unsigned threads = 0, WorkerInit worker_init = {});
   // Drains the queue: already-submitted tasks run to completion before
   // the workers join.
   ~ThreadPool();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace lexfor::watermark {
 namespace {
 
@@ -176,6 +178,8 @@ Result<ScanResult> CorrelationKernel::scan(std::span<const double> rates,
     return InvalidArgument("detect_with_scan: series shorter than the code");
   }
   const std::size_t last_offset = std::min(max_offset, rates.size() - n);
+
+  LEXFOR_OBS_PROFILE("watermark.kernel.scan");
 
   // Bonferroni correction, identical to the naive reference: scanning k
   // offsets multiplies the null false-positive probability by ~k, so

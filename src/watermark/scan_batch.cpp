@@ -34,7 +34,9 @@ ScanBatch::ScanBatch(ScanBatchOptions options) : options_(options) {}
 
 util::ThreadPool& ScanBatch::pool() const {
   std::call_once(pool_once_, [this] {
-    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    // Workers pre-register their obs ring shard (see legal::BatchEvaluator).
+    pool_ = std::make_unique<util::ThreadPool>(
+        options_.threads, [] { LEXFOR_OBS_WARM_THREAD(); });
     pool_->set_queue_observer([](std::size_t depth) {
       LEXFOR_OBS_GAUGE_SET("watermark.scan.pool_queue_depth",
                            static_cast<std::int64_t>(depth));

@@ -127,6 +127,68 @@ TEST(ObsMetricsTest, PercentileExactForSingleValue) {
   EXPECT_DOUBLE_EQ(h.percentile(99), 42.0);
 }
 
+// Regression (ISSUE 7 satellite): the overflow bucket has no declared
+// upper bound, so its interpolation endpoint must be the observed max —
+// a percentile estimate may never exceed the largest recorded value.
+TEST(ObsMetricsTest, OverflowBucketPercentilesClampToObservedMax) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.overflow", {10, 100});
+  // 90% of the mass lands past the last bound.
+  for (int i = 0; i < 10; ++i) h.record(5);
+  for (int i = 0; i < 90; ++i) h.record(150);
+  for (const double p : {50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_LE(h.percentile(p), static_cast<double>(h.max())) << "p" << p;
+    EXPECT_GE(h.percentile(p), static_cast<double>(h.min())) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(100), 150.0);
+}
+
+TEST(ObsMetricsTest, SingleOverflowSampleReportsItsOwnValue) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.overflow1", {10});
+  h.record(7'000'000);  // alone in the overflow bucket
+  EXPECT_DOUBLE_EQ(h.percentile(50), 7'000'000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 7'000'000.0);
+}
+
+TEST(ObsMetricsTest, AllMassInOverflowInterpolatesWithinObservedRange) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.overflow_all", {10});
+  h.record(1'000);
+  h.record(2'000);
+  h.record(3'000);
+  for (const double p : {1.0, 50.0, 99.0}) {
+    EXPECT_GE(h.percentile(p), 1'000.0) << "p" << p;
+    EXPECT_LE(h.percentile(p), 3'000.0) << "p" << p;
+  }
+}
+
+TEST(ObsMetricsTest, SampleAccessorsMirrorLiveInstruments) {
+  MetricsRegistry reg;
+  reg.counter("b.counter").add(3);
+  reg.counter("a.counter").add(1);
+  reg.gauge("g").set(-4);
+  Histogram& h = reg.histogram("h", {10});
+  h.record(5);
+  h.record(500);
+
+  const auto counters = reg.counter_samples();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].name, "a.counter");  // sorted by name
+  EXPECT_EQ(counters[1].value, 3u);
+  const auto gauges = reg.gauge_samples();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].value, -4);
+  const auto hists = reg.histogram_samples();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].count, 2u);
+  EXPECT_EQ(hists[0].sum, 505);
+  ASSERT_EQ(hists[0].buckets.size(), 2u);
+  EXPECT_EQ(hists[0].buckets[0], 1u);
+  EXPECT_EQ(hists[0].buckets[1], 1u);
+  EXPECT_DOUBLE_EQ(hists[0].percentile(99), h.percentile(99));
+}
+
 TEST(ObsMetricsTest, TextRenderingListsEveryInstrument) {
   MetricsRegistry reg;
   reg.counter("b.count").add(2);

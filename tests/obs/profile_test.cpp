@@ -1,0 +1,141 @@
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace lexfor::obs {
+namespace {
+
+// Tests that flip the global profiler switch restore it, mirroring the
+// level save/restore discipline the tracer tests use.
+class EnabledGuard {
+ public:
+  EnabledGuard() : was_(profiler().enabled()) {}
+  ~EnabledGuard() { profiler().set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(ObsProfileTest, SiteAggregatesCountTotalMinMax) {
+  ProfileSite site("unit");
+  site.record(30);
+  site.record(10);
+  site.record(20);
+  EXPECT_EQ(site.count(), 3u);
+  EXPECT_EQ(site.total_ns(), 60u);
+  EXPECT_EQ(site.min_ns(), 10u);
+  EXPECT_EQ(site.max_ns(), 30u);
+}
+
+TEST(ObsProfileTest, EmptySiteReportsZeroesNotSentinels) {
+  ProfileSite site("empty");
+  EXPECT_EQ(site.count(), 0u);
+  EXPECT_EQ(site.min_ns(), 0u);  // UINT64_MAX seed must not leak
+  EXPECT_EQ(site.max_ns(), 0u);
+}
+
+TEST(ObsProfileTest, RegistryLookupReturnsStableReference) {
+  ProfileRegistry reg;
+  ProfileSite& a = reg.site("x");
+  ProfileSite& again = reg.site("x");
+  EXPECT_EQ(&a, &again);
+  a.record(5);
+  const auto samples = reg.samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "x");
+  EXPECT_EQ(samples[0].count, 1u);
+  EXPECT_EQ(samples[0].total_ns, 5u);
+}
+
+TEST(ObsProfileTest, SamplesAreSortedByName) {
+  ProfileRegistry reg;
+  (void)reg.site("zeta");
+  (void)reg.site("alpha");
+  (void)reg.site("mid");
+  const auto samples = reg.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "alpha");
+  EXPECT_EQ(samples[1].name, "mid");
+  EXPECT_EQ(samples[2].name, "zeta");
+}
+
+TEST(ObsProfileTest, ScopeIsInertWhileProfilerDisabled) {
+  const EnabledGuard guard;
+  profiler().set_enabled(false);
+  ProfileSite site("disabled-scope");
+  { const ProfileScope scope(site); }
+  EXPECT_EQ(site.count(), 0u);
+}
+
+TEST(ObsProfileTest, ScopeRecordsWhenEnabled) {
+  const EnabledGuard guard;
+  profiler().set_enabled(true);
+  ProfileSite site("enabled-scope");
+  { const ProfileScope scope(site); }
+  { const ProfileScope scope(site); }
+  EXPECT_EQ(site.count(), 2u);
+  EXPECT_GE(site.max_ns(), site.min_ns());
+}
+
+TEST(ObsProfileTest, MacroResolvesSiteOnceAndAggregates) {
+  const EnabledGuard guard;
+  profiler().set_enabled(true);
+  const auto hit = [] { LEXFOR_OBS_PROFILE("test.profile.macro_site"); };
+  hit();
+  hit();
+  hit();
+  bool found = false;
+  for (const ProfileSample& s : profiler().samples()) {
+    if (s.name != "test.profile.macro_site") continue;
+    found = true;
+    EXPECT_GE(s.count, 3u);
+    EXPECT_GE(s.max_ns, s.min_ns);
+  }
+#if LEXFOR_OBS
+  EXPECT_TRUE(found);
+#else
+  EXPECT_FALSE(found);
+#endif
+}
+
+TEST(ObsProfileTest, EightThreadRecordStressLosesNothing) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  ProfileSite site("stress");
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&site] {
+      for (std::uint64_t i = 1; i <= kPerThread; ++i) site.record(i);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(site.count(), kThreads * kPerThread);
+  EXPECT_EQ(site.total_ns(),
+            kThreads * (kPerThread * (kPerThread + 1) / 2));
+  EXPECT_EQ(site.min_ns(), 1u);
+  EXPECT_EQ(site.max_ns(), kPerThread);
+}
+
+TEST(ObsProfileTest, ResetZeroesAggregatesButKeepsSites) {
+  ProfileRegistry reg;
+  ProfileSite& site = reg.site("resettable");
+  site.record(7);
+  reg.reset();
+  EXPECT_EQ(site.count(), 0u);
+  EXPECT_EQ(site.min_ns(), 0u);
+  EXPECT_EQ(&reg.site("resettable"), &site);
+  site.record(3);
+  EXPECT_EQ(site.min_ns(), 3u);
+}
+
+TEST(ObsProfileTest, GlobalProfilerDefaultsOff) {
+  EXPECT_FALSE(profiler().enabled());
+}
+
+}  // namespace
+}  // namespace lexfor::obs

@@ -63,6 +63,44 @@ TEST(ObsRingTest, ZeroCapacityIsClampedToOne) {
   ring.push(make_event(2));
   ASSERT_EQ(ring.size(), 1u);
   EXPECT_EQ(ring.snapshot()[0].wall_ns, 2u);
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+TEST(ObsRingTest, DisposalAccountingIsExhaustive) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 11; ++i) ring.push(make_event(i));
+  // Every pushed event is retained, drained, or dropped — no fourth
+  // fate (v1 silently overwrote; the dropped counter is the fix).
+  EXPECT_EQ(ring.pushed(), 11u);
+  EXPECT_EQ(ring.dropped(), 7u);
+  EXPECT_EQ(ring.drained(), 0u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), ring.drained() + ring.dropped() + ring.size());
+}
+
+TEST(ObsRingTest, DrainConsumesOldestToNewest) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 6; ++i) ring.push(make_event(i));
+  std::vector<TraceEvent> out;
+  EXPECT_EQ(ring.drain(out), 4u);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(out[i].wall_ns, 2u + i);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.pushed(), ring.drained() + ring.dropped());
+  // drain() appends: a second pass after more pushes extends `out`.
+  ring.push(make_event(40));
+  EXPECT_EQ(ring.drain(out), 1u);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out.back().wall_ns, 40u);
+}
+
+TEST(ObsRingTest, SnapshotDoesNotConsume) {
+  EventRing ring(4);
+  ring.push(make_event(1));
+  EXPECT_EQ(ring.snapshot().size(), 1u);
+  EXPECT_EQ(ring.snapshot().size(), 1u);
+  EXPECT_EQ(ring.drained(), 0u);
+  EXPECT_EQ(ring.size(), 1u);
 }
 
 }  // namespace

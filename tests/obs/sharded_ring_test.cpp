@@ -1,0 +1,231 @@
+#include "obs/sharded_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace lexfor::obs {
+namespace {
+
+TraceEvent make_event(std::uint64_t wall_ns, std::string name = {}) {
+  TraceEvent ev;
+  ev.wall_ns = wall_ns;
+  ev.name = name.empty() ? "e" + std::to_string(wall_ns) : std::move(name);
+  ev.category = "test";
+  return ev;
+}
+
+bool is_time_ordered(const std::vector<TraceEvent>& events) {
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i - 1].wall_ns > events[i].wall_ns) return false;
+    if (events[i - 1].wall_ns == events[i].wall_ns &&
+        events[i - 1].seq >= events[i].seq) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ObsShardedRingTest, StartsEmptyWithNoShards) {
+  ShardedEventRing ring(8);
+  EXPECT_EQ(ring.shard_count(), 0u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.pushed(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(ObsShardedRingTest, SingleThreadKeepsOrderAndStampsSeq) {
+  ShardedEventRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.push(make_event(100 + i));
+  EXPECT_EQ(ring.shard_count(), 1u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].wall_ns, 100 + i);
+    EXPECT_EQ(events[i].seq, i + 1);  // 1-based claim order
+  }
+}
+
+TEST(ObsShardedRingTest, SeqBreaksWallClockTies) {
+  ShardedEventRing ring(8);
+  ring.push(make_event(7, "first"));
+  ring.push(make_event(7, "second"));
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "first");
+  EXPECT_EQ(events[1].name, "second");
+  EXPECT_LT(events[0].seq, events[1].seq);
+}
+
+TEST(ObsShardedRingTest, DrainConsumesAndBalancesAccounting) {
+  ShardedEventRing ring(8);
+  for (std::uint64_t i = 0; i < 6; ++i) ring.push(make_event(i));
+  const auto events = ring.drain();
+  EXPECT_EQ(events.size(), 6u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+  EXPECT_EQ(ring.pushed(), ring.drained() + ring.dropped());
+  // A second drain returns nothing new.
+  EXPECT_TRUE(ring.drain().empty());
+  // Post-drain pushes keep the sequence monotonic.
+  ring.push(make_event(99));
+  const auto more = ring.drain();
+  ASSERT_EQ(more.size(), 1u);
+  EXPECT_EQ(more[0].seq, 7u);
+}
+
+TEST(ObsShardedRingTest, WraparoundDropsAreCountedExhaustively) {
+  ShardedEventRing ring(4);
+  for (std::uint64_t i = 0; i < 11; ++i) ring.push(make_event(i));
+  EXPECT_EQ(ring.pushed(), 11u);
+  EXPECT_EQ(ring.dropped(), 7u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), ring.drained() + ring.dropped() + ring.size());
+  const auto events = ring.drain();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].wall_ns, 7u + i);
+  // The satellite invariant: after the final drain every pushed event
+  // is accounted for as drained or dropped.
+  EXPECT_EQ(ring.pushed(), ring.drained() + ring.dropped());
+}
+
+TEST(ObsShardedRingTest, ClearEmptiesButKeepsSeqMonotonic) {
+  ShardedEventRing ring(4);
+  for (std::uint64_t i = 0; i < 3; ++i) ring.push(make_event(i));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.pushed(), 0u);
+  EXPECT_EQ(ring.shard_count(), 1u);  // registration survives clear
+  ring.push(make_event(50));
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GT(events[0].seq, 3u);  // global sequence did not rewind
+}
+
+TEST(ObsShardedRingTest, TwoRingsOnOneThreadStayIsolated) {
+  ShardedEventRing a(8);
+  ShardedEventRing b(8);
+  a.push(make_event(1, "into-a"));
+  b.push(make_event(2, "into-b"));
+  const auto from_a = a.snapshot();
+  const auto from_b = b.snapshot();
+  ASSERT_EQ(from_a.size(), 1u);
+  ASSERT_EQ(from_b.size(), 1u);
+  EXPECT_EQ(from_a[0].name, "into-a");
+  EXPECT_EQ(from_b[0].name, "into-b");
+}
+
+TEST(ObsShardedRingTest, EightThreadStressMergesWithoutLossOrDisorder) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 2'000;
+  // Shard capacity >= per-thread volume: nothing may drop.
+  ShardedEventRing ring(kPerThread);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        TraceEvent ev;
+        ev.wall_ns = i;  // heavy cross-thread ties; seq must break them
+        ev.tid = static_cast<std::uint32_t>(t);
+        ev.value = static_cast<std::int64_t>(i);
+        ev.category = "stress";
+        ev.name = "s";
+        ring.push(std::move(ev));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(ring.shard_count(), kThreads);
+  EXPECT_EQ(ring.pushed(), kThreads * kPerThread);
+  EXPECT_EQ(ring.dropped(), 0u);
+
+  const auto events = ring.drain();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  EXPECT_TRUE(is_time_ordered(events));
+
+  // Every seq is unique and every per-thread stream arrived complete
+  // and in emission order.
+  std::set<std::uint64_t> seqs;
+  std::vector<std::int64_t> last_value(kThreads, -1);
+  for (const TraceEvent& ev : events) {
+    EXPECT_TRUE(seqs.insert(ev.seq).second) << "duplicate seq " << ev.seq;
+    ASSERT_LT(ev.tid, kThreads);
+    EXPECT_EQ(ev.value, last_value[ev.tid] + 1)
+        << "thread " << ev.tid << " stream reordered or lossy";
+    last_value[ev.tid] = ev.value;
+  }
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(last_value[t], static_cast<std::int64_t>(kPerThread) - 1);
+  }
+  EXPECT_EQ(ring.pushed(), ring.drained() + ring.dropped());
+}
+
+TEST(ObsShardedRingTest, EightThreadOverflowKeepsAccountingExhaustive) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 1'000;
+  ShardedEventRing ring(64);  // tiny shards: most events must drop
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&ring] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ring.push(make_event(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(ring.pushed(), kThreads * kPerThread);
+  EXPECT_GT(ring.dropped(), 0u);
+  EXPECT_EQ(ring.pushed(), ring.drained() + ring.dropped() + ring.size());
+  for (std::size_t i = 0; i < ring.shard_count(); ++i) {
+    const EventRing& shard = ring.shard(i);
+    EXPECT_EQ(shard.pushed(),
+              shard.drained() + shard.dropped() + shard.size());
+  }
+  const auto events = ring.drain();
+  EXPECT_EQ(events.size(), kThreads * 64u);
+  EXPECT_TRUE(is_time_ordered(events));
+  EXPECT_EQ(ring.pushed(), ring.drained() + ring.dropped());
+}
+
+TEST(ObsShardedRingTest, TracerPublishesPerShardDropCounters) {
+  Tracer t(/*ring_capacity=*/4);
+  t.set_level(Level::kDebug);
+  const std::uint64_t before =
+      metrics().counter("obs.ring.dropped{shard=\"0\"}").value();
+  for (int i = 0; i < 10; ++i) {
+    t.instant(Level::kInfo, "test", "overflow");
+  }
+  const auto events = t.drain();  // drains + publishes drop metrics
+  EXPECT_EQ(events.size(), 4u);
+  const std::uint64_t after =
+      metrics().counter("obs.ring.dropped{shard=\"0\"}").value();
+  EXPECT_EQ(after - before, 6u);
+  // Repeat publication without new drops adds nothing (delta-based).
+  t.publish_ring_metrics();
+  EXPECT_EQ(metrics().counter("obs.ring.dropped{shard=\"0\"}").value(),
+            after);
+}
+
+TEST(ObsShardedRingTest, TracerDrainMergesAndEmptiesRing) {
+  Tracer t;
+  t.set_level(Level::kDebug);
+  t.instant(Level::kInfo, "test", "one");
+  t.instant(Level::kInfo, "test", "two");
+  const auto events = t.drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(is_time_ordered(events));
+  EXPECT_EQ(t.ring().size(), 0u);
+  EXPECT_EQ(t.ring().pushed(), t.ring().drained() + t.ring().dropped());
+}
+
+}  // namespace
+}  // namespace lexfor::obs

@@ -1,0 +1,274 @@
+#include "obs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace lexfor::obs {
+namespace {
+
+// Minimal structural JSON check shared with sink_test: quotes-aware
+// bracket/brace balance.
+bool json_balanced(const std::string& text) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+// Parses Prometheus text exposition back into (sample name -> value)
+// and (family -> type).  Sample names keep their label braces.
+struct PromDoc {
+  std::map<std::string, double> samples;
+  std::map<std::string, std::string> types;
+};
+
+// Parses `name{labels} value` / `name value` sample lines and `# TYPE`
+// comments; the value is everything after the last space (labels never
+// contain spaces here).  gtest ASSERT_* needs a void-returning context,
+// hence the inner lambda.
+PromDoc must_parse(const std::string& text) {
+  PromDoc doc;
+  [&] {
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::istringstream fields(line.substr(7));
+        std::string family;
+        std::string kind;
+        fields >> family >> kind;
+        doc.types[family] = kind;
+        continue;
+      }
+      ASSERT_NE(line.front(), '#') << "unknown comment line: " << line;
+      const std::size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      doc.samples[line.substr(0, space)] =
+          std::stod(line.substr(space + 1));
+    }
+  }();
+  return doc;
+}
+
+MetricsRegistry& populated_registry(MetricsRegistry& reg) {
+  reg.counter("legal.evaluations").add(42);
+  reg.counter("obs.ring.dropped{shard=\"0\"}").add(3);
+  reg.counter("obs.ring.dropped{shard=\"1\"}").add(5);
+  reg.gauge("netsim.queue_depth").set(-7);
+  Histogram& h = reg.histogram("eval.latency_us", {10, 100, 1000});
+  h.record(4);
+  h.record(40);
+  h.record(400);
+  h.record(4000);  // overflow bucket
+  return reg;
+}
+
+TEST(ObsSnapshotTest, CaptureCopiesEveryInstrument) {
+  MetricsRegistry reg;
+  populated_registry(reg);
+  const Snapshot snap = Snapshot::capture(reg);
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "legal.evaluations");
+  EXPECT_EQ(snap.counters[0].value, 42u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, -7);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSample& h = snap.histograms[0];
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 4444);
+  EXPECT_EQ(h.min, 4);
+  EXPECT_EQ(h.max, 4000);
+  ASSERT_EQ(h.buckets.size(), 4u);  // three bounds + overflow
+  EXPECT_EQ(h.buckets[3], 1u);
+  // The copy is detached: the live registry moving on does not change it.
+  reg.counter("legal.evaluations").add(1);
+  EXPECT_EQ(snap.counters[0].value, 42u);
+}
+
+TEST(ObsSnapshotTest, SampledPercentileMatchesLiveHistogram) {
+  MetricsRegistry reg;
+  populated_registry(reg);
+  const Snapshot snap = Snapshot::capture(reg);
+  const Histogram& live = reg.histogram("eval.latency_us");
+  for (const double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(snap.histograms[0].percentile(p), live.percentile(p));
+  }
+}
+
+TEST(ObsSnapshotTest, SinceComputesCounterDeltasAndKeepsGaugesCurrent) {
+  MetricsRegistry reg;
+  reg.counter("c").add(10);
+  reg.gauge("g").set(5);
+  const Snapshot before = Snapshot::capture(reg);
+  reg.counter("c").add(7);
+  reg.gauge("g").set(9);
+  const Snapshot after = Snapshot::capture(reg);
+  const Snapshot delta = after.since(before);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].value, 7u);
+  ASSERT_EQ(delta.gauges.size(), 1u);
+  EXPECT_EQ(delta.gauges[0].value, 9);  // level, not rate
+}
+
+TEST(ObsSnapshotTest, SinceGuardsAgainstResets) {
+  MetricsRegistry reg;
+  reg.counter("c").add(100);
+  const Snapshot before = Snapshot::capture(reg);
+  reg.reset();
+  reg.counter("c").add(2);
+  const Snapshot after = Snapshot::capture(reg);
+  const Snapshot delta = after.since(before);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  // Counter went backwards: report the full current value, never wrap.
+  EXPECT_EQ(delta.counters[0].value, 2u);
+}
+
+TEST(ObsSnapshotTest, SinceDeltasHistogramsBucketwise) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {10, 100});
+  h.record(5);
+  h.record(50);
+  const Snapshot before = Snapshot::capture(reg);
+  h.record(50);
+  h.record(500);
+  const Snapshot after = Snapshot::capture(reg);
+  const Snapshot delta = after.since(before);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  const HistogramSample& d = delta.histograms[0];
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_EQ(d.sum, 550);
+  ASSERT_EQ(d.buckets.size(), 3u);
+  EXPECT_EQ(d.buckets[0], 0u);
+  EXPECT_EQ(d.buckets[1], 1u);
+  EXPECT_EQ(d.buckets[2], 1u);
+}
+
+TEST(ObsSnapshotTest, SinceIncludesInstrumentsAbsentFromPrev) {
+  MetricsRegistry reg;
+  reg.counter("old").add(1);
+  const Snapshot before = Snapshot::capture(reg);
+  reg.counter("brand.new").add(9);
+  const Snapshot delta = Snapshot::capture(reg).since(before);
+  bool found = false;
+  for (const CounterSample& c : delta.counters) {
+    if (c.name == "brand.new") {
+      found = true;
+      EXPECT_EQ(c.value, 9u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsSnapshotTest, PrometheusRoundTripMatchesRegistryState) {
+  MetricsRegistry reg;
+  populated_registry(reg);
+  std::ostringstream os;
+  Snapshot::capture(reg).to_prometheus(os);
+  const PromDoc doc = must_parse(os.str());
+
+  // Counters: dotted names sanitized, label braces passed through.
+  EXPECT_EQ(doc.types.at("legal_evaluations"), "counter");
+  EXPECT_DOUBLE_EQ(doc.samples.at("legal_evaluations"), 42.0);
+  EXPECT_EQ(doc.types.at("obs_ring_dropped"), "counter");
+  EXPECT_DOUBLE_EQ(doc.samples.at("obs_ring_dropped{shard=\"0\"}"), 3.0);
+  EXPECT_DOUBLE_EQ(doc.samples.at("obs_ring_dropped{shard=\"1\"}"), 5.0);
+
+  // Gauges keep sign.
+  EXPECT_EQ(doc.types.at("netsim_queue_depth"), "gauge");
+  EXPECT_DOUBLE_EQ(doc.samples.at("netsim_queue_depth"), -7.0);
+
+  // Histogram: cumulative buckets, +Inf == count, sum and count match.
+  EXPECT_EQ(doc.types.at("eval_latency_us"), "histogram");
+  EXPECT_DOUBLE_EQ(doc.samples.at("eval_latency_us_bucket{le=\"10\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(doc.samples.at("eval_latency_us_bucket{le=\"100\"}"), 2.0);
+  EXPECT_DOUBLE_EQ(doc.samples.at("eval_latency_us_bucket{le=\"1000\"}"),
+                   3.0);
+  EXPECT_DOUBLE_EQ(doc.samples.at("eval_latency_us_bucket{le=\"+Inf\"}"),
+                   4.0);
+  EXPECT_DOUBLE_EQ(doc.samples.at("eval_latency_us_sum"), 4444.0);
+  EXPECT_DOUBLE_EQ(doc.samples.at("eval_latency_us_count"), 4.0);
+}
+
+TEST(ObsSnapshotTest, PrometheusExportsProfilerSites) {
+  MetricsRegistry reg;
+  ProfileRegistry prof;
+  prof.site("legal.engine.evaluate").record(120);
+  prof.site("legal.engine.evaluate").record(80);
+  std::ostringstream os;
+  Snapshot::capture(reg, &prof).to_prometheus(os);
+  const PromDoc doc = must_parse(os.str());
+  EXPECT_EQ(doc.types.at("lexfor_profile_hits"), "counter");
+  EXPECT_DOUBLE_EQ(
+      doc.samples.at("lexfor_profile_hits{site=\"legal.engine.evaluate\"}"),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      doc.samples.at(
+          "lexfor_profile_ns_total{site=\"legal.engine.evaluate\"}"),
+      200.0);
+  EXPECT_DOUBLE_EQ(
+      doc.samples.at(
+          "lexfor_profile_min_ns{site=\"legal.engine.evaluate\"}"),
+      80.0);
+  EXPECT_DOUBLE_EQ(
+      doc.samples.at(
+          "lexfor_profile_max_ns{site=\"legal.engine.evaluate\"}"),
+      120.0);
+}
+
+TEST(ObsSnapshotTest, JsonIsBalancedAndCoversEverySection) {
+  MetricsRegistry reg;
+  ProfileRegistry prof;
+  populated_registry(reg);
+  prof.site("site.a").record(10);
+  std::ostringstream os;
+  Snapshot::capture(reg, &prof).to_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"profile\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"ring\":["), std::string::npos);
+  EXPECT_NE(json.find("\"legal.evaluations\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"site.a\""), std::string::npos);
+}
+
+TEST(ObsSnapshotTest, GlobalCaptureIncludesRingStats) {
+  const Snapshot snap = Snapshot::capture();
+  // The exhaustive invariant holds for whatever shards exist.
+  for (const RingShardStats& r : snap.ring) {
+    EXPECT_EQ(r.pushed, r.drained + r.dropped + r.size);
+  }
+  std::ostringstream os;
+  snap.to_json(os);
+  EXPECT_TRUE(json_balanced(os.str()));
+}
+
+}  // namespace
+}  // namespace lexfor::obs

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<date>.json files and flag regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CURRENT.json [options]
+
+Options:
+    --threshold PCT      regression threshold per benchmark, percent
+                         (default: 25 — generous because the CI
+                         container is single-core and noisy)
+    --require-obs-metrics  fail unless CURRENT embeds the obs snapshot
+                         written by bench_obs (doc["obs_metrics"])
+    --list               print every compared benchmark, not just
+                         regressions/improvements
+
+Reads the aggregate layout produced by tools/run_benchmarks.sh:
+doc["microbenchmarks"][binary]["benchmarks"] is the google-benchmark
+JSON for that binary.  Times are normalized to nanoseconds before
+comparison (binaries may report in different time_units).  A benchmark
+present on only one side is reported but never fails the diff — the
+bench suite grows PR over PR.
+
+Exit status: 0 when no benchmark regressed past the threshold (and, if
+requested, obs metrics are present), 1 otherwise, 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_cases(path):
+    """Map '<binary>/<benchmark name>' -> real_time in ns."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    cases = {}
+    for binary, gbench in doc.get("microbenchmarks", {}).items():
+        for bench in gbench.get("benchmarks", []):
+            # Skip aggregate rows (mean/median/stddev of repetitions):
+            # only raw iterations are comparable run to run.
+            if bench.get("run_type") == "aggregate":
+                continue
+            scale = _TIME_UNIT_NS.get(bench.get("time_unit", "ns"))
+            if scale is None or "real_time" not in bench:
+                continue
+            cases[f"{binary}/{bench['name']}"] = bench["real_time"] * scale
+    return doc, cases
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two run_benchmarks.sh aggregates")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="regression threshold in percent")
+    parser.add_argument("--require-obs-metrics", action="store_true",
+                        help="fail unless CURRENT embeds obs_metrics")
+    parser.add_argument("--list", action="store_true",
+                        help="print every compared benchmark")
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    base_doc, base = load_cases(args.baseline)
+    cur_doc, cur = load_cases(args.current)
+
+    failed = False
+    if args.require_obs_metrics:
+        snap = cur_doc.get("obs_metrics")
+        if not isinstance(snap, dict) or "counters" not in snap:
+            print(f"FAIL {args.current} has no embedded obs_metrics "
+                  "snapshot (did bench_obs run with "
+                  "LEXFOR_OBS_SNAPSHOT_OUT set?)")
+            failed = True
+        else:
+            print(f"obs_metrics OK: {len(snap.get('counters', {}))} "
+                  f"counters, {len(snap.get('profile', {}))} profile "
+                  f"sites, {len(snap.get('ring', []))} ring shards")
+
+    regressions, improvements, compared = [], [], 0
+    for name in sorted(base.keys() & cur.keys()):
+        compared += 1
+        before, after = base[name], cur[name]
+        delta_pct = ((after - before) / before * 100.0) if before > 0 else 0.0
+        row = (name, before, after, delta_pct)
+        if args.list:
+            print(f"  {name}: {before:.1f}ns -> {after:.1f}ns "
+                  f"({delta_pct:+.1f}%)")
+        if delta_pct > args.threshold:
+            regressions.append(row)
+        elif delta_pct < -args.threshold:
+            improvements.append(row)
+
+    for name in sorted(base.keys() - cur.keys()):
+        print(f"  only in baseline: {name}")
+    for name in sorted(cur.keys() - base.keys()):
+        print(f"  only in current:  {name}")
+
+    for name, before, after, delta in improvements:
+        print(f"IMPROVED {name}: {before:.1f}ns -> {after:.1f}ns "
+              f"({delta:+.1f}%)")
+    for name, before, after, delta in regressions:
+        print(f"REGRESSED {name}: {before:.1f}ns -> {after:.1f}ns "
+              f"({delta:+.1f}%, threshold {args.threshold:.0f}%)")
+
+    print(f"bench_diff: {compared} benchmarks compared, "
+          f"{len(regressions)} regressed, {len(improvements)} improved "
+          f"(threshold {args.threshold:.0f}%)")
+    if regressions:
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

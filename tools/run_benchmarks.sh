@@ -71,6 +71,12 @@ FAILURES=0
 GBENCH_NAMES=()
 PLAIN_NAMES=()
 
+# bench_obs writes its process-wide obs::Snapshot here after its timing
+# runs; the aggregator embeds it as doc["obs_metrics"] so every
+# BENCH_<date>.json carries the metrics/profiler state of the run that
+# produced it (consumed by tools/bench_diff.py).
+export LEXFOR_OBS_SNAPSHOT_OUT="${TMP}/obs_snapshot.json"
+
 # A google-benchmark binary honours --benchmark_format=json and prints
 # a JSON document; the experiment benches ignore argv and print their
 # tables as text.  Run each binary once and classify by whether stdout
@@ -117,6 +123,10 @@ for name in gbench:
         doc["microbenchmarks"][name] = json.load(f)
 for path in sorted(tmp.glob("*.txt")):
     doc["experiments"][path.stem] = path.read_text()
+snapshot = tmp / "obs_snapshot.json"
+if snapshot.exists():
+    with open(snapshot) as f:
+        doc["obs_metrics"] = json.load(f)
 with open(out, "w") as f:
     json.dump(doc, f, indent=1)
     f.write("\n")

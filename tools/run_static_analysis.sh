@@ -96,9 +96,12 @@ tsan_build() {
                  stream_test
 }
 tsan_stress() {
+  # Covers the v2 sharded ring (8-thread merge stress), the call-site
+  # profiler's concurrent record path, and snapshot capture racing
+  # live instrument updates, alongside the v1 counter/histogram stress.
   TSAN_OPTIONS=halt_on_error=1 \
   ./build-tsan/tests/obs_test \
-      --gtest_filter='ObsMetricsThreadTest.*:ObsTracerTest.*:ObsRingTest.*'
+      --gtest_filter='ObsMetricsThreadTest.*:ObsTracerTest.*:ObsRingTest.*:ObsShardedRingTest.*:ObsProfileTest.*:ObsSnapshotTest.*'
 }
 tsan_pool_cache() {
   TSAN_OPTIONS=halt_on_error=1 \
