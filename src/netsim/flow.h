@@ -53,7 +53,12 @@ class FlowSource {
     net_.clock().schedule_at(config_.start, [this] { emit(); });
   }
 
+  // Packets the network ACCEPTED (send succeeded).  A rejected send —
+  // no route on a partitioned topology, oversized payload — counts in
+  // errors() instead, so emitted() always equals the network's view of
+  // this flow's sent packets.
   [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
 
  private:
   void emit() {
@@ -65,8 +70,11 @@ class FlowSource {
     h.dst = config_.dst;
     h.src_port = config_.src_port;
     h.dst_port = config_.dst_port;
-    (void)net_.send(config_.id, h, Bytes(config_.packet_bytes, 0xAB));
-    ++emitted_;
+    if (net_.send(config_.id, h, Bytes(config_.packet_bytes, 0xAB)).ok()) {
+      ++emitted_;
+    } else {
+      ++errors_;
+    }
 
     double rate = config_.packets_per_sec;
     if (rate_multiplier_) rate *= rate_multiplier_(now);
@@ -85,15 +93,25 @@ class FlowSource {
   Rng rng_;
   RateMultiplier rate_multiplier_;
   std::uint64_t emitted_ = 0;
+  std::uint64_t errors_ = 0;
 };
 
 // A rate recorder: bins packet observations into fixed windows, yielding
 // the rate time-series the watermark detector correlates against.
 class RateRecorder {
  public:
-  explicit RateRecorder(SimDuration bin) : bin_(bin) {}
+  // A non-positive bin width is a configuration error, not a license to
+  // divide by zero: it is clamped to the 1us clock resolution.
+  explicit RateRecorder(SimDuration bin)
+      : bin_(bin.us > 0 ? bin : SimDuration::from_us(1)) {}
 
   void observe(SimTime at) {
+    // A negative timestamp would cast to a huge size_t index and drive
+    // an unbounded resize; such observations are counted and ignored.
+    if (at.us < 0) {
+      ++rejected_;
+      return;
+    }
     const auto idx = static_cast<std::size_t>(at.us / bin_.us);
     if (idx >= bins_.size()) bins_.resize(idx + 1, 0);
     ++bins_[idx];
@@ -103,6 +121,8 @@ class RateRecorder {
     return bins_;
   }
   [[nodiscard]] SimDuration bin_width() const noexcept { return bin_; }
+  // Observations refused (pre-simulation-start timestamps).
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
 
   // Rates (packets/sec) per bin.
   [[nodiscard]] std::vector<double> rates() const {
@@ -116,6 +136,7 @@ class RateRecorder {
  private:
   SimDuration bin_;
   std::vector<std::uint32_t> bins_;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace lexfor::netsim

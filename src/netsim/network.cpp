@@ -30,13 +30,15 @@ Result<LinkId> Network::connect(NodeId a, NodeId b, LinkConfig config) {
   }
   const LinkId id{links_.size()};
   links_.push_back(LinkInfo{id, a, b, config});
-  adjacency_[a.value()].push_back({b, links_.size() - 1});
-  adjacency_[b.value()].push_back({a, links_.size() - 1});
+  const auto link_index = static_cast<std::uint32_t>(links_.size() - 1);
+  adjacency_[a.value()].push_back({b, link_index});
+  adjacency_[b.value()].push_back({a, link_index});
+  routes_.invalidate();  // memoized routes describe the old topology
   return id;
 }
 
 Status Network::disconnect(LinkId link) {
-  if (!link.valid() || link.value() >= links_.size()) {
+  if (!valid_link(link)) {
     return NotFound("disconnect: unknown link");
   }
   const LinkInfo& info = links_[link.value()];
@@ -54,6 +56,13 @@ Status Network::disconnect(LinkId link) {
   if (!removed) {
     return FailedPrecondition("disconnect: link already removed");
   }
+  // Erase all per-link state with the link: the transmitter's busy time
+  // and any taps.  Without this a churn simulation leaks one map entry
+  // per removed link, and a stale tap entry lingers forever for a link
+  // that can never carry traffic again.
+  link_busy_until_.erase(link);
+  link_taps_.erase(link);
+  routes_.invalidate();
   LEXFOR_OBS_EVENT(obs::Level::kInfo, "netsim", "link_removed",
                    "link=" + std::to_string(link.value()), events_.now());
   return Status::Ok();
@@ -100,8 +109,9 @@ Result<PacketId> Network::send(FlowId flow, PacketHeader header, Bytes payload) 
   if (!valid_node(header.src) || !valid_node(header.dst)) {
     return InvalidArgument("send: unknown endpoint");
   }
-  auto path = shortest_path(header.src, header.dst);
-  if (path.empty()) {
+  const RouteCache::PathRef route =
+      routes_.acquire(header.src, header.dst, adjacency_);
+  if (route == RouteCache::kNull) {
     std::ostringstream os;
     os << "send: no route from " << header.src << " to " << header.dst;
     return NotFound(os.str());
@@ -109,51 +119,62 @@ Result<PacketId> Network::send(FlowId flow, PacketHeader header, Bytes payload) 
 
   if (payload.size() >
       static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+    routes_.release(route);
     return InvalidArgument(
         "send: payload exceeds the 32-bit framing limit of "
         "PacketHeader::payload_size");
   }
 
-  Packet packet;
-  packet.id = packet_ids_.next();
-  packet.flow = flow;
-  packet.header = header;
-  packet.header.payload_size = static_cast<std::uint32_t>(payload.size());
-  packet.payload = std::move(payload);
-  packet.created_at = events_.now();
+  const PacketStore::Ref ref = store_.acquire();
+  PacketStore::Meta& meta = store_.meta(ref);
+  meta.id = packet_ids_.next();
+  meta.flow = flow;
+  meta.header = header;
+  meta.header.payload_size = static_cast<std::uint32_t>(payload.size());
+  meta.created_at = events_.now();
+  store_.payload(ref) = std::move(payload);
   ++sent_;
   LEXFOR_OBS_COUNTER_ADD("netsim.packets_sent", 1);
 
-  const PacketId id = packet.id;
-  // First hop is scheduled immediately; subsequent hops chain.
+  const PacketId id = meta.id;
+  // First hop is scheduled immediately; subsequent hops chain.  The
+  // callback captures three words — handles, not payloads.
   events_.schedule_in(SimDuration::from_us(0),
-                      [this, packet = std::move(packet),
-                       path = std::move(path)]() mutable {
-                        deliver_hop(std::move(packet), 0, std::move(path));
-                      });
+                      [this, ref, route] { deliver_hop(ref, route, 0); });
   return id;
 }
 
-void Network::deliver_hop(Packet packet, std::size_t path_pos,
-                          std::vector<NodeId> path) {
-  const NodeId here = path[path_pos];
-  if (path_pos + 1 >= path.size()) {
+void Network::retire(PacketStore::Ref ref,
+                     RouteCache::PathRef route) noexcept {
+  store_.release(ref);
+  routes_.release(route);
+}
+
+void Network::deliver_hop(PacketStore::Ref ref, RouteCache::PathRef route,
+                          std::uint32_t pos) {
+  const std::vector<NodeId>& path = routes_.hops(route);
+  const NodeId here = path[pos];
+  if (pos + 1 >= path.size()) {
     // Arrived.
     ++delivered_;
     LEXFOR_OBS_COUNTER_ADD("netsim.packets_delivered", 1);
-    LEXFOR_OBS_HISTOGRAM_RECORD("netsim.e2e_latency_us",
-                                (events_.now() - packet.created_at).us);
+    LEXFOR_OBS_HISTOGRAM_RECORD(
+        "netsim.e2e_latency_us",
+        (events_.now() - store_.meta(ref).created_at).us);
     LEXFOR_OBS_EVENT(obs::Level::kDebug, "netsim", "delivered",
-                     "packet=" + std::to_string(packet.id.value()),
+                     "packet=" + std::to_string(store_.meta(ref).id.value()),
                      events_.now());
     const auto it = handlers_.find(here);
     if (it != handlers_.end() && it->second) {
-      it->second(packet, events_.now());
+      store_.with_packet(ref, [&](const Packet& packet) {
+        it->second(packet, events_.now());
+      });
     }
+    retire(ref, route);
     return;
   }
 
-  const NodeId next = path[path_pos + 1];
+  const NodeId next = path[pos + 1];
   // Locate the link between here and next.
   const LinkInfo* link = nullptr;
   for (const auto& adj : adjacency_[here.value()]) {
@@ -169,8 +190,9 @@ void Network::deliver_hop(Packet packet, std::size_t path_pos,
     ++dropped_;
     LEXFOR_OBS_COUNTER_ADD("netsim.packets_dropped", 1);
     LEXFOR_OBS_EVENT(obs::Level::kDebug, "netsim", "dropped_link_vanished",
-                     "packet=" + std::to_string(packet.id.value()),
+                     "packet=" + std::to_string(store_.meta(ref).id.value()),
                      events_.now());
+    retire(ref, route);
     return;
   }
 
@@ -180,8 +202,9 @@ void Network::deliver_hop(Packet packet, std::size_t path_pos,
     ++dropped_;
     LEXFOR_OBS_COUNTER_ADD("netsim.packets_dropped", 1);
     LEXFOR_OBS_EVENT(obs::Level::kDebug, "netsim", "dropped",
-                     "packet=" + std::to_string(packet.id.value()),
+                     "packet=" + std::to_string(store_.meta(ref).id.value()),
                      events_.now());
+    retire(ref, route);
     return;
   }
 
@@ -194,7 +217,7 @@ void Network::deliver_hop(Packet packet, std::size_t path_pos,
                             link->config.jitter.us))));
   }
   if (link->config.bandwidth_bytes_per_sec > 0.0) {
-    const double tx_sec = static_cast<double>(packet.wire_size()) /
+    const double tx_sec = static_cast<double>(store_.meta(ref).wire_size()) /
                           link->config.bandwidth_bytes_per_sec;
     const SimDuration tx = SimDuration::from_sec(tx_sec);
     SimTime& busy_until = link_busy_until_[link->id];
@@ -208,15 +231,16 @@ void Network::deliver_hop(Packet packet, std::size_t path_pos,
   LEXFOR_OBS_HISTOGRAM_RECORD("netsim.hop_delay_us", delay.us);
   const LinkId link_id = link->id;
   events_.schedule_in(
-      delay, [this, packet = std::move(packet), path = std::move(path),
-              path_pos, link_id, here, next]() mutable {
+      delay, [this, ref, route, pos, link_id, here, next] {
         // Taps fire on traversal completion (the capture point).
         const auto taps = link_taps_.find(link_id);
         if (taps != link_taps_.end()) {
-          const TapEvent ev{packet, link_id, here, next, events_.now()};
-          for (const auto& t : taps->second) t(ev);
+          store_.with_packet(ref, [&](const Packet& packet) {
+            const TapEvent ev{packet, link_id, here, next, events_.now()};
+            for (const auto& t : taps->second) t(ev);
+          });
         }
-        deliver_hop(std::move(packet), path_pos + 1, std::move(path));
+        deliver_hop(ref, route, pos + 1);
       });
 }
 
@@ -227,7 +251,7 @@ Status Network::set_receive_handler(NodeId node, ReceiveHandler handler) {
 }
 
 Status Network::add_link_tap(LinkId link, TapFn tap) {
-  if (!link.valid() || link.value() >= links_.size()) {
+  if (!valid_link(link)) {
     return NotFound("add_link_tap: unknown link");
   }
   link_taps_[link].push_back(std::move(tap));

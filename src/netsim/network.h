@@ -5,6 +5,16 @@
 // hop-by-hop along BFS shortest paths; observers ("taps") attached to
 // links or nodes see traffic as it passes — taps are where the capture
 // module plugs in.  Deterministic given the seed.
+//
+// ISSUE 8 made the hot path data-oriented: in-flight packets live in a
+// PacketStore (SoA slot pool, 32-bit handles), routes come from a
+// RouteCache (memoized per-source BFS trees + shared refcounted paths,
+// invalidated on connect/disconnect), and hop callbacks capture only
+// handles — so scheduling a hop moves a few words, never a payload.
+// The observable model is unchanged: a packet's path is frozen at
+// send() time, a link removed under an in-flight packet drops it (and
+// the drop is counted, preserving sent == delivered + dropped), and
+// every seeded run replays bit-identically.
 
 #pragma once
 
@@ -16,6 +26,8 @@
 
 #include "netsim/event_queue.h"
 #include "netsim/packet.h"
+#include "netsim/packet_store.h"
+#include "netsim/routing.h"
 #include "util/ids.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -62,7 +74,9 @@ class Network {
   Result<LinkId> connect(NodeId a, NodeId b, LinkConfig config = {});
   // Removes a link from the topology (link failure / tap teardown).
   // Packets already in flight that reach the vanished link are dropped
-  // and counted, preserving sent == delivered + dropped.
+  // and counted, preserving sent == delivered + dropped.  All per-link
+  // state (transmitter busy time, taps) is erased with the link, so a
+  // topology-churn simulation holds its footprint flat.
   Status disconnect(LinkId link);
 
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
@@ -74,7 +88,9 @@ class Network {
 
   // --- traffic ------------------------------------------------------
   // Sends a packet from header.src to header.dst along the shortest
-  // path.  Returns the packet id, or an error if no route exists.
+  // path.  Returns the packet id, or an error if no route exists.  The
+  // route is resolved through the memoized RouteCache and frozen for
+  // this packet's lifetime.
   Result<PacketId> send(FlowId flow, PacketHeader header, Bytes payload);
 
   // Registers a handler invoked when a node receives a packet addressed
@@ -102,25 +118,40 @@ class Network {
     return dropped_;
   }
 
-  // Computes the BFS next-hop table from `src`; exposed for tests.
+  // Computes the BFS path from `src`; exposed for tests.  send() uses
+  // the memoized RouteCache, which reproduces these paths exactly.
   [[nodiscard]] std::vector<NodeId> shortest_path(NodeId src, NodeId dst) const;
 
- private:
-  struct Adjacency {
-    NodeId neighbor;
-    std::size_t link_index;
-  };
+  // --- introspection (tests, A-NETSIM gate) ---------------------------
+  [[nodiscard]] const RouteCache& route_cache() const noexcept {
+    return routes_;
+  }
+  [[nodiscard]] const PacketStore& packet_store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] std::size_t link_tap_entries() const noexcept {
+    return link_taps_.size();
+  }
+  [[nodiscard]] std::size_t busy_link_entries() const noexcept {
+    return link_busy_until_.size();
+  }
 
+ private:
   [[nodiscard]] bool valid_node(NodeId id) const noexcept {
     return id.valid() && id.value() < nodes_.size();
   }
+  [[nodiscard]] bool valid_link(LinkId id) const noexcept {
+    return id.valid() && id.value() < links_.size();
+  }
 
-  void deliver_hop(Packet packet, std::size_t path_pos,
-                   std::vector<NodeId> path);
+  void deliver_hop(PacketStore::Ref ref, RouteCache::PathRef route,
+                   std::uint32_t pos);
+  // Releases a packet's slot and its route reference (delivery or drop).
+  void retire(PacketStore::Ref ref, RouteCache::PathRef route) noexcept;
 
   std::vector<NodeInfo> nodes_;
   std::vector<LinkInfo> links_;
-  std::vector<std::vector<Adjacency>> adjacency_;
+  AdjacencyList adjacency_;
   std::unordered_map<NodeId, ReceiveHandler> handlers_;
   std::unordered_map<LinkId, std::vector<TapFn>> link_taps_;
   // FIFO transmitter state for bandwidth-limited links.
@@ -129,6 +160,8 @@ class Network {
   EventQueue events_;
   Rng rng_;
   IdGenerator<PacketId> packet_ids_;
+  PacketStore store_;
+  RouteCache routes_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

@@ -1,0 +1,104 @@
+// PacketStore: SoA pool for in-flight packets.
+//
+// The pre-ISSUE-8 simulator moved whole Packet values (header + payload
+// Bytes) into every hop closure, and the event queue's per-event copy
+// then deep-copied them once per event.  PacketStore keeps each
+// in-flight packet in ONE pooled slot, split structure-of-arrays along
+// the boundary the statutes draw (see netsim/packet.h): the addressing
+// record (id, flow, header, timestamps — what a pen/trap device may
+// see) in one dense array, the content payload in a parallel array.
+// Hop callbacks capture only the 32-bit slot handle; the routing loop
+// touches the meta array alone and never drags payload bytes through
+// the cache.
+//
+// Slots recycle through util::Pool semantics (LIFO freelist, handles
+// not pointers) and a released slot keeps its payload buffer's
+// capacity, so a steady-state flow allocates nothing per packet.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "netsim/packet.h"
+#include "util/bytes.h"
+
+namespace lexfor::netsim {
+
+class PacketStore {
+ public:
+  using Ref = std::uint32_t;
+  static constexpr Ref kNull = ~Ref{0};
+
+  // The addressing plane of a packet: everything except content.
+  struct Meta {
+    PacketId id;
+    FlowId flow;
+    PacketHeader header;
+    SimTime created_at;
+
+    [[nodiscard]] std::size_t wire_size() const noexcept {
+      // 40 bytes of simulated L3/L4 header overhead (see Packet).
+      return static_cast<std::size_t>(header.payload_size) + 40;
+    }
+  };
+
+  // Acquires a slot; the caller fills meta() and payload().  The slot's
+  // previous payload buffer (capacity included) is handed back for
+  // reuse.
+  [[nodiscard]] Ref acquire() {
+    if (!free_.empty()) {
+      const Ref r = free_.back();
+      free_.pop_back();
+      ++live_;
+      return r;
+    }
+    metas_.emplace_back();
+    payloads_.emplace_back();
+    ++live_;
+    return static_cast<Ref>(metas_.size() - 1);
+  }
+
+  // Releases a slot back to the pool.  The payload's contents are
+  // logically dead but its heap capacity is retained.
+  void release(Ref r) noexcept {
+    payloads_[r].clear();
+    free_.push_back(r);
+    --live_;
+  }
+
+  [[nodiscard]] Meta& meta(Ref r) noexcept { return metas_[r]; }
+  [[nodiscard]] const Meta& meta(Ref r) const noexcept { return metas_[r]; }
+  [[nodiscard]] Bytes& payload(Ref r) noexcept { return payloads_[r]; }
+  [[nodiscard]] const Bytes& payload(Ref r) const noexcept {
+    return payloads_[r];
+  }
+
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return metas_.size(); }
+
+  // Assembles the classic Packet view for handler/tap callbacks without
+  // copying content: the payload is moved into the view for the call
+  // and moved back after.  The view is only valid inside `fn`.
+  template <typename Fn>
+  void with_packet(Ref r, Fn&& fn) {
+    const Meta& m = metas_[r];
+    Packet view;
+    view.id = m.id;
+    view.flow = m.flow;
+    view.header = m.header;
+    view.created_at = m.created_at;
+    view.payload = std::move(payloads_[r]);
+    fn(static_cast<const Packet&>(view));
+    payloads_[r] = std::move(view.payload);
+  }
+
+ private:
+  std::vector<Meta> metas_;    // SoA: addressing plane
+  std::vector<Bytes> payloads_;  // SoA: content plane
+  std::vector<Ref> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace lexfor::netsim

@@ -1,0 +1,113 @@
+// Memoized BFS routing with shared, reference-counted paths.
+//
+// The pre-ISSUE-8 Network::send ran a fresh O(V+E) BFS and built a
+// fresh path vector for EVERY packet — then moved that vector into the
+// hop closure, where the old event queue deep-copied it per event.
+// RouteCache memoizes both layers:
+//
+//  - per-source BFS next-hop trees, built lazily once per (source,
+//    topology version) in an epoch util::Arena — the tree lives exactly
+//    as long as the topology it describes, and invalidate() drops every
+//    tree in O(1) by resetting the arena;
+//  - materialized (src, dst) paths, built once from the tree and shared
+//    by every packet on that pair through a reference-counted
+//    util::Pool handle.  A packet in flight holds a reference, so a
+//    topology change (which invalidates the cache) never yanks a path
+//    out from under it: the old path survives until its last packet
+//    delivers or drops, preserving the frozen-path drop semantics the
+//    accounting tests lock down.
+//
+// The BFS is bit-identical to Network::shortest_path (same adjacency
+// order, same FIFO frontier, same parent = first-discoverer rule), so
+// memoized routing produces exactly the routes the unmemoized code
+// produced — every seeded simulation replays unchanged.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/ids.h"
+
+namespace lexfor::netsim {
+
+// One directed edge of the adjacency structure Network maintains.
+struct Adjacency {
+  NodeId neighbor;
+  std::uint32_t link_index;
+};
+using AdjacencyList = std::vector<std::vector<Adjacency>>;
+
+class RouteCache {
+ public:
+  using PathRef = std::uint32_t;
+  static constexpr PathRef kNull = ~PathRef{0};
+
+  // Returns a shared path src -> dst (inclusive of both endpoints), or
+  // kNull if dst is unreachable.  The caller owns one reference on the
+  // returned path and must release() it.  Unreachability is memoized
+  // too, so a partitioned flow retrying every emission costs O(1) per
+  // retry, not one BFS walk each.
+  [[nodiscard]] PathRef acquire(NodeId src, NodeId dst,
+                                const AdjacencyList& adj);
+
+  void add_ref(PathRef p) noexcept;
+  void release(PathRef p) noexcept;
+
+  [[nodiscard]] const std::vector<NodeId>& hops(PathRef p) const noexcept {
+    return paths_[p].hops;
+  }
+
+  // Topology changed: drop every memoized tree (arena reset) and the
+  // (src, dst) lookup's references.  Paths still referenced by
+  // in-flight packets survive until their refcounts drain.
+  void invalidate();
+
+  // --- introspection (tests, A-NETSIM gate) -------------------------
+  [[nodiscard]] std::size_t cached_pairs() const noexcept {
+    return lookup_.size();
+  }
+  [[nodiscard]] std::size_t cached_trees() const noexcept {
+    return trees_.size();
+  }
+  [[nodiscard]] std::size_t live_paths() const noexcept {
+    return paths_.live();
+  }
+  [[nodiscard]] std::size_t path_slots() const noexcept {
+    return paths_.capacity();
+  }
+  [[nodiscard]] std::uint64_t bfs_runs() const noexcept { return bfs_runs_; }
+
+ private:
+  struct PathRec {
+    std::vector<NodeId> hops;
+    std::uint32_t refs = 0;
+  };
+  // Arena-backed per-source BFS tree: parent[i] is the first discoverer
+  // of node i, seen[i] whether i is reachable from the source.
+  struct Tree {
+    NodeId* parent = nullptr;
+    std::uint8_t* seen = nullptr;
+    std::size_t nodes = 0;
+  };
+
+  // Keeps epoch memory bounded when a pathological workload sends from
+  // very many distinct sources: past this many memoized trees the epoch
+  // is recycled wholesale.
+  static constexpr std::size_t kMaxTrees = 512;
+
+  [[nodiscard]] const Tree& tree_for(NodeId src, const AdjacencyList& adj);
+
+  util::Pool<PathRec> paths_;
+  // (src << 32 | dst) -> PathRef (or kNull for memoized unreachability);
+  // each non-null entry holds one reference.
+  std::unordered_map<std::uint64_t, PathRef> lookup_;
+  std::unordered_map<std::uint64_t, Tree> trees_;
+  util::Arena arena_;                      // epoch storage for trees
+  std::vector<NodeId> frontier_;           // reusable BFS queue
+  std::uint64_t bfs_runs_ = 0;
+};
+
+}  // namespace lexfor::netsim

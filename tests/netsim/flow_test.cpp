@@ -61,6 +61,36 @@ TEST(FlowTest, StopTimeIsRespected) {
   EXPECT_NEAR(static_cast<double>(flow.emitted()), 500.0, 3.0);
 }
 
+TEST(FlowTest, RejectedSendsCountAsErrorsNotEmissions) {
+  // Pre-ISSUE-8, FlowSource::emit incremented emitted_ even when
+  // Network::send refused the packet, so a flow on a partitioned
+  // topology reported phantom traffic.
+  Network net{5};
+  const NodeId src = net.add_node("src");
+  const NodeId island = net.add_node("island");  // no links at all
+  FlowConfig c;
+  c.id = FlowId{1};
+  c.src = src;
+  c.dst = island;
+  c.packets_per_sec = 100.0;
+  c.stop = SimTime::from_sec(1.0);
+  FlowSource flow(net, c, ArrivalProcess::kConstant, 1);
+  flow.start();
+  net.run();
+  EXPECT_EQ(flow.emitted(), 0u);
+  EXPECT_EQ(flow.errors(), 100u);
+  EXPECT_EQ(net.packets_sent(), 0u);
+}
+
+TEST(FlowTest, EmittedMatchesNetworkAcceptedSends) {
+  FlowFixture f;
+  FlowSource flow(f.net, f.config(200.0, 1.0), ArrivalProcess::kPoisson, 9);
+  flow.start();
+  f.net.run();
+  EXPECT_EQ(flow.emitted(), f.net.packets_sent());
+  EXPECT_EQ(flow.errors(), 0u);
+}
+
 TEST(RateRecorderTest, BinsObservationsByWindow) {
   RateRecorder rec(SimDuration::from_ms(100));
   rec.observe(SimTime::from_ms(10));
@@ -80,6 +110,35 @@ TEST(RateRecorderTest, RatesNormalizeByBinWidth) {
   ASSERT_FALSE(rates.empty());
   // 10 packets in the first 500 ms bin: 20 packets/sec.
   EXPECT_NEAR(rates[0], 20.0, 1e-9);
+}
+
+TEST(RateRecorderTest, ZeroBinWidthClampsToClockResolution) {
+  // Division by a zero-width bin was possible pre-ISSUE-8; the width is
+  // now clamped to the 1us clock resolution.
+  RateRecorder rec{SimDuration::from_us(0)};
+  EXPECT_EQ(rec.bin_width(), SimDuration::from_us(1));
+  rec.observe(SimTime::from_us(3));
+  ASSERT_EQ(rec.bins().size(), 4u);
+  EXPECT_EQ(rec.bins()[3], 1u);
+}
+
+TEST(RateRecorderTest, NegativeBinWidthClampsToClockResolution) {
+  RateRecorder rec{SimDuration::from_us(-5)};
+  EXPECT_EQ(rec.bin_width(), SimDuration::from_us(1));
+}
+
+TEST(RateRecorderTest, NegativeTimestampsAreRejectedNotResized) {
+  // A negative timestamp used to cast to a huge size_t bin index and
+  // drive an unbounded vector resize.
+  RateRecorder rec{SimDuration::from_ms(1)};
+  rec.observe(SimTime::from_us(-1));
+  rec.observe(SimTime::from_sec(-100.0));
+  EXPECT_TRUE(rec.bins().empty());
+  EXPECT_EQ(rec.rejected(), 2u);
+  rec.observe(SimTime::from_us(500));
+  ASSERT_EQ(rec.bins().size(), 1u);
+  EXPECT_EQ(rec.bins()[0], 1u);
+  EXPECT_EQ(rec.rejected(), 2u);
 }
 
 TEST(FlowIntegrationTest, RecorderAtTapMatchesEmittedRate) {

@@ -353,5 +353,114 @@ TEST(NetworkTest, AccountingInvariantHoldsOnLossyTopologyWithLinkRemoval) {
   EXPECT_EQ(net.packets_delivered(), 0u);
 }
 
+TEST(NetworkTest, ChurnHoldsPerLinkStateFlat) {
+  // Pre-ISSUE-8, link_busy_until_ and link_taps_ were never erased on
+  // disconnect: a churn loop leaked one map entry per removed link.
+  Network net{3};
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkConfig cfg;
+  cfg.latency = SimDuration::from_ms(1);
+  cfg.bandwidth_bytes_per_sec = 1e6;  // populates the busy map
+  PacketHeader h;
+  h.src = a;
+  h.dst = b;
+  for (int round = 0; round < 100; ++round) {
+    const LinkId link = net.connect(a, b, cfg).value();
+    ASSERT_TRUE(net.add_link_tap(link, [](const TapEvent&) {}).ok());
+    ASSERT_TRUE(net.send(FlowId{1}, h, to_bytes("x")).ok());
+    net.run();
+    ASSERT_TRUE(net.disconnect(link).ok());
+    ASSERT_LE(net.busy_link_entries(), 1u) << "round " << round;
+    ASSERT_LE(net.link_tap_entries(), 1u) << "round " << round;
+  }
+  EXPECT_EQ(net.busy_link_entries(), 0u);
+  EXPECT_EQ(net.link_tap_entries(), 0u);
+  EXPECT_EQ(net.packets_delivered(), 100u);
+}
+
+TEST(NetworkTest, TapOnReconnectedLinkFiresExactlyOnce) {
+  // A stale tap entry from a removed link must not double-fire when a
+  // new link between the same nodes is tapped again.
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const LinkId first = net.connect(a, b).value();
+  int fires = 0;
+  ASSERT_TRUE(net.add_link_tap(first, [&](const TapEvent&) { ++fires; }).ok());
+  ASSERT_TRUE(net.disconnect(first).ok());
+  const LinkId second = net.connect(a, b).value();
+  ASSERT_TRUE(net.add_link_tap(second, [&](const TapEvent&) { ++fires; }).ok());
+  PacketHeader h;
+  h.src = a;
+  h.dst = b;
+  ASSERT_TRUE(net.send(FlowId{1}, h, to_bytes("once")).ok());
+  net.run();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(NetworkTest, RouteCacheMemoizesAndInvalidates) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId c = net.add_node("c");
+  (void)net.connect(a, b).value();
+  const LinkId bc = net.connect(b, c).value();
+  PacketHeader h;
+  h.src = a;
+  h.dst = c;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(net.send(FlowId{1}, h, to_bytes("x")).ok());
+  }
+  net.run();
+  // One BFS serves all 50 packets on the same (src, dst) pair.
+  EXPECT_EQ(net.route_cache().bfs_runs(), 1u);
+  EXPECT_EQ(net.route_cache().cached_pairs(), 1u);
+
+  // Topology change invalidates; the next send reroutes from scratch.
+  ASSERT_TRUE(net.disconnect(bc).ok());
+  EXPECT_EQ(net.route_cache().cached_pairs(), 0u);
+  (void)net.connect(a, c).value();
+  ASSERT_TRUE(net.send(FlowId{1}, h, to_bytes("y")).ok());
+  net.run();
+  EXPECT_EQ(net.packets_delivered(), 51u);
+  EXPECT_EQ(net.route_cache().bfs_runs(), 2u);
+}
+
+TEST(NetworkTest, UnreachabilityIsMemoizedWithoutLeaking) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId island = net.add_node("island");
+  PacketHeader h;
+  h.src = a;
+  h.dst = island;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(net.send(FlowId{1}, h, to_bytes("no")).ok());
+  }
+  // The no-route answer is cached (one BFS), and refused sends pin no
+  // packet slots or path records.
+  EXPECT_EQ(net.route_cache().bfs_runs(), 1u);
+  EXPECT_EQ(net.route_cache().live_paths(), 0u);
+  EXPECT_EQ(net.packet_store().live(), 0u);
+  EXPECT_EQ(net.packets_sent(), 0u);
+}
+
+TEST(NetworkTest, PacketSlotsRecycleAcrossBursts) {
+  LineFixture f;
+  PacketHeader h;
+  h.src = f.client;
+  h.dst = f.server;
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(f.net.send(FlowId{1}, h, to_bytes("burst")).ok());
+    }
+    f.net.run();
+  }
+  // All 80 packets flowed through at most 8 concurrently-live slots.
+  EXPECT_EQ(f.net.packets_delivered(), 80u);
+  EXPECT_EQ(f.net.packet_store().live(), 0u);
+  EXPECT_LE(f.net.packet_store().capacity(), 8u);
+}
+
 }  // namespace
 }  // namespace lexfor::netsim

@@ -1,0 +1,94 @@
+#include "netsim/packet_store.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace lexfor::netsim {
+namespace {
+
+PacketStore::Ref make_packet(PacketStore& store, std::uint64_t id,
+                             std::size_t payload_bytes) {
+  const PacketStore::Ref r = store.acquire();
+  PacketStore::Meta& m = store.meta(r);
+  m.id = PacketId{id};
+  m.flow = FlowId{1};
+  m.header = PacketHeader{};
+  m.header.payload_size = static_cast<std::uint32_t>(payload_bytes);
+  m.created_at = SimTime::from_us(static_cast<std::int64_t>(id));
+  store.payload(r) = Bytes(payload_bytes, static_cast<std::uint8_t>(id));
+  return r;
+}
+
+TEST(PacketStoreTest, AcquireFillReadBack) {
+  PacketStore store;
+  const auto r = make_packet(store, 7, 100);
+  EXPECT_EQ(store.meta(r).id, PacketId{7});
+  EXPECT_EQ(store.payload(r).size(), 100u);
+  EXPECT_EQ(store.meta(r).wire_size(), 140u);  // 100 + 40 header overhead
+  EXPECT_EQ(store.live(), 1u);
+}
+
+TEST(PacketStoreTest, ReleaseRecyclesSlotAndKeepsBufferCapacity) {
+  PacketStore store;
+  const auto r = make_packet(store, 1, 4096);
+  store.release(r);
+  EXPECT_EQ(store.live(), 0u);
+  // LIFO recycle: same slot, and its payload buffer kept its capacity.
+  const auto r2 = store.acquire();
+  EXPECT_EQ(r2, r);
+  EXPECT_TRUE(store.payload(r2).empty());
+  EXPECT_GE(store.payload(r2).capacity(), 4096u);
+  EXPECT_EQ(store.capacity(), 1u);
+}
+
+TEST(PacketStoreTest, WithPacketAssemblesViewWithoutLosingPayload) {
+  PacketStore store;
+  const auto r = make_packet(store, 9, 64);
+  bool called = false;
+  store.with_packet(r, [&](const Packet& p) {
+    called = true;
+    EXPECT_EQ(p.id, PacketId{9});
+    EXPECT_EQ(p.header.payload_size, 64u);
+    EXPECT_EQ(p.payload.size(), 64u);
+    EXPECT_EQ(p.payload[0], std::uint8_t{9});
+  });
+  EXPECT_TRUE(called);
+  // Payload moved back after the call.
+  EXPECT_EQ(store.payload(r).size(), 64u);
+  EXPECT_EQ(store.payload(r)[0], std::uint8_t{9});
+}
+
+TEST(PacketStoreTest, WithPacketSurvivesReentrantAcquire) {
+  PacketStore store;
+  const auto r = make_packet(store, 3, 32);
+  // A handler that acquires new slots mid-callback (a receive handler
+  // sending a reply) can grow the payload array; the original slot's
+  // payload must still be restored afterwards.
+  store.with_packet(r, [&](const Packet& p) {
+    EXPECT_EQ(p.payload.size(), 32u);
+    for (std::uint64_t i = 10; i < 20; ++i) (void)make_packet(store, i, 16);
+  });
+  EXPECT_EQ(store.payload(r).size(), 32u);
+  EXPECT_EQ(store.payload(r)[0], std::uint8_t{3});
+  EXPECT_EQ(store.live(), 11u);
+}
+
+TEST(PacketStoreTest, ManySlotsStayIndependent) {
+  PacketStore store;
+  std::vector<PacketStore::Ref> refs;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    refs.push_back(make_packet(store, i, 8 + (i % 16)));
+  }
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto r = refs[static_cast<std::size_t>(i)];
+    ASSERT_EQ(store.meta(r).id, PacketId{i});
+    ASSERT_EQ(store.payload(r).size(), 8 + (i % 16));
+  }
+  for (const auto r : refs) store.release(r);
+  EXPECT_EQ(store.live(), 0u);
+  EXPECT_EQ(store.capacity(), 200u);
+}
+
+}  // namespace
+}  // namespace lexfor::netsim

@@ -1,0 +1,127 @@
+#include "util/small_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace lexfor::util {
+namespace {
+
+TEST(SmallFnTest, DefaultIsEmpty) {
+  SmallFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(SmallFnTest, InvokesInlineCallable) {
+  int calls = 0;
+  SmallFn fn = [&calls] { ++calls; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SmallFnTest, MoveTransfersOwnership) {
+  int calls = 0;
+  SmallFn a = [&calls] { ++calls; };
+  SmallFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SmallFnTest, MoveAssignReplacesExisting) {
+  int first = 0;
+  int second = 0;
+  SmallFn fn = [&first] { ++first; };
+  fn = SmallFn{[&second] { ++second; }};
+  fn();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SmallFnTest, HoldsMoveOnlyCallable) {
+  auto owned = std::make_unique<int>(7);
+  int seen = 0;
+  SmallFn fn = [p = std::move(owned), &seen] { seen = *p; };
+  fn();
+  EXPECT_EQ(seen, 7);
+}
+
+// A callable that counts its live instances, to prove SmallFn destroys
+// exactly what it constructs — across moves and heap fallback alike.
+struct Counted {
+  static int live;
+  Counted() { ++live; }
+  Counted(const Counted&) { ++live; }
+  Counted(Counted&&) noexcept { ++live; }
+  ~Counted() { --live; }
+  void operator()() const {}
+};
+int Counted::live = 0;
+
+TEST(SmallFnTest, DestroysInlineCallable) {
+  ASSERT_EQ(Counted::live, 0);
+  {
+    SmallFn fn = Counted{};
+    EXPECT_EQ(Counted::live, 1);
+    SmallFn moved = std::move(fn);
+    EXPECT_EQ(Counted::live, 1);
+    moved();
+  }
+  EXPECT_EQ(Counted::live, 0);
+}
+
+// Padded past kInlineBytes so the callable takes the heap path.
+struct BigCounted : Counted {
+  std::array<std::byte, SmallFn::kInlineBytes + 16> pad{};
+};
+
+TEST(SmallFnTest, HeapFallbackForLargeCallable) {
+  static_assert(sizeof(BigCounted) > SmallFn::kInlineBytes);
+  ASSERT_EQ(Counted::live, 0);
+  {
+    SmallFn fn = BigCounted{};
+    EXPECT_EQ(Counted::live, 1);
+    // Heap path moves by pointer swap: still exactly one live instance.
+    SmallFn moved = std::move(fn);
+    EXPECT_EQ(Counted::live, 1);
+    moved();
+  }
+  EXPECT_EQ(Counted::live, 0);
+}
+
+TEST(SmallFnTest, LargeCaptureStateSurvivesMoves) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes: heap fallback
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i * 3;
+  std::uint64_t sum = 0;
+  SmallFn fn = [big, &sum] {
+    for (const auto v : big) sum += v;
+  };
+  SmallFn moved = std::move(fn);
+  SmallFn again;
+  again = std::move(moved);
+  again();
+  EXPECT_EQ(sum, 360u);
+}
+
+// Trivially copyable captures ride the memcpy relocation path; this is
+// the calendar queue's hot case, exercised here across a vector
+// reallocation storm.
+TEST(SmallFnTest, TriviallyRelocatableSurvivesVectorGrowth) {
+  std::vector<SmallFn> fns;
+  static int total;
+  total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    fns.emplace_back([i] { total += i; });
+  }
+  for (auto& fn : fns) fn();
+  EXPECT_EQ(total, 999 * 1000 / 2);
+}
+
+}  // namespace
+}  // namespace lexfor::util

@@ -17,8 +17,12 @@
 # reference scan, and the kernel must beat its per-offset cost),
 # bench_stream (A-STREAM: the online despreader must match the batch
 # scan bit for bit in O(ring) memory and the tap admission gate must
-# hold), and bench_baseline (E-IVB gate: kernel cross_score must match
-# the naive pearson oracle bit for bit).
+# hold), bench_baseline (E-IVB gate: kernel cross_score must match
+# the naive pearson oracle bit for bit), and bench_netsim (A-NETSIM:
+# events/s at 1M+ queued events must stay >= 0.8x the 1k rate, the
+# calendar queue must fire randomized schedules bit-identically to the
+# retained heap oracle, and DES accounting must balance under
+# topology churn).
 #
 # Usage: tools/run_benchmarks.sh [options]
 #   --build-dir DIR   build tree to use              (default: build)

@@ -93,7 +93,7 @@ tsan_build() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
   cmake --build build-tsan -j "${JOBS}" \
         --target obs_test util_test legal_test watermark_test tornet_test \
-                 stream_test
+                 stream_test netsim_test
 }
 tsan_stress() {
   # Covers the v2 sharded ring (8-thread merge stress), the call-site
@@ -104,9 +104,19 @@ tsan_stress() {
       --gtest_filter='ObsMetricsThreadTest.*:ObsTracerTest.*:ObsRingTest.*:ObsShardedRingTest.*:ObsProfileTest.*:ObsSnapshotTest.*'
 }
 tsan_pool_cache() {
+  # ArenaTest/SmallFnTest/PoolTest cover the ISSUE-8 allocation
+  # substrate: single-threaded by contract, but instrumented runs also
+  # catch lifetime bugs (use-after-reset, double-destroy in SmallFn).
   TSAN_OPTIONS=halt_on_error=1 \
   ./build-tsan/tests/util_test \
-      --gtest_filter='ThreadPoolTest.*:LruCacheTest.*'
+      --gtest_filter='ThreadPoolTest.*:LruCacheTest.*:ArenaTest.*:PoolTest.*:SmallFnTest.*'
+}
+tsan_calendar_queue() {
+  # The calendar queue + packet store under instrumentation, including
+  # the oracle property suite (randomized schedules, resize crossings).
+  TSAN_OPTIONS=halt_on_error=1 \
+  ./build-tsan/tests/netsim_test \
+      --gtest_filter='EventQueueTest.*:EventQueueOracleTest.*:PacketStoreTest.*'
 }
 tsan_batch() {
   TSAN_OPTIONS=halt_on_error=1 \
@@ -129,9 +139,10 @@ tsan_traceback_fanout() {
   ./build-tsan/tests/tornet_test \
       --gtest_filter='TracebackTest.DetectThreadCountDoesNotChangeResults:MultiflowTest.DetectThreadCountDoesNotChangeResults'
 }
-stage "TSan build (obs_test util_test legal_test watermark_test tornet_test stream_test)" tsan_build
+stage "TSan build (obs_test util_test legal_test watermark_test tornet_test stream_test netsim_test)" tsan_build
 stage "obs thread-stress under TSan" tsan_stress
 stage "thread pool + sharded LRU cache under TSan" tsan_pool_cache
+stage "calendar queue + packet store under TSan" tsan_calendar_queue
 stage "batch evaluator under TSan" tsan_batch
 stage "watermark scan batch under TSan" tsan_scan_batch
 stage "streaming tap suite under TSan" tsan_stream
