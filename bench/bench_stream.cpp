@@ -8,9 +8,13 @@
 //   (2) peak state is exactly O(ring capacity + code length) doubles
 //       and never grows over a stream 50x the code length,
 //   (3) a TapSession under a court order admits the §IV.B collection
-//       posture while a content-grab with the same order is refused.
+//       posture while a content-grab with the same order is refused,
+//   (4) run_streaming_traceback's single-pass TapRegistry fan-out is
+//       bit-identical to the per-suspect re-simulation loop and its
+//       simulation pass count stays at 1 regardless of suspect count.
 // It also reports the per-bin ingest cost (the number an ISP-side
-// deployment would size hardware against).
+// deployment would size hardware against) and the single-pass vs
+// per-suspect wall time.
 
 #include <bit>
 #include <chrono>
@@ -21,6 +25,7 @@
 #include "legal/process.h"
 #include "stream/online_despread.h"
 #include "stream/tap_session.h"
+#include "tornet/traceback.h"
 #include "util/rng.h"
 #include "watermark/correlate.h"
 #include "watermark/pn_code.h"
@@ -114,7 +119,7 @@ int main() {
         for (auto& r : stream) r = rng.normal(100.0, 15.0);
 
         OnlineDespreader online(kernel, max_offset);
-        const std::size_t expected = 2 * n + max_offset + 1;
+        const std::size_t expected = n + max_offset;
         double sink = 0.0;  // defeat dead-code elimination
         const auto t0 = clock::now();
         for (const double r : stream) {
@@ -180,7 +185,74 @@ int main() {
     }
   }
 
+  // Gate 4: single-pass multi-tap collection.  run_streaming_traceback
+  // taps every candidate flow through one stream::TapRegistry during
+  // ONE simulation pass; the per-suspect re-simulation loop is the
+  // reference.  Results must be bit-identical and the pass count must
+  // not scale with the suspect count — that is the whole point of the
+  // registry.
+  {
+    using clock = std::chrono::steady_clock;
+    std::printf("\nsingle-pass tap registry vs per-suspect re-simulation\n");
+    std::printf("%8s %10s %10s %14s %14s\n", "suspects", "passes",
+                "ref passes", "single ms", "per-suspect ms");
+    bool identical = true, pass_count_ok = true;
+    for (const std::size_t decoys : {std::size_t{3}, std::size_t{8}}) {
+      lexfor::tornet::TracebackConfig cfg;
+      cfg.pn_degree = 8;
+      cfg.chip_ms = 400.0;
+      cfg.depth = 0.35;
+      cfg.base_rate_pps = 120.0;
+      cfg.num_decoys = decoys;
+      cfg.seed = 424242;
+
+      const auto t0 = clock::now();
+      const auto single = lexfor::tornet::run_streaming_traceback(cfg).value();
+      const auto t1 = clock::now();
+      auto ref_cfg = cfg;
+      ref_cfg.resimulate_per_suspect = true;
+      const auto reference =
+          lexfor::tornet::run_streaming_traceback(ref_cfg).value();
+      const auto t2 = clock::now();
+
+      pass_count_ok = pass_count_ok && single.sim_passes == 1 &&
+                      reference.sim_passes == 1 + decoys;
+      identical = identical && single.flows.size() == reference.flows.size();
+      for (std::size_t i = 0;
+           identical && i < single.flows.size(); ++i) {
+        identical =
+            std::bit_cast<std::uint64_t>(single.flows[i].detection.correlation) ==
+                std::bit_cast<std::uint64_t>(
+                    reference.flows[i].detection.correlation) &&
+            single.flows[i].detection.detected ==
+                reference.flows[i].detection.detected;
+      }
+      const double single_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      const double loop_ms =
+          std::chrono::duration<double, std::milli>(t2 - t1).count();
+      std::printf("%8zu %10llu %10llu %14.1f %14.1f\n", decoys + 1,
+                  static_cast<unsigned long long>(single.sim_passes),
+                  static_cast<unsigned long long>(reference.sim_passes),
+                  single_ms, loop_ms);
+      std::printf("A-STREAM-METRIC single_pass_%zu_suspects_ms %.1f\n",
+                  decoys + 1, single_ms);
+      std::printf("A-STREAM-METRIC per_suspect_%zu_suspects_ms %.1f\n",
+                  decoys + 1, loop_ms);
+    }
+    if (!pass_count_ok) {
+      std::printf("A-STREAM FAILED: simulation pass count scaled with the "
+                  "suspect count\n");
+      return 1;
+    }
+    if (!identical) {
+      std::printf("A-STREAM FAILED: single-pass verdicts diverged from the "
+                  "per-suspect loop\n");
+      return 1;
+    }
+  }
+
   std::printf("\nA-STREAM OK: bit-identical verdicts, flat memory, "
-              "admission gate enforced\n");
+              "admission gate enforced, single-pass == per-suspect loop\n");
   return 0;
 }

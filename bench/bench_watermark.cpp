@@ -11,11 +11,13 @@
 // gracefully with jitter, and decoy flows stay below threshold; the
 // legal cost stays at a court order, below a Title III wiretap.
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "tornet/traceback.h"
 #include "util/rng.h"
@@ -225,6 +227,139 @@ int main() {
       return 1;
     }
     std::printf("A-SCAN OK: bit-identical scores, kernel faster at every "
+                "degree\n");
+  }
+
+  // Series 6 / experiment A-SIMD: the vectorized multi-accumulator scan
+  // lane vs the scalar oracle.  Self-verifying on two axes:
+  //   (1) correctness — 300+ randomized trials must be VERDICT-identical
+  //       (same offset, same decision, bit-identical threshold) with the
+  //       correlation's ULP distance <= CorrelationKernel::kSimdMaxUlp;
+  //   (2) performance — the lane must be >= 2.0x the scalar per-offset
+  //       cost at every degree, or the bench exits non-zero.
+  // When the lane is unavailable (LEXFOR_SIMD=OFF or no AVX2/FMA at
+  // runtime) the series is SKIPPED with a note — scan_simd forwards to
+  // the scalar scan there, so there is nothing to gate.
+  // A-SIMD-METRIC lines are machine-readable for tools/bench_diff.py.
+  std::printf("\nSeries 6 (A-SIMD): vectorized multi-accumulator lane vs "
+              "scalar scan (single core)\n");
+  if (!lexfor::watermark::CorrelationKernel::simd_lane_available()) {
+    std::printf("A-SIMD SKIPPED: vector lane unavailable on this "
+                "build/host (LEXFOR_SIMD off or no AVX2+FMA); scan_simd "
+                "forwards to the scalar scan\n");
+    return 0;
+  }
+  {
+    using clock = std::chrono::steady_clock;
+    lexfor::Rng rng{20260809};
+
+    // Correctness gate: randomized degrees/offsets/marks, verdicts
+    // locked, ULP distance bounded and reported.
+    constexpr int kUlpTrials = 300;
+    int verdict_mismatches = 0;
+    std::uint64_t max_ulp = 0;
+    for (int t = 0; t < kUlpTrials; ++t) {
+      const int degree = 8 + static_cast<int>(rng.uniform(5));  // 8..12
+      const auto code = lexfor::watermark::PnCode::m_sequence(degree).value();
+      const lexfor::watermark::CorrelationKernel kernel(code);
+      const std::size_t max_offset = t % 2 == 0 ? 0 : 256;
+      const std::size_t embed = rng.uniform(max_offset + 1);
+      const double sigma = 1.0 + 30.0 * rng.uniform01();
+      const bool marked = rng.bernoulli(0.5);
+      std::vector<double> rates;
+      for (std::size_t i = 0; i < embed; ++i) {
+        rates.push_back(100.0 + rng.normal(0.0, sigma));
+      }
+      for (const auto c : code.chips()) {
+        rates.push_back(100.0 + (marked ? 25.0 * c : 0.0) +
+                        rng.normal(0.0, sigma));
+      }
+      for (std::size_t i = embed; i < max_offset + 8; ++i) {
+        rates.push_back(100.0 + rng.normal(0.0, sigma));
+      }
+      const auto scalar = kernel.scan(rates, max_offset).value();
+      const auto simd = kernel.scan_simd(rates, max_offset).value();
+      const bool verdict_ok =
+          scalar.offset == simd.offset &&
+          scalar.best.detected == simd.best.detected &&
+          std::bit_cast<std::uint64_t>(scalar.best.threshold) ==
+              std::bit_cast<std::uint64_t>(simd.best.threshold);
+      if (!verdict_ok) ++verdict_mismatches;
+      max_ulp = std::max(max_ulp,
+                         lexfor::watermark::ulp_distance(
+                             scalar.best.correlation, simd.best.correlation));
+    }
+    std::printf("verdicts: %d/%d randomized trials identical, max ULP "
+                "distance %llu (bound %llu)\n",
+                kUlpTrials - verdict_mismatches, kUlpTrials,
+                static_cast<unsigned long long>(max_ulp),
+                static_cast<unsigned long long>(
+                    lexfor::watermark::CorrelationKernel::kSimdMaxUlp));
+    std::printf("A-SIMD-METRIC max_ulp %llu\n",
+                static_cast<unsigned long long>(max_ulp));
+    if (verdict_mismatches != 0) {
+      std::printf("A-SIMD FAILED: SIMD and scalar scans returned different "
+                  "verdicts\n");
+      return 1;
+    }
+    if (max_ulp > lexfor::watermark::CorrelationKernel::kSimdMaxUlp) {
+      std::printf("A-SIMD FAILED: correlation ULP distance exceeds the "
+                  "documented bound\n");
+      return 1;
+    }
+
+    // Performance gate: both paths timed over the same series.
+    std::printf("%8s %8s %12s %14s %14s %10s\n", "degree", "offsets", "reps",
+                "scalar ns/off", "simd ns/off", "speedup");
+    bool all_2x = true;
+    for (const int degree : {8, 10, 12}) {
+      const auto code = lexfor::watermark::PnCode::m_sequence(degree).value();
+      const lexfor::watermark::CorrelationKernel kernel(code, 5.0);
+      const std::size_t max_offset = 256;
+      std::vector<double> rates;
+      for (std::size_t i = 0; i < max_offset / 2; ++i) {
+        rates.push_back(100.0 + rng.normal(0.0, 10.0));
+      }
+      for (const auto c : code.chips()) {
+        rates.push_back(100.0 * (1.0 + 0.3 * c) + rng.normal(0.0, 10.0));
+      }
+      for (std::size_t i = 0; i < max_offset; ++i) {
+        rates.push_back(100.0 + rng.normal(0.0, 10.0));
+      }
+      const std::size_t offsets =
+          std::min(max_offset, rates.size() - code.length()) + 1;
+      const int reps = degree >= 12 ? 20 : 60;
+
+      double sink = 0.0;
+      const auto t0 = clock::now();
+      for (int r = 0; r < reps; ++r) {
+        sink += kernel.scan(rates, max_offset).value().best.correlation;
+      }
+      const auto t1 = clock::now();
+      for (int r = 0; r < reps; ++r) {
+        sink += kernel.scan_simd(rates, max_offset).value().best.correlation;
+      }
+      const auto t2 = clock::now();
+      const double scalar_ns =
+          std::chrono::duration<double, std::nano>(t1 - t0).count() /
+          (static_cast<double>(reps) * static_cast<double>(offsets));
+      const double simd_ns =
+          std::chrono::duration<double, std::nano>(t2 - t1).count() /
+          (static_cast<double>(reps) * static_cast<double>(offsets));
+      all_2x = all_2x && simd_ns * 2.0 <= scalar_ns;
+      std::printf("%8d %8zu %12d %14.1f %14.1f %9.2fx\n", degree, offsets,
+                  reps, scalar_ns, simd_ns, scalar_ns / simd_ns);
+      std::printf("A-SIMD-METRIC scan_scalar_deg%d_ns_per_offset %.1f\n",
+                  degree, scalar_ns);
+      std::printf("A-SIMD-METRIC scan_simd_deg%d_ns_per_offset %.1f\n",
+                  degree, simd_ns);
+      if (sink == -1.0) std::printf("%f\n", sink);
+    }
+    if (!all_2x) {
+      std::printf("A-SIMD FAILED: vector lane under 2.0x the scalar scan\n");
+      return 1;
+    }
+    std::printf("A-SIMD OK: verdict-identical, ULP-bounded, >= 2x at every "
                 "degree\n");
   }
   return 0;

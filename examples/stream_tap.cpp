@@ -6,10 +6,20 @@
 //
 // The legal gate comes first: the tap object cannot even be
 // constructed unless the held process covers the collection scenario.
+//
+// Act two widens the lens: a stream::TapRegistry taps EVERY candidate
+// suspect behind the ISP at once — one arena behind all the rings and
+// despread windows, per-suspect legal admission, one simulation pass —
+// which is how run_streaming_traceback avoids re-simulating the
+// network per suspect.
 
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "netsim/flow.h"
+#include "stream/tap_registry.h"
 #include "stream/tap_session.h"
 #include "watermark/dsss.h"
 #include "watermark/pn_code.h"
@@ -106,5 +116,64 @@ int main() {
               v.scan.best.detected ? "YES" : "no");
   std::printf("correlation         : %.4f (threshold %.4f)\n",
               v.scan.best.correlation, v.scan.best.threshold);
-  return v.scan.best.detected ? 0 : 1;
+  if (!v.scan.best.detected) return 1;
+
+  // --- act two: every suspect at once, one pass -------------------------
+  // Three candidates behind the ISP; only suspect-0's flow carries the
+  // watermark.  One TapRegistry admits each tap through the verdict
+  // cache, carves all tap state from a single arena, and one net.run()
+  // scores all three.
+  std::printf("\n-- multi-suspect registry: one pass, all candidates --\n");
+  netsim::Network net2(2027);
+  const auto server2 = net2.add_node("seized-server");
+  const auto isp2 = net2.add_node("suspect-isp");
+  (void)net2.connect(server2, isp2);
+
+  stream::TapRegistry registry;
+  std::vector<NodeId> candidates;
+  std::vector<std::unique_ptr<netsim::FlowSource>> flows;
+  for (int i = 0; i < 3; ++i) {
+    const auto node = net2.add_node("candidate" + std::to_string(i));
+    (void)net2.connect(isp2, node);
+    candidates.push_back(node);
+
+    auto tap_cfg = cfg;
+    tap_cfg.target = node;
+    if (!registry.add_tap(kernel, tap_cfg).ok()) return 1;
+
+    netsim::FlowConfig fc2 = fc;
+    fc2.id = FlowId{static_cast<std::uint32_t>(i + 10)};
+    fc2.src = server2;
+    fc2.dst = node;
+    // Only candidate 0 gets the marked flow; the rest are decoys.
+    flows.push_back(
+        i == 0 ? std::make_unique<netsim::FlowSource>(
+                     net2, fc2, netsim::ArrivalProcess::kPoisson, 7,
+                     [&embedder](SimTime t) { return embedder.multiplier(t); })
+               : std::make_unique<netsim::FlowSource>(
+                     net2, fc2, netsim::ArrivalProcess::kPoisson, 7 + i));
+  }
+  if (!registry.attach_all(net2).ok()) return 1;
+  for (auto& f : flows) f->start();
+  net2.run();  // the ONE simulation pass
+  registry.pump_all(net2.now() + chip);
+
+  bool marked_found = false, decoy_flagged = false;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const auto& tap = registry.tap(i);
+    const auto& scan = tap.verdict().scan;
+    std::printf("candidate%zu: corr %+.4f vs %.4f -> %s\n", i,
+                scan.best.correlation, scan.best.threshold,
+                scan.best.detected ? "WATERMARKED" : "clean");
+    if (i == 0) marked_found = scan.best.detected;
+    else decoy_flagged = decoy_flagged || scan.best.detected;
+  }
+  const auto agg = registry.aggregate_ring_stats();
+  std::printf("registry: %zu taps, %llu refused, %llu bins recorded, "
+              "%zu arena bytes\n",
+              registry.size(),
+              static_cast<unsigned long long>(registry.refused()),
+              static_cast<unsigned long long>(agg.recorded),
+              registry.arena_bytes());
+  return marked_found && !decoy_flagged ? 0 : 1;
 }

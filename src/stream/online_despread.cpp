@@ -1,15 +1,21 @@
 #include "stream/online_despread.h"
 
-#include <algorithm>
-
 namespace lexfor::stream {
 
 OnlineDespreader::OnlineDespreader(const watermark::CorrelationKernel& kernel,
                                    std::size_t max_offset)
+    : OnlineDespreader(kernel, max_offset, nullptr) {}
+
+OnlineDespreader::OnlineDespreader(const watermark::CorrelationKernel& kernel,
+                                   std::size_t max_offset, double* storage)
     : kernel_(kernel),
       max_offset_(max_offset),
-      window_(2 * kernel.length(), 0.0),
-      sums_(max_offset + 1, 0.0) {
+      window_len_(window_capacity(kernel, max_offset)) {
+  if (storage == nullptr) {
+    owned_ = std::make_unique<double[]>(window_len_);
+    storage = owned_.get();
+  }
+  window_ = storage;
   // Fixed k = max_offset + 1: identical to scan() over a series of
   // max_offset + n bins (or longer — scan clamps to the same k).
   verdict_.scan.best.correlation = -2.0;  // below any achievable value
@@ -24,26 +30,20 @@ std::optional<StreamScore> OnlineDespreader::push(double rate) {
   const std::size_t n = kernel_.length();
   const std::size_t t = bins_++;
 
-  // Mirror write keeps every n-bin window contiguous: the copy at
-  // [t%n + n] serves windows that wrap the ring seam, and is not
-  // overwritten before the last window containing bin t finalizes.
-  const std::size_t pos = t % n;
-  window_[pos] = rate;
-  window_[pos + n] = rate;
-
-  // Accumulate into every offset whose window contains bin t.  For a
-  // fixed offset the adds arrive in bin-index order — the same single
-  // accumulator chain as the kernel's sequential sum.
-  const std::size_t first = t + 1 >= n ? t + 1 - n : 0;
-  const std::size_t last = std::min(t, max_offset_);
-  for (std::size_t off = first; off <= last; ++off) sums_[off] += rate;
+  // The window is sized for every bin a candidate offset can read
+  // (t < n + max_offset until the verdict completes), so bin t lands
+  // flat at window_[t] — no ring seam, no mirror write, no per-offset
+  // running sums.
+  window_[t] = rate;
 
   if (t + 1 < n) return std::nullopt;
   const std::size_t off = t + 1 - n;  // the offset bin t finalizes
   if (off > max_offset_) return std::nullopt;
 
-  const double corr = kernel_.despread_presummed(
-      window_.data() + (off % n), /*code_begin=*/0, n, sums_[off]);
+  // despread()'s sequential sum adds window_[off..off+n) in index
+  // order — the order the bins arrived — so the score is bit-identical
+  // to the batch scan over the same series.
+  const double corr = kernel_.despread(window_ + off, /*code_begin=*/0, n);
   ++verdict_.offsets_scored;
   if (corr > verdict_.scan.best.correlation) {
     verdict_.scan.best.correlation = corr;

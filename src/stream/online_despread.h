@@ -7,18 +7,22 @@
 // once bin off + n - 1 arrives that offset can be scored and never
 // revisited.  OnlineDespreader exploits this:
 //
-//   * a mirrored ring of the last n bins (2n doubles, each bin written
-//     twice) keeps every n-bin window CONTIGUOUS in memory, so the
-//     kernel's unmodified correlate pass runs straight over it;
-//   * one running sum per candidate offset, accumulated as bins arrive.
-//     Adds land on each per-offset accumulator in bin-index order —
-//     exactly the order the kernel's sequential sum performs them — so
-//     the resulting mean is bit-identical to the batch pass (this is
-//     the "partial score": the expensive second pass is skipped via
-//     despread_presummed);
+//   * one FLAT linear window of n + max_offset doubles, sized up front
+//     from max_offset — exactly the bins the candidate offsets can ever
+//     read.  Bin t lands at window[t], every candidate window is
+//     contiguous by construction, and the memory footprint is fixed the
+//     moment the despreader is built (the bench gate asserts it never
+//     grows).  The historic version kept a 2n mirrored ring PLUS one
+//     running sum per offset (2n + max_offset + 1 doubles) and spent
+//     O(min(n, max_offset)) adds per bin maintaining those sums — the
+//     A-STREAM degrade from 2.6 to 28.9 ns/bin at degree 12 × offset
+//     256 was that loop;
 //   * offsets finalize in increasing order, reproducing scan()'s
 //     earliest-offset tie-breaking, under the same Bonferroni threshold
-//     (scan_threshold with k = max_offset + 1).
+//     (scan_threshold with k = max_offset + 1).  A finalized offset is
+//     scored by the kernel's own despread() over window + off: its
+//     sequential sum adds bins in index order — the order they arrived
+//     — so the score is bit-identical to the batch pass.
 //
 // Contract (enforced by tests and the A-STREAM bench gate): after
 // max_offset + n bins, verdict() is BIT-IDENTICAL — correlation,
@@ -28,14 +32,19 @@
 // that is Detector::detect on the same window.  The batch path stays
 // the oracle: this class holds no scoring math of its own, only the
 // bookkeeping to feed the kernel incrementally.  Peak memory is
-// 2n + max_offset + 1 doubles — O(code length + offset window),
-// independent of stream length.
+// n + max_offset doubles — O(code length + offset window), independent
+// of stream length, allocated once in the constructor.
+//
+// Storage can be supplied externally (stream::TapRegistry backs every
+// tap's window from one util::Arena): the despreader then owns nothing
+// and the caller guarantees the buffer outlives it.  Either way the
+// window pointer is stable, so the type stays safely movable.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
-#include <vector>
 
 #include "util/status.h"
 #include "watermark/correlate.h"
@@ -58,9 +67,25 @@ class OnlineDespreader {
  public:
   // The kernel must outlive this despreader (same lifetime rule as
   // ScanJob).  `max_offset` fixes the candidate window — and therefore
-  // the Bonferroni threshold — at construction.
+  // the Bonferroni threshold AND the memory footprint
+  // (kernel.length() + max_offset doubles) — at construction.
   OnlineDespreader(const watermark::CorrelationKernel& kernel,
                    std::size_t max_offset);
+
+  // Same, over caller-owned storage of at least window_capacity(kernel,
+  // max_offset) doubles (TapRegistry carves these from one arena).  The
+  // buffer must outlive the despreader; it is overwritten as bins
+  // arrive and need not be initialized.  nullptr means "allocate
+  // internally" — identical to the two-argument constructor.
+  OnlineDespreader(const watermark::CorrelationKernel& kernel,
+                   std::size_t max_offset, double* storage);
+
+  // Doubles of storage the external-storage constructor requires.
+  [[nodiscard]] static std::size_t window_capacity(
+      const watermark::CorrelationKernel& kernel,
+      std::size_t max_offset) noexcept {
+    return kernel.length() + max_offset;
+  }
 
   // Ingests the next rate bin.  Returns the offset score this bin
   // completed, if any (bin t finalizes offset t - n + 1).  Bins past
@@ -77,17 +102,19 @@ class OnlineDespreader {
   }
   [[nodiscard]] std::size_t max_offset() const noexcept { return max_offset_; }
   // Doubles held, the O(1)-in-stream-length bound the bench gates on.
+  // Fixed at construction: n + max_offset.
   [[nodiscard]] std::size_t memory_doubles() const noexcept {
-    return window_.size() + sums_.size();
+    return window_len_;
   }
 
  private:
   const watermark::CorrelationKernel& kernel_;
   std::size_t max_offset_;
-  std::vector<double> window_;  // mirrored ring: bin t at [t%n] and [t%n + n]
-  std::vector<double> sums_;    // running window sum per candidate offset
-  std::size_t bins_ = 0;        // bins ingested (== next bin index)
-  std::uint64_t ignored_ = 0;   // bins past the candidate window
+  std::unique_ptr<double[]> owned_;  // null when storage is external
+  double* window_ = nullptr;         // flat: bin t at window_[t]
+  std::size_t window_len_ = 0;       // n + max_offset
+  std::size_t bins_ = 0;             // bins ingested (== next bin index)
+  std::uint64_t ignored_ = 0;        // bins past the candidate window
   OnlineVerdict verdict_;
 };
 

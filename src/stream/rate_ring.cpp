@@ -1,5 +1,6 @@
 #include "stream/rate_ring.h"
 
+#include <algorithm>
 #include <string>
 
 #include "obs/obs.h"
@@ -7,6 +8,11 @@
 namespace lexfor::stream {
 
 Result<RateRing> RateRing::create(RateRingConfig config) {
+  return create(config, nullptr);
+}
+
+Result<RateRing> RateRing::create(RateRingConfig config,
+                                  std::uint32_t* storage) {
   if (config.capacity == 0) {
     return InvalidArgument("RateRing: capacity must be positive");
   }
@@ -14,7 +20,17 @@ Result<RateRing> RateRing::create(RateRingConfig config) {
     return InvalidArgument("RateRing: bin width must be positive, got " +
                            std::to_string(config.bin_width.us) + "us");
   }
-  return RateRing(config);
+  return RateRing(config, storage);
+}
+
+RateRing::RateRing(RateRingConfig config, std::uint32_t* storage)
+    : config_(config), capacity_(config.capacity) {
+  if (storage == nullptr) {
+    owned_ = std::make_unique<std::uint32_t[]>(capacity_);
+    storage = owned_.get();
+  }
+  bins_ = storage;
+  std::fill(bins_, bins_ + capacity_, 0u);
 }
 
 RecordOutcome RateRing::record(SimTime at) noexcept {
@@ -30,12 +46,12 @@ RecordOutcome RateRing::record(SimTime at) noexcept {
     LEXFOR_OBS_COUNTER_ADD("stream.ring.late_drops", 1);
     return RecordOutcome::kLate;
   }
-  if (bin >= base_ + bins_.size()) {
+  if (bin >= base_ + capacity_) {
     ++stats_.overflow_drops;
     LEXFOR_OBS_COUNTER_ADD("stream.ring.overflow_drops", 1);
     return RecordOutcome::kOverflow;
   }
-  ++bins_[bin % bins_.size()];
+  ++bins_[bin % capacity_];
   ++stats_.recorded;
   if (bin + 1 > high_) high_ = bin + 1;
   return RecordOutcome::kRecorded;
@@ -48,7 +64,7 @@ std::size_t RateRing::pop_closed(SimTime now, std::vector<std::uint32_t>& out) {
       static_cast<std::uint64_t>((now - config_.start).us / config_.bin_width.us);
   std::size_t popped = 0;
   while (base_ < closed) {
-    auto& slot = bins_[base_ % bins_.size()];
+    auto& slot = bins_[base_ % capacity_];
     out.push_back(slot);
     slot = 0;  // recycle for bin base_ + capacity
     ++base_;

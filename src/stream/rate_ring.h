@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/sim_time.h"
@@ -57,6 +58,13 @@ class RateRing {
  public:
   [[nodiscard]] static Result<RateRing> create(RateRingConfig config);
 
+  // Same ring over caller-owned storage of `config.capacity` counters
+  // (stream::TapRegistry carves one slab per tap from a shared
+  // util::Arena).  The buffer must outlive the ring; it is zeroed here,
+  // so it need not arrive initialized.
+  [[nodiscard]] static Result<RateRing> create(RateRingConfig config,
+                                               std::uint32_t* storage);
+
   // Counts one packet event at sim time `at` into its bin; never grows
   // memory.  Out-of-window events are dropped and classified.
   RecordOutcome record(SimTime at) noexcept;
@@ -70,7 +78,7 @@ class RateRing {
   [[nodiscard]] std::uint64_t base_bin() const noexcept { return base_; }
   // Bins currently occupied (base through the highest bin touched).
   [[nodiscard]] std::size_t occupancy() const noexcept;
-  [[nodiscard]] std::size_t capacity() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const RateRingStats& stats() const noexcept { return stats_; }
   [[nodiscard]] SimTime start() const noexcept { return config_.start; }
   [[nodiscard]] SimDuration bin_width() const noexcept {
@@ -78,13 +86,16 @@ class RateRing {
   }
 
  private:
-  explicit RateRing(RateRingConfig config)
-      : config_(config), bins_(config.capacity, 0) {}
+  // storage == nullptr means "own a fresh buffer"; the pointer is
+  // stable either way, so default moves are safe.
+  RateRing(RateRingConfig config, std::uint32_t* storage);
 
   RateRingConfig config_;
-  std::vector<std::uint32_t> bins_;  // bin b lives at bins_[b % capacity]
-  std::uint64_t base_ = 0;           // oldest retained bin index
-  std::uint64_t high_ = 0;           // one past the highest bin touched
+  std::unique_ptr<std::uint32_t[]> owned_;  // null when storage is external
+  std::uint32_t* bins_ = nullptr;  // bin b lives at bins_[b % capacity]
+  std::size_t capacity_ = 0;
+  std::uint64_t base_ = 0;  // oldest retained bin index
+  std::uint64_t high_ = 0;  // one past the highest bin touched
   RateRingStats stats_;
 };
 

@@ -37,6 +37,7 @@
 
 #include "legal/authority.h"
 #include "legal/batch.h"
+#include "util/arena.h"
 #include "legal/scenario.h"
 #include "netsim/network.h"
 #include "stream/online_despread.h"
@@ -72,6 +73,15 @@ class TapSession {
   [[nodiscard]] static Result<TapSession> create(
       const watermark::CorrelationKernel& kernel, TapSessionConfig config);
 
+  // Same gate, with every recording buffer (ring counters + despread
+  // window) carved from `arena` in one cache-line-aligned slab —
+  // TapRegistry backs all of its taps this way.  Admission still runs
+  // FIRST: a refused tap takes nothing from the arena.  The arena must
+  // outlive the session.
+  [[nodiscard]] static Result<TapSession> create(
+      const watermark::CorrelationKernel& kernel, TapSessionConfig config,
+      util::Arena& arena);
+
   // Attaches to every link incident to the target node.
   [[nodiscard]] Status attach(netsim::Network& net);
 
@@ -83,6 +93,13 @@ class TapSession {
   // Drains every bin closed at `now` into the despreader.  Call once
   // after the simulation with net.now() to flush the tail.
   void pump(SimTime now);
+
+  // Direct feed for callers that already hold binned rates (the
+  // single-pass tornet traceback bins all flows once, then fans the
+  // bins out to every admitted tap).  Bypasses the ring — the bin was
+  // closed by the producer — but still counts toward bins_scored and
+  // drives the same despreader as pump().
+  void ingest_bin(double rate);
 
   [[nodiscard]] const OnlineVerdict& verdict() const noexcept {
     return despreader_.verdict();
@@ -99,13 +116,14 @@ class TapSession {
   }
 
  private:
+  // window == nullptr: the despreader owns its buffer (heap path).
   TapSession(const watermark::CorrelationKernel& kernel,
              TapSessionConfig config, legal::Determination admission,
-             RateRing ring)
+             RateRing ring, double* window)
       : config_(std::move(config)),
         admission_(std::move(admission)),
         ring_(std::move(ring)),
-        despreader_(kernel, config_.max_offset) {}
+        despreader_(kernel, config_.max_offset, window) {}
 
   TapSessionConfig config_;
   legal::Determination admission_;

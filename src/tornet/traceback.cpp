@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "stream/online_despread.h"
+#include "stream/tap_registry.h"
 #include "watermark/correlate.h"
 #include "watermark/gold_code.h"
 #include "watermark/scan_batch.h"
@@ -33,8 +34,15 @@ namespace {
 // a counter-derived stream, so each flow's randomness is independent of
 // every other flow's existence and the loop can later fan out across
 // threads without changing a single bin.
-Status simulate_flow_rates(const TracebackConfig& config,
+// Simulates flows [flow_begin, flow_end) and writes each flow's n_chips
+// bins at rates[(flow - flow_begin) * n_chips].  Because flow i draws
+// from Rng::sub_stream(config.seed, i), a flow's bins are the same
+// whether its pass simulates one flow or all of them — that equality is
+// what lets the per-suspect reference loop and the single-pass registry
+// produce bit-identical series.
+Status simulate_flow_range(const TracebackConfig& config,
                            const watermark::PnCode& code,
+                           std::size_t flow_begin, std::size_t flow_end,
                            std::vector<double>& rates) {
   const std::size_t n_chips = code.length();
   const double chip_sec = config.chip_ms * 1e-3;
@@ -50,8 +58,7 @@ Status simulate_flow_rates(const TracebackConfig& config,
 
   AnonymityNetwork net(config.network);
 
-  const std::size_t num_flows = 1 + config.num_decoys;
-  rates.resize(num_flows * n_chips);
+  rates.resize((flow_end - flow_begin) * n_chips);
   const double hops = static_cast<double>(config.network.circuit_length);
   // The mean circuit delay shifts every packet; align the observation
   // window at the expected shift (the investigator calibrates this by
@@ -62,7 +69,7 @@ Status simulate_flow_rates(const TracebackConfig& config,
        config.network.relay_batch_ms / 2.0) *
       1e-3;
 
-  for (std::size_t flow = 0; flow < num_flows; ++flow) {
+  for (std::size_t flow = flow_begin; flow < flow_end; ++flow) {
     const bool marked = flow == 0;  // the suspect's flow carries the mark
     Rng flow_rng = Rng::sub_stream(config.seed, flow);
     auto circuit_r = net.build_circuit(flow_rng);
@@ -79,12 +86,49 @@ Status simulate_flow_rates(const TracebackConfig& config,
     const auto arrivals = net.transit(circuit_r.value(), sends, flow_rng);
     const auto bins =
         bin_arrivals(arrivals, expected_shift_sec, chip_sec, n_chips);
-    double* out = rates.data() + flow * n_chips;
+    double* out = rates.data() + (flow - flow_begin) * n_chips;
     for (std::size_t i = 0; i < n_chips; ++i) {
       out[i] = static_cast<double>(bins[i]);
     }
   }
   return Status::Ok();
+}
+
+// Phase 1 as the batch traceback uses it: every flow, one pass.
+Status simulate_flow_rates(const TracebackConfig& config,
+                           const watermark::PnCode& code,
+                           std::vector<double>& rates) {
+  return simulate_flow_range(config, code, 0, 1 + config.num_decoys, rates);
+}
+
+// The court order the streaming taps are admitted under: pen/trap-style
+// authority over addressing data, issued when collection starts, valid
+// well past the observation window.  Matches the §IV.B posture the
+// collection_scenario() evaluation determines is required.
+legal::GrantedAuthority streaming_tap_authority() {
+  legal::LegalProcess order;
+  order.kind = legal::ProcessKind::kCourtOrder;
+  order.scope.data_kinds = {legal::DataKind::kAddressing};
+  order.issued_at = SimTime::zero();
+  order.validity = SimDuration::from_sec(30.0 * 24.0 * 3600.0);
+  return legal::GrantedAuthority{order};
+}
+
+// Folds one flow's detection into the shared result summary.
+void accumulate_flow_verdict(TracebackResult& result, std::size_t flow,
+                             const watermark::DetectionResult& detection) {
+  FlowVerdict v;
+  v.is_suspect = flow == 0;
+  v.detection = detection;
+  result.flows.push_back(v);
+  if (v.is_suspect) {
+    result.suspect_detected = v.detection.detected;
+    result.suspect_correlation = v.detection.correlation;
+  } else {
+    if (v.detection.detected) ++result.decoys_flagged;
+    result.max_decoy_correlation =
+        std::max(result.max_decoy_correlation, v.detection.correlation);
+  }
 }
 
 }  // namespace
@@ -103,6 +147,8 @@ Result<TracebackResult> run_traceback(const TracebackConfig& config) {
   std::vector<double> rates;
   const Status sim = simulate_flow_rates(config, code, rates);
   if (!sim.ok()) return sim;
+  result.sim_passes = 1;
+  result.flows_simulated = num_flows;
 
   // Phase 2 — detection, fanned out: one kernel (one code), one scan
   // job per flow, merged back in input order.  max_offset 0 keeps the
@@ -122,18 +168,7 @@ Result<TracebackResult> run_traceback(const TracebackConfig& config) {
   for (std::size_t flow = 0; flow < num_flows; ++flow) {
     const auto& det_r = detections[flow];
     if (!det_r.ok()) return det_r.status();
-    FlowVerdict v;
-    v.is_suspect = flow == 0;
-    v.detection = det_r.value().best;
-    result.flows.push_back(v);
-    if (v.is_suspect) {
-      result.suspect_detected = v.detection.detected;
-      result.suspect_correlation = v.detection.correlation;
-    } else {
-      if (v.detection.detected) ++result.decoys_flagged;
-      result.max_decoy_correlation =
-          std::max(result.max_decoy_correlation, v.detection.correlation);
-    }
+    accumulate_flow_verdict(result, flow, det_r.value().best);
   }
   return result;
 }
@@ -149,32 +184,71 @@ Result<TracebackResult> run_streaming_traceback(const TracebackConfig& config) {
       legal::ComplianceEngine{}.evaluate(collection_scenario());
 
   const std::size_t num_flows = 1 + config.num_decoys;
+  const watermark::CorrelationKernel kernel(code, config.threshold_sigmas);
+
+  if (config.resimulate_per_suspect) {
+    // Reference loop: one simulation pass per candidate, exactly what a
+    // per-suspect investigation would run.  sub_stream re-seeding makes
+    // each pass's bins identical to the single-pass run's slice for
+    // that flow, so the registry path below must (and does) match this
+    // bit for bit — the property the tests and A-STREAM gate pin.
+    std::vector<double> flow_rates;
+    for (std::size_t flow = 0; flow < num_flows; ++flow) {
+      const Status sim =
+          simulate_flow_range(config, code, flow, flow + 1, flow_rates);
+      if (!sim.ok()) return sim;
+      ++result.sim_passes;
+      ++result.flows_simulated;
+
+      stream::OnlineDespreader despreader(kernel, /*max_offset=*/0);
+      for (std::size_t i = 0; i < n_chips; ++i) {
+        (void)despreader.push(flow_rates[i]);
+      }
+      accumulate_flow_verdict(result, flow, despreader.verdict().scan.best);
+    }
+    return result;
+  }
+
+  // Single pass: simulate every flow once...
   std::vector<double> rates;
   const Status sim = simulate_flow_rates(config, code, rates);
   if (!sim.ok()) return sim;
+  result.sim_passes = 1;
+  result.flows_simulated = num_flows;
 
-  // Phase 2 — streaming detection: one online despreader per flow, fed
-  // bin by bin exactly as a live tap would see them.  max_offset 0
+  // ...then tap every candidate through one TapRegistry.  Each tap is
+  // admitted per suspect — the §IV.B collection posture, evaluated
+  // through the shared verdict cache under a court order — before any
+  // ring or window exists; one arena backs all of them.  max_offset 0
   // mirrors run_traceback's aligned scan, so every verdict is
   // bit-identical to the batch path (tested + gated by A-STREAM).
-  const watermark::CorrelationKernel kernel(code, config.threshold_sigmas);
+  stream::TapRegistry registry;
   for (std::size_t flow = 0; flow < num_flows; ++flow) {
-    stream::OnlineDespreader despreader(kernel, /*max_offset=*/0);
-    const double* bins = rates.data() + flow * n_chips;
-    for (std::size_t i = 0; i < n_chips; ++i) (void)despreader.push(bins[i]);
+    stream::TapSessionConfig tap_cfg;
+    tap_cfg.scenario = collection_scenario();
+    tap_cfg.authority = streaming_tap_authority();
+    tap_cfg.target = NodeId{static_cast<std::uint32_t>(flow + 1)};
+    tap_cfg.ring.start = SimTime::zero();
+    tap_cfg.ring.bin_width = SimDuration::from_ms(config.chip_ms);
+    tap_cfg.ring.capacity = n_chips;
+    tap_cfg.max_offset = 0;
+    const auto tap = registry.add_tap(kernel, tap_cfg);
+    if (!tap.ok()) return tap.status();
+  }
 
-    FlowVerdict v;
-    v.is_suspect = flow == 0;
-    v.detection = despreader.verdict().scan.best;
-    result.flows.push_back(v);
-    if (v.is_suspect) {
-      result.suspect_detected = v.detection.detected;
-      result.suspect_correlation = v.detection.correlation;
-    } else {
-      if (v.detection.detected) ++result.decoys_flagged;
-      result.max_decoy_correlation =
-          std::max(result.max_decoy_correlation, v.detection.correlation);
+  // Fan the pass's bins out: bin-major feed order (every tap sees bin i
+  // before any tap sees bin i+1), the order one shared collection clock
+  // would deliver them.  Per-flow verdicts cannot depend on the
+  // interleaving — each despreader only reads its own window.
+  for (std::size_t i = 0; i < n_chips; ++i) {
+    for (std::size_t flow = 0; flow < num_flows; ++flow) {
+      registry.feed_bin(flow, rates[flow * n_chips + i]);
     }
+  }
+
+  for (std::size_t flow = 0; flow < num_flows; ++flow) {
+    accumulate_flow_verdict(result, flow,
+                            registry.tap(flow).verdict().scan.best);
   }
   return result;
 }

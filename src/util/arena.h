@@ -48,16 +48,44 @@ class Arena {
 
   // Returns `bytes` of storage aligned to `align` (a power of two).
   // Never returns nullptr; allocations larger than the chunk size get a
-  // dedicated chunk.
+  // dedicated chunk.  The returned ADDRESS is aligned, not merely the
+  // offset into the chunk: alignments above what operator new[] grants
+  // (typically 16) are honoured, which is what the SIMD despread lane
+  // relies on for its 64-byte chip/window buffers.
   [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
     if (bytes == 0) bytes = 1;
-    const std::size_t aligned = (used_ + (align - 1)) & ~(align - 1);
-    if (chunk_ < chunks_.size() && aligned + bytes <= chunks_[chunk_].size) {
-      used_ = aligned + bytes;
-      total_allocated_ += bytes;
-      return chunks_[chunk_].data.get() + aligned;
+    if (chunk_ < chunks_.size()) {
+      const auto base =
+          reinterpret_cast<std::uintptr_t>(chunks_[chunk_].data.get());
+      const std::size_t aligned =
+          ((base + used_ + (align - 1)) & ~(align - 1)) - base;
+      if (aligned + bytes <= chunks_[chunk_].size) {
+        used_ = aligned + bytes;
+        total_allocated_ += bytes;
+        return chunks_[chunk_].data.get() + aligned;
+      }
     }
     return allocate_slow(bytes, align);
+  }
+
+  // Explicit over-aligned allocation: `align` may exceed
+  // alignof(std::max_align_t) (e.g. 64 for a cache line, so a SIMD lane
+  // never straddles one).  Same contract as allocate() — this alias
+  // exists so call sites that REQUIRE the over-alignment say so.
+  [[nodiscard]] void* allocate_aligned(std::size_t bytes, std::size_t align) {
+    return allocate(bytes, align);
+  }
+
+  // Typed over-aligned array: n elements of T starting on an `align`
+  // boundary (align >= alignof(T), power of two).  Uninitialized, like
+  // alloc_array.
+  template <typename T>
+  [[nodiscard]] T* alloc_array_aligned(std::size_t n, std::size_t align) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(
+        allocate_aligned(n * sizeof(T), align < alignof(T) ? alignof(T)
+                                                           : align));
   }
 
   // Typed array allocation.  Value-initializes nothing: callers fill the
@@ -127,6 +155,12 @@ class Arena {
 // A freelist slot pool with 32-bit index handles.  Slots are default-
 // constructed once and recycled; a released slot keeps its T (and thus
 // any capacity T owns) until reacquired.
+//
+// Alignment guarantee: every slot sits on an alignof(T) boundary, for
+// any T including over-aligned ones (alignas(64) SoA rows, SIMD
+// scratch) — std::vector<T> allocates through the aligned operator new
+// since C++17, and slots are contiguous multiples of sizeof(T) from
+// that base.  Pinned by ArenaTest/PoolTest alignment tests.
 template <typename T>
 class Pool {
  public:

@@ -1,7 +1,9 @@
 #include "watermark/correlate.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "obs/obs.h"
 
@@ -106,6 +108,43 @@ CorrelationKernel::CorrelationKernel(PnCode code, double threshold_sigmas)
   for (const auto chip : code_.chips()) {
     chips_f64_.push_back(static_cast<double>(chip));
   }
+  build_aligned_lane();
+}
+
+CorrelationKernel::CorrelationKernel(const CorrelationKernel& other)
+    : code_(other.code_),
+      chips_f64_(other.chips_f64_),
+      threshold_sigmas_(other.threshold_sigmas_) {
+  build_aligned_lane();
+}
+
+CorrelationKernel& CorrelationKernel::operator=(const CorrelationKernel& other) {
+  if (this == &other) return *this;
+  code_ = other.code_;
+  chips_f64_ = other.chips_f64_;
+  threshold_sigmas_ = other.threshold_sigmas_;
+  lane_arena_.reset();
+  build_aligned_lane();
+  return *this;
+}
+
+void CorrelationKernel::build_aligned_lane() {
+  chips_aligned_ = lane_arena_.alloc_array_aligned<double>(
+      chips_f64_.size(), /*align=*/64);
+  std::copy(chips_f64_.begin(), chips_f64_.end(), chips_aligned_);
+}
+
+std::uint64_t ulp_distance(double a, double b) noexcept {
+  // Map doubles onto a monotone integer line (sign-magnitude → offset
+  // binary), then the ULP distance is plain integer distance.  ±0
+  // coincide; NaN/inf inputs are the caller's bug.
+  const auto key = [](double v) {
+    auto bits = std::bit_cast<std::uint64_t>(v);
+    const std::uint64_t sign = std::uint64_t{1} << 63;
+    return (bits & sign) ? sign - (bits & ~sign) : sign + bits;
+  };
+  const std::uint64_t ka = key(a), kb = key(b);
+  return ka > kb ? ka - kb : kb - ka;
 }
 
 double CorrelationKernel::despread(const double* x, std::size_t code_begin,

@@ -173,8 +173,8 @@ TEST(OnlineDespreaderTest, MemoryStaysConstantOverArbitrarilyLongStreams) {
   const std::size_t max_offset = 32;
   OnlineDespreader online(kernel, max_offset);
 
-  // 2n for the mirrored window + one running sum per offset.
-  const std::size_t expected = 2 * code.length() + max_offset + 1;
+  // One flat window: every bin a candidate offset can read, presized.
+  const std::size_t expected = code.length() + max_offset;
   EXPECT_EQ(online.memory_doubles(), expected);
   Rng rng{9};
   for (std::size_t i = 0; i < 20 * code.length(); ++i) {

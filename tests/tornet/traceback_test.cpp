@@ -146,6 +146,53 @@ TEST(TracebackTest, StreamingTracebackIsBitIdenticalToBatch) {
             std::bit_cast<std::uint64_t>(batch.max_decoy_correlation));
 }
 
+TEST(TracebackTest, SinglePassMatchesPerSuspectResimulation) {
+  // The tentpole claim: tapping every candidate during ONE simulation
+  // pass (TapRegistry fan-out) returns exactly what re-simulating per
+  // suspect returns — for every detect thread count — while doing a
+  // constant number of passes.
+  for (const unsigned threads : {0u, 1u, 2u, 4u}) {
+    auto cfg = easy_config();
+    cfg.pn_degree = 7;
+    cfg.num_decoys = 5;
+    cfg.detect_threads = threads;
+    const auto single = run_streaming_traceback(cfg).value();
+    auto ref_cfg = cfg;
+    ref_cfg.resimulate_per_suspect = true;
+    const auto reference = run_streaming_traceback(ref_cfg).value();
+
+    EXPECT_EQ(single.sim_passes, 1u);
+    EXPECT_EQ(reference.sim_passes, 1 + cfg.num_decoys);
+    EXPECT_EQ(single.flows_simulated, reference.flows_simulated);
+    ASSERT_EQ(single.flows.size(), reference.flows.size());
+    for (std::size_t i = 0; i < single.flows.size(); ++i) {
+      EXPECT_EQ(
+          std::bit_cast<std::uint64_t>(single.flows[i].detection.correlation),
+          std::bit_cast<std::uint64_t>(
+              reference.flows[i].detection.correlation))
+          << "flow " << i << " threads " << threads;
+      EXPECT_EQ(single.flows[i].detection.detected,
+                reference.flows[i].detection.detected);
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(single.suspect_correlation),
+              std::bit_cast<std::uint64_t>(reference.suspect_correlation));
+    EXPECT_EQ(single.decoys_flagged, reference.decoys_flagged);
+  }
+}
+
+TEST(TracebackTest, SimPassCountIsIndependentOfSuspectCount) {
+  // The acceptance gate in its simplest form: more candidates must not
+  // mean more simulation passes.
+  for (const std::size_t decoys : {std::size_t{2}, std::size_t{8}}) {
+    auto cfg = easy_config();
+    cfg.pn_degree = 7;
+    cfg.num_decoys = decoys;
+    const auto r = run_streaming_traceback(cfg).value();
+    EXPECT_EQ(r.sim_passes, 1u) << decoys << " decoys";
+    EXPECT_EQ(r.flows_simulated, 1 + decoys);
+  }
+}
+
 TEST(TracebackTest, PerFlowSubStreamsAreIndependentOfFlowCount) {
   // Each flow draws from Rng::sub_stream(seed, flow), so adding decoys
   // must not perturb the flows that already existed.  (This is what

@@ -20,15 +20,27 @@ comparison (binaries may report in different time_units).  A benchmark
 present on only one side is reported but never fails the diff — the
 bench suite grows PR over PR.
 
+Experiment benches under doc["experiments"] are captured as text, but
+self-gating series embed machine-readable lines of the form
+
+    A-<SERIES>-METRIC <name> <value>
+
+(e.g. bench_watermark's A-SIMD scalar/simd ns-per-offset pair, or
+bench_stream's single-pass vs per-suspect wall times).  Those are
+parsed into cases too — values carry whatever unit the bench printed,
+which is fine because the diff is relative.
+
 Exit status: 0 when no benchmark regressed past the threshold (and, if
 requested, obs metrics are present), 1 otherwise, 2 on usage errors.
 """
 
 import argparse
 import json
+import re
 import sys
 
 _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+_METRIC_LINE = re.compile(r"^A-[A-Z0-9]+-METRIC\s+(\S+)\s+(\S+)\s*$")
 
 
 def load_cases(path):
@@ -49,6 +61,17 @@ def load_cases(path):
             if scale is None or "real_time" not in bench:
                 continue
             cases[f"{binary}/{bench['name']}"] = bench["real_time"] * scale
+    for binary, text in doc.get("experiments", {}).items():
+        if not isinstance(text, str):
+            continue
+        for line in text.splitlines():
+            m = _METRIC_LINE.match(line)
+            if not m:
+                continue
+            try:
+                cases[f"{binary}/{m.group(1)}"] = float(m.group(2))
+            except ValueError:
+                continue
     return doc, cases
 
 

@@ -14,10 +14,15 @@
 # bit-identical to serial with a >= 90% verdict-cache hit rate),
 # bench_watermark + bench_multiflow (A-SCAN: the correlation kernel and
 # the ScanBatch fan-out must score bit-identically to the naive
-# reference scan, and the kernel must beat its per-offset cost),
+# reference scan, and the kernel must beat its per-offset cost; A-SIMD:
+# the vectorized despread lane must stay verdict-identical to the
+# scalar oracle within its documented ULP bound and run >= 2x faster
+# per offset — skipped with a note when the lane is unavailable),
 # bench_stream (A-STREAM: the online despreader must match the batch
-# scan bit for bit in O(ring) memory and the tap admission gate must
-# hold), bench_baseline (E-IVB gate: kernel cross_score must match
+# scan bit for bit in O(ring) memory, the tap admission gate must
+# hold, and the single-pass TapRegistry traceback must be bit-identical
+# to the per-suspect re-simulation loop at one simulation pass),
+# bench_baseline (E-IVB gate: kernel cross_score must match
 # the naive pearson oracle bit for bit), and bench_netsim (A-NETSIM:
 # events/s at 1M+ queued events must stay >= 0.8x the 1k rate, the
 # calendar queue must fire randomized schedules bit-identically to the

@@ -135,9 +135,12 @@ tsan_stream() {
   ./build-tsan/tests/stream_test
 }
 tsan_traceback_fanout() {
+  # Thread-fanned detection plus the single-pass TapRegistry path
+  # (which spans netsim, legal admission and the despread fan-out in
+  # one run) across every detect thread count.
   TSAN_OPTIONS=halt_on_error=1 \
   ./build-tsan/tests/tornet_test \
-      --gtest_filter='TracebackTest.DetectThreadCountDoesNotChangeResults:MultiflowTest.DetectThreadCountDoesNotChangeResults'
+      --gtest_filter='TracebackTest.DetectThreadCountDoesNotChangeResults:TracebackTest.SinglePassMatchesPerSuspectResimulation:MultiflowTest.DetectThreadCountDoesNotChangeResults'
 }
 stage "TSan build (obs_test util_test legal_test watermark_test tornet_test stream_test netsim_test)" tsan_build
 stage "obs thread-stress under TSan" tsan_stress
