@@ -1,0 +1,82 @@
+#include "serve/fleet.h"
+
+#include <cstring>
+
+#include "legal/scene_table.h"
+#include "legal/table1.h"
+#include "serve/wire.h"
+#include "util/rng.h"
+
+namespace lexfor::serve {
+
+SyntheticFleet::SyntheticFleet(FleetOptions options) : options_(options) {
+  if (options_.fleet_size == 0) options_.fleet_size = 1;
+  if (options_.requests_per_client == 0) options_.requests_per_client = 1;
+
+  scenarios_.reserve(static_cast<std::size_t>(legal::table1::kSceneCount) +
+                     legal::library::kSceneCount);
+  for (const auto& scene : legal::table1::all_scenes()) {
+    scenarios_.push_back(scene.scenario);
+  }
+  for (const auto& descriptor : legal::library::scenes()) {
+    scenarios_.push_back(descriptor.build());
+  }
+
+  templates_.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) {
+    std::vector<std::uint8_t> frame;
+    wire::encode_request(s, /*request_id=*/0, frame);
+    max_template_bytes_ =
+        frame.size() > max_template_bytes_ ? frame.size() : max_template_bytes_;
+    templates_.push_back(std::move(frame));
+  }
+}
+
+std::size_t SyntheticFleet::pick(std::uint64_t wave, std::uint64_t client,
+                                 std::uint32_t k) const {
+  // One sub_stream per (wave, client): stream identity alone defines
+  // the draws, so ranges and waves are independent by construction.
+  // The wave folds into the seed (not the stream) so the same client
+  // asks different questions across waves.
+  Rng rng = Rng::sub_stream(options_.seed + wave * 0x9E3779B97F4A7C15ULL,
+                            client);
+  std::size_t choice = 0;
+  for (std::uint32_t i = 0; i <= k; ++i) {
+    choice = static_cast<std::size_t>(rng.uniform(scenarios_.size()));
+  }
+  return choice;
+}
+
+void SyntheticFleet::generate(std::uint64_t wave, std::uint64_t first,
+                              std::uint64_t count,
+                              std::vector<std::uint8_t>& out) const {
+  for (std::uint64_t c = first; c < first + count; ++c) {
+    Rng rng = Rng::sub_stream(options_.seed + wave * 0x9E3779B97F4A7C15ULL, c);
+    const std::uint64_t id = request_id(wave, c);
+    for (std::uint32_t k = 0; k < options_.requests_per_client; ++k) {
+      const auto choice =
+          static_cast<std::size_t>(rng.uniform(scenarios_.size()));
+      const std::vector<std::uint8_t>& tmpl = templates_[choice];
+      const std::size_t at = out.size();
+      out.resize(at + tmpl.size());
+      std::memcpy(out.data() + at, tmpl.data(), tmpl.size());
+      // Patch the request id in place, little-endian like the encoder.
+      for (unsigned b = 0; b < 8; ++b) {
+        out[at + wire::kRequestIdOffset + b] =
+            static_cast<std::uint8_t>(id >> (8 * b));
+      }
+    }
+  }
+}
+
+const legal::Scenario& SyntheticFleet::scenario_for(std::uint64_t wave,
+                                                    std::uint64_t client,
+                                                    std::uint32_t k) const {
+  return scenarios_[pick(wave, client, k)];
+}
+
+std::size_t SyntheticFleet::max_bytes_per_client() const noexcept {
+  return max_template_bytes_ * options_.requests_per_client;
+}
+
+}  // namespace lexfor::serve

@@ -1,0 +1,100 @@
+// serve::SyntheticFleet — a million-subscriber client population for
+// the verdict server.
+//
+// The fleet models what the paper implies a provider-side compliance
+// gate faces: an enormous subscriber base whose investigative
+// touchpoints keep asking the same few dozen doctrinal questions (the
+// Table-1 rows and the scenario library).  Holding a million client
+// objects would be pointless — a client IS its identity, so the fleet
+// is stateless: client c's k-th request in wave w is a pure function
+// of (seed, wave, client), drawn through Rng::sub_stream.  Two
+// consequences the tests pin:
+//
+//   - deterministic: the same (seed, fleet_size, wave) always yields
+//     the same byte stream, and
+//   - order-independent: generating clients [0,n) in any order, or a
+//     sub-range in isolation, produces each client's frames unchanged
+//     (sub_stream derives from the counter, not from parent state).
+//
+// Encoding cost is amortized by a template table: all 66 distinct
+// scenarios (20 Table-1 rows + the scenario library) are encoded once
+// at construction; emitting a request memcpys the template and patches
+// the request id in place at wire::kRequestIdOffset.  Generation is
+// therefore allocation-free after construction (the output vector's
+// capacity permitting), which keeps the A-SERVE bench measuring the
+// server, not the client.
+//
+// request_id packs (wave << 48) | client, so a response can be traced
+// back to the exact subscriber and wave that asked — and so ids never
+// collide across waves without any coordination.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "legal/scenario.h"
+
+namespace lexfor::serve {
+
+struct FleetOptions {
+  std::uint64_t seed = 0x1e9a1f0c5eedULL;
+  // Subscriber population.  Only identity math scales with this — a
+  // million clients cost the same memory as ten.
+  std::uint64_t fleet_size = 1'000'000;
+  // Requests each client issues per wave.
+  std::uint32_t requests_per_client = 1;
+};
+
+class SyntheticFleet {
+ public:
+  explicit SyntheticFleet(FleetOptions options = {});
+
+  // Appends the request frames of clients [first, first + count) for
+  // `wave` to `out`, in client order.  Deterministic in (seed, wave,
+  // client); independent of any other range or wave generated before.
+  void generate(std::uint64_t wave, std::uint64_t first, std::uint64_t count,
+                std::vector<std::uint8_t>& out) const;
+
+  // Convenience: the whole fleet's wave.
+  void generate_wave(std::uint64_t wave, std::vector<std::uint8_t>& out) const {
+    generate(wave, 0, options_.fleet_size, out);
+  }
+
+  // The scenario client `client` asks about with its k-th request of
+  // `wave` — the oracle the bench compares server verdicts against.
+  [[nodiscard]] const legal::Scenario& scenario_for(std::uint64_t wave,
+                                                    std::uint64_t client,
+                                                    std::uint32_t k) const;
+
+  [[nodiscard]] static std::uint64_t request_id(std::uint64_t wave,
+                                                std::uint64_t client) noexcept {
+    return (wave << 48) | (client & 0xFFFFFFFFFFFFULL);
+  }
+
+  // Worst-case bytes one client contributes to a wave (every template
+  // frame is the same size for a given scenario; this is the max over
+  // the mix) — lets callers reserve output buffers up front.
+  [[nodiscard]] std::size_t max_bytes_per_client() const noexcept;
+
+  [[nodiscard]] const FleetOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] std::size_t mix_size() const noexcept {
+    return scenarios_.size();
+  }
+
+ private:
+  [[nodiscard]] std::size_t pick(std::uint64_t wave, std::uint64_t client,
+                                 std::uint32_t k) const;
+
+  FleetOptions options_;
+  // The scenario mix (Table-1 rows then library scenes) and each one's
+  // pre-encoded request frame with a zero request id.
+  std::vector<legal::Scenario> scenarios_;
+  std::vector<std::vector<std::uint8_t>> templates_;
+  std::size_t max_template_bytes_ = 0;
+};
+
+}  // namespace lexfor::serve

@@ -1,0 +1,259 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+#include "obs/obs.h"
+
+namespace lexfor::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::uint32_t clamp_ns(Clock::duration d) noexcept {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  if (ns <= 0) return 0;
+  constexpr std::int64_t kMax = 0xFFFFFFFF;
+  return static_cast<std::uint32_t>(ns < kMax ? ns : kMax);
+}
+
+}  // namespace
+
+Connection::Connection(std::size_t queue_capacity) {
+  slots_.reserve(queue_capacity);
+  // Pre-size the response buffer for a full batch so the first serve
+  // of a warmed connection is already allocation-flat.
+  responses_.reserve(queue_capacity * wire::kResponseFrameBytes);
+}
+
+VerdictServer::VerdictServer(ServerOptions options)
+    : options_(options),
+      batch_(options.batch),
+      table_(options.verdict_table_capacity == 0
+                 ? 1
+                 : options.verdict_table_capacity,
+             options.verdict_table_shards),
+      pool_(options.workers, [] { LEXFOR_OBS_WARM_THREAD(); }) {
+  if (options_.grain == 0) options_.grain = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+}
+
+Connection VerdictServer::connect() const {
+  return Connection(options_.queue_capacity);
+}
+
+void VerdictServer::evaluate_range(Connection& conn, Pending* pending,
+                                   std::size_t begin, std::size_t end) const {
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto t0 = Clock::now();
+    const wire::Request& req = conn.slots_[i];
+    const legal::ScenarioFingerprint fp = legal::fingerprint(req.scenario);
+    Pending& p = pending[i];
+    if (const auto hit = table_.get(fp)) {
+      p.verdict = *hit;
+      p.cache_hit = 1;
+    } else {
+      // Miss: derive through the BatchEvaluator so the full
+      // Determination lands in the shared verdict cache too.
+      const legal::Determination d = batch_.evaluate(req.scenario);
+      p.verdict.needs_process = d.needs_process ? 1 : 0;
+      p.verdict.required_process =
+          static_cast<std::uint8_t>(d.required_process);
+      p.verdict.required_proof = static_cast<std::uint8_t>(d.required_proof);
+      p.cache_hit = 0;
+      table_.put(fp, p.verdict);
+    }
+    p.server_ns = clamp_ns(Clock::now() - t0);
+    LEXFOR_OBS_HISTOGRAM_RECORD("serve.request_latency_ns", p.server_ns);
+  }
+}
+
+ServeStats VerdictServer::serve(Connection& conn,
+                                std::span<const std::uint8_t> frames) {
+  LEXFOR_OBS_SPAN(obs::Level::kInfo, "serve", "serve_batch",
+                  std::to_string(frames.size()) + " bytes",
+                  obs::no_sim_time());
+  ServeStats stats;
+  stats.batches = 1;
+  conn.arena_.reset();
+  conn.responses_.clear();
+
+  // --- Admission: walk the frame stream, classify every frame. ------
+  // slots_ is recycled: resize() down keeps string capacity in the
+  // surviving elements, and growth only happens until the connection
+  // has seen a full batch once.
+  std::size_t accepted = 0;
+  bool overload_reported = false;
+  std::span<const std::uint8_t> rest = frames;
+  while (!rest.empty()) {
+    const auto info = wire::peek_frame(rest);
+    if (!info.ok()) {
+      // Framing lost: the rest of the buffer cannot be navigated.
+      // One malformed frame is charged for the unparseable tail.
+      ++stats.offered;
+      ++stats.rejected_malformed;
+      break;
+    }
+    const std::span<const std::uint8_t> frame =
+        rest.subspan(0, info.value().frame_len);
+    rest = rest.subspan(info.value().frame_len);
+    ++stats.offered;
+
+    if (accepted >= options_.queue_capacity) {
+      // Shed path: still classify (validation is allocation-free) so
+      // garbage offered during overload is not counted as load.
+      const Status v = wire::validate_request(frame);
+      if (v.ok()) {
+        ++stats.shed_queue_full;
+        if (!overload_reported) {
+          overload_reported = true;
+          LEXFOR_OBS_EVENT(obs::Level::kError, "serve", "overload",
+                           "queue full, shedding", obs::no_sim_time());
+        }
+      } else if (v.code() == StatusCode::kFailedPrecondition) {
+        ++stats.rejected_version;
+      } else {
+        ++stats.rejected_malformed;
+      }
+      continue;
+    }
+
+    if (accepted == conn.slots_.size()) conn.slots_.emplace_back();
+    const Status s = wire::decode_request(frame, conn.slots_[accepted]);
+    if (s.ok()) {
+      ++accepted;
+      ++stats.accepted;
+    } else if (s.code() == StatusCode::kFailedPrecondition) {
+      ++stats.rejected_version;
+    } else {
+      ++stats.rejected_malformed;
+    }
+  }
+
+  // --- Evaluation fan-out. ------------------------------------------
+  Pending* pending = conn.arena_.alloc_array<Pending>(accepted);
+  for (std::size_t i = 0; i < accepted; ++i) pending[i] = Pending{};
+
+  const std::size_t grain = options_.grain;
+  const std::size_t chunks = accepted == 0 ? 0 : (accepted + grain - 1) / grain;
+  if (chunks <= 1 || pool_.size() <= 1) {
+    // Inline path: no dispatch closures, strictly zero heap traffic in
+    // steady state (the A-SERVE arena-flat gate runs here).
+    evaluate_range(conn, pending, 0, accepted);
+  } else {
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::size_t remaining = chunks;
+    for (std::size_t begin = 0; begin < accepted; begin += grain) {
+      const std::size_t end = std::min(begin + grain, accepted);
+      std::function<void()> task = [&, begin, end] {
+        evaluate_range(conn, pending, begin, end);
+        const std::scoped_lock lock(done_mu);
+        if (--remaining == 0) done_cv.notify_one();
+      };
+      if (!pool_.try_submit(task, options_.pool_queue_depth).ok()) {
+        // Caller-runs degradation: the pool refused to buffer, so the
+        // serving thread absorbs the chunk.  Accepted work is never
+        // dropped.
+        ++stats.pool_saturated;
+        evaluate_range(conn, pending, begin, end);
+        const std::scoped_lock lock(done_mu);
+        --remaining;
+      }
+      LEXFOR_OBS_GAUGE_SET("serve.queue_depth",
+                           static_cast<std::int64_t>(pool_.queue_depth()));
+    }
+    std::unique_lock lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+  // --- Responses, in request order. ---------------------------------
+  wire::Response resp;
+  for (std::size_t i = 0; i < accepted; ++i) {
+    const Pending& p = pending[i];
+    resp.request_id = conn.slots_[i].request_id;
+    resp.status = StatusCode::kOk;
+    resp.needs_process = p.verdict.needs_process != 0;
+    resp.cache_hit = p.cache_hit != 0;
+    resp.required_process =
+        static_cast<legal::ProcessKind>(p.verdict.required_process);
+    resp.required_proof =
+        static_cast<legal::StandardOfProof>(p.verdict.required_proof);
+    resp.server_ns = p.server_ns;
+    wire::encode_response(resp, conn.responses_);
+    if (p.cache_hit != 0) {
+      ++stats.cache_hits;
+    } else {
+      ++stats.cache_misses;
+    }
+  }
+  stats.responses = accepted;
+  ++conn.batches_served_;
+
+  // --- Accounting + obs. --------------------------------------------
+  if (!stats.balanced()) {
+    // This cannot happen by construction; if it ever does, the serving
+    // layer's audit story is broken and the flight recorder should
+    // capture the window.
+    LEXFOR_OBS_EVENT(obs::Level::kError, "serve", "accounting_broken",
+                     "admission counters do not balance",
+                     obs::no_sim_time());
+  }
+  LEXFOR_OBS_COUNTER_ADD("serve.requests", stats.offered);
+  LEXFOR_OBS_COUNTER_ADD("serve.responses", stats.responses);
+  if (stats.shed_queue_full != 0) {
+    LEXFOR_OBS_COUNTER_ADD("serve.sheds", stats.shed_queue_full);
+  }
+  if (stats.rejected_malformed != 0) {
+    LEXFOR_OBS_COUNTER_ADD("serve.rejected_malformed",
+                           stats.rejected_malformed);
+  }
+  if (stats.rejected_version != 0) {
+    LEXFOR_OBS_COUNTER_ADD("serve.rejected_version", stats.rejected_version);
+  }
+  if (stats.cache_hits != 0) {
+    LEXFOR_OBS_COUNTER_ADD("serve.cache_hits", stats.cache_hits);
+  }
+  if (stats.cache_misses != 0) {
+    LEXFOR_OBS_COUNTER_ADD("serve.cache_misses", stats.cache_misses);
+  }
+  if (stats.pool_saturated != 0) {
+    LEXFOR_OBS_COUNTER_ADD("serve.pool_saturated", stats.pool_saturated);
+  }
+
+  tot_offered_.fetch_add(stats.offered, std::memory_order_relaxed);
+  tot_accepted_.fetch_add(stats.accepted, std::memory_order_relaxed);
+  tot_shed_.fetch_add(stats.shed_queue_full, std::memory_order_relaxed);
+  tot_malformed_.fetch_add(stats.rejected_malformed,
+                           std::memory_order_relaxed);
+  tot_version_.fetch_add(stats.rejected_version, std::memory_order_relaxed);
+  tot_responses_.fetch_add(stats.responses, std::memory_order_relaxed);
+  tot_hits_.fetch_add(stats.cache_hits, std::memory_order_relaxed);
+  tot_misses_.fetch_add(stats.cache_misses, std::memory_order_relaxed);
+  tot_pool_saturated_.fetch_add(stats.pool_saturated,
+                                std::memory_order_relaxed);
+  tot_batches_.fetch_add(1, std::memory_order_relaxed);
+  return stats;
+}
+
+ServeStats VerdictServer::stats() const {
+  ServeStats s;
+  s.offered = tot_offered_.load(std::memory_order_relaxed);
+  s.accepted = tot_accepted_.load(std::memory_order_relaxed);
+  s.shed_queue_full = tot_shed_.load(std::memory_order_relaxed);
+  s.rejected_malformed = tot_malformed_.load(std::memory_order_relaxed);
+  s.rejected_version = tot_version_.load(std::memory_order_relaxed);
+  s.responses = tot_responses_.load(std::memory_order_relaxed);
+  s.cache_hits = tot_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = tot_misses_.load(std::memory_order_relaxed);
+  s.pool_saturated = tot_pool_saturated_.load(std::memory_order_relaxed);
+  s.batches = tot_batches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace lexfor::serve

@@ -1,0 +1,220 @@
+// serve::VerdictServer — compliance-as-a-service in front of the legal
+// engine.
+//
+// The paper's claim is that a legality check must sit in front of every
+// acquisition; at ISP/provider scale that check is a service queried at
+// traffic rates, not a library call.  VerdictServer is that service
+// shape: request frames (serve::wire) arrive on a Connection, pass a
+// BOUNDED admission stage, fan out across a util::ThreadPool, route
+// through legal::BatchEvaluator's shared verdict cache, and leave as
+// response frames in request order.
+//
+// Admission taxonomy (modeled on stream::RateRing's exhaustive drop
+// classification): every offered frame lands in exactly one of
+//
+//   accepted           decoded and queued; ALWAYS answered
+//   shed_queue_full    well-formed but past the batch's queue bound
+//   rejected_malformed fails strict wire validation
+//   rejected_version   header parses but the version byte is unknown
+//
+// and accepted + shed_queue_full + rejected_malformed +
+// rejected_version == offered holds exactly, under any overload — the
+// same audit posture the tap ring takes: a server that silently drops
+// verdict queries is a compliance hole, not a performance bug.
+// Classification happens even for shed frames via the decoder's
+// allocation-free validate path, so garbage offered during overload is
+// still counted as garbage, not as load.
+//
+// Zero-alloc steady state: each Connection owns a util::Arena (epoch
+// reset per batch) carrying the pending-verdict scratch, a recycled
+// slot vector whose decoded Requests keep their string capacity, and a
+// response buffer that keeps its bytes.  Once the fleet's scenario mix
+// is warm in the compact verdict table, a batch performs no heap
+// traffic at all on the single-worker inline path, and only the
+// constant per-chunk dispatch closures otherwise (gated by A-SERVE).
+//
+// The compact verdict table is the serving layer's own cache: a
+// fingerprint-keyed LRU of 3-byte verdicts in front of the shared
+// Determination cache, so a steady-state hit never copies the
+// Determination's rationale/citation vectors.  Misses go through
+// BatchEvaluator::evaluate, which keeps the shared cache coherent for
+// the linter and Investigation::acquire.
+//
+// Backpressure reaches the pool too: chunk tasks enter via
+// ThreadPool::try_submit with a bounded depth, and a refused chunk
+// runs on the serving thread (caller-runs degradation — accepted work
+// is never lost, the pool queue is never unbounded).
+//
+// Obs: serve.requests / serve.sheds / serve.rejected_malformed /
+// serve.rejected_version / serve.responses / serve.cache_{hits,misses}
+// / serve.pool_saturated counters, serve.request_latency_ns histogram
+// (p50/p95/p99), serve.queue_depth gauge, a kError overload event on
+// the first shed of a batch (flight-recorder dump when armed), and a
+// kError + flight dump if the admission invariant ever breaks.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "legal/batch.h"
+#include "serve/wire.h"
+#include "util/arena.h"
+#include "util/thread_pool.h"
+
+namespace lexfor::serve {
+
+// One offered frame's fate; see the taxonomy above.
+enum class Admission : std::uint8_t {
+  kAccepted,
+  kShedQueueFull,
+  kRejectedMalformed,
+  kRejectedVersion,
+};
+
+// Per-batch (and, summed, per-server) admission accounting.
+struct ServeStats {
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t rejected_malformed = 0;
+  std::uint64_t rejected_version = 0;
+  std::uint64_t responses = 0;       // == accepted, always
+  std::uint64_t cache_hits = 0;      // compact verdict-table hits
+  std::uint64_t cache_misses = 0;    // engine evaluations
+  std::uint64_t pool_saturated = 0;  // chunks degraded to caller-runs
+  std::uint64_t batches = 0;
+
+  [[nodiscard]] bool balanced() const noexcept {
+    return accepted + shed_queue_full + rejected_malformed +
+               rejected_version ==
+           offered;
+  }
+};
+
+struct ServerOptions {
+  // Worker threads for the evaluation fan-out (0 = hardware
+  // concurrency).  1 serves inline with zero dispatch overhead.
+  unsigned workers = 1;
+  // Bounded admission queue: at most this many accepted requests per
+  // batch; the rest of a wave is shed (and counted).
+  std::size_t queue_capacity = 4096;
+  // ThreadPool::try_submit bound for chunk tasks; a refused chunk runs
+  // on the serving thread.
+  std::size_t pool_queue_depth = 256;
+  // Requests per worker chunk.
+  std::size_t grain = 256;
+  // Entry budget for the compact verdict table.  66 distinct scenarios
+  // serve a million subscribers; 1<<16 leaves room for real mixes.
+  std::size_t verdict_table_capacity = 1 << 16;
+  std::size_t verdict_table_shards = 16;
+  // Passed through to the BatchEvaluator (shared cache by default).
+  legal::BatchOptions batch;
+};
+
+// The verdict of a scenario, compacted to what the wire answers with.
+struct CompactVerdict {
+  std::uint8_t needs_process = 0;
+  std::uint8_t required_process = 0;
+  std::uint8_t required_proof = 0;
+};
+
+// Per-client channel state, created by VerdictServer::connect().  All
+// serving scratch lives here, so two connections never contend on
+// buffers and a connection's steady state is allocation-flat.
+class Connection {
+ public:
+  [[nodiscard]] const std::vector<std::uint8_t>& responses() const noexcept {
+    return responses_;
+  }
+  [[nodiscard]] const util::Arena& arena() const noexcept { return arena_; }
+  [[nodiscard]] std::size_t slot_capacity() const noexcept {
+    return slots_.capacity();
+  }
+  [[nodiscard]] std::size_t response_capacity() const noexcept {
+    return responses_.capacity();
+  }
+  [[nodiscard]] std::uint64_t batches_served() const noexcept {
+    return batches_served_;
+  }
+
+ private:
+  friend class VerdictServer;
+  explicit Connection(std::size_t queue_capacity);
+
+  util::Arena arena_;
+  std::vector<wire::Request> slots_;       // decoded requests, recycled
+  std::vector<std::uint8_t> responses_;    // encoded response frames
+  std::uint64_t batches_served_ = 0;
+};
+
+class VerdictServer {
+ public:
+  explicit VerdictServer(ServerOptions options = {});
+
+  // A new channel sized to this server's queue bound.
+  [[nodiscard]] Connection connect() const;
+
+  // Serves one batch of concatenated request frames: admission →
+  // fan-out evaluation → responses appended to conn.responses() in
+  // request order (one response frame per ACCEPTED request, none for
+  // shed/rejected ones — a real transport would carry the shed signal
+  // out of band, and the stats carry it here).  The connection's
+  // previous responses are discarded and its arena epoch is reset.
+  // Returns the batch's admission stats; the invariant
+  // stats.balanced() && responses == accepted holds on every return.
+  //
+  // Thread-safe across distinct connections; a single Connection must
+  // not be served from two threads at once.
+  ServeStats serve(Connection& conn, std::span<const std::uint8_t> frames);
+
+  // Cumulative accounting across all batches and connections.
+  [[nodiscard]] ServeStats stats() const;
+
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] unsigned workers() const noexcept { return pool_.size(); }
+  [[nodiscard]] const legal::BatchEvaluator& evaluator() const noexcept {
+    return batch_;
+  }
+
+ private:
+  // Scratch slot for one accepted request, carved from the connection
+  // arena per batch (trivially destructible by design).
+  struct Pending {
+    CompactVerdict verdict;
+    std::uint8_t cache_hit = 0;
+    std::uint32_t server_ns = 0;  // clamped; 4.2s dwarfs any eval
+  };
+
+  void evaluate_range(Connection& conn, Pending* pending, std::size_t begin,
+                      std::size_t end) const;
+
+  ServerOptions options_;
+  legal::BatchEvaluator batch_;
+  // Fingerprint -> compact verdict; the Determination stays in the
+  // shared cache, this table answers the wire without copying it.
+  mutable util::ShardedLruCache<legal::ScenarioFingerprint, CompactVerdict,
+                                legal::FingerprintHash>
+      table_;
+  mutable util::ThreadPool pool_;
+
+  // Cumulative stats; relaxed atomics, folded into a ServeStats copy
+  // by stats().
+  mutable std::atomic<std::uint64_t> tot_offered_{0};
+  mutable std::atomic<std::uint64_t> tot_accepted_{0};
+  mutable std::atomic<std::uint64_t> tot_shed_{0};
+  mutable std::atomic<std::uint64_t> tot_malformed_{0};
+  mutable std::atomic<std::uint64_t> tot_version_{0};
+  mutable std::atomic<std::uint64_t> tot_responses_{0};
+  mutable std::atomic<std::uint64_t> tot_hits_{0};
+  mutable std::atomic<std::uint64_t> tot_misses_{0};
+  mutable std::atomic<std::uint64_t> tot_pool_saturated_{0};
+  mutable std::atomic<std::uint64_t> tot_batches_{0};
+};
+
+}  // namespace lexfor::serve

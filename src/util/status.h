@@ -26,6 +26,7 @@ enum class StatusCode {
   kOutOfRange,        // index/time outside the valid window
   kAlreadyExists,     // duplicate registration
   kInternal,          // invariant violation (bug)
+  kResourceExhausted, // bounded queue/buffer full; retry or shed
 };
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode code) noexcept {
@@ -38,6 +39,7 @@ enum class StatusCode {
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
     case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -89,6 +91,9 @@ inline Status AlreadyExists(std::string msg) {
 }
 inline Status Internal(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
 }
 
 // A value or an error.  Accessing the value of an errored Result is a

@@ -35,6 +35,20 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+Status ThreadPool::try_submit(std::function<void()>& task,
+                              std::size_t max_depth) {
+  {
+    const std::scoped_lock lock(mu_);
+    if (queue_.size() >= max_depth) {
+      return ResourceExhausted("pool queue full");
+    }
+    queue_.push_back(std::move(task));
+    if (observer_) observer_(queue_.size());
+  }
+  cv_.notify_one();
+  return Status::Ok();
+}
+
 std::size_t ThreadPool::queue_depth() const {
   const std::scoped_lock lock(mu_);
   return queue_.size();

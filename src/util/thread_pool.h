@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/status.h"
+
 namespace lexfor::util {
 
 class ThreadPool {
@@ -44,6 +46,17 @@ class ThreadPool {
 
   // Enqueues a task for execution on some worker.
   void submit(std::function<void()> task);
+
+  // Bounded-queue submit: enqueues only while fewer than `max_depth`
+  // tasks are already queued, otherwise returns kResourceExhausted and
+  // leaves `task` unmoved (the caller may run it inline or shed it).
+  // max_depth == 0 always refuses — a probe for "is anything queued".
+  // This is how backpressure reaches the pool itself: a verdict server
+  // under overload sheds at admission AND the pool refuses to buffer
+  // unboundedly behind slow workers (serve::VerdictServer degrades to
+  // caller-runs, so accepted work is never lost).
+  [[nodiscard]] Status try_submit(std::function<void()>& task,
+                                  std::size_t max_depth);
 
   // Splits [0, n) into chunks of at most `grain` indices, runs
   // body(begin, end) for each chunk on the pool, and blocks until every

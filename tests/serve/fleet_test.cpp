@@ -1,0 +1,113 @@
+// serve::SyntheticFleet — deterministic, order-independent workload
+// generation.
+
+#include "serve/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "legal/batch.h"
+#include "serve/wire.h"
+
+namespace lexfor::serve {
+namespace {
+
+TEST(SyntheticFleetTest, MixCoversTable1AndLibrary) {
+  const SyntheticFleet fleet;
+  EXPECT_EQ(fleet.mix_size(), 66u);  // 20 Table-1 rows + 46 library scenes
+}
+
+TEST(SyntheticFleetTest, WavesAreDeterministic) {
+  FleetOptions opts;
+  opts.fleet_size = 300;
+  const SyntheticFleet a(opts);
+  const SyntheticFleet b(opts);
+  std::vector<std::uint8_t> wa, wb;
+  a.generate_wave(5, wa);
+  b.generate_wave(5, wb);
+  EXPECT_EQ(wa, wb);
+}
+
+TEST(SyntheticFleetTest, RangesComposeOrderIndependently) {
+  FleetOptions opts;
+  opts.fleet_size = 100;
+  opts.requests_per_client = 2;
+  const SyntheticFleet fleet(opts);
+
+  std::vector<std::uint8_t> whole;
+  fleet.generate_wave(3, whole);
+
+  // The same wave assembled from ranges generated back to front.
+  std::vector<std::uint8_t> back, front;
+  fleet.generate(3, 60, 40, back);
+  fleet.generate(3, 0, 60, front);
+  front.insert(front.end(), back.begin(), back.end());
+  EXPECT_EQ(front, whole);
+}
+
+TEST(SyntheticFleetTest, DifferentWavesAndSeedsDiffer) {
+  FleetOptions opts;
+  opts.fleet_size = 200;
+  const SyntheticFleet fleet(opts);
+  std::vector<std::uint8_t> w0, w1;
+  fleet.generate_wave(0, w0);
+  fleet.generate_wave(1, w1);
+  EXPECT_NE(w0, w1);
+
+  FleetOptions other = opts;
+  other.seed ^= 0xDEADBEEF;
+  std::vector<std::uint8_t> alt;
+  SyntheticFleet(other).generate_wave(0, alt);
+  EXPECT_NE(w0, alt);
+}
+
+TEST(SyntheticFleetTest, FramesDecodeAndMatchTheOracle) {
+  FleetOptions opts;
+  opts.fleet_size = 50;
+  opts.requests_per_client = 3;
+  const SyntheticFleet fleet(opts);
+
+  std::vector<std::uint8_t> buf;
+  fleet.generate_wave(7, buf);
+
+  std::span<const std::uint8_t> rest = buf;
+  for (std::uint64_t c = 0; c < opts.fleet_size; ++c) {
+    for (std::uint32_t k = 0; k < opts.requests_per_client; ++k) {
+      const auto info = wire::peek_frame(rest);
+      ASSERT_TRUE(info.ok());
+      wire::Request req;
+      ASSERT_TRUE(
+          wire::decode_request(rest.subspan(0, info.value().frame_len), req)
+              .ok());
+      rest = rest.subspan(info.value().frame_len);
+      EXPECT_EQ(req.request_id, SyntheticFleet::request_id(7, c));
+      // The decoded scenario is exactly what the oracle says client c
+      // asked: same fingerprint, so same verdict-cache key.
+      EXPECT_EQ(legal::fingerprint(req.scenario),
+                legal::fingerprint(fleet.scenario_for(7, c, k)));
+    }
+  }
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(SyntheticFleetTest, RequestIdPacksWaveAndClient) {
+  EXPECT_EQ(SyntheticFleet::request_id(0, 0), 0u);
+  EXPECT_EQ(SyntheticFleet::request_id(2, 3),
+            (std::uint64_t{2} << 48) | 3u);
+  // Client bits never bleed into the wave field.
+  EXPECT_EQ(SyntheticFleet::request_id(1, 0xFFFFFFFFFFFFULL) >> 48, 1u);
+}
+
+TEST(SyntheticFleetTest, MaxBytesPerClientBoundsGeneration) {
+  FleetOptions opts;
+  opts.fleet_size = 64;
+  opts.requests_per_client = 2;
+  const SyntheticFleet fleet(opts);
+  std::vector<std::uint8_t> buf;
+  fleet.generate_wave(0, buf);
+  EXPECT_LE(buf.size(), fleet.max_bytes_per_client() * opts.fleet_size);
+}
+
+}  // namespace
+}  // namespace lexfor::serve

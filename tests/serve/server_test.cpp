@@ -1,0 +1,296 @@
+// serve::VerdictServer — admission accounting, verdict parity with the
+// direct evaluator, overload shedding, and steady-state allocation
+// behaviour.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "legal/scene_table.h"
+#include "legal/table1.h"
+#include "serve/fleet.h"
+
+namespace lexfor::serve {
+namespace {
+
+[[nodiscard]] std::vector<std::uint8_t> frames_for(
+    const std::vector<legal::Scenario>& scenarios) {
+  std::vector<std::uint8_t> buf;
+  std::uint64_t id = 1;
+  for (const auto& s : scenarios) wire::encode_request(s, id++, buf);
+  return buf;
+}
+
+[[nodiscard]] std::vector<wire::Response> decode_all(
+    std::span<const std::uint8_t> buf) {
+  std::vector<wire::Response> out;
+  while (!buf.empty()) {
+    const auto info = wire::peek_frame(buf);
+    EXPECT_TRUE(info.ok());
+    if (!info.ok()) break;
+    wire::Response r;
+    EXPECT_TRUE(
+        wire::decode_response(buf.subspan(0, info.value().frame_len), r).ok());
+    out.push_back(r);
+    buf = buf.subspan(info.value().frame_len);
+  }
+  return out;
+}
+
+TEST(VerdictServerTest, AnswersEveryLibrarySceneLikeTheEvaluator) {
+  ServerOptions opts;
+  opts.batch.use_shared_cache = false;
+  VerdictServer server(opts);
+  Connection conn = server.connect();
+
+  std::vector<legal::Scenario> scenarios;
+  for (const auto& d : legal::library::scenes()) scenarios.push_back(d.build());
+  for (const auto& scene : legal::table1::all_scenes()) {
+    scenarios.push_back(scene.scenario);
+  }
+
+  const ServeStats stats = server.serve(conn, frames_for(scenarios));
+  EXPECT_TRUE(stats.balanced());
+  EXPECT_EQ(stats.offered, scenarios.size());
+  EXPECT_EQ(stats.accepted, scenarios.size());
+  EXPECT_EQ(stats.responses, scenarios.size());
+  EXPECT_EQ(stats.shed_queue_full, 0u);
+
+  const auto responses = decode_all(conn.responses());
+  ASSERT_EQ(responses.size(), scenarios.size());
+  legal::BatchEvaluator direct(legal::BatchOptions{.use_shared_cache = false});
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const legal::Determination d = direct.evaluate(scenarios[i]);
+    EXPECT_EQ(responses[i].request_id, i + 1);
+    EXPECT_EQ(responses[i].needs_process, d.needs_process) << i;
+    EXPECT_EQ(responses[i].required_process, d.required_process) << i;
+    EXPECT_EQ(responses[i].required_proof, d.required_proof) << i;
+    EXPECT_EQ(responses[i].status, StatusCode::kOk);
+  }
+}
+
+TEST(VerdictServerTest, ResponsesComeBackInRequestOrderAcrossWorkerCounts) {
+  FleetOptions fopts;
+  fopts.fleet_size = 512;
+  const SyntheticFleet fleet(fopts);
+  std::vector<std::uint8_t> wave;
+  fleet.generate_wave(1, wave);
+
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    ServerOptions opts;
+    opts.workers = workers;
+    opts.grain = 64;
+    opts.batch.use_shared_cache = false;
+    VerdictServer server(opts);
+    Connection conn = server.connect();
+    const ServeStats stats = server.serve(conn, wave);
+    EXPECT_TRUE(stats.balanced());
+    EXPECT_EQ(stats.accepted, fopts.fleet_size);
+
+    const auto responses = decode_all(conn.responses());
+    ASSERT_EQ(responses.size(), fopts.fleet_size);
+    for (std::size_t c = 0; c < responses.size(); ++c) {
+      EXPECT_EQ(responses[c].request_id, SyntheticFleet::request_id(1, c));
+    }
+  }
+}
+
+TEST(VerdictServerTest, VerdictsAreIdenticalAcrossWorkerCounts) {
+  FleetOptions fopts;
+  fopts.fleet_size = 256;
+  const SyntheticFleet fleet(fopts);
+  std::vector<std::uint8_t> wave;
+  fleet.generate_wave(2, wave);
+
+  std::vector<std::vector<wire::Response>> per_worker;
+  for (const unsigned workers : {1u, 3u}) {
+    ServerOptions opts;
+    opts.workers = workers;
+    opts.grain = 32;
+    opts.batch.use_shared_cache = false;
+    VerdictServer server(opts);
+    Connection conn = server.connect();
+    server.serve(conn, wave);
+    per_worker.push_back(decode_all(conn.responses()));
+  }
+  ASSERT_EQ(per_worker[0].size(), per_worker[1].size());
+  for (std::size_t i = 0; i < per_worker[0].size(); ++i) {
+    EXPECT_EQ(per_worker[0][i].request_id, per_worker[1][i].request_id);
+    EXPECT_EQ(per_worker[0][i].needs_process, per_worker[1][i].needs_process);
+    EXPECT_EQ(per_worker[0][i].required_process,
+              per_worker[1][i].required_process);
+    EXPECT_EQ(per_worker[0][i].required_proof,
+              per_worker[1][i].required_proof);
+  }
+}
+
+TEST(VerdictServerTest, OverloadShedsExactlyAndStillAnswersAccepted) {
+  ServerOptions opts;
+  opts.queue_capacity = 10;
+  opts.batch.use_shared_cache = false;
+  VerdictServer server(opts);
+  Connection conn = server.connect();
+
+  std::vector<legal::Scenario> scenarios(40,
+                                         legal::table1::scene(1).scenario);
+  const ServeStats stats = server.serve(conn, frames_for(scenarios));
+  EXPECT_TRUE(stats.balanced());
+  EXPECT_EQ(stats.offered, 40u);
+  EXPECT_EQ(stats.accepted, 10u);
+  EXPECT_EQ(stats.shed_queue_full, 30u);
+  EXPECT_EQ(stats.responses, 10u);
+  EXPECT_EQ(decode_all(conn.responses()).size(), 10u);
+}
+
+TEST(VerdictServerTest, ClassifiesGarbageDuringOverload) {
+  ServerOptions opts;
+  opts.queue_capacity = 2;
+  opts.batch.use_shared_cache = false;
+  VerdictServer server(opts);
+  Connection conn = server.connect();
+
+  // 2 good (accepted) + 1 good (shed) + 1 version-skewed + 1 malformed,
+  // all past the admission bound except the first two.
+  std::vector<std::uint8_t> buf;
+  const legal::Scenario s = legal::table1::scene(2).scenario;
+  wire::encode_request(s, 1, buf);
+  wire::encode_request(s, 2, buf);
+  wire::encode_request(s, 3, buf);
+
+  std::size_t at = buf.size();
+  wire::encode_request(s, 4, buf);
+  buf[at + 4] = wire::kWireVersion + 3;  // version skew
+
+  at = buf.size();
+  wire::encode_request(s, 5, buf);
+  buf[at + 6] = 1;  // reserved byte -> malformed payload
+
+  const ServeStats stats = server.serve(conn, buf);
+  EXPECT_TRUE(stats.balanced());
+  EXPECT_EQ(stats.offered, 5u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.shed_queue_full, 1u);
+  EXPECT_EQ(stats.rejected_version, 1u);
+  EXPECT_EQ(stats.rejected_malformed, 1u);
+}
+
+TEST(VerdictServerTest, LostFramingChargesOneMalformedAndStops) {
+  VerdictServer server;
+  Connection conn = server.connect();
+
+  std::vector<std::uint8_t> buf;
+  wire::encode_request(legal::table1::scene(1).scenario, 1, buf);
+  buf.push_back(0xDE);  // trailing garbage: not a navigable header
+  buf.push_back(0xAD);
+
+  const ServeStats stats = server.serve(conn, buf);
+  EXPECT_TRUE(stats.balanced());
+  EXPECT_EQ(stats.offered, 2u);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.rejected_malformed, 1u);
+}
+
+TEST(VerdictServerTest, VersionSkewMidStreamIsSkippedNotFatal) {
+  VerdictServer server;
+  Connection conn = server.connect();
+
+  std::vector<std::uint8_t> buf;
+  const legal::Scenario s = legal::table1::scene(4).scenario;
+  wire::encode_request(s, 1, buf);
+  const std::size_t at = buf.size();
+  wire::encode_request(s, 2, buf);
+  buf[at + 4] = wire::kWireVersion + 1;
+  wire::encode_request(s, 3, buf);
+
+  const ServeStats stats = server.serve(conn, buf);
+  EXPECT_TRUE(stats.balanced());
+  EXPECT_EQ(stats.offered, 3u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.rejected_version, 1u);
+  const auto responses = decode_all(conn.responses());
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].request_id, 1u);
+  EXPECT_EQ(responses[1].request_id, 3u);
+}
+
+TEST(VerdictServerTest, SteadyStateKeepsConnectionFootprintFlat) {
+  ServerOptions opts;
+  opts.batch.use_shared_cache = false;
+  VerdictServer server(opts);
+  Connection conn = server.connect();
+
+  FleetOptions fopts;
+  fopts.fleet_size = 200;
+  const SyntheticFleet fleet(fopts);
+  std::vector<std::uint8_t> wave;
+  fleet.generate_wave(0, wave);
+
+  // Warm-up batch grows slots/responses/arena to their high-water mark.
+  server.serve(conn, wave);
+  const std::size_t chunks = conn.arena().chunk_count();
+  const std::size_t reserved = conn.arena().bytes_reserved();
+  const std::size_t slot_cap = conn.slot_capacity();
+  const std::size_t resp_cap = conn.response_capacity();
+
+  for (int i = 0; i < 8; ++i) {
+    const ServeStats stats = server.serve(conn, wave);
+    EXPECT_EQ(stats.accepted, fopts.fleet_size);
+  }
+  EXPECT_EQ(conn.arena().chunk_count(), chunks);
+  EXPECT_EQ(conn.arena().bytes_reserved(), reserved);
+  EXPECT_EQ(conn.slot_capacity(), slot_cap);
+  EXPECT_EQ(conn.response_capacity(), resp_cap);
+  EXPECT_EQ(conn.batches_served(), 9u);
+}
+
+TEST(VerdictServerTest, SecondWaveHitsTheCompactVerdictTable) {
+  ServerOptions opts;
+  opts.batch.use_shared_cache = false;
+  VerdictServer server(opts);
+  Connection conn = server.connect();
+
+  std::vector<legal::Scenario> scenarios;
+  for (const auto& d : legal::library::scenes()) scenarios.push_back(d.build());
+  const auto buf = frames_for(scenarios);
+
+  const ServeStats cold = server.serve(conn, buf);
+  EXPECT_EQ(cold.cache_misses, scenarios.size());
+  const ServeStats warm = server.serve(conn, buf);
+  EXPECT_EQ(warm.cache_hits, scenarios.size());
+  EXPECT_EQ(warm.cache_misses, 0u);
+}
+
+TEST(VerdictServerTest, CumulativeStatsSumBatches) {
+  ServerOptions opts;
+  opts.queue_capacity = 5;
+  opts.batch.use_shared_cache = false;
+  VerdictServer server(opts);
+  Connection conn = server.connect();
+
+  std::vector<legal::Scenario> scenarios(8, legal::table1::scene(1).scenario);
+  const auto buf = frames_for(scenarios);
+  server.serve(conn, buf);
+  server.serve(conn, buf);
+
+  const ServeStats total = server.stats();
+  EXPECT_TRUE(total.balanced());
+  EXPECT_EQ(total.offered, 16u);
+  EXPECT_EQ(total.accepted, 10u);
+  EXPECT_EQ(total.shed_queue_full, 6u);
+  EXPECT_EQ(total.batches, 2u);
+}
+
+TEST(VerdictServerTest, EmptyBatchIsANoOp) {
+  VerdictServer server;
+  Connection conn = server.connect();
+  const ServeStats stats = server.serve(conn, {});
+  EXPECT_TRUE(stats.balanced());
+  EXPECT_EQ(stats.offered, 0u);
+  EXPECT_TRUE(conn.responses().empty());
+}
+
+}  // namespace
+}  // namespace lexfor::serve

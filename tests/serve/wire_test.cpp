@@ -1,0 +1,242 @@
+// serve::wire — framing, strict decoding and the canonical-encoding
+// guarantees the server and fuzz gate build on.
+
+#include "serve/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "legal/batch.h"
+#include "legal/scene_table.h"
+#include "legal/table1.h"
+
+namespace lexfor::serve::wire {
+namespace {
+
+using legal::Scenario;
+
+[[nodiscard]] Scenario sample_scenario() {
+  return legal::library::scenes()[0].build();
+}
+
+[[nodiscard]] std::vector<std::uint8_t> encode_one(const Scenario& s,
+                                                   std::uint64_t id) {
+  std::vector<std::uint8_t> out;
+  encode_request(s, id, out);
+  return out;
+}
+
+TEST(WireTest, RequestRoundTripsEveryLibraryScene) {
+  for (const auto& d : legal::library::scenes()) {
+    const Scenario s = d.build();
+    const auto frame = encode_one(s, 42);
+    Request req;
+    ASSERT_TRUE(decode_request(frame, req).ok()) << d.id;
+    EXPECT_EQ(req.request_id, 42u);
+    EXPECT_EQ(req.scenario.name, s.name);
+    EXPECT_EQ(req.scenario.jurisdiction, s.jurisdiction);
+    // Re-encode must reproduce the frame byte for byte: the encoding
+    // is canonical.
+    std::vector<std::uint8_t> again;
+    encode_request(req.scenario, req.request_id, again);
+    EXPECT_EQ(again, frame) << d.id;
+  }
+}
+
+TEST(WireTest, RequestRoundTripsEveryTable1Row) {
+  for (const auto& scene : legal::table1::all_scenes()) {
+    const auto frame = encode_one(scene.scenario, 7);
+    Request req;
+    ASSERT_TRUE(decode_request(frame, req).ok()) << scene.number;
+    std::vector<std::uint8_t> again;
+    encode_request(req.scenario, req.request_id, again);
+    EXPECT_EQ(again, frame) << scene.number;
+  }
+}
+
+// The wire payload order IS the canonical fingerprint order: a decoded
+// request must hash to the same verdict-cache key the client's
+// scenario did, or the server cache splits per connection.
+TEST(WireTest, RoundTripPreservesFingerprint) {
+  for (const auto& d : legal::library::scenes()) {
+    const Scenario s = d.build();
+    Request req;
+    ASSERT_TRUE(decode_request(encode_one(s, 1), req).ok());
+    EXPECT_EQ(legal::fingerprint(req.scenario), legal::fingerprint(s))
+        << d.id;
+  }
+}
+
+TEST(WireTest, PeekReportsHeaderFields) {
+  const auto frame = encode_one(sample_scenario(), 0xABCDEF);
+  const auto info = peek_frame(frame);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().version, kWireVersion);
+  EXPECT_EQ(info.value().kind, FrameKind::kRequest);
+  EXPECT_EQ(info.value().request_id, 0xABCDEFu);
+  EXPECT_EQ(info.value().frame_len, frame.size());
+}
+
+TEST(WireTest, PeekWalksConcatenatedFrames) {
+  std::vector<std::uint8_t> buf;
+  encode_request(sample_scenario(), 1, buf);
+  const std::size_t first_len = buf.size();
+  encode_request(legal::table1::scene(3).scenario, 2, buf);
+
+  const auto a = peek_frame(buf);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().frame_len, first_len);
+  const auto b = peek_frame(
+      std::span<const std::uint8_t>(buf).subspan(a.value().frame_len));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().request_id, 2u);
+}
+
+// peek is version-invariant: an unknown version must still navigate
+// (so a server can skip and count it), while decode refuses it.
+TEST(WireTest, VersionSkewNavigatesButDoesNotDecode) {
+  auto frame = encode_one(sample_scenario(), 9);
+  frame[4] = kWireVersion + 1;
+  const auto info = peek_frame(frame);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().version, kWireVersion + 1);
+
+  Request req;
+  const Status st = decode_request(frame, req);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(validate_request(frame).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WireTest, TruncatedFramesAreMalformed) {
+  const auto frame = encode_one(sample_scenario(), 1);
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{5}, kHeaderBytes - 1, kHeaderBytes,
+        frame.size() - 1}) {
+    Request req;
+    const Status st = decode_request(
+        std::span<const std::uint8_t>(frame).subspan(0, cut), req);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, RejectsOverlongAndLengthLies) {
+  auto frame = encode_one(sample_scenario(), 1);
+  // An extra trailing byte: the header's frame_len no longer matches.
+  auto longer = frame;
+  longer.push_back(0);
+  Request req;
+  EXPECT_EQ(decode_request(longer, req).code(), StatusCode::kInvalidArgument);
+
+  // Patch frame_len to cover the extra byte: the payload walk must now
+  // land short of the declared end ("overlong").
+  const std::uint32_t lie = static_cast<std::uint32_t>(longer.size());
+  std::memcpy(longer.data() + 8, &lie, sizeof(lie));
+  EXPECT_EQ(decode_request(longer, req).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, RejectsBadMagicKindReservedEnumsAndFlags) {
+  const auto pristine = encode_one(sample_scenario(), 1);
+  Request req;
+
+  auto f = pristine;
+  f[0] ^= 0xFF;  // magic
+  EXPECT_EQ(decode_request(f, req).code(), StatusCode::kInvalidArgument);
+
+  f = pristine;
+  f[5] = 0x7F;  // kind
+  EXPECT_EQ(decode_request(f, req).code(), StatusCode::kInvalidArgument);
+
+  f = pristine;
+  f[6] = 1;  // reserved
+  EXPECT_EQ(decode_request(f, req).code(), StatusCode::kInvalidArgument);
+
+  // Enum bytes sit right after the name.  Blow each one past its range.
+  std::uint32_t name_len;
+  std::memcpy(&name_len, pristine.data() + kHeaderBytes, sizeof(name_len));
+  const std::size_t enums_at = kHeaderBytes + 4 + name_len;
+  for (std::size_t i = 0; i < 6; ++i) {
+    f = pristine;
+    f[enums_at + i] = 0xEE;
+    EXPECT_EQ(decode_request(f, req).code(), StatusCode::kInvalidArgument)
+        << "enum byte " << i;
+  }
+
+  // A flag bit above kScenarioBoolCount must be zero.
+  f = pristine;
+  f[enums_at + 6 + 3] |= 0x80;  // top bit of the flags u32
+  EXPECT_EQ(decode_request(f, req).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, FailedDecodeLeavesOutputUntouched) {
+  Request req;
+  req.request_id = 77;
+  req.scenario.name = "sentinel";
+  auto frame = encode_one(sample_scenario(), 1);
+  frame[6] = 9;  // reserved byte -> malformed
+  ASSERT_FALSE(decode_request(frame, req).ok());
+  EXPECT_EQ(req.request_id, 77u);
+  EXPECT_EQ(req.scenario.name, "sentinel");
+}
+
+TEST(WireTest, ValidateAgreesWithDecodeOnValidFrames) {
+  for (const auto& d : legal::library::scenes()) {
+    const auto frame = encode_one(d.build(), 5);
+    EXPECT_TRUE(validate_request(frame).ok()) << d.id;
+  }
+}
+
+TEST(WireTest, ResponseRoundTrips) {
+  Response r;
+  r.request_id = 0x123456789ABCDEFull;
+  r.status = StatusCode::kOk;
+  r.needs_process = true;
+  r.cache_hit = true;
+  r.required_process = legal::ProcessKind::kSearchWarrant;
+  r.required_proof = legal::StandardOfProof::kProbableCause;
+  r.server_ns = 1234;
+
+  std::vector<std::uint8_t> buf;
+  encode_response(r, buf);
+  ASSERT_EQ(buf.size(), kResponseFrameBytes);
+
+  Response back;
+  ASSERT_TRUE(decode_response(buf, back).ok());
+  EXPECT_EQ(back.request_id, r.request_id);
+  EXPECT_EQ(back.needs_process, r.needs_process);
+  EXPECT_EQ(back.cache_hit, r.cache_hit);
+  EXPECT_EQ(back.required_process, r.required_process);
+  EXPECT_EQ(back.required_proof, r.required_proof);
+  EXPECT_EQ(back.server_ns, r.server_ns);
+}
+
+TEST(WireTest, ResponseDecodeIsStrict) {
+  Response r;
+  std::vector<std::uint8_t> buf;
+  encode_response(r, buf);
+
+  auto f = buf;
+  f[kHeaderBytes + 1] = 0xF0;  // undefined flag bits
+  Response back;
+  EXPECT_EQ(decode_response(f, back).code(), StatusCode::kInvalidArgument);
+
+  f = buf;
+  f[kHeaderBytes + 2] = 0xEE;  // process out of range
+  EXPECT_EQ(decode_response(f, back).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, MakeResponseCarriesTheDetermination) {
+  legal::BatchEvaluator eval;
+  const Scenario s = legal::table1::scene(1).scenario;
+  const legal::Determination d = eval.evaluate(s);
+  const Response r = make_response(31, d, /*cache_hit=*/false, 99);
+  EXPECT_EQ(r.request_id, 31u);
+  EXPECT_EQ(r.needs_process, d.needs_process);
+  EXPECT_EQ(r.required_process, d.required_process);
+  EXPECT_EQ(r.required_proof, d.required_proof);
+  EXPECT_EQ(r.server_ns, 99u);
+}
+
+}  // namespace
+}  // namespace lexfor::serve::wire

@@ -27,6 +27,14 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(to_string(StatusCode::kOutOfRange), "OUT_OF_RANGE");
   EXPECT_EQ(to_string(StatusCode::kAlreadyExists), "ALREADY_EXISTS");
   EXPECT_EQ(to_string(StatusCode::kInternal), "INTERNAL");
+  EXPECT_EQ(to_string(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
+}
+
+TEST(StatusTest, ResourceExhaustedHelper) {
+  const Status s = ResourceExhausted("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.message(), "queue full");
 }
 
 TEST(StatusTest, StreamOperatorIncludesCodeAndMessage) {

@@ -87,5 +87,83 @@ TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPoolTest, TrySubmitAcceptsBelowTheBound) {
+  ThreadPool pool{1};
+  std::atomic<int> ran{0};
+  std::function<void()> task = [&] { ran.fetch_add(1); };
+  EXPECT_TRUE(pool.try_submit(task, 8).ok());
+  // The accepted task was moved out of the caller's slot and runs.
+  while (ran.load() == 0) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, TrySubmitRefusesPastTheBoundAndKeepsTheTask) {
+  ThreadPool pool{1};
+  // Park the single worker so queued tasks stay queued.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool open = false;
+  pool.submit([&] {
+    std::unique_lock lock(gate_mu);
+    gate_cv.wait(lock, [&] { return open; });
+  });
+  // Give the worker time to take the blocker off the queue.
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+
+  std::atomic<int> ran{0};
+  std::function<void()> task = [&] { ran.fetch_add(1); };
+  EXPECT_TRUE(pool.try_submit(task, 2).ok());
+  task = [&] { ran.fetch_add(1); };
+  EXPECT_TRUE(pool.try_submit(task, 2).ok());
+
+  // Queue is at the bound: the third submit must refuse WITHOUT
+  // consuming the task, so the caller can run it inline.
+  task = [&] { ran.fetch_add(10); };
+  const Status st = pool.try_submit(task, 2);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(static_cast<bool>(task));  // caller-runs degradation
+  task();
+  EXPECT_GE(ran.load(), 10);
+
+  {
+    const std::scoped_lock lock(gate_mu);
+    open = true;
+  }
+  gate_cv.notify_one();
+}
+
+TEST(ThreadPoolTest, TrySubmitZeroDepthAlwaysRefuses) {
+  ThreadPool pool{2};
+  std::function<void()> task = [] {};
+  EXPECT_EQ(pool.try_submit(task, 0).code(),
+            StatusCode::kResourceExhausted);
+  ASSERT_TRUE(static_cast<bool>(task));
+}
+
+TEST(ThreadPoolTest, TrySubmitNotifiesTheQueueObserver) {
+  ThreadPool pool{1};
+  // Park the worker so the observed depth is deterministic.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool open = false;
+  pool.submit([&] {
+    std::unique_lock lock(gate_mu);
+    gate_cv.wait(lock, [&] { return open; });
+  });
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+
+  std::atomic<std::size_t> last_depth{0};
+  pool.set_queue_observer([&](std::size_t d) { last_depth.store(d); });
+  std::function<void()> task = [] {};
+  EXPECT_TRUE(pool.try_submit(task, 4).ok());
+  EXPECT_EQ(last_depth.load(), 1u);
+
+  {
+    const std::scoped_lock lock(gate_mu);
+    open = true;
+  }
+  gate_cv.notify_one();
+}
+
 }  // namespace
 }  // namespace lexfor::util

@@ -25,13 +25,18 @@ self-gating series embed machine-readable lines of the form
 
     A-<SERIES>-METRIC <name> <value>
 
-(e.g. bench_watermark's A-SIMD scalar/simd ns-per-offset pair, or
-bench_stream's single-pass vs per-suspect wall times).  Those are
-parsed into cases too — values carry whatever unit the bench printed,
-which is fine because the diff is relative.
+(e.g. bench_watermark's A-SIMD scalar/simd ns-per-offset pair,
+bench_stream's single-pass vs per-suspect wall times, or bench_serve's
+A-SERVE verdicts/s, p99 and allocs-per-batch).  Those are parsed into
+cases too — values carry whatever unit the bench printed, which is
+fine because the diff is relative.
 
 Exit status: 0 when no benchmark regressed past the threshold (and, if
-requested, obs metrics are present), 1 otherwise, 2 on usage errors.
+requested, obs metrics are present), 1 otherwise, 2 on usage errors —
+including a missing or unparseable BASELINE/CURRENT file, reported as
+a one-line message rather than a traceback.  A benchmark present in
+CURRENT with no baseline entry (new bench, or a stale baseline) never
+fails: it is listed and skipped, so growing the suite can't break CI.
 """
 
 import argparse
@@ -43,25 +48,51 @@ _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 _METRIC_LINE = re.compile(r"^A-[A-Z0-9]+-METRIC\s+(\S+)\s+(\S+)\s*$")
 
 
-def load_cases(path):
+def usage_fail(msg):
+    """Exit 2 with a clear one-line diagnosis (never a traceback)."""
+    print(f"bench_diff: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_cases(path, role):
     """Map '<binary>/<benchmark name>' -> real_time in ns."""
     try:
         with open(path) as f:
             doc = json.load(f)
+    except FileNotFoundError:
+        hint = (" (no baseline captured yet? run tools/run_benchmarks.sh "
+                "on the base revision first, or skip the diff)"
+                if role == "baseline" else "")
+        usage_fail(f"{role} file {path} does not exist{hint}")
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"bench_diff: cannot read {path}: {e}")
+        usage_fail(f"cannot read {role} file {path}: {e}")
+    if not isinstance(doc, dict):
+        usage_fail(f"{role} file {path} is not a run_benchmarks.sh "
+                   f"aggregate (top-level JSON object expected, got "
+                   f"{type(doc).__name__})")
     cases = {}
-    for binary, gbench in doc.get("microbenchmarks", {}).items():
+    micro = doc.get("microbenchmarks", {})
+    if not isinstance(micro, dict):
+        usage_fail(f"{role} file {path}: 'microbenchmarks' is not an object")
+    for binary, gbench in micro.items():
+        if not isinstance(gbench, dict):
+            continue
         for bench in gbench.get("benchmarks", []):
+            if not isinstance(bench, dict):
+                continue
             # Skip aggregate rows (mean/median/stddev of repetitions):
             # only raw iterations are comparable run to run.
             if bench.get("run_type") == "aggregate":
                 continue
             scale = _TIME_UNIT_NS.get(bench.get("time_unit", "ns"))
-            if scale is None or "real_time" not in bench:
+            if scale is None or not isinstance(
+                    bench.get("real_time"), (int, float)):
                 continue
             cases[f"{binary}/{bench['name']}"] = bench["real_time"] * scale
-    for binary, text in doc.get("experiments", {}).items():
+    experiments = doc.get("experiments", {})
+    if not isinstance(experiments, dict):
+        usage_fail(f"{role} file {path}: 'experiments' is not an object")
+    for binary, text in experiments.items():
         if not isinstance(text, str):
             continue
         for line in text.splitlines():
@@ -90,8 +121,8 @@ def main():
     if args.threshold <= 0:
         parser.error("--threshold must be positive")
 
-    base_doc, base = load_cases(args.baseline)
-    cur_doc, cur = load_cases(args.current)
+    base_doc, base = load_cases(args.baseline, "baseline")
+    cur_doc, cur = load_cases(args.current, "current")
 
     failed = False
     if args.require_obs_metrics:
@@ -120,10 +151,13 @@ def main():
         elif delta_pct < -args.threshold:
             improvements.append(row)
 
+    # One-sided benchmarks are informational only: a bench added this PR
+    # has no baseline entry yet, and a retired bench lingers in old
+    # baselines.  Neither is a regression.
     for name in sorted(base.keys() - cur.keys()):
-        print(f"  only in baseline: {name}")
+        print(f"  only in baseline (retired or not run): {name}")
     for name in sorted(cur.keys() - base.keys()):
-        print(f"  only in current:  {name}")
+        print(f"  only in current (new bench, no baseline yet): {name}")
 
     for name, before, after, delta in improvements:
         print(f"IMPROVED {name}: {before:.1f}ns -> {after:.1f}ns "

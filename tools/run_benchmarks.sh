@@ -23,11 +23,15 @@
 # hold, and the single-pass TapRegistry traceback must be bit-identical
 # to the per-suspect re-simulation loop at one simulation pass),
 # bench_baseline (E-IVB gate: kernel cross_score must match
-# the naive pearson oracle bit for bit), and bench_netsim (A-NETSIM:
+# the naive pearson oracle bit for bit), bench_netsim (A-NETSIM:
 # events/s at 1M+ queued events must stay >= 0.8x the 1k rate, the
 # calendar queue must fire randomized schedules bit-identically to the
 # retained heap oracle, and DES accounting must balance under
-# topology churn).
+# topology churn), and bench_serve (A-SERVE: wire-batch verdicts
+# identical to the direct evaluator at every worker count, exact
+# admission accounting under overload + corruption, zero heap
+# allocations per steady-state batch, complete latency histogram
+# over the million-subscriber fleet run).
 #
 # Usage: tools/run_benchmarks.sh [options]
 #   --build-dir DIR   build tree to use              (default: build)

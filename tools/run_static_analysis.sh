@@ -3,14 +3,18 @@
 #
 # Stages (each gates the exit code):
 #   1. warnings-as-errors build        (-DLEXFOR_WERROR=ON)
-#   2. ASan+UBSan build + full ctest   (-DLEXFOR_SANITIZE=address;undefined)
+#   2. ASan+UBSan build + full ctest   (-DLEXFOR_SANITIZE=address;undefined;
+#                                       includes the serve wire-format fuzz
+#                                       suite, so every mutation path runs
+#                                       memory-checked)
 #   3. TSan concurrency stress         (-DLEXFOR_SANITIZE=thread; the obs
 #                                       layer's multi-threaded counter and
 #                                       histogram stress tests, the util
 #                                       thread pool and sharded LRU cache,
 #                                       the legal batch evaluator, the
-#                                       watermark scan batch, and the
-#                                       tornet detection fan-out)
+#                                       watermark scan batch, the tornet
+#                                       detection fan-out, and the serve
+#                                       verdict-server worker fan-out)
 #   4. lint regression                 (the lint_examples suite: the shipped
 #                                       example plans must lint as documented)
 #   5. clang-tidy over src/ bench/     (skipped with a notice when clang-tidy
@@ -93,7 +97,7 @@ tsan_build() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
   cmake --build build-tsan -j "${JOBS}" \
         --target obs_test util_test legal_test watermark_test tornet_test \
-                 stream_test netsim_test
+                 stream_test netsim_test serve_test
 }
 tsan_stress() {
   # Covers the v2 sharded ring (8-thread merge stress), the call-site
@@ -142,7 +146,17 @@ tsan_traceback_fanout() {
   ./build-tsan/tests/tornet_test \
       --gtest_filter='TracebackTest.DetectThreadCountDoesNotChangeResults:TracebackTest.SinglePassMatchesPerSuspectResimulation:MultiflowTest.DetectThreadCountDoesNotChangeResults'
 }
-stage "TSan build (obs_test util_test legal_test watermark_test tornet_test stream_test netsim_test)" tsan_build
+tsan_serve() {
+  # The verdict server's fan-out path: worker evaluation into disjoint
+  # Pending slots through the shared verdict cache, plus the fleet's
+  # order-independent wave generation.  Runs the multi-worker server
+  # tests and the fleet suite (the wire codec is single-threaded and
+  # covered under ASan by serve_fuzz).
+  TSAN_OPTIONS=halt_on_error=1 \
+  ./build-tsan/tests/serve_test \
+      --gtest_filter='VerdictServerTest.*:SyntheticFleetTest.*'
+}
+stage "TSan build (obs_test util_test legal_test watermark_test tornet_test stream_test netsim_test serve_test)" tsan_build
 stage "obs thread-stress under TSan" tsan_stress
 stage "thread pool + sharded LRU cache under TSan" tsan_pool_cache
 stage "calendar queue + packet store under TSan" tsan_calendar_queue
@@ -150,6 +164,7 @@ stage "batch evaluator under TSan" tsan_batch
 stage "watermark scan batch under TSan" tsan_scan_batch
 stage "streaming tap suite under TSan" tsan_stream
 stage "tornet detection fan-out under TSan" tsan_traceback_fanout
+stage "verdict server + fleet under TSan" tsan_serve
 
 # ------------------------------------------------------ 4. lint regression
 lint_regression() {
